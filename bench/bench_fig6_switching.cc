@@ -1,0 +1,144 @@
+// Reproduces Fig. 6 (§VII-B): switching time vs number of disks switched
+// simultaneously, broken into the paper's three components:
+//   part 1 — disk rejected from the old host until recognized by the USB
+//            driver of the new host;
+//   part 2 — recognized until exposed onto the network (iSCSI target up);
+//   part 3 — exposed until remotely re-mounted by the ClientLib.
+//
+// The sweep uses the leaf-switched (Fig. 2 left) fabric, whose per-disk
+// switches allow any subset of disks to be moved at once. Each case is
+// repeated with several seeds (the paper repeats 6 times).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/cluster.h"
+
+namespace {
+
+using namespace ustore;
+
+struct Parts {
+  double part1 = 0;  // reject -> recognized (last disk), seconds
+  double part2 = 0;  // recognized -> exposed
+  double part3 = 0;  // exposed -> remounted
+  double total = 0;
+};
+
+Parts MeasureSwitch(int n_disks, std::uint64_t seed) {
+  core::ClusterOptions options;
+  options.fabric_kind = core::FabricKind::kLeafSwitched;
+  options.leaf_switched.disks = 12;
+  // The left-hand fabric piles 12 disks + 4 hubs onto one root when every
+  // switch points the same way, which trips the Intel ~15-device quirk the
+  // prototype hit (§V-B). The paper expects driver iterations to fix it;
+  // raise the limit for this sweep.
+  options.fabric_manager.host_params.max_devices = 20;
+  options.seed = seed;
+  core::Cluster cluster(options);
+  cluster.Start();
+
+  // One volume per disk to be switched.
+  auto client = cluster.MakeClient("fig6-client");
+  std::vector<core::ClientLib::Volume*> volumes;
+  for (int d = 0; d < n_disks; ++d) {
+    Result<core::ClientLib::Volume*> volume = InternalError("pending");
+    client->AllocateAndMountOnDisk(
+        "fig6", GiB(10), "disk-" + std::to_string(d),
+        [&](Result<core::ClientLib::Volume*> r) { volume = r; });
+    cluster.RunFor(sim::Seconds(8));
+    if (!volume.ok()) {
+      std::fprintf(stderr, "allocation failed: %s\n",
+                   volume.status().ToString().c_str());
+      return {};
+    }
+    volumes.push_back(*volume);
+  }
+  cluster.RunFor(sim::Seconds(5));
+
+  // Issue the scheduling command directly to the primary controller (the
+  // paper's experiment is an operator-triggered switch).
+  net::RpcEndpoint admin(&cluster.sim(), &cluster.network(), "fig6-admin");
+  auto request = std::make_shared<core::ScheduleRequest>();
+  for (int d = 0; d < n_disks; ++d) {
+    request->moves.push_back(
+        core::DiskHostPair{"disk-" + std::to_string(d), 1});
+  }
+  const sim::Time reject_at = cluster.sim().now();
+  admin.Call("ctrl-0-0", request, sim::Seconds(60),
+             [](Result<net::MessagePtr>) {});
+
+  // Poll for the three milestones per disk.
+  std::vector<sim::Time> recognized(n_disks, -1), exposed(n_disks, -1),
+      remounted(n_disks, -1);
+  for (int step = 0; step < 12000; ++step) {
+    cluster.RunFor(sim::MillisD(10));
+    bool all_done = true;
+    for (int d = 0; d < n_disks; ++d) {
+      const std::string disk = "disk-" + std::to_string(d);
+      if (recognized[d] < 0 &&
+          cluster.fabric().host_stack(1)->IsRecognized(disk)) {
+        recognized[d] = cluster.sim().now();
+      }
+      if (exposed[d] < 0 && cluster.endpoint(1)->target()->IsExposed(
+                                volumes[d]->id().ToString())) {
+        exposed[d] = cluster.sim().now();
+      }
+      if (remounted[d] < 0 && volumes[d]->remount_count() > 0 &&
+          volumes[d]->mounted()) {
+        remounted[d] = volumes[d]->last_remounted_at();
+      }
+      all_done &= remounted[d] >= 0;
+    }
+    if (all_done) break;
+  }
+
+  Parts parts;
+  sim::Time last_recognized = reject_at, last_exposed = reject_at,
+            last_remounted = reject_at;
+  for (int d = 0; d < n_disks; ++d) {
+    if (recognized[d] < 0 || exposed[d] < 0 || remounted[d] < 0) {
+      std::fprintf(stderr, "disk %d never completed switching\n", d);
+      return {};
+    }
+    last_recognized = std::max(last_recognized, recognized[d]);
+    last_exposed = std::max(last_exposed, exposed[d]);
+    last_remounted = std::max(last_remounted, remounted[d]);
+  }
+  parts.part1 = sim::ToSeconds(last_recognized - reject_at);
+  parts.part2 = sim::ToSeconds(last_exposed - last_recognized);
+  parts.part3 = sim::ToSeconds(last_remounted - last_exposed);
+  parts.total = sim::ToSeconds(last_remounted - reject_at);
+  return parts;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Fig. 6: switching time (s) vs number of disks switched at once");
+  bench::PrintRow({"Disks", "part1 rec.", "part2 expose", "part3 mount",
+                   "total"},
+                  14);
+  const int counts[] = {1, 2, 4, 8, 12};
+  const std::uint64_t seeds[] = {11, 22, 33};  // repetitions
+  for (int n : counts) {
+    Parts avg;
+    for (std::uint64_t seed : seeds) {
+      Parts parts = MeasureSwitch(n, seed);
+      avg.part1 += parts.part1 / std::size(seeds);
+      avg.part2 += parts.part2 / std::size(seeds);
+      avg.part3 += parts.part3 / std::size(seeds);
+      avg.total += parts.total / std::size(seeds);
+    }
+    bench::PrintRow({std::to_string(n), bench::Fmt(avg.part1, 2),
+                     bench::Fmt(avg.part2, 2), bench::Fmt(avg.part3, 2),
+                     bench::Fmt(avg.total, 2)},
+                    14);
+  }
+  std::printf(
+      "\nPaper shape: part 1 grows with the number of switched disks\n"
+      "(serialized re-enumeration); parts 2 and 3 are flat.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the simulation
+// substrate: disk-model evaluation, the max-min-fair solver, event-queue
+// throughput, Paxos commit throughput and fabric routing.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "consensus/paxos.h"
+#include "fabric/bandwidth.h"
+#include "fabric/builders.h"
+#include "hw/disk_model.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace ustore;
+
+void BM_DiskModelEvaluate(benchmark::State& state) {
+  const hw::DiskModel model(hw::DiskParams{}, hw::UsbBridgeInterface());
+  hw::WorkloadSpec spec{KiB(4), 0.5, hw::AccessPattern::kRandom};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Evaluate(spec));
+  }
+}
+BENCHMARK(BM_DiskModelEvaluate);
+
+void BM_DiskModelServiceTime(benchmark::State& state) {
+  const hw::DiskModel model(hw::DiskParams{}, hw::UsbBridgeInterface());
+  hw::IoRequest request{MiB(4), hw::IoDirection::kWrite,
+                        hw::AccessPattern::kRandom};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.ServiceTime(request, hw::IoDirection::kRead));
+  }
+}
+BENCHMARK(BM_DiskModelServiceTime);
+
+void BM_MaxMinFairSolver(benchmark::State& state) {
+  const int disks = static_cast<int>(state.range(0));
+  fabric::BuiltFabric f = fabric::BuildSingleHostTree({.disks = disks});
+  const hw::DiskModel model(hw::DiskParams{}, hw::UsbBridgeInterface());
+  hw::WorkloadSpec spec{KiB(4), 1.0, hw::AccessPattern::kSequential};
+  std::vector<fabric::FlowDemand> demands;
+  for (int i = 0; i < disks; ++i) {
+    demands.push_back(fabric::FlowDemand{
+        f.disks[i], model.Evaluate(spec).bytes_per_sec, 1.0, KiB(4)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fabric::SolveMaxMinFair(
+        f, demands, hw::UsbHostControllerParams{}, hw::UsbLinkParams{}));
+  }
+}
+BENCHMARK(BM_MaxMinFairSolver)->Arg(4)->Arg(12)->Arg(48);
+
+void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.Schedule(sim::Micros(i * 7 % 997), [&fired] { ++fired; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_FabricRouteTo(benchmark::State& state) {
+  fabric::BuiltFabric f = fabric::BuildPrototypeFabric({.groups = 8});
+  for (auto _ : state) {
+    for (fabric::NodeIndex disk : f.disks) {
+      benchmark::DoNotOptimize(
+          f.topology.RouteTo(disk, f.host_ports[2]));
+    }
+  }
+}
+BENCHMARK(BM_FabricRouteTo);
+
+void BM_PaxosCommitThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network network(&sim, Rng(1));
+    consensus::PaxosConfig config;
+    config.peers = {"p0", "p1", "p2"};
+    Rng rng(2);
+    int applied = 0;
+    std::vector<std::unique_ptr<consensus::PaxosNode>> nodes;
+    for (int i = 0; i < 3; ++i) {
+      nodes.push_back(std::make_unique<consensus::PaxosNode>(
+          &sim, &network, config, i,
+          [&applied](std::uint64_t, const std::string&) { ++applied; },
+          rng.Fork()));
+    }
+    sim.RunFor(sim::Seconds(3));
+    consensus::PaxosNode* leader = nullptr;
+    for (auto& node : nodes) {
+      if (node->is_leader()) leader = node.get();
+    }
+    if (leader != nullptr) {
+      for (int i = 0; i < 100; ++i) {
+        leader->Propose("command-" + std::to_string(i),
+                        [](Result<std::uint64_t>) {});
+      }
+    }
+    sim.RunFor(sim::Seconds(5));
+    benchmark::DoNotOptimize(applied);
+  }
+}
+BENCHMARK(BM_PaxosCommitThroughput)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Reproduces Table I (§VI): estimated CapEx / AttEx of five storage
+// solutions at 10 PB raw capacity.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cost/cost_model.h"
+
+int main() {
+  using namespace ustore;
+  bench::PrintHeader(
+      "Table I: price of storage solutions @ 10 PB (thousands of dollars)");
+
+  struct PaperRow {
+    const char* system;
+    double capex;
+    double attex;  // <0 = not reported
+  };
+  const PaperRow paper[] = {
+      {"DELL PowerVault MD3260i", 3340, 1525},
+      {"Sun StorageTek SL150", 1748, -1},
+      {"Pergamum", 756, 415},
+      {"BACKBLAZE", 598, 257},
+      {"UStore", 456, 115},
+  };
+
+  bench::PrintRow({"System", "Media", "CapEx $k (vs paper)",
+                   "AttEx $k (vs paper)"},
+                  26);
+  auto table = cost::TableOne();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const auto& row = table[i];
+    std::string capex = bench::VsPaper(row.total / 1000.0, paper[i].capex, 0);
+    std::string attex =
+        paper[i].attex < 0
+            ? "-"
+            : bench::VsPaper(row.attach_cost / 1000.0, paper[i].attex, 0);
+    bench::PrintRow({row.system, row.media, capex, attex}, 26);
+  }
+
+  auto ustore_cost = cost::UStoreCost(PB(10));
+  auto backblaze = cost::BackblazeCost(PB(10));
+  std::printf(
+      "\nUStore vs BACKBLAZE: CapEx %.0f%% lower (paper: 24%%), "
+      "AttEx %.0f%% lower (paper: 55%%)\n",
+      100.0 * (1.0 - ustore_cost.total / backblaze.total),
+      100.0 * (1.0 - ustore_cost.attach_cost / backblaze.attach_cost));
+  std::printf("UStore units: %.1f x 64-disk 4U deploy units\n",
+              ustore_cost.units);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Reproduces Table V (§VII-C): whole-system power of a 16-disk unit under
+// DD860/ES30, Pergamum and UStore, for the two canonical archival states
+// (disks spinning vs powered off).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "power/power_model.h"
+
+int main() {
+  using namespace ustore;
+  bench::PrintHeader("Table V: 16-disk system power (watts)");
+  bench::PrintRow({"State", "DD860/ES30", "Pergamum", "UStore"}, 18);
+
+  const double paper_spin[3] = {222.5, 193.5, 166.8};
+  const double paper_off[3] = {83.5, 28.9, 22.1};
+
+  auto dd_spin = power::Dd860Es30Power(power::SystemState::kSpinning);
+  auto pg_spin = power::PergamumPower(16, power::SystemState::kSpinning);
+  auto us_spin = power::UStorePower(16, power::SystemState::kSpinning);
+  bench::PrintRow({"Spinning", bench::VsPaper(dd_spin.total, paper_spin[0]),
+                   bench::VsPaper(pg_spin.total, paper_spin[1]),
+                   bench::VsPaper(us_spin.total, paper_spin[2])},
+                  18);
+
+  auto dd_off = power::Dd860Es30Power(power::SystemState::kPoweredOff);
+  auto pg_off = power::PergamumPower(16, power::SystemState::kPoweredOff);
+  auto us_off = power::UStorePower(16, power::SystemState::kPoweredOff);
+  bench::PrintRow({"Powered off", bench::VsPaper(dd_off.total, paper_off[0]),
+                   bench::VsPaper(pg_off.total, paper_off[1]),
+                   bench::VsPaper(us_off.total, paper_off[2])},
+                  18);
+
+  std::printf("\nUStore breakdown (spinning): disks+bridges %.1f W, fabric "
+              "%.1f W, adaptors %.1f W, fans %.1f W, PSU %.0f%%\n",
+              us_spin.disks, us_spin.interconnect, us_spin.adaptors,
+              us_spin.fans, us_spin.psu_efficiency * 100);
+  std::printf("Fabric power drop when idle: %.0f%% (paper: ~71%%)\n",
+              100.0 * (1.0 - us_off.interconnect / us_spin.interconnect));
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Shared helpers for the reproduction benches: fixed-width table printing
+// and paper-vs-measured rows with relative deviation.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ustore::bench {
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("============================================================\n");
+}
+
+inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& cell : cells) {
+    std::printf("%-*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v, int decimals = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+// "measured (paper, +3.2%)"
+inline std::string VsPaper(double measured, double paper, int decimals = 1) {
+  char buf[96];
+  const double delta = paper == 0 ? 0 : 100.0 * (measured - paper) / paper;
+  std::snprintf(buf, sizeof(buf), "%.*f (%+.1f%%)", decimals, measured,
+                delta);
+  return buf;
+}
+
+}  // namespace ustore::bench

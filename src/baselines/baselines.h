@@ -1,0 +1,72 @@
+// Comparator systems from §II/§VI and the fault-coverage analyzer used by
+// the design-ablation benchmarks.
+//
+//  * BackblazePodModel — 45 disks direct-wired to one low-end motherboard
+//    with a single GbE NIC: cheap, but the NIC caps aggregate throughput
+//    and the host is a single point of failure for all 45 disks.
+//  * PergamumTomeModel — one low-power ARM per disk, networked over
+//    Ethernet: no shared SPOF, but the ARM caps per-tome throughput.
+//  * AnalyzeSingleFaultCoverage — exhaustively fails every fabric failure
+//    unit (hosts, hubs) and reports how many disks stay routable, which is
+//    the quantitative version of the paper's fault-tolerance claims for
+//    the two Fig. 2 designs and the plain-tree baseline.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "fabric/builders.h"
+#include "hw/disk_model.h"
+
+namespace ustore::baselines {
+
+struct BackblazePodModel {
+  int disks = 45;
+  BytesPerSec nic_bandwidth = MBps(118);  // one GbE, effective
+
+  // Aggregate service throughput with `active` identical workers. The NIC
+  // is the bottleneck long before the disks are.
+  BytesPerSec AggregateThroughput(const hw::DiskModel& disk,
+                                  const hw::WorkloadSpec& spec,
+                                  int active) const;
+
+  int disks_unavailable_on_host_failure() const { return disks; }
+};
+
+struct PergamumTomeModel {
+  // Low-power ARM caps what one tome can serve (protocol + checksumming;
+  // the paper: "the performance of low-power CPUs are rather poor").
+  BytesPerSec cpu_limit = MBps(20);
+  BytesPerSec nic_bandwidth = MBps(118);
+
+  BytesPerSec TomeThroughput(const hw::DiskModel& disk,
+                             const hw::WorkloadSpec& spec) const;
+  BytesPerSec AggregateThroughput(const hw::DiskModel& disk,
+                                  const hw::WorkloadSpec& spec,
+                                  int tomes) const;
+
+  int disks_unavailable_on_tome_failure() const { return 1; }
+};
+
+// --- Single-fault coverage ---------------------------------------------------
+
+struct FaultScenario {
+  std::string failed_component;
+  int disks_unreachable = 0;
+};
+
+struct FaultCoverage {
+  int disks_total = 0;
+  std::vector<FaultScenario> scenarios;  // one per host / hub failure
+  int fully_tolerated = 0;   // scenarios with zero unreachable disks
+  int worst_case_lost = 0;
+  double average_lost = 0;
+};
+
+// `make` builds a fresh fabric per scenario (fault injection mutates it).
+FaultCoverage AnalyzeSingleFaultCoverage(
+    const std::function<fabric::BuiltFabric()>& make);
+
+}  // namespace ustore::baselines

@@ -1,0 +1,42 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <string_view>
+
+namespace ustore {
+namespace {
+
+std::string_view LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Write(LogLevel level, const std::string& message) {
+  if (sink_) {
+    sink_(level, message);
+    return;
+  }
+  std::string prefix;
+  if (time_source_) prefix = "[" + time_source_() + "] ";
+  std::fprintf(stderr, "%s%s %s\n", prefix.c_str(),
+               std::string(LevelName(level)).c_str(), message.c_str());
+}
+
+LogLine::LogLine(LogLevel level, const char* /*file*/, int /*line*/)
+    : level_(level) {}
+
+LogLine::~LogLine() { Logger::Instance().Write(level_, stream_.str()); }
+
+}  // namespace ustore

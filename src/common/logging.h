@@ -1,0 +1,68 @@
+// Minimal leveled logger.
+//
+// The simulator installs a time source so log lines carry simulated time
+// rather than wall-clock time. Logging is stream-based:
+//
+//   USTORE_LOG(Info) << "host " << id << " missed heartbeat";
+//
+// Default threshold is Warning so tests and benches stay quiet; demos and
+// debugging raise it.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace ustore {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError };
+
+class Logger {
+ public:
+  using TimeSource = std::function<std::string()>;
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& Instance();
+
+  void set_threshold(LogLevel level) { threshold_ = level; }
+  LogLevel threshold() const { return threshold_; }
+
+  // Installed by the simulator; renders current sim time for the prefix.
+  void set_time_source(TimeSource source) { time_source_ = std::move(source); }
+
+  // Redirect output (tests capture lines this way). Null restores stderr.
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  void Write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel threshold_ = LogLevel::kWarning;
+  TimeSource time_source_;
+  Sink sink_;
+};
+
+// RAII line builder: accumulates the stream then emits on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+#define USTORE_LOG(severity)                                          \
+  if (::ustore::LogLevel::k##severity <                               \
+      ::ustore::Logger::Instance().threshold()) {                     \
+  } else                                                              \
+    ::ustore::LogLine(::ustore::LogLevel::k##severity, __FILE__, __LINE__)
+
+}  // namespace ustore

@@ -1,0 +1,46 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the simulation (enumeration jitter, workload
+// address streams, failure injection) draws from explicitly seeded Rng
+// instances so that every experiment is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace ustore {
+
+// xoshiro256++ seeded via splitmix64. Small, fast, well distributed; not
+// cryptographic (nothing here needs to be).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform over all 64-bit values.
+  std::uint64_t NextU64();
+
+  // Uniform in [0, n). Requires n > 0.
+  std::uint64_t NextBelow(std::uint64_t n);
+
+  // Uniform in [lo, hi]. Requires lo <= hi.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  // Exponentially distributed with the given mean (> 0).
+  double NextExponential(double mean);
+
+  // Normal (Gaussian) with the given mean and stddev, via Box-Muller.
+  double NextNormal(double mean, double stddev);
+
+  // Derive an independent child generator (stable given call order).
+  Rng Fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace ustore

@@ -1,0 +1,37 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ustore {
+
+std::string FormatBytes(Bytes b) {
+  char buf[64];
+  const double v = static_cast<double>(b);
+  if (b >= PB(1)) {
+    std::snprintf(buf, sizeof(buf), "%.1f PB", v / 1e15);
+  } else if (b >= TB(1)) {
+    std::snprintf(buf, sizeof(buf), "%.1f TB", v / 1e12);
+  } else if (b >= GiB(1)) {
+    std::snprintf(buf, sizeof(buf), "%.1f GiB", v / static_cast<double>(GiB(1)));
+  } else if (b >= MiB(1)) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB", v / static_cast<double>(MiB(1)));
+  } else if (b >= KiB(1)) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", v / static_cast<double>(KiB(1)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(b));
+  }
+  return buf;
+}
+
+std::string FormatDollars(Dollars d) {
+  char buf[64];
+  if (std::fabs(d) >= 1000.0) {
+    std::snprintf(buf, sizeof(buf), "$%.0fk", d / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "$%.2f", d);
+  }
+  return buf;
+}
+
+}  // namespace ustore

@@ -1,0 +1,47 @@
+// Units used throughout UStore: sizes, rates, time, power, money.
+//
+// Simulated time is kept as integer nanoseconds (sim::Time) for
+// determinism; this header provides the value-level helpers shared by the
+// hardware models, power accounting and cost tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ustore {
+
+// ---------------------------------------------------------------------------
+// Sizes. Stored as plain int64 bytes; helpers construct common magnitudes.
+// ---------------------------------------------------------------------------
+using Bytes = std::int64_t;
+
+constexpr Bytes KiB(std::int64_t n) { return n * 1024; }
+constexpr Bytes MiB(std::int64_t n) { return n * 1024 * 1024; }
+constexpr Bytes GiB(std::int64_t n) { return n * 1024 * 1024 * 1024; }
+constexpr Bytes TB(std::int64_t n) { return n * 1000LL * 1000 * 1000 * 1000; }
+constexpr Bytes PB(std::int64_t n) { return TB(n) * 1000; }
+
+// Human-readable rendering, e.g. "4.0 MiB", "3.0 TB".
+std::string FormatBytes(Bytes b);
+
+// ---------------------------------------------------------------------------
+// Rates. The paper reports throughput in MB/s (decimal megabytes, as
+// storage vendors and Iometer do) and IOPS.
+// ---------------------------------------------------------------------------
+using BytesPerSec = double;
+
+constexpr BytesPerSec MBps(double mb) { return mb * 1e6; }
+constexpr double ToMBps(BytesPerSec r) { return r / 1e6; }
+
+using Iops = double;
+
+// ---------------------------------------------------------------------------
+// Power and money.
+// ---------------------------------------------------------------------------
+using Watts = double;
+using Joules = double;
+using Dollars = double;
+
+std::string FormatDollars(Dollars d);  // e.g. "$3,340k" style for tables
+
+}  // namespace ustore

@@ -1,0 +1,278 @@
+#include "consensus/meta_client.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace ustore::consensus {
+namespace {
+
+// Parses the "not leader; hint=N" redirect message.
+int ParseLeaderHint(const std::string& message) {
+  const auto pos = message.find("hint=");
+  if (pos == std::string::npos) return -1;
+  return std::atoi(message.c_str() + pos + 5);
+}
+
+}  // namespace
+
+MetaClient::MetaClient(sim::Simulator* sim, net::Network* network,
+                       net::NodeId id, Options options)
+    : sim_(sim),
+      options_(std::move(options)),
+      endpoint_(std::make_unique<net::RpcEndpoint>(sim, network,
+                                                   std::move(id))),
+      keepalive_timer_(sim) {
+  assert(!options_.servers.empty());
+  RegisterWatchHandler();
+}
+
+MetaClient::~MetaClient() = default;
+
+void MetaClient::RegisterWatchHandler() {
+  endpoint_->RegisterNotifyHandler<WatchEventMsg>(
+      [this](const net::NodeId&, net::MessagePtr msg) {
+        auto* event = static_cast<WatchEventMsg*>(msg.get());
+        auto it = watch_callbacks_.find({event->path, event->type});
+        if (it == watch_callbacks_.end()) return;
+        auto callbacks = std::move(it->second);
+        watch_callbacks_.erase(it);
+        for (auto& callback : callbacks) callback(event->path);
+      });
+}
+
+void MetaClient::Dispatch(std::shared_ptr<MetaRequest> request,
+                          ResponseCallback callback, int attempt) {
+  if (attempt >= options_.max_attempts) {
+    callback(UnavailableError("metadata store unreachable"));
+    return;
+  }
+  const net::NodeId server =
+      options_.servers[current_server_ % options_.servers.size()];
+  endpoint_->Call(
+      server, request, options_.rpc_timeout,
+      [this, request, callback = std::move(callback),
+       attempt](Result<net::MessagePtr> result) mutable {
+        if (!result.ok()) {
+          if (result.status().code() == StatusCode::kUnavailable) {
+            const int hint = ParseLeaderHint(result.status().message());
+            if (hint >= 0 &&
+                hint < static_cast<int>(options_.servers.size())) {
+              current_server_ = hint;
+            } else {
+              current_server_ =
+                  (current_server_ + 1) %
+                  static_cast<int>(options_.servers.size());
+            }
+          } else if (result.status().code() ==
+                     StatusCode::kDeadlineExceeded) {
+            current_server_ = (current_server_ + 1) %
+                              static_cast<int>(options_.servers.size());
+          } else {
+            callback(result.status());
+            return;
+          }
+          // Small backoff, then retry on the (new) target.
+          sim_->Schedule(sim::MillisD(100), [this, request,
+                                            callback = std::move(callback),
+                                            attempt]() mutable {
+            Dispatch(std::move(request), std::move(callback), attempt + 1);
+          });
+          return;
+        }
+        auto response =
+            std::dynamic_pointer_cast<MetaResponse>(std::move(result).value());
+        if (!response) {
+          callback(InternalError("unexpected response type"));
+          return;
+        }
+        callback(std::move(response));
+      });
+}
+
+void MetaClient::Start(StatusCallback on_ready) {
+  EstablishSession(std::move(on_ready));
+}
+
+void MetaClient::EstablishSession(StatusCallback on_ready) {
+  auto request = std::make_shared<MetaRequest>();
+  request->kind = MetaRequest::Kind::kCreateSession;
+  request->op.ttl_ms = options_.session_ttl_ms;
+  Dispatch(std::move(request),
+           [this, on_ready = std::move(on_ready)](
+               Result<std::shared_ptr<MetaResponse>> result) {
+             if (!result.ok()) {
+               if (on_ready) on_ready(result.status());
+               return;
+             }
+             if (!(*result)->op_status.ok()) {
+               if (on_ready) on_ready((*result)->op_status);
+               return;
+             }
+             session_ = (*result)->session;
+             keepalive_timer_.StartPeriodic(options_.keepalive_period,
+                                            [this] { SendKeepAlive(); });
+             if (on_ready) on_ready(Status::Ok());
+           });
+}
+
+void MetaClient::SendKeepAlive() {
+  if (session_ == 0) return;
+  auto request = std::make_shared<MetaRequest>();
+  request->kind = MetaRequest::Kind::kKeepAlive;
+  request->op.session = session_;
+  Dispatch(std::move(request),
+           [this](Result<std::shared_ptr<MetaResponse>> result) {
+             if (!result.ok()) return;  // transient; retried next period
+             if ((*result)->op_status.code() == StatusCode::kNotFound) {
+               // The server expired us: ephemerals are gone.
+               USTORE_LOG(Warning)
+                   << id() << ": metadata session expired";
+               session_ = 0;
+               keepalive_timer_.Stop();
+               if (on_session_expired_) on_session_expired_();
+               EstablishSession(nullptr);  // fresh session for future ops
+             }
+           });
+}
+
+void MetaClient::Create(const std::string& path, const std::string& data,
+                        bool ephemeral, StatusCallback callback) {
+  if (ephemeral && session_ == 0) {
+    callback(FailedPreconditionError("no session; call Start() first"));
+    return;
+  }
+  auto request = std::make_shared<MetaRequest>();
+  request->kind = MetaRequest::Kind::kWrite;
+  request->op.kind = MetaOp::Kind::kCreate;
+  request->op.path = path;
+  request->op.data = data;
+  request->op.ephemeral = ephemeral;
+  request->op.session = session_;
+  Dispatch(std::move(request),
+           [callback = std::move(callback)](
+               Result<std::shared_ptr<MetaResponse>> result) {
+             callback(result.ok() ? (*result)->op_status : result.status());
+           });
+}
+
+void MetaClient::Set(const std::string& path, const std::string& data,
+                     std::int64_t expected_version, StatusCallback callback) {
+  auto request = std::make_shared<MetaRequest>();
+  request->kind = MetaRequest::Kind::kWrite;
+  request->op.kind = MetaOp::Kind::kSet;
+  request->op.path = path;
+  request->op.data = data;
+  request->op.expected_version = expected_version;
+  Dispatch(std::move(request),
+           [callback = std::move(callback)](
+               Result<std::shared_ptr<MetaResponse>> result) {
+             callback(result.ok() ? (*result)->op_status : result.status());
+           });
+}
+
+void MetaClient::Delete(const std::string& path,
+                        std::int64_t expected_version,
+                        StatusCallback callback) {
+  auto request = std::make_shared<MetaRequest>();
+  request->kind = MetaRequest::Kind::kWrite;
+  request->op.kind = MetaOp::Kind::kDelete;
+  request->op.path = path;
+  request->op.expected_version = expected_version;
+  Dispatch(std::move(request),
+           [callback = std::move(callback)](
+               Result<std::shared_ptr<MetaResponse>> result) {
+             callback(result.ok() ? (*result)->op_status : result.status());
+           });
+}
+
+void MetaClient::Get(const std::string& path,
+                     std::function<void(Result<Znode>)> callback) {
+  auto request = std::make_shared<MetaRequest>();
+  request->kind = MetaRequest::Kind::kGet;
+  request->path = path;
+  Dispatch(std::move(request),
+           [callback = std::move(callback)](
+               Result<std::shared_ptr<MetaResponse>> result) {
+             if (!result.ok()) {
+               callback(result.status());
+               return;
+             }
+             if (!(*result)->op_status.ok()) {
+               callback((*result)->op_status);
+               return;
+             }
+             Znode node;
+             node.data = (*result)->data;
+             node.version = (*result)->version;
+             callback(node);
+           });
+}
+
+void MetaClient::GetChildren(
+    const std::string& path,
+    std::function<void(Result<std::vector<std::string>>)> callback) {
+  auto request = std::make_shared<MetaRequest>();
+  request->kind = MetaRequest::Kind::kGetChildren;
+  request->path = path;
+  Dispatch(std::move(request),
+           [callback = std::move(callback)](
+               Result<std::shared_ptr<MetaResponse>> result) {
+             if (!result.ok()) {
+               callback(result.status());
+               return;
+             }
+             if (!(*result)->op_status.ok()) {
+               callback((*result)->op_status);
+               return;
+             }
+             callback((*result)->children);
+           });
+}
+
+void MetaClient::Exists(const std::string& path,
+                        std::function<void(Result<bool>)> callback) {
+  auto request = std::make_shared<MetaRequest>();
+  request->kind = MetaRequest::Kind::kExists;
+  request->path = path;
+  Dispatch(std::move(request),
+           [callback = std::move(callback)](
+               Result<std::shared_ptr<MetaResponse>> result) {
+             if (!result.ok()) {
+               callback(result.status());
+               return;
+             }
+             callback((*result)->exists);
+           });
+}
+
+void MetaClient::Crash() {
+  keepalive_timer_.Stop();
+  session_ = 0;
+  watch_callbacks_.clear();
+  endpoint_->Shutdown();
+}
+
+void MetaClient::Restart() {
+  endpoint_->Reopen();
+  RegisterWatchHandler();
+}
+
+void MetaClient::Watch(const std::string& path, WatchType type,
+                       WatchCallback callback, StatusCallback registered) {
+  watch_callbacks_[{path, type}].push_back(std::move(callback));
+  auto request = std::make_shared<MetaRequest>();
+  request->kind = MetaRequest::Kind::kWatch;
+  request->path = path;
+  request->watch_type = type;
+  Dispatch(std::move(request),
+           [registered = std::move(registered)](
+               Result<std::shared_ptr<MetaResponse>> result) {
+             if (registered) {
+               registered(result.ok() ? (*result)->op_status
+                                      : result.status());
+             }
+           });
+}
+
+}  // namespace ustore::consensus

@@ -1,0 +1,106 @@
+// Client library for the replicated metadata store.
+//
+// Handles leader discovery (follows "not leader" hints, falls back to
+// round-robin probing), session lifecycle (create + periodic keepalives;
+// ephemeral znodes die with the session) and one-shot watches — the same
+// contract ZooKeeper gives the prototype's Master and hosts (§V-B).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consensus/meta_service.h"
+#include "net/rpc.h"
+#include "sim/simulator.h"
+
+namespace ustore::consensus {
+
+class MetaClient {
+ public:
+  struct Options {
+    std::vector<net::NodeId> servers;  // MetaService client-facing ids
+    sim::Duration rpc_timeout = sim::MillisD(500);
+    sim::Duration keepalive_period = sim::Seconds(2);
+    std::uint64_t session_ttl_ms = 6000;
+    int max_attempts = 40;  // per operation, across servers (covers the
+                            // initial leader-election window)
+  };
+
+  using StatusCallback = std::function<void(Status)>;
+  using WatchCallback = std::function<void(const std::string& path)>;
+
+  MetaClient(sim::Simulator* sim, net::Network* network, net::NodeId id,
+             Options options);
+  ~MetaClient();
+  MetaClient(const MetaClient&) = delete;
+  MetaClient& operator=(const MetaClient&) = delete;
+
+  const net::NodeId& id() const { return endpoint_->id(); }
+  std::uint64_t session() const { return session_; }
+  bool has_session() const { return session_ != 0; }
+
+  // Establishes a session and starts keepalives. Must complete before
+  // ephemeral creates. Safe to call once.
+  void Start(StatusCallback on_ready);
+
+  // Fired when the server expired our session (ephemerals are gone). The
+  // client automatically re-establishes a fresh session afterwards.
+  void set_on_session_expired(std::function<void()> callback) {
+    on_session_expired_ = std::move(callback);
+  }
+
+  // --- Znode operations ---------------------------------------------------
+  void Create(const std::string& path, const std::string& data,
+              bool ephemeral, StatusCallback callback);
+  void Set(const std::string& path, const std::string& data,
+           std::int64_t expected_version, StatusCallback callback);
+  void Delete(const std::string& path, std::int64_t expected_version,
+              StatusCallback callback);
+  void Get(const std::string& path,
+           std::function<void(Result<Znode>)> callback);
+  void GetChildren(const std::string& path,
+                   std::function<void(Result<std::vector<std::string>>)>
+                       callback);
+  void Exists(const std::string& path,
+              std::function<void(Result<bool>)> callback);
+
+  // One-shot watch: `callback` fires at most once, when the path's data
+  // (kData) or child list (kChildren) changes.
+  void Watch(const std::string& path, WatchType type, WatchCallback callback,
+             StatusCallback registered);
+
+  // Simulates the owning process crashing: keepalives stop (the session
+  // will expire server-side, deleting our ephemerals) and all traffic is
+  // dropped. Restart() revives the endpoint; call Start() again afterwards
+  // to obtain a fresh session.
+  void Crash();
+  void Restart();
+
+ private:
+  using ResponseCallback =
+      std::function<void(Result<std::shared_ptr<MetaResponse>>)>;
+
+  // Sends a request, following leader hints and retrying across servers.
+  void Dispatch(std::shared_ptr<MetaRequest> request,
+                ResponseCallback callback, int attempt = 0);
+  void RegisterWatchHandler();
+  void SendKeepAlive();
+  void EstablishSession(StatusCallback on_ready);
+
+  sim::Simulator* sim_;
+  Options options_;
+  std::unique_ptr<net::RpcEndpoint> endpoint_;
+  int current_server_ = 0;
+  std::uint64_t session_ = 0;
+  sim::Timer keepalive_timer_;
+  std::function<void()> on_session_expired_;
+  std::map<std::pair<std::string, WatchType>, std::vector<WatchCallback>>
+      watch_callbacks_;
+};
+
+}  // namespace ustore::consensus

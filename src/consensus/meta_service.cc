@@ -1,0 +1,193 @@
+#include "consensus/meta_service.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+#include "sim/time.h"
+
+namespace ustore::consensus {
+
+MetaService::MetaService(sim::Simulator* sim, net::Network* network,
+                         const Options& options, int my_index, Rng rng)
+    : sim_(sim),
+      network_(network),
+      options_(options),
+      my_index_(my_index),
+      session_scan_timer_(sim) {
+  assert(options_.service_ids.size() == options_.paxos.peers.size());
+  paxos_ = std::make_unique<PaxosNode>(
+      sim, network, options_.paxos, my_index,
+      [this](std::uint64_t index, const std::string& command) {
+        OnApply(index, command);
+      },
+      rng);
+  endpoint_ = std::make_unique<net::RpcEndpoint>(
+      sim, network, options_.service_ids[my_index]);
+  RegisterHandlers();
+  session_scan_timer_.StartPeriodic(options_.session_scan_period,
+                                    [this] { ScanSessions(); });
+}
+
+MetaService::~MetaService() = default;
+
+void MetaService::Stop() {
+  paxos_->Stop();
+  endpoint_->Shutdown();
+  session_scan_timer_.Stop();
+  watches_.clear();
+  recent_effects_.clear();
+}
+
+void MetaService::Restart() {
+  if (!paxos_->stopped()) return;
+  paxos_->Restart();
+  endpoint_->Reopen();
+  RegisterHandlers();
+  session_scan_timer_.StartPeriodic(options_.session_scan_period,
+                                    [this] { ScanSessions(); });
+}
+
+void MetaService::OnApply(std::uint64_t index, const std::string& command) {
+  if (command == kNoOpCommand) {
+    recent_effects_[index] = ApplyEffect{};
+    return;
+  }
+  auto op = DecodeOp(command);
+  if (!op.ok()) {
+    USTORE_LOG(Error) << id() << ": undecodable log entry at " << index;
+    recent_effects_[index] = ApplyEffect{InternalError("bad entry"), {}, {},
+                                         0, {}};
+    return;
+  }
+  ApplyEffect effect = tree_.Apply(*op, sim::ToSeconds(sim_->now()));
+  FireWatches(effect);
+  recent_effects_[index] = std::move(effect);
+  // Keep the effects window bounded.
+  while (recent_effects_.size() > 4096) {
+    recent_effects_.erase(recent_effects_.begin());
+  }
+}
+
+void MetaService::FireWatches(const ApplyEffect& effect) {
+  if (endpoint_->shut_down()) return;
+  auto fire = [&](const std::string& path, WatchType type) {
+    auto it = watches_.find({path, type});
+    if (it == watches_.end()) return;
+    auto clients = std::move(it->second);
+    watches_.erase(it);
+    for (const auto& client : clients) {
+      auto event = std::make_shared<WatchEventMsg>();
+      event->path = path;
+      event->type = type;
+      endpoint_->Notify(client, std::move(event));
+    }
+  };
+  for (const auto& path : effect.touched) fire(path, WatchType::kData);
+  for (const auto& parent : effect.children_changed) {
+    fire(parent, WatchType::kChildren);
+  }
+}
+
+void MetaService::ScanSessions() {
+  if (!paxos_->is_leader()) return;
+  const double now = sim::ToSeconds(sim_->now());
+  for (const auto& session : tree_.sessions()) {
+    if ((now - session.last_seen_seconds) * 1000.0 >
+        static_cast<double>(session.ttl_ms)) {
+      MetaOp op;
+      op.kind = MetaOp::Kind::kExpireSession;
+      op.session = session.id;
+      USTORE_LOG(Info) << id() << ": expiring session " << session.id;
+      paxos_->Propose(EncodeOp(op), [](Result<std::uint64_t>) {});
+    }
+  }
+}
+
+void MetaService::RegisterHandlers() {
+  endpoint_->RegisterHandler<MetaRequest>(
+      [this](const net::NodeId& from, net::MessagePtr msg,
+             std::function<void(Result<net::MessagePtr>)> reply) {
+        auto* request = static_cast<MetaRequest*>(msg.get());
+
+        if (!paxos_->is_leader()) {
+          reply(UnavailableError(
+              "not leader; hint=" + std::to_string(paxos_->leader_hint())));
+          return;
+        }
+
+        auto respond = [reply](MetaResponse response) {
+          reply(net::MessagePtr(
+              std::make_shared<MetaResponse>(std::move(response))));
+        };
+
+        switch (request->kind) {
+          case MetaRequest::Kind::kGet: {
+            MetaResponse response;
+            auto node = tree_.Get(request->path);
+            response.op_status = node.status();
+            if (node.ok()) {
+              response.data = node->data;
+              response.version = node->version;
+              response.exists = true;
+            }
+            respond(std::move(response));
+            return;
+          }
+          case MetaRequest::Kind::kExists: {
+            MetaResponse response;
+            response.exists = tree_.Exists(request->path);
+            respond(std::move(response));
+            return;
+          }
+          case MetaRequest::Kind::kGetChildren: {
+            MetaResponse response;
+            if (!tree_.Exists(request->path)) {
+              response.op_status = NotFoundError(request->path);
+            } else {
+              response.children = tree_.GetChildren(request->path);
+            }
+            respond(std::move(response));
+            return;
+          }
+          case MetaRequest::Kind::kWatch: {
+            watches_[{request->path, request->watch_type}].push_back(from);
+            respond(MetaResponse{});
+            return;
+          }
+          case MetaRequest::Kind::kWrite:
+          case MetaRequest::Kind::kCreateSession:
+          case MetaRequest::Kind::kKeepAlive: {
+            MetaOp op = request->op;
+            if (request->kind == MetaRequest::Kind::kCreateSession) {
+              op.kind = MetaOp::Kind::kCreateSession;
+            } else if (request->kind == MetaRequest::Kind::kKeepAlive) {
+              op.kind = MetaOp::Kind::kKeepAlive;
+            }
+            paxos_->Propose(
+                EncodeOp(op),
+                [this, respond](Result<std::uint64_t> result) {
+                  if (!result.ok()) {
+                    // The reply functor expects a Result<MessagePtr>; wrap.
+                    MetaResponse response;
+                    response.op_status = result.status();
+                    respond(std::move(response));
+                    return;
+                  }
+                  MetaResponse response;
+                  auto it = recent_effects_.find(*result);
+                  if (it == recent_effects_.end()) {
+                    response.op_status =
+                        InternalError("effect window overflow");
+                  } else {
+                    response.op_status = it->second.status;
+                    response.session = it->second.created_session;
+                  }
+                  respond(std::move(response));
+                });
+            return;
+          }
+        }
+      });
+}
+
+}  // namespace ustore::consensus

@@ -1,0 +1,117 @@
+// MetaService: the client-facing server of the replicated metadata store.
+//
+// One MetaService runs next to each PaxosNode (the pair plays the role of
+// one ZooKeeper server). Writes are proposed to the Paxos log and answered
+// once applied; reads are served from the leader's applied state; watches
+// are one-shot subscriptions fired when an applied op touches the watched
+// path. The leader also scans sessions and proposes ExpireSession ops for
+// those whose keepalives stopped — which deletes their ephemeral znodes on
+// every replica deterministically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consensus/metastore.h"
+#include "consensus/paxos.h"
+#include "net/rpc.h"
+#include "sim/simulator.h"
+
+namespace ustore::consensus {
+
+enum class WatchType { kData = 0, kChildren = 1 };
+
+// --- Wire messages (client <-> MetaService) ----------------------------------
+
+struct MetaRequest : net::Message {
+  enum class Kind {
+    kWrite,          // op carries Create/Set/Delete
+    kGet,
+    kGetChildren,
+    kExists,
+    kCreateSession,  // op.ttl_ms
+    kKeepAlive,      // op.session
+    kWatch,          // path + watch_type
+  };
+  Kind kind = Kind::kGet;
+  MetaOp op;
+  std::string path;
+  WatchType watch_type = WatchType::kData;
+  Bytes wire_size() const override {
+    return 192 + static_cast<Bytes>(op.data.size() + path.size());
+  }
+};
+
+struct MetaResponse : net::Message {
+  Status op_status;  // outcome of the state-machine op (reads: lookup)
+  std::string data;
+  std::uint64_t version = 0;
+  bool exists = false;
+  std::vector<std::string> children;
+  std::uint64_t session = 0;
+  Bytes wire_size() const override {
+    Bytes total = 192 + static_cast<Bytes>(data.size());
+    for (const auto& child : children) {
+      total += static_cast<Bytes>(child.size()) + 8;
+    }
+    return total;
+  }
+};
+
+struct WatchEventMsg : net::Message {
+  std::string path;
+  WatchType type = WatchType::kData;
+};
+
+class MetaService {
+ public:
+  struct Options {
+    PaxosConfig paxos;
+    std::vector<net::NodeId> service_ids;  // client-facing ids, per replica
+    sim::Duration session_scan_period = sim::Seconds(1);
+  };
+
+  MetaService(sim::Simulator* sim, net::Network* network,
+              const Options& options, int my_index, Rng rng);
+  ~MetaService();
+
+  bool is_leader() const { return paxos_->is_leader(); }
+  const ZnodeTree& tree() const { return tree_; }
+  PaxosNode* paxos() { return paxos_.get(); }
+  const net::NodeId& id() const { return options_.service_ids[my_index_]; }
+
+  // Crash / restart the whole replica (Paxos node + service endpoint).
+  void Stop();
+  void Restart();
+  bool stopped() const { return paxos_->stopped(); }
+
+ private:
+  void RegisterHandlers();
+  void OnApply(std::uint64_t index, const std::string& command);
+  void FireWatches(const ApplyEffect& effect);
+  void ScanSessions();
+
+  sim::Simulator* sim_;
+  net::Network* network_;
+  Options options_;
+  int my_index_;
+
+  ZnodeTree tree_;
+  std::unique_ptr<PaxosNode> paxos_;
+  std::unique_ptr<net::RpcEndpoint> endpoint_;
+
+  // Effects of recently applied entries, consumed by propose callbacks.
+  std::map<std::uint64_t, ApplyEffect> recent_effects_;
+
+  // One-shot watches registered at this server.
+  std::map<std::pair<std::string, WatchType>, std::vector<net::NodeId>>
+      watches_;
+
+  sim::Timer session_scan_timer_;
+};
+
+}  // namespace ustore::consensus

@@ -1,0 +1,244 @@
+#include "consensus/metastore.h"
+
+#include <cassert>
+#include <charconv>
+
+namespace ustore::consensus {
+namespace {
+
+void AppendField(std::string& out, const std::string& field) {
+  out += std::to_string(field.size());
+  out += ':';
+  out += field;
+}
+
+bool ReadField(const std::string& in, std::size_t& pos, std::string& out) {
+  const std::size_t colon = in.find(':', pos);
+  if (colon == std::string::npos) return false;
+  std::size_t len = 0;
+  auto [ptr, ec] =
+      std::from_chars(in.data() + pos, in.data() + colon, len);
+  if (ec != std::errc() || ptr != in.data() + colon) return false;
+  if (colon + 1 + len > in.size()) return false;
+  out = in.substr(colon + 1, len);
+  pos = colon + 1 + len;
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeOp(const MetaOp& op) {
+  std::string out;
+  AppendField(out, std::to_string(static_cast<int>(op.kind)));
+  AppendField(out, op.path);
+  AppendField(out, op.data);
+  AppendField(out, op.ephemeral ? "1" : "0");
+  AppendField(out, std::to_string(op.session));
+  AppendField(out, std::to_string(op.expected_version));
+  AppendField(out, std::to_string(op.ttl_ms));
+  return out;
+}
+
+Result<MetaOp> DecodeOp(const std::string& encoded) {
+  MetaOp op;
+  std::size_t pos = 0;
+  std::string field;
+  auto next = [&](std::string& into) { return ReadField(encoded, pos, into); };
+
+  if (!next(field)) return InvalidArgumentError("bad op encoding: kind");
+  op.kind = static_cast<MetaOp::Kind>(std::stoi(field));
+  if (!next(op.path)) return InvalidArgumentError("bad op encoding: path");
+  if (!next(op.data)) return InvalidArgumentError("bad op encoding: data");
+  if (!next(field)) return InvalidArgumentError("bad op encoding: ephemeral");
+  op.ephemeral = field == "1";
+  if (!next(field)) return InvalidArgumentError("bad op encoding: session");
+  op.session = std::stoull(field);
+  if (!next(field)) return InvalidArgumentError("bad op encoding: version");
+  op.expected_version = std::stoll(field);
+  if (!next(field)) return InvalidArgumentError("bad op encoding: ttl");
+  op.ttl_ms = std::stoull(field);
+  return op;
+}
+
+ZnodeTree::ZnodeTree() {
+  nodes_["/"] = Znode{};  // the root always exists
+}
+
+bool ZnodeTree::ValidPath(const std::string& path) {
+  if (path.empty() || path[0] != '/') return false;
+  if (path.size() > 1 && path.back() == '/') return false;
+  if (path.find("//") != std::string::npos) return false;
+  return true;
+}
+
+std::string ZnodeTree::ParentOf(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+ApplyEffect ZnodeTree::Apply(const MetaOp& op, double now_seconds) {
+  switch (op.kind) {
+    case MetaOp::Kind::kCreate:
+      return Create(op);
+    case MetaOp::Kind::kSet:
+      return Set(op);
+    case MetaOp::Kind::kDelete:
+      return Delete(op);
+    case MetaOp::Kind::kCreateSession: {
+      ApplyEffect effect;
+      Session session;
+      session.id = next_session_++;
+      session.ttl_ms = op.ttl_ms == 0 ? 10000 : op.ttl_ms;
+      session.last_seen_seconds = now_seconds;
+      sessions_[session.id] = session;
+      effect.created_session = session.id;
+      return effect;
+    }
+    case MetaOp::Kind::kKeepAlive: {
+      ApplyEffect effect;
+      auto it = sessions_.find(op.session);
+      if (it == sessions_.end()) {
+        effect.status = NotFoundError("session expired");
+      } else {
+        it->second.last_seen_seconds = now_seconds;
+      }
+      return effect;
+    }
+    case MetaOp::Kind::kExpireSession:
+      return ExpireSession(op.session);
+    case MetaOp::Kind::kNoOp:
+      return {};
+  }
+  return {};
+}
+
+ApplyEffect ZnodeTree::Create(const MetaOp& op) {
+  ApplyEffect effect;
+  if (!ValidPath(op.path) || op.path == "/") {
+    effect.status = InvalidArgumentError("bad path: " + op.path);
+    return effect;
+  }
+  if (nodes_.contains(op.path)) {
+    effect.status = AlreadyExistsError(op.path);
+    return effect;
+  }
+  const std::string parent = ParentOf(op.path);
+  auto parent_it = nodes_.find(parent);
+  if (parent_it == nodes_.end()) {
+    effect.status = NotFoundError("parent missing: " + parent);
+    return effect;
+  }
+  if (parent_it->second.ephemeral) {
+    effect.status =
+        FailedPreconditionError("ephemeral nodes cannot have children");
+    return effect;
+  }
+  if (op.ephemeral && !sessions_.contains(op.session)) {
+    effect.status = NotFoundError("session expired");
+    return effect;
+  }
+  Znode node;
+  node.data = op.data;
+  node.ephemeral = op.ephemeral;
+  node.owner_session = op.ephemeral ? op.session : 0;
+  nodes_[op.path] = std::move(node);
+  effect.touched.push_back(op.path);
+  effect.children_changed.push_back(parent);
+  return effect;
+}
+
+ApplyEffect ZnodeTree::Set(const MetaOp& op) {
+  ApplyEffect effect;
+  auto it = nodes_.find(op.path);
+  if (it == nodes_.end()) {
+    effect.status = NotFoundError(op.path);
+    return effect;
+  }
+  if (op.expected_version != kAnyVersion &&
+      static_cast<std::int64_t>(it->second.version) != op.expected_version) {
+    effect.status = ConflictError(
+        "version mismatch on " + op.path + ": have " +
+        std::to_string(it->second.version) + ", expected " +
+        std::to_string(op.expected_version));
+    return effect;
+  }
+  it->second.data = op.data;
+  ++it->second.version;
+  effect.touched.push_back(op.path);
+  return effect;
+}
+
+ApplyEffect ZnodeTree::Delete(const MetaOp& op) {
+  ApplyEffect effect;
+  auto it = nodes_.find(op.path);
+  if (it == nodes_.end()) {
+    effect.status = NotFoundError(op.path);
+    return effect;
+  }
+  if (op.expected_version != kAnyVersion &&
+      static_cast<std::int64_t>(it->second.version) != op.expected_version) {
+    effect.status = ConflictError("version mismatch on " + op.path);
+    return effect;
+  }
+  if (!GetChildren(op.path).empty()) {
+    effect.status = FailedPreconditionError(op.path + " has children");
+    return effect;
+  }
+  nodes_.erase(it);
+  effect.touched.push_back(op.path);
+  effect.children_changed.push_back(ParentOf(op.path));
+  return effect;
+}
+
+ApplyEffect ZnodeTree::ExpireSession(std::uint64_t session) {
+  ApplyEffect effect;
+  if (sessions_.erase(session) == 0) {
+    effect.status = NotFoundError("no such session");
+    return effect;
+  }
+  effect.expired_sessions.push_back(session);
+  // Remove the session's ephemerals (they have no children by invariant).
+  for (auto it = nodes_.begin(); it != nodes_.end();) {
+    if (it->second.ephemeral && it->second.owner_session == session) {
+      effect.touched.push_back(it->first);
+      effect.children_changed.push_back(ParentOf(it->first));
+      it = nodes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return effect;
+}
+
+Result<Znode> ZnodeTree::Get(const std::string& path) const {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return NotFoundError(path);
+  return it->second;
+}
+
+bool ZnodeTree::Exists(const std::string& path) const {
+  return nodes_.contains(path);
+}
+
+std::vector<std::string> ZnodeTree::GetChildren(const std::string& path) const {
+  std::vector<std::string> out;
+  const std::string prefix = path == "/" ? "/" : path + "/";
+  for (auto it = nodes_.lower_bound(prefix); it != nodes_.end(); ++it) {
+    if (it->first == path) continue;  // the node itself (root case)
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    // Direct children only: no further slash after the prefix.
+    if (it->first.find('/', prefix.size()) == std::string::npos) {
+      out.push_back(it->first);
+    }
+  }
+  return out;
+}
+
+std::vector<ZnodeTree::Session> ZnodeTree::sessions() const {
+  std::vector<Session> out;
+  for (const auto& [id, session] : sessions_) out.push_back(session);
+  return out;
+}
+
+}  // namespace ustore::consensus

@@ -1,0 +1,112 @@
+// ZooKeeper-like hierarchical metadata store: the replicated state machine
+// fed by the Paxos log.
+//
+// Znodes form a tree addressed by slash-separated paths. Nodes carry data
+// bytes and a version; *ephemeral* nodes belong to a client session and are
+// deleted when the session expires — the mechanism hosts use to advertise
+// liveness ("Each host creates an ephemeral znode... to represent its
+// liveness", §V-B) and the Master replicas use for active-standby election.
+//
+// ZnodeTree::Apply is deterministic: every replica applies the same op
+// sequence and reaches the same tree. Session *expiry decisions* are made
+// by the leader (wall-clock dependent) but take effect only through an
+// ExpireSession op in the log, keeping replicas identical.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ustore::consensus {
+
+// Any-version sentinel for guarded Set/Delete.
+inline constexpr std::int64_t kAnyVersion = -1;
+
+struct MetaOp {
+  enum class Kind {
+    kCreate,
+    kSet,
+    kDelete,
+    kCreateSession,
+    kKeepAlive,
+    kExpireSession,
+    kNoOp,
+  };
+
+  Kind kind = Kind::kNoOp;
+  std::string path;
+  std::string data;
+  bool ephemeral = false;
+  std::uint64_t session = 0;
+  std::int64_t expected_version = kAnyVersion;
+  std::uint64_t ttl_ms = 0;  // kCreateSession
+};
+
+// Log-entry codec (the Paxos log carries opaque strings).
+std::string EncodeOp(const MetaOp& op);
+Result<MetaOp> DecodeOp(const std::string& encoded);
+
+struct Znode {
+  std::string data;
+  std::uint64_t version = 0;
+  bool ephemeral = false;
+  std::uint64_t owner_session = 0;  // for ephemerals
+};
+
+// What changed when an op applied — drives watch delivery.
+struct ApplyEffect {
+  Status status;
+  // Paths whose data changed / that were created or deleted.
+  std::vector<std::string> touched;
+  // Parents whose child set changed.
+  std::vector<std::string> children_changed;
+  // Session created by a kCreateSession op.
+  std::uint64_t created_session = 0;
+  // Sessions removed by this op.
+  std::vector<std::uint64_t> expired_sessions;
+};
+
+class ZnodeTree {
+ public:
+  ZnodeTree();
+
+  // Applies one decoded op. Failure statuses (e.g. create over an existing
+  // node) are normal outcomes and leave the tree unchanged.
+  ApplyEffect Apply(const MetaOp& op, double now_seconds);
+
+  // --- Read-side (local, against applied state) ------------------------------
+  Result<Znode> Get(const std::string& path) const;
+  bool Exists(const std::string& path) const;
+  std::vector<std::string> GetChildren(const std::string& path) const;
+
+  // --- Session inspection (used by the leader's expiry scan) ------------------
+  struct Session {
+    std::uint64_t id = 0;
+    std::uint64_t ttl_ms = 0;
+    double last_seen_seconds = 0;  // local apply time; leader-only use
+  };
+  std::vector<Session> sessions() const;
+  bool SessionAlive(std::uint64_t id) const { return sessions_.contains(id); }
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  static bool ValidPath(const std::string& path);
+  static std::string ParentOf(const std::string& path);
+
+  ApplyEffect Create(const MetaOp& op);
+  ApplyEffect Set(const MetaOp& op);
+  ApplyEffect Delete(const MetaOp& op);
+  ApplyEffect ExpireSession(std::uint64_t session);
+
+  std::map<std::string, Znode> nodes_;  // sorted: children via range scan
+  std::map<std::uint64_t, Session> sessions_;
+  std::uint64_t next_session_ = 1;
+};
+
+}  // namespace ustore::consensus

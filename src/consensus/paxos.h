@@ -1,0 +1,161 @@
+// Multi-Paxos replicated log.
+//
+// The UStore Master stores its metadata in a replicated, strongly
+// consistent store (the prototype used a ZooKeeper quorum, §V-B). This
+// module provides the equivalent from scratch: a set of PaxosNodes
+// replicating an ordered log of opaque command strings.
+//
+// Design: classic Multi-Paxos with a stable leader.
+//   * Ballots are (round, node_index) pairs.
+//   * A node that hears no leader heartbeat for a randomized timeout runs
+//     Phase 1 (Prepare/Promise) over the whole log suffix; on a majority it
+//     becomes leader, re-proposes the highest-ballot accepted value per
+//     in-flight slot and fills gaps with no-ops.
+//   * Phase 2 (Accept/Accepted) per slot; a majority makes the slot chosen
+//     and the leader broadcasts Commit (carrying the value, so followers
+//     learn even if they never accepted).
+//   * Followers detect commit gaps and fetch missing chosen entries from
+//     the leader (LearnRequest/LearnReply).
+//
+// Committed entries are applied in order through the apply callback — the
+// MetaStore state machine sits there.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "net/rpc.h"
+#include "sim/simulator.h"
+
+namespace ustore::consensus {
+
+struct Ballot {
+  std::uint64_t round = 0;
+  int node = -1;
+
+  friend auto operator<=>(const Ballot&, const Ballot&) = default;
+};
+
+// The no-op command used to fill gaps during leader change.
+inline constexpr const char* kNoOpCommand = "\x01__noop";
+
+struct PaxosConfig {
+  std::vector<net::NodeId> peers;  // all replica addresses, index = node id
+  sim::Duration heartbeat_period = sim::MillisD(100);
+  sim::Duration election_timeout_min = sim::MillisD(300);
+  sim::Duration election_timeout_max = sim::MillisD(600);
+  sim::Duration rpc_timeout = sim::MillisD(250);
+};
+
+class PaxosNode {
+ public:
+  // `apply` is invoked exactly once per log index, in order, on every
+  // replica (no-ops included, so state machines must tolerate them).
+  using ApplyFn = std::function<void(std::uint64_t index,
+                                     const std::string& command)>;
+  using ProposeCallback = std::function<void(Result<std::uint64_t>)>;
+
+  PaxosNode(sim::Simulator* sim, net::Network* network, PaxosConfig config,
+            int my_index, ApplyFn apply, Rng rng);
+  ~PaxosNode();
+  PaxosNode(const PaxosNode&) = delete;
+  PaxosNode& operator=(const PaxosNode&) = delete;
+
+  // Proposes a command. Fails with kUnavailable (and a leader hint in the
+  // message) when this node is not the leader. The callback fires with the
+  // chosen log index once the command commits, or an error on leader loss.
+  void Propose(const std::string& command, ProposeCallback callback);
+
+  bool is_leader() const { return role_ == Role::kLeader; }
+  int leader_hint() const { return leader_hint_; }
+  int index() const { return my_index_; }
+  const net::NodeId& id() const { return endpoint_->id(); }
+  std::uint64_t applied_up_to() const { return applied_up_to_; }
+  std::uint64_t log_size() const { return static_cast<std::uint64_t>(log_.size()); }
+
+  // Crash/restart fault injection. Stop() drops volatile state that a real
+  // process would lose (we keep the durable part: promised ballot and
+  // accepted/chosen entries, which Paxos requires to be on stable storage).
+  void Stop();
+  void Restart();
+  bool stopped() const { return stopped_; }
+
+ private:
+  enum class Role { kFollower, kCandidate, kLeader };
+
+  struct Slot {
+    Ballot accepted_ballot;
+    std::string accepted_value;
+    bool has_accepted = false;
+    bool chosen = false;
+    std::string chosen_value;
+  };
+
+  struct PendingAccept {
+    Ballot ballot;
+    std::string value;
+    int acks = 0;
+    ProposeCallback callback;  // null for re-proposals / no-ops
+  };
+
+  // Role / election machinery.
+  void ResetElectionTimer();
+  void StartElection();
+  void BecomeLeader();
+  void StepDown(int new_leader_hint);
+  void SendHeartbeats();
+
+  // Phase 2 helpers.
+  void StartAccept(std::uint64_t slot, std::string value,
+                   ProposeCallback callback);
+  void OnChosen(std::uint64_t slot, const std::string& value);
+  void BroadcastCommit(std::uint64_t slot);
+  void TryApply();
+  void RequestCatchUp();
+
+  Slot& slot(std::uint64_t index);
+  int majority() const { return static_cast<int>(config_.peers.size()) / 2 + 1; }
+  Ballot MakeBallot(std::uint64_t round) const { return Ballot{round, my_index_}; }
+
+  // RPC handlers.
+  void RegisterHandlers();
+
+  sim::Simulator* sim_;
+  net::Network* network_;
+  PaxosConfig config_;
+  int my_index_;
+  ApplyFn apply_;
+  Rng rng_;
+  std::unique_ptr<net::RpcEndpoint> endpoint_;
+
+  bool stopped_ = false;
+  Role role_ = Role::kFollower;
+  int leader_hint_ = -1;
+
+  // "Durable" acceptor state.
+  Ballot promised_;
+  std::vector<Slot> log_;  // index 0 unused; log starts at 1
+
+  // Leader state.
+  Ballot my_ballot_;
+  std::uint64_t next_slot_ = 1;
+  std::map<std::uint64_t, PendingAccept> pending_accepts_;
+  std::uint64_t election_cookie_ = 0;  // invalidates stale promise quorums
+  int promise_acks_ = 0;
+  std::map<std::uint64_t, std::pair<Ballot, std::string>> promise_merge_;
+
+  std::uint64_t applied_up_to_ = 0;  // highest contiguously applied index
+  sim::Timer election_timer_;
+  sim::Timer heartbeat_timer_;
+  sim::Timer catchup_timer_;
+};
+
+}  // namespace ustore::consensus

@@ -1,0 +1,292 @@
+#include "core/clientlib.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace ustore::core {
+
+ClientLib::ClientLib(sim::Simulator* sim, net::Network* network,
+                     net::NodeId id, ClientLibOptions options)
+    : sim_(sim),
+      options_(std::move(options)),
+      endpoint_(std::make_unique<net::RpcEndpoint>(sim, network,
+                                                   std::move(id))) {
+  assert(!options_.masters.empty());
+  endpoint_->RegisterNotifyHandler<SpaceMovedMsg>(
+      [this](const net::NodeId&, net::MessagePtr msg) {
+        auto* moved = static_cast<SpaceMovedMsg*>(msg.get());
+        Volume* vol = volume(moved->id);
+        if (vol == nullptr) return;
+        // Push notification: remount right away instead of waiting for the
+        // next I/O to fail.
+        vol->space_.host = moved->new_host;
+        if (!vol->remounting_) {
+          vol->mounted_ = false;
+          vol->StartRemount(sim_->now() + options_.remount_deadline);
+        }
+      });
+}
+
+ClientLib::~ClientLib() = default;
+
+void ClientLib::CallMaster(net::MessagePtr request,
+                           std::function<void(Result<net::MessagePtr>)> done,
+                           int attempt) {
+  if (attempt >= options_.max_master_attempts) {
+    done(UnavailableError("no active master reachable"));
+    return;
+  }
+  const net::NodeId master =
+      options_.masters[current_master_ % options_.masters.size()];
+  endpoint_->Call(
+      master, request, options_.rpc_timeout,
+      [this, request, done = std::move(done),
+       attempt](Result<net::MessagePtr> result) mutable {
+        const StatusCode code = result.status().code();
+        if (!result.ok() && (code == StatusCode::kUnavailable ||
+                             code == StatusCode::kDeadlineExceeded)) {
+          current_master_ = (current_master_ + 1) %
+                            static_cast<int>(options_.masters.size());
+          sim_->Schedule(sim::MillisD(100),
+                         [this, request, done = std::move(done),
+                          attempt]() mutable {
+                           CallMaster(std::move(request), std::move(done),
+                                      attempt + 1);
+                         });
+          return;
+        }
+        done(std::move(result));
+      });
+}
+
+void ClientLib::AllocateAndMount(
+    const std::string& service, Bytes size,
+    std::function<void(Result<Volume*>)> done) {
+  AllocateAndMountOnDisk(service, size, "", std::move(done));
+}
+
+void ClientLib::AllocateAndMountOnDisk(
+    const std::string& service, Bytes size, const std::string& disk,
+    std::function<void(Result<Volume*>)> done) {
+  auto request = std::make_shared<AllocateRequest>();
+  request->service = service;
+  request->size = size;
+  request->client = id();
+  request->locality_host = options_.locality_host;
+  request->disk_hint = disk;
+  CallMaster(request, [this, done = std::move(done)](
+                          Result<net::MessagePtr> result) {
+    if (!result.ok()) {
+      done(result.status());
+      return;
+    }
+    auto* response = dynamic_cast<AllocateResponse*>(result->get());
+    if (response == nullptr) {
+      done(InternalError("unexpected allocate response"));
+      return;
+    }
+    Mount(response->space, std::move(done));
+  });
+}
+
+void ClientLib::Mount(const AllocatedSpace& space,
+                      std::function<void(Result<Volume*>)> done) {
+  auto vol = std::make_unique<Volume>(this, space);
+  Volume* raw = vol.get();
+  volumes_[space.id] = std::move(vol);
+  SubscribeMoves(space.id);
+  raw->Mount([this, raw, id = space.id,
+              done = std::move(done)](Status status) {
+    if (!status.ok()) {
+      volumes_.erase(id);
+      done(status);
+      return;
+    }
+    done(raw);
+  });
+}
+
+ClientLib::Volume* ClientLib::volume(const SpaceId& id) {
+  auto it = volumes_.find(id);
+  return it == volumes_.end() ? nullptr : it->second.get();
+}
+
+void ClientLib::Unmount(const SpaceId& id) { volumes_.erase(id); }
+
+void ClientLib::Lookup(const SpaceId& id,
+                       std::function<void(Result<LookupResponse>)> done) {
+  auto request = std::make_shared<LookupRequest>();
+  request->id = id;
+  CallMaster(request, [done = std::move(done)](
+                          Result<net::MessagePtr> result) {
+    if (!result.ok()) {
+      done(result.status());
+      return;
+    }
+    auto* response = dynamic_cast<LookupResponse*>(result->get());
+    if (response == nullptr) {
+      done(InternalError("unexpected lookup response"));
+      return;
+    }
+    done(*response);
+  });
+}
+
+void ClientLib::Release(const SpaceId& id, const std::string& service,
+                        std::function<void(Status)> done) {
+  Unmount(id);
+  auto request = std::make_shared<ReleaseRequest>();
+  request->id = id;
+  request->service = service;
+  CallMaster(request,
+             [done = std::move(done)](Result<net::MessagePtr> result) {
+               done(result.status());
+             });
+}
+
+void ClientLib::SetDiskPower(const std::string& service,
+                             const std::string& disk, DiskPowerAction action,
+                             std::function<void(Status)> done) {
+  auto request = std::make_shared<DiskPowerRequest>();
+  request->service = service;
+  request->disk = disk;
+  request->action = action;
+  CallMaster(request,
+             [done = std::move(done)](Result<net::MessagePtr> result) {
+               done(result.status());
+             });
+}
+
+void ClientLib::SubscribeMoves(const SpaceId& id) {
+  auto request = std::make_shared<SubscribeRequest>();
+  request->id = id;
+  request->client = this->id();
+  CallMaster(request, [](Result<net::MessagePtr>) {});
+}
+
+// --- Volume ---------------------------------------------------------------------
+
+ClientLib::Volume::Volume(ClientLib* owner, AllocatedSpace space)
+    : owner_(owner),
+      space_(std::move(space)),
+      initiator_(owner->sim_, owner->endpoint_.get()) {
+  // NOP-ping liveness: a dead target host triggers remount immediately,
+  // without waiting for an I/O to time out.
+  initiator_.set_connection_lost_listener([this](const Status&) {
+    if (remounting_) return;
+    mounted_ = false;
+    StartRemount(owner_->sim_->now() + owner_->options_.remount_deadline);
+  });
+}
+
+void ClientLib::Volume::Mount(std::function<void(Status)> done) {
+  initiator_.Connect(
+      space_.host, space_.id.ToString(),
+      [this, done = std::move(done)](Result<Bytes> result) {
+        if (!result.ok()) {
+          done(result.status());
+          return;
+        }
+        FinishMount(std::move(done));
+      });
+}
+
+void ClientLib::Volume::FinishMount(std::function<void(Status)> done) {
+  // Device scan + filesystem mount processing on the client machine.
+  owner_->sim_->Schedule(owner_->options_.mount_delay,
+                         [this, done = std::move(done)] {
+                           mounted_ = true;
+                           remounting_ = false;
+                           last_remounted_at_ = owner_->sim_->now();
+                           done(Status::Ok());
+                         });
+}
+
+void ClientLib::Volume::OnIoError(const Status& status) {
+  if (remounting_) return;
+  if (status.code() != StatusCode::kUnavailable &&
+      status.code() != StatusCode::kDeadlineExceeded &&
+      status.code() != StatusCode::kNotFound) {
+    return;  // logical errors do not indicate a moved disk
+  }
+  mounted_ = false;
+  StartRemount(owner_->sim_->now() + owner_->options_.remount_deadline);
+}
+
+void ClientLib::Volume::StartRemount(sim::Time deadline) {
+  remounting_ = true;
+  ++remount_count_;
+  USTORE_LOG(Info) << owner_->id() << ": volume " << space_.id.ToString()
+                   << " unreachable; remounting";
+
+  // Poll the Master's directory until the space is available again, then
+  // log in to the (possibly new) host.
+  auto poll = std::make_shared<std::function<void()>>();
+  *poll = [this, deadline, poll] {
+    if (owner_->sim_->now() >= deadline) {
+      USTORE_LOG(Warning) << owner_->id() << ": remount deadline exceeded";
+      remounting_ = false;
+      return;
+    }
+    owner_->Lookup(space_.id, [this, deadline,
+                               poll](Result<LookupResponse> result) {
+      if (result.ok() && result->available) {
+        space_.host = result->host;
+        initiator_.Disconnect();
+        initiator_.Connect(
+            space_.host, space_.id.ToString(),
+            [this, deadline, poll](Result<Bytes> connect_result) {
+              if (!connect_result.ok()) {
+                owner_->sim_->Schedule(owner_->options_.remount_poll,
+                                       [poll] { (*poll)(); });
+                return;
+              }
+              FinishMount([this](Status) {
+                USTORE_LOG(Info)
+                    << owner_->id() << ": volume " << space_.id.ToString()
+                    << " remounted on " << space_.host;
+                if (owner_->on_volume_moved_) {
+                  owner_->on_volume_moved_(space_.id);
+                }
+              });
+            });
+        return;
+      }
+      owner_->sim_->Schedule(owner_->options_.remount_poll,
+                             [poll] { (*poll)(); });
+    });
+  };
+  (*poll)();
+}
+
+void ClientLib::Volume::Read(
+    Bytes offset, Bytes length, bool random,
+    std::function<void(Result<std::uint64_t>)> done) {
+  if (!mounted_) {
+    done(UnavailableError("volume not mounted (failover in progress)"));
+    return;
+  }
+  initiator_.Read(offset, length, random,
+                  [this, done = std::move(done)](
+                      Result<std::uint64_t> result) {
+                    if (!result.ok()) OnIoError(result.status());
+                    done(std::move(result));
+                  });
+}
+
+void ClientLib::Volume::Write(Bytes offset, Bytes length, bool random,
+                              std::uint64_t tag,
+                              std::function<void(Status)> done) {
+  if (!mounted_) {
+    done(UnavailableError("volume not mounted (failover in progress)"));
+    return;
+  }
+  initiator_.Write(offset, length, random, tag,
+                   [this, done = std::move(done)](Status status) {
+                     if (!status.ok()) OnIoError(status);
+                     done(status);
+                   });
+}
+
+}  // namespace ustore::core

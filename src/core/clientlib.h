@@ -1,0 +1,134 @@
+// UStore ClientLib (§IV-D).
+//
+// The client library hides the disk-host binding from upper-layer
+// services: it allocates storage from the Master, mounts spaces as block
+// volumes over iSCSI, offers a directory lookup (space -> current host),
+// and — the crucial part — remounts automatically when a volume becomes
+// unreachable because UStore moved its disk to another host. From the
+// client's view a failover is "temporary high latency accessing local
+// disks".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/types.h"
+#include "iscsi/iscsi.h"
+#include "net/rpc.h"
+#include "sim/simulator.h"
+
+namespace ustore::core {
+
+struct ClientLibOptions {
+  std::vector<net::NodeId> masters;
+  sim::Duration rpc_timeout = sim::Seconds(3);
+  sim::Duration remount_poll = sim::MillisD(250);
+  sim::Duration remount_deadline = sim::Seconds(120);
+  sim::Duration mount_delay = sim::MillisD(1200);  // fs/device mount work
+  int locality_host = -1;  // passed to the Master as the locality hint
+  int max_master_attempts = 6;
+};
+
+class ClientLib {
+ public:
+  // A mounted block volume with automatic remount-on-failover.
+  class Volume {
+   public:
+    Volume(ClientLib* owner, AllocatedSpace space);
+
+    const SpaceId& id() const { return space_.id; }
+    const AllocatedSpace& space() const { return space_; }
+    bool mounted() const { return mounted_; }
+    bool remounting() const { return remounting_; }
+    const net::NodeId& current_host() const { return space_.host; }
+
+    // Block I/O. Offsets are volume-relative. During a failover window
+    // calls fail with kUnavailable; the volume remounts in the background.
+    void Read(Bytes offset, Bytes length, bool random,
+              std::function<void(Result<std::uint64_t>)> done);
+    void Write(Bytes offset, Bytes length, bool random, std::uint64_t tag,
+               std::function<void(Status)> done);
+
+    int remount_count() const { return remount_count_; }
+    sim::Time last_remounted_at() const { return last_remounted_at_; }
+
+   private:
+    friend class ClientLib;
+    void Mount(std::function<void(Status)> done);
+    void OnIoError(const Status& status);
+    void StartRemount(sim::Time deadline);
+    void FinishMount(std::function<void(Status)> done);
+
+    ClientLib* owner_;
+    AllocatedSpace space_;
+    iscsi::IscsiInitiator initiator_;
+    bool mounted_ = false;
+    bool remounting_ = false;
+    int remount_count_ = 0;
+    sim::Time last_remounted_at_ = -1;
+  };
+
+  ClientLib(sim::Simulator* sim, net::Network* network, net::NodeId id,
+            ClientLibOptions options);
+  ~ClientLib();
+
+  const net::NodeId& id() const { return endpoint_->id(); }
+  sim::Simulator* simulator() const { return sim_; }
+
+  // Allocates new storage space for `service` and mounts it.
+  void AllocateAndMount(const std::string& service, Bytes size,
+                        std::function<void(Result<Volume*>)> done);
+
+  // Same, pinned to a specific disk (admin/benchmark interface).
+  void AllocateAndMountOnDisk(const std::string& service, Bytes size,
+                              const std::string& disk,
+                              std::function<void(Result<Volume*>)> done);
+
+  // Mounts an existing allocation (e.g. after restart).
+  void Mount(const AllocatedSpace& space,
+             std::function<void(Result<Volume*>)> done);
+
+  Volume* volume(const SpaceId& id);
+  void Unmount(const SpaceId& id);
+
+  // Directory lookup: the space's current host (§IV-D).
+  void Lookup(const SpaceId& id,
+              std::function<void(Result<LookupResponse>)> done);
+
+  // Release the allocation entirely.
+  void Release(const SpaceId& id, const std::string& service,
+               std::function<void(Status)> done);
+
+  // §IV-F power interface, forwarded to the Master.
+  void SetDiskPower(const std::string& service, const std::string& disk,
+                    DiskPowerAction action,
+                    std::function<void(Status)> done);
+
+  // Fired when a mounted volume finishes remounting after a failover.
+  void set_on_volume_moved(std::function<void(const SpaceId&)> callback) {
+    on_volume_moved_ = std::move(callback);
+  }
+
+ private:
+  friend class Volume;
+
+  // Sends a request to the active master (round-robin on unavailability).
+  void CallMaster(net::MessagePtr request,
+                  std::function<void(Result<net::MessagePtr>)> done,
+                  int attempt = 0);
+  void SubscribeMoves(const SpaceId& id);
+
+  sim::Simulator* sim_;
+  ClientLibOptions options_;
+  std::unique_ptr<net::RpcEndpoint> endpoint_;
+  int current_master_ = 0;
+  std::map<SpaceId, std::unique_ptr<Volume>> volumes_;
+  std::function<void(const SpaceId&)> on_volume_moved_;
+};
+
+}  // namespace ustore::core

@@ -1,0 +1,93 @@
+// Full simulated UStore deployment: one deploy unit with its interconnect
+// fabric, the metadata quorum, active-standby Masters, per-host EndPoints
+// and primary/backup Controllers — Figure 3 in one object.
+//
+// This is the top-level entry point used by the examples, the integration
+// tests and the benchmark harness.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "consensus/meta_service.h"
+#include "core/clientlib.h"
+#include "core/controller.h"
+#include "core/endpoint.h"
+#include "core/master.h"
+#include "fabric/fabric_manager.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace ustore::core {
+
+enum class FabricKind {
+  kPrototype,     // Fig. 2 right: group-granularity switching, 4 hosts
+  kLeafSwitched,  // Fig. 2 left: per-disk switching, 2 hosts
+};
+
+struct ClusterOptions {
+  FabricKind fabric_kind = FabricKind::kPrototype;
+  fabric::PrototypeOptions fabric;              // for kPrototype
+  fabric::LeafSwitchedOptions leaf_switched;    // for kLeafSwitched
+  fabric::FabricManager::Options fabric_manager;
+  EndPointOptions endpoint;
+  MasterOptions master;
+  ControllerOptions controller;
+  int meta_replicas = 3;
+  int masters = 2;
+  int unit_id = 0;
+  std::uint64_t seed = 42;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options = {});
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // Starts every process and runs the simulation until an active master
+  // exists and all hosts' initial devices are enumerated.
+  void Start();
+
+  sim::Simulator& sim() { return sim_; }
+  net::Network& network() { return *network_; }
+  fabric::FabricManager& fabric() { return *fabric_; }
+
+  int host_count() const { return static_cast<int>(endpoints_.size()); }
+  Master* master(int i) { return masters_.at(i).get(); }
+  Master* active_master();
+  EndPoint* endpoint(int host) { return endpoints_.at(host).get(); }
+  Controller* controller(int i) { return controllers_.at(i).get(); }
+  consensus::MetaService* meta_service(int i) { return meta_.at(i).get(); }
+
+  std::vector<net::NodeId> master_ids() const;
+  consensus::MetaClient::Options meta_client_options() const;
+
+  // Creates a client with an optional locality hint.
+  std::unique_ptr<ClientLib> MakeClient(const std::string& name,
+                                        int locality_host = -1);
+
+  // Whole-host crash: the EndPoint process, any Controller it runs, and
+  // the host's USB stack all go down together.
+  void CrashHost(int host);
+  void RestartHost(int host);
+
+  // Convenience: run the simulation for a duration.
+  void RunFor(sim::Duration d) { sim_.RunFor(d); }
+
+ private:
+  ClusterOptions options_;
+  sim::Simulator sim_;
+  Rng rng_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<fabric::FabricManager> fabric_;
+  std::vector<std::unique_ptr<consensus::MetaService>> meta_;
+  std::vector<std::unique_ptr<Master>> masters_;
+  std::vector<std::unique_ptr<EndPoint>> endpoints_;
+  std::vector<std::unique_ptr<Controller>> controllers_;
+};
+
+}  // namespace ustore::core

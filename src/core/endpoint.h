@@ -1,0 +1,89 @@
+// UStore EndPoint (§IV-B).
+//
+// One EndPoint runs on each host connected to a deploy unit. It
+//   * heartbeats host + disk status to the Master and keeps an ephemeral
+//     liveness znode in the metadata store,
+//   * runs the USB Monitor: streams the host's USB tree (lsusb -t
+//     equivalent) to both Controllers on every change and periodically,
+//   * exposes allocated storage spaces as iSCSI targets on Master command,
+//     waiting for the backing disk to be recognized first,
+//   * reports disk failures, applies the default idle spin-down policy
+//     (§IV-F) and executes explicit spin commands.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "consensus/meta_client.h"
+#include "core/types.h"
+#include "fabric/fabric_manager.h"
+#include "iscsi/iscsi.h"
+#include "net/rpc.h"
+#include "sim/simulator.h"
+
+namespace ustore::core {
+
+struct EndPointOptions {
+  sim::Duration heartbeat_period = sim::MillisD(500);
+  sim::Duration usb_report_period = sim::MillisD(400);
+  sim::Duration expose_retry_poll = sim::MillisD(100);
+  sim::Duration expose_retry_deadline = sim::Seconds(20);
+  sim::Duration idle_spin_down = 0;  // 0 = disabled by default
+  iscsi::IscsiTargetOptions target;
+};
+
+class EndPoint {
+ public:
+  EndPoint(sim::Simulator* sim, net::Network* network, int host_index,
+           fabric::FabricManager* manager,
+           std::vector<net::NodeId> master_ids,
+           std::vector<net::NodeId> controller_ids,
+           consensus::MetaClient::Options meta_options,
+           EndPointOptions options = {});
+  ~EndPoint();
+
+  const net::NodeId& id() const { return endpoint_->id(); }
+  int host_index() const { return host_index_; }
+  iscsi::IscsiTarget* target() { return target_.get(); }
+
+  // Starts heartbeats and registers the liveness ephemeral znode.
+  void Start();
+
+  // Crash/restart of the host (process + OS): the fabric-level crash is
+  // driven separately through FabricManager::CrashHost.
+  void Crash();
+  void Restart();
+  bool crashed() const { return crashed_; }
+
+  std::size_t exposed_count() const { return target_->exposed_count(); }
+
+ private:
+  void RegisterHandlers();
+  void SendHeartbeat();
+  void SendUsbReport();
+  void TryExpose(ExposeRequest request,
+                 std::function<void(Result<net::MessagePtr>)> reply,
+                 sim::Time deadline);
+  hw::Disk* ResolveRecognizedDisk(const std::string& name);
+
+  sim::Simulator* sim_;
+  int host_index_;
+  fabric::FabricManager* manager_;
+  std::vector<net::NodeId> master_ids_;
+  std::vector<net::NodeId> controller_ids_;
+  EndPointOptions options_;
+
+  std::unique_ptr<net::RpcEndpoint> endpoint_;
+  std::unique_ptr<iscsi::IscsiTarget> target_;
+  std::unique_ptr<consensus::MetaClient> meta_;
+
+  bool crashed_ = false;
+  sim::Timer heartbeat_timer_;
+  sim::Timer usb_report_timer_;
+  std::map<std::string, iscsi::LunSpec> exposed_;  // for re-expose on restart
+};
+
+}  // namespace ustore::core

@@ -1,0 +1,764 @@
+#include "core/master.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace ustore::core {
+namespace {
+
+constexpr const char* kLeaderPath = "/ustore/master/leader";
+
+// StorAlloc znode payload: "service|offset|length".
+std::string EncodeAlloc(const std::string& service, Bytes offset,
+                        Bytes length) {
+  return service + "|" + std::to_string(offset) + "|" +
+         std::to_string(length);
+}
+
+bool DecodeAlloc(const std::string& data, std::string& service,
+                 Bytes& offset, Bytes& length) {
+  const std::size_t p1 = data.find('|');
+  if (p1 == std::string::npos) return false;
+  const std::size_t p2 = data.find('|', p1 + 1);
+  if (p2 == std::string::npos) return false;
+  service = data.substr(0, p1);
+  offset = std::atoll(data.c_str() + p1 + 1);
+  length = std::atoll(data.c_str() + p2 + 1);
+  return true;
+}
+
+}  // namespace
+
+Master::Master(sim::Simulator* sim, net::Network* network, net::NodeId id,
+               int unit_id, fabric::BuiltFabric wiring,
+               std::vector<net::NodeId> controller_ids,
+               consensus::MetaClient::Options meta_options,
+               MasterOptions options)
+    : sim_(sim),
+      unit_id_(unit_id),
+      wiring_(std::move(wiring)),
+      controller_ids_(std::move(controller_ids)),
+      options_(options),
+      endpoint_(std::make_unique<net::RpcEndpoint>(sim, network,
+                                                   std::move(id))),
+      monitor_timer_(sim) {
+  meta_ = std::make_unique<consensus::MetaClient>(
+      sim, network, endpoint_->id() + ":meta", std::move(meta_options));
+  for (fabric::NodeIndex node : wiring_.disks) {
+    disks_[wiring_.topology.node(node).name] = DiskStat{};
+  }
+  RegisterHandlers();
+}
+
+Master::~Master() = default;
+
+void Master::Start() {
+  if (started_) return;
+  started_ = true;
+  meta_->set_on_session_expired([this] {
+    // Our leadership znode is gone; stop serving until re-elected.
+    if (active_) {
+      USTORE_LOG(Warning) << id() << ": lost master leadership";
+      active_ = false;
+      monitor_timer_.Stop();
+      RunElection();
+    }
+  });
+  meta_->Start([this](Status status) {
+    if (!status.ok()) {
+      USTORE_LOG(Warning) << id() << ": meta session failed (" << status
+                          << "); retrying";
+      sim_->Schedule(sim::Seconds(1), [this] {
+        started_ = false;
+        Start();
+      });
+      return;
+    }
+    BootstrapMetaPaths([this](Status bootstrap_status) {
+      if (!bootstrap_status.ok()) {
+        USTORE_LOG(Error) << id()
+                          << ": bootstrap failed: " << bootstrap_status;
+        return;
+      }
+      RunElection();
+    });
+  });
+}
+
+void Master::BootstrapMetaPaths(std::function<void(Status)> done) {
+  // Create the fixed hierarchy, tolerating AlreadyExists (any replica may
+  // have won the race).
+  const std::vector<std::string> paths = {
+      "/ustore", "/ustore/master", "/ustore/hosts", "/ustore/alloc",
+      "/ustore/alloc/u" + std::to_string(unit_id_)};
+  auto create_next = std::make_shared<std::function<void(std::size_t)>>();
+  *create_next = [this, paths, done = std::move(done),
+                  create_next](std::size_t i) {
+    if (i >= paths.size()) {
+      done(Status::Ok());
+      return;
+    }
+    meta_->Create(paths[i], "", false, [i, create_next](Status status) {
+      if (!status.ok() && status.code() != StatusCode::kAlreadyExists) {
+        // Bootstrap failures are retried by the next election attempt.
+        USTORE_LOG(Warning) << "bootstrap create failed: " << status;
+      }
+      (*create_next)(i + 1);
+    });
+  };
+  (*create_next)(0);
+}
+
+void Master::RunElection() {
+  if (crashed_) return;
+  meta_->Create(kLeaderPath, id(), /*ephemeral=*/true, [this](Status status) {
+    if (crashed_) return;
+    if (status.ok()) {
+      OnBecameActive();
+      return;
+    }
+    if (status.code() == StatusCode::kAlreadyExists) {
+      // Stand by: watch the leader znode and retry when it changes.
+      meta_->Watch(kLeaderPath, consensus::WatchType::kData,
+                   [this](const std::string&) { RunElection(); },
+                   [](Status) {});
+      return;
+    }
+    // Transient metadata-store trouble: retry shortly.
+    sim_->Schedule(sim::Seconds(1), [this] { RunElection(); });
+  });
+}
+
+void Master::OnBecameActive() {
+  USTORE_LOG(Info) << id() << " is now the active master";
+  LoadAllocations([this](Status status) {
+    if (!status.ok()) {
+      USTORE_LOG(Error) << id() << ": loading StorAlloc failed: " << status;
+    }
+    active_ = true;
+    // Give every configured host a grace period before declaring it dead.
+    for (std::size_t h = 0; h < wiring_.hosts.size(); ++h) {
+      HostStat& stat = hosts_[static_cast<int>(h)];
+      if (!stat.ever_seen) {
+        stat.alive = true;
+        stat.last_heartbeat = sim_->now();
+      }
+    }
+    monitor_timer_.StartPeriodic(options_.monitor_period,
+                                 [this] { MonitorTick(); });
+  });
+}
+
+void Master::LoadAllocations(std::function<void(Status)> done) {
+  const std::string unit_path = "/ustore/alloc/u" + std::to_string(unit_id_);
+  meta_->GetChildren(unit_path, [this, done = std::move(done)](
+                                    Result<std::vector<std::string>> disks) {
+    if (!disks.ok()) {
+      done(disks.status());
+      return;
+    }
+    auto remaining = std::make_shared<int>(1);
+    auto finish = [this, done, remaining](Status) {
+      if (--*remaining == 0) done(Status::Ok());
+    };
+    for (const std::string& disk_path : *disks) {
+      ++*remaining;
+      meta_->GetChildren(disk_path, [this, finish](
+                                        Result<std::vector<std::string>>
+                                            spaces) {
+        if (!spaces.ok()) {
+          finish(spaces.status());
+          return;
+        }
+        auto inner = std::make_shared<int>(1);
+        auto inner_finish = [finish, inner](Status) {
+          if (--*inner == 0) finish(Status::Ok());
+        };
+        for (const std::string& space_path : *spaces) {
+          ++*inner;
+          meta_->Get(space_path, [this, space_path, inner_finish](
+                                     Result<consensus::Znode> node) {
+            if (node.ok()) {
+              // Path: /ustore/alloc/u<id>/<disk>/<space>.
+              const std::string tail =
+                  space_path.substr(std::string("/ustore/alloc").size());
+              auto parsed = SpaceId::Parse(tail);
+              std::string service;
+              Bytes offset = 0, length = 0;
+              if (parsed.ok() &&
+                  DecodeAlloc(node->data, service, offset, length)) {
+                AllocEntry entry{*parsed, service, offset, length, true};
+                allocations_[*parsed] = entry;
+                DiskStat& stat = disks_[parsed->disk];
+                stat.allocated += length;
+                stat.next_space =
+                    std::max(stat.next_space, parsed->space + 1);
+                if (stat.owner_service.empty()) {
+                  stat.owner_service = service;
+                }
+              }
+            }
+            inner_finish(Status::Ok());
+          });
+        }
+        inner_finish(Status::Ok());
+      });
+    }
+    finish(Status::Ok());
+  });
+}
+
+void Master::MonitorTick() {
+  if (!active_) return;
+  const sim::Time now = sim_->now();
+  for (auto& [host_index, stat] : hosts_) {
+    if (stat.alive && now - stat.last_heartbeat > options_.heartbeat_timeout) {
+      stat.alive = false;
+      USTORE_LOG(Warning) << id() << ": host " << host_index
+                          << " missed heartbeats, starting failover";
+      HandleHostFailure(host_index);
+    }
+  }
+  // Disk disappearance (§IV-E): a disk that dropped off every live host's
+  // USB tree — without a host failure to explain it — is a failed unit
+  // (disk, bridge or its switch). Flag it for replacement.
+  if (failovers_in_progress_.empty()) {
+    for (auto& [name, disk] : disks_) {
+      if (disk.failed || disk.last_seen < 0) continue;
+      if (disk.host >= 0 && !HostAlive(disk.host)) continue;
+      if (now - disk.last_seen > options_.disk_missing_timeout) {
+        USTORE_LOG(Warning)
+            << id() << ": disk " << name
+            << " disappeared from the fabric; treating as failed";
+        HandleDiskFailure(name);
+      }
+    }
+  }
+}
+
+bool Master::HostAlive(int host_index) const {
+  auto it = hosts_.find(host_index);
+  return it != hosts_.end() && it->second.alive;
+}
+
+int Master::CurrentHostOfDisk(const std::string& disk) const {
+  auto it = disks_.find(disk);
+  return it == disks_.end() ? -1 : it->second.host;
+}
+
+net::NodeId Master::ActiveControllerId() const {
+  return controller_ids_.at(active_controller_);
+}
+
+void Master::HandleHostFailure(int failed_host) {
+  if (failovers_in_progress_.contains(failed_host)) return;
+  failovers_in_progress_.insert(failed_host);
+
+  // Control-plane takeover first: if the failed host ran the active
+  // controller, switch to the backup and power on its microcontroller.
+  if (failed_host == active_controller_ &&
+      active_controller_ + 1 < static_cast<int>(controller_ids_.size())) {
+    active_controller_ = failed_host + 1;
+    endpoint_->Call(ActiveControllerId(),
+                    std::make_shared<ControllerTakeoverRequest>(),
+                    sim::Seconds(5), [](Result<net::MessagePtr>) {});
+  }
+
+  // Collect the disks stranded on the failed host.
+  std::vector<std::string> stranded;
+  for (auto& [name, stat] : disks_) {
+    if (stat.host == failed_host) {
+      stranded.push_back(name);
+      // Spaces on this disk become unavailable until re-exposed.
+      for (auto& [space_id, entry] : allocations_) {
+        if (entry.id.disk == name) entry.available = false;
+      }
+    }
+  }
+  if (stranded.empty()) {
+    failovers_in_progress_.erase(failed_host);
+    return;
+  }
+
+  // Least-loaded live host adopts them (§IV-E: "move the disks on this
+  // host to a non-faulty one") — among hosts the fabric can actually route
+  // every stranded disk to (SysConf knows the wiring).
+  auto reachable_by_all = [&](int host_index) {
+    for (const std::string& disk : stranded) {
+      auto node = wiring_.topology.Find(disk);
+      if (!node.ok()) return false;
+      bool reachable = false;
+      for (fabric::NodeIndex port : wiring_.PortsOfHost(host_index)) {
+        if (wiring_.topology.RouteTo(*node, port).ok()) {
+          reachable = true;
+          break;
+        }
+      }
+      if (!reachable) return false;
+    }
+    return true;
+  };
+  // Candidate targets, least-loaded first. A candidate may still fail with
+  // a scheduling conflict (its route would steal a switch an uninvolved
+  // disk group depends on) — per §IV-C the Master then re-schedules onto
+  // the next candidate.
+  std::vector<std::pair<int, int>> candidates;  // (load, host)
+  for (const auto& [host_index, stat] : hosts_) {
+    if (!stat.alive || host_index == failed_host) continue;
+    if (!reachable_by_all(host_index)) continue;
+    int load = 0;
+    for (const auto& [name, disk_stat] : disks_) {
+      if (disk_stat.host == host_index) ++load;
+    }
+    candidates.emplace_back(load, host_index);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  if (candidates.empty()) {
+    USTORE_LOG(Error) << id() << ": no live host to adopt disks of host "
+                      << failed_host;
+    failovers_in_progress_.erase(failed_host);
+    return;
+  }
+
+  auto try_candidate = std::make_shared<std::function<void(std::size_t)>>();
+  *try_candidate = [this, failed_host, stranded, candidates,
+                    try_candidate](std::size_t index) {
+    if (index >= candidates.size()) {
+      USTORE_LOG(Error) << id() << ": every failover target for host "
+                        << failed_host << " was rejected";
+      failovers_in_progress_.erase(failed_host);
+      return;
+    }
+    const int target = candidates[index].second;
+    std::vector<DiskHostPair> moves;
+    for (const std::string& disk : stranded) {
+      moves.push_back(DiskHostPair{disk, target});
+    }
+    SendSchedule(moves, [this, failed_host, stranded, target, index,
+                         try_candidate](Status status) {
+      if (status.code() == StatusCode::kConflict ||
+          status.code() == StatusCode::kAborted) {
+        USTORE_LOG(Warning) << id() << ": target host " << target
+                            << " rejected (" << status
+                            << "); re-scheduling";
+        (*try_candidate)(index + 1);
+        return;
+      }
+      if (!status.ok()) {
+        USTORE_LOG(Error) << id() << ": schedule failed: " << status;
+        failovers_in_progress_.erase(failed_host);
+        return;
+      }
+      auto remaining =
+          std::make_shared<int>(static_cast<int>(stranded.size()));
+      for (const std::string& disk : stranded) {
+        disks_[disk].host = target;
+        ReExposeDisk(disk, target,
+                     [this, failed_host, remaining](Status expose_status) {
+                       if (!expose_status.ok()) {
+                         USTORE_LOG(Warning)
+                             << id() << ": re-expose: " << expose_status;
+                       }
+                       if (--*remaining == 0) {
+                         failovers_in_progress_.erase(failed_host);
+                         ++failovers_completed_;
+                       }
+                     });
+      }
+    });
+  };
+  (*try_candidate)(0);
+}
+
+void Master::HandleDiskFailure(const std::string& disk) {
+  DiskStat& stat = disks_[disk];
+  if (stat.failed) return;
+  stat.failed = true;
+  USTORE_LOG(Warning) << id() << ": disk " << disk
+                      << " reported failed; flagging for replacement";
+  // Data recovery is delegated to the upper-layer service (§IV-E); we just
+  // mark spaces unavailable and notify subscribers via lookups.
+  for (auto& [space_id, entry] : allocations_) {
+    if (entry.id.disk == disk) entry.available = false;
+  }
+}
+
+void Master::SendSchedule(std::vector<DiskHostPair> moves,
+                          std::function<void(Status)> done) {
+  auto request = std::make_shared<ScheduleRequest>();
+  request->moves = std::move(moves);
+  endpoint_->Call(ActiveControllerId(), request,
+                  options_.controller_rpc_timeout,
+                  [done = std::move(done)](Result<net::MessagePtr> result) {
+                    done(result.status());
+                  });
+}
+
+void Master::ExposeEntry(const AllocEntry& entry, int host_index,
+                         std::function<void(Status)> done) {
+  auto request = std::make_shared<ExposeRequest>();
+  request->id = entry.id;
+  request->disk = entry.id.disk;
+  request->offset = entry.offset;
+  request->length = entry.length;
+  endpoint_->Call(
+      HostEndpointId(host_index), request, options_.endpoint_rpc_timeout,
+      [this, id = entry.id, host_index,
+       done = std::move(done)](Result<net::MessagePtr> result) {
+        if (result.ok()) {
+          auto it = allocations_.find(id);
+          if (it != allocations_.end()) {
+            it->second.available = true;
+            it->second.exposed_host = host_index;
+            NotifySubscribers(id, HostEndpointId(host_index));
+          }
+        }
+        done(result.status());
+      });
+}
+
+void Master::ReExposeDisk(const std::string& disk, int new_host,
+                          std::function<void(Status)> done) {
+  std::vector<AllocEntry> entries;
+  for (const auto& [space_id, entry] : allocations_) {
+    if (entry.id.disk == disk) entries.push_back(entry);
+  }
+  if (entries.empty()) {
+    done(Status::Ok());
+    return;
+  }
+  auto remaining = std::make_shared<int>(static_cast<int>(entries.size()));
+  auto first_error = std::make_shared<Status>();
+  for (const AllocEntry& entry : entries) {
+    ExposeEntry(entry, new_host,
+                [remaining, first_error, done](Status status) {
+                  if (!status.ok() && first_error->ok()) {
+                    *first_error = status;
+                  }
+                  if (--*remaining == 0) done(*first_error);
+                });
+  }
+}
+
+void Master::NotifySubscribers(const SpaceId& space_id,
+                               const net::NodeId& new_host) {
+  auto it = subscribers_.find(space_id);
+  if (it == subscribers_.end()) return;
+  for (const auto& client : it->second) {
+    auto moved = std::make_shared<SpaceMovedMsg>();
+    moved->id = space_id;
+    moved->new_host = new_host;
+    endpoint_->Notify(client, moved);
+  }
+}
+
+Result<std::string> Master::PickDisk(const std::string& service, Bytes size,
+                                     int locality_host) {
+  std::string best;
+  int best_score = -1;
+  Bytes best_free = -1;
+  for (const auto& [name, stat] : disks_) {
+    if (stat.failed || stat.host < 0 || !HostAlive(stat.host)) continue;
+    const Bytes capacity = TB(3);
+    const Bytes free = capacity - stat.allocated;
+    if (free < size) continue;
+    int score = 0;
+    if (!stat.owner_service.empty() && stat.owner_service == service) {
+      score += 2;  // rule 1: same-service affinity
+    }
+    if (stat.owner_service.empty()) {
+      score += 1;  // fresh disks beat disks owned by other services
+    }
+    if (locality_host >= 0 && stat.host == locality_host) {
+      score += 1;  // rule 2: network locality
+    }
+    if (score > best_score || (score == best_score && free > best_free)) {
+      best = name;
+      best_score = score;
+      best_free = free;
+    }
+  }
+  if (best.empty()) {
+    return ResourceExhaustedError("no disk can fit " + FormatBytes(size) +
+                                  " for service " + service);
+  }
+  return best;
+}
+
+void Master::PersistAllocation(const AllocEntry& entry,
+                               std::function<void(Status)> done) {
+  const std::string disk_path =
+      "/ustore/alloc/u" + std::to_string(unit_id_) + "/" + entry.id.disk;
+  const std::string space_path =
+      disk_path + "/" + std::to_string(entry.id.space);
+  const std::string payload =
+      EncodeAlloc(entry.service, entry.offset, entry.length);
+  meta_->Create(disk_path, "", false,
+                [this, space_path, payload,
+                 done = std::move(done)](Status status) {
+                  if (!status.ok() &&
+                      status.code() != StatusCode::kAlreadyExists) {
+                    done(status);
+                    return;
+                  }
+                  meta_->Create(space_path, payload, false, done);
+                });
+}
+
+void Master::RegisterHandlers() {
+  endpoint_->RegisterNotifyHandler<HeartbeatMsg>(
+      [this](const net::NodeId&, net::MessagePtr msg) {
+        auto* heartbeat = static_cast<HeartbeatMsg*>(msg.get());
+        HostStat& host = hosts_[heartbeat->host_index];
+        host.last_heartbeat = sim_->now();
+        if (!host.alive) {
+          if (host.ever_seen) {
+            USTORE_LOG(Info) << id() << ": host " << heartbeat->host_index
+                             << " is back online";
+          }
+          host.alive = true;
+        }
+        host.ever_seen = true;
+        for (const DiskStatusEntry& entry : heartbeat->disks) {
+          DiskStat& disk = disks_[entry.name];
+          disk.host = heartbeat->host_index;
+          disk.state = entry.state;
+          disk.last_seen = sim_->now();
+          if (entry.failed && !disk.failed) HandleDiskFailure(entry.name);
+          if (!entry.failed && disk.failed) {
+            // The unit came back (repaired/replaced); spaces become
+            // available again once re-exposed.
+            USTORE_LOG(Info) << id() << ": disk " << entry.name
+                             << " is back after repair";
+            disk.failed = false;
+          }
+          // A disk that surfaced on a host other than the one exposing its
+          // LUNs was moved (deliberate rebalance or a failover we did not
+          // initiate): re-expose its spaces there.
+          if (!active_) continue;
+          for (auto& [space_id, alloc] : allocations_) {
+            if (alloc.id.disk == entry.name && alloc.exposed_host >= 0 &&
+                alloc.exposed_host != heartbeat->host_index &&
+                !re_expose_in_progress_.contains(entry.name)) {
+              re_expose_in_progress_.insert(entry.name);
+              const std::string disk_name = entry.name;
+              ReExposeDisk(disk_name, heartbeat->host_index,
+                           [this, disk_name](Status) {
+                             re_expose_in_progress_.erase(disk_name);
+                           });
+              break;
+            }
+          }
+        }
+      });
+
+  endpoint_->RegisterHandler<AllocateRequest>(
+      [this](const net::NodeId&, net::MessagePtr msg,
+             std::function<void(Result<net::MessagePtr>)> reply) {
+        if (!active_) {
+          reply(UnavailableError(id() + " is not the active master"));
+          return;
+        }
+        auto* request = static_cast<AllocateRequest*>(msg.get());
+        if (request->size <= 0) {
+          reply(InvalidArgumentError("allocation size must be positive"));
+          return;
+        }
+        Result<std::string> disk = request->disk_hint;
+        if (request->disk_hint.empty()) {
+          disk = PickDisk(request->service, request->size,
+                          request->locality_host);
+        } else if (!disks_.contains(request->disk_hint)) {
+          disk = NotFoundError("no disk " + request->disk_hint);
+        } else if (disks_[request->disk_hint].host < 0 ||
+                   disks_[request->disk_hint].failed) {
+          disk = UnavailableError("disk " + request->disk_hint +
+                                  " is not attached to any live host");
+        }
+        if (!disk.ok()) {
+          reply(disk.status());
+          return;
+        }
+        DiskStat& stat = disks_[*disk];
+        AllocEntry entry;
+        entry.id = SpaceId{unit_id_, *disk, stat.next_space++};
+        entry.service = request->service;
+        entry.offset = stat.allocated;
+        entry.length = request->size;
+        stat.allocated += request->size;
+        if (stat.owner_service.empty()) {
+          stat.owner_service = request->service;
+        }
+        allocations_[entry.id] = entry;
+
+        // Persist synchronously (§IV-A: "stored persistently in the Master
+        // synchronously"), then expose on the disk's current host.
+        PersistAllocation(entry, [this, entry, reply](Status status) {
+          if (!status.ok()) {
+            allocations_.erase(entry.id);
+            reply(status);
+            return;
+          }
+          const int host = disks_[entry.id.disk].host;
+          ExposeEntry(entry, host, [this, entry, host,
+                                    reply](Status expose_status) {
+            if (!expose_status.ok()) {
+              reply(expose_status);
+              return;
+            }
+            auto response = std::make_shared<AllocateResponse>();
+            response->space.id = entry.id;
+            response->space.offset = entry.offset;
+            response->space.length = entry.length;
+            response->space.host = HostEndpointId(host);
+            response->space.service = entry.service;
+            reply(net::MessagePtr(std::move(response)));
+          });
+        });
+      });
+
+  endpoint_->RegisterHandler<LookupRequest>(
+      [this](const net::NodeId&, net::MessagePtr msg,
+             std::function<void(Result<net::MessagePtr>)> reply) {
+        if (!active_) {
+          reply(UnavailableError(id() + " is not the active master"));
+          return;
+        }
+        auto* request = static_cast<LookupRequest*>(msg.get());
+        auto it = allocations_.find(request->id);
+        if (it == allocations_.end()) {
+          reply(NotFoundError("no allocation " + request->id.ToString()));
+          return;
+        }
+        auto response = std::make_shared<LookupResponse>();
+        const int host = disks_[it->second.id.disk].host;
+        response->available = it->second.available && host >= 0 &&
+                              HostAlive(host);
+        if (host >= 0) response->host = HostEndpointId(host);
+        response->offset = it->second.offset;
+        response->length = it->second.length;
+        reply(net::MessagePtr(std::move(response)));
+      });
+
+  endpoint_->RegisterHandler<ReleaseRequest>(
+      [this](const net::NodeId&, net::MessagePtr msg,
+             std::function<void(Result<net::MessagePtr>)> reply) {
+        if (!active_) {
+          reply(UnavailableError(id() + " is not the active master"));
+          return;
+        }
+        auto* request = static_cast<ReleaseRequest*>(msg.get());
+        auto it = allocations_.find(request->id);
+        if (it == allocations_.end()) {
+          reply(NotFoundError("no allocation " + request->id.ToString()));
+          return;
+        }
+        if (it->second.service != request->service) {
+          reply(FailedPreconditionError("space owned by " +
+                                        it->second.service));
+          return;
+        }
+        const AllocEntry entry = it->second;
+        allocations_.erase(it);
+        disks_[entry.id.disk].allocated -= entry.length;
+        subscribers_.erase(entry.id);
+        // Remove persistence and the exposure (best effort).
+        const std::string path = "/ustore/alloc" + entry.id.ToString();
+        meta_->Delete(path, consensus::kAnyVersion, [](Status) {});
+        const int host = disks_[entry.id.disk].host;
+        if (host >= 0) {
+          auto unexpose = std::make_shared<UnexposeRequest>();
+          unexpose->id = entry.id;
+          endpoint_->Call(HostEndpointId(host), unexpose,
+                          options_.endpoint_rpc_timeout,
+                          [](Result<net::MessagePtr>) {});
+        }
+        reply(net::MessagePtr(std::make_shared<AckMsg>()));
+      });
+
+  endpoint_->RegisterHandler<SubscribeRequest>(
+      [this](const net::NodeId&, net::MessagePtr msg,
+             std::function<void(Result<net::MessagePtr>)> reply) {
+        auto* request = static_cast<SubscribeRequest*>(msg.get());
+        subscribers_[request->id].insert(request->client);
+        reply(net::MessagePtr(std::make_shared<AckMsg>()));
+      });
+
+  endpoint_->RegisterHandler<DiskPowerRequest>(
+      [this](const net::NodeId&, net::MessagePtr msg,
+             std::function<void(Result<net::MessagePtr>)> reply) {
+        if (!active_) {
+          reply(UnavailableError(id() + " is not the active master"));
+          return;
+        }
+        auto* request = static_cast<DiskPowerRequest*>(msg.get());
+        auto it = disks_.find(request->disk);
+        if (it == disks_.end()) {
+          reply(NotFoundError("no disk " + request->disk));
+          return;
+        }
+        // §IV-F: services may only manage disks allocated to them.
+        if (it->second.owner_service != request->service) {
+          reply(FailedPreconditionError(
+              "disk " + request->disk + " is not owned by service " +
+              request->service));
+          return;
+        }
+        switch (request->action) {
+          case DiskPowerAction::kSpinUp:
+          case DiskPowerAction::kSpinDown: {
+            if (it->second.host < 0) {
+              reply(UnavailableError("disk currently detached"));
+              return;
+            }
+            auto spin = std::make_shared<SpinRequest>();
+            spin->disk = request->disk;
+            spin->spin_up = request->action == DiskPowerAction::kSpinUp;
+            endpoint_->Call(HostEndpointId(it->second.host), spin,
+                            options_.endpoint_rpc_timeout,
+                            [reply](Result<net::MessagePtr> result) {
+                              reply(std::move(result));
+                            });
+            return;
+          }
+          case DiskPowerAction::kPowerOn:
+          case DiskPowerAction::kPowerOff: {
+            auto relay = std::make_shared<RelayPowerRequest>();
+            relay->device = request->disk;
+            relay->on = request->action == DiskPowerAction::kPowerOn;
+            endpoint_->Call(ActiveControllerId(), relay,
+                            options_.controller_rpc_timeout,
+                            [reply](Result<net::MessagePtr> result) {
+                              reply(std::move(result));
+                            });
+            return;
+          }
+        }
+      });
+}
+
+void Master::Crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  active_ = false;
+  monitor_timer_.Stop();
+  meta_->Crash();
+  endpoint_->Shutdown();
+}
+
+void Master::Restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  started_ = false;
+  endpoint_->Reopen();
+  meta_->Restart();
+  RegisterHandlers();
+  hosts_.clear();
+  allocations_.clear();
+  for (auto& [name, stat] : disks_) stat = DiskStat{};
+  Start();
+}
+
+}  // namespace ustore::core

@@ -1,0 +1,164 @@
+// UStore Master (§IV-A).
+//
+// The Master maintains the holistic view of the system:
+//   * SysConf  — static configuration (the deploy unit's wiring);
+//   * SysStat  — live status: host liveness from heartbeats, the current
+//                disk->host mapping, disk states. Memory-only: it is
+//                reconstructed from heartbeats after a takeover;
+//   * StorAlloc — persistent storage allocations in the global namespace
+//                </unit/disk/space>, stored in the replicated MetaStore.
+//
+// Master processes run active-standby: each races to create the ephemeral
+// znode /ustore/master/leader; the winner serves, losers watch the znode
+// and take over when the winner's session dies (§V-B).
+//
+// Allocation follows the paper's two rules: prefer a disk already serving
+// the same service (power management locality), then a disk near the
+// client on the network.
+//
+// Failure handling: a host that misses heartbeats past the timeout is
+// declared crashed; its disks are moved to the least-loaded live host via
+// a Controller scheduling command, re-exposed on the adopting host, and
+// subscribed clients are notified.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "consensus/meta_client.h"
+#include "core/types.h"
+#include "fabric/builders.h"
+#include "net/rpc.h"
+#include "sim/simulator.h"
+
+namespace ustore::core {
+
+struct MasterOptions {
+  sim::Duration heartbeat_timeout = sim::MillisD(2000);
+  sim::Duration monitor_period = sim::MillisD(250);
+  // A disk absent from every live host's heartbeats for this long (while
+  // no failover is in progress) is treated as a failed unit (§IV-E) —
+  // long enough to never trip during a routine switch.
+  sim::Duration disk_missing_timeout = sim::Seconds(10);
+  sim::Duration controller_rpc_timeout = sim::Seconds(40);
+  sim::Duration endpoint_rpc_timeout = sim::Seconds(25);
+};
+
+class Master {
+ public:
+  Master(sim::Simulator* sim, net::Network* network, net::NodeId id,
+         int unit_id, fabric::BuiltFabric wiring,
+         std::vector<net::NodeId> controller_ids,
+         consensus::MetaClient::Options meta_options,
+         MasterOptions options = {});
+  ~Master();
+
+  const net::NodeId& id() const { return endpoint_->id(); }
+  bool is_active() const { return active_; }
+
+  // Joins the election; the winner starts serving.
+  void Start();
+
+  void Crash();
+  void Restart();
+  bool crashed() const { return crashed_; }
+
+  // --- Introspection (tests / benches) ---------------------------------------
+  bool HostAlive(int host_index) const;
+  int CurrentHostOfDisk(const std::string& disk) const;
+  std::size_t allocation_count() const { return allocations_.size(); }
+  int failovers_completed() const { return failovers_completed_; }
+
+ private:
+  struct AllocEntry {
+    SpaceId id;
+    std::string service;
+    Bytes offset = 0;
+    Bytes length = 0;
+    bool available = false;  // exposed and reachable
+    int exposed_host = -1;   // host currently exposing the LUN
+  };
+
+  struct HostStat {
+    bool alive = false;
+    sim::Time last_heartbeat = 0;
+    bool ever_seen = false;
+  };
+
+  struct DiskStat {
+    int host = -1;  // current attachment, -1 unknown/detached
+    bool failed = false;
+    hw::DiskState state = hw::DiskState::kIdle;
+    std::string owner_service;  // first service allocated here (rule 1)
+    Bytes allocated = 0;
+    std::uint64_t next_space = 1;
+    sim::Time last_seen = -1;  // last heartbeat listing this disk
+  };
+
+  void RegisterHandlers();
+  void RunElection();
+  void OnBecameActive();
+  void BootstrapMetaPaths(std::function<void(Status)> done);
+  void LoadAllocations(std::function<void(Status)> done);
+  void MonitorTick();
+  void HandleHostFailure(int host_index);
+  void HandleDiskFailure(const std::string& disk);
+
+  // Allocation machinery.
+  Result<std::string> PickDisk(const std::string& service, Bytes size,
+                               int locality_host);
+  void PersistAllocation(const AllocEntry& entry,
+                         std::function<void(Status)> done);
+
+  // Failover machinery.
+  net::NodeId ActiveControllerId() const;
+  void SendSchedule(std::vector<DiskHostPair> moves,
+                    std::function<void(Status)> done);
+  void ReExposeDisk(const std::string& disk, int new_host,
+                    std::function<void(Status)> done);
+  void NotifySubscribers(const SpaceId& id, const net::NodeId& new_host);
+  void ExposeEntry(const AllocEntry& entry, int host_index,
+                   std::function<void(Status)> done);
+
+  net::NodeId HostEndpointId(int host_index) const {
+    return wiring_.hosts.at(host_index);
+  }
+
+  sim::Simulator* sim_;
+  int unit_id_;
+  fabric::BuiltFabric wiring_;  // SysConf
+  std::vector<net::NodeId> controller_ids_;
+  MasterOptions options_;
+
+  std::unique_ptr<net::RpcEndpoint> endpoint_;
+  std::unique_ptr<consensus::MetaClient> meta_;
+
+  bool crashed_ = false;
+  bool active_ = false;
+  bool started_ = false;
+
+  // SysStat (in-memory, rebuilt from heartbeats).
+  std::map<int, HostStat> hosts_;
+  std::map<std::string, DiskStat> disks_;
+  // Which controlling hosts have been told to take over the control plane.
+  int active_controller_ = 0;
+
+  // StorAlloc.
+  std::map<SpaceId, AllocEntry> allocations_;
+
+  // Failover-notification subscriptions.
+  std::map<SpaceId, std::set<net::NodeId>> subscribers_;
+
+  sim::Timer monitor_timer_;
+  int failovers_completed_ = 0;
+  std::set<int> failovers_in_progress_;
+  std::set<std::string> re_expose_in_progress_;
+};
+
+}  // namespace ustore::core

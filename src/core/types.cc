@@ -1,0 +1,41 @@
+#include "core/types.h"
+
+#include <charconv>
+
+namespace ustore::core {
+
+std::string SpaceId::ToString() const {
+  return "/u" + std::to_string(unit) + "/" + disk + "/" +
+         std::to_string(space);
+}
+
+Result<SpaceId> SpaceId::Parse(const std::string& text) {
+  SpaceId id;
+  if (text.size() < 3 || text[0] != '/' || text[1] != 'u') {
+    return InvalidArgumentError("bad space id: " + text);
+  }
+  const std::size_t slash1 = text.find('/', 1);
+  const std::size_t slash2 =
+      slash1 == std::string::npos ? std::string::npos
+                                  : text.find('/', slash1 + 1);
+  if (slash1 == std::string::npos || slash2 == std::string::npos) {
+    return InvalidArgumentError("bad space id: " + text);
+  }
+  auto [p1, ec1] =
+      std::from_chars(text.data() + 2, text.data() + slash1, id.unit);
+  if (ec1 != std::errc() || p1 != text.data() + slash1) {
+    return InvalidArgumentError("bad unit in space id: " + text);
+  }
+  id.disk = text.substr(slash1 + 1, slash2 - slash1 - 1);
+  if (id.disk.empty()) {
+    return InvalidArgumentError("bad disk in space id: " + text);
+  }
+  auto [p2, ec2] = std::from_chars(text.data() + slash2 + 1,
+                                   text.data() + text.size(), id.space);
+  if (ec2 != std::errc() || p2 != text.data() + text.size()) {
+    return InvalidArgumentError("bad space index in space id: " + text);
+  }
+  return id;
+}
+
+}  // namespace ustore::core

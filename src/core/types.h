@@ -1,0 +1,159 @@
+// Shared vocabulary of the UStore control plane (§IV).
+//
+// SpaceId is the global storage namespace </DeployUnitID/DiskID/SpaceID>
+// from §IV-A; the message structs are the RPC schema between ClientLib,
+// Master, EndPoint and Controller.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "hw/disk.h"
+#include "hw/usb.h"
+#include "net/network.h"
+
+namespace ustore::core {
+
+// --- Global storage namespace ------------------------------------------------
+
+struct SpaceId {
+  int unit = 0;
+  std::string disk;           // fabric disk name, e.g. "disk-3"
+  std::uint64_t space = 0;    // per-disk allocation counter
+
+  std::string ToString() const;                      // "/u0/disk-3/7"
+  static Result<SpaceId> Parse(const std::string&);  // inverse
+
+  friend auto operator<=>(const SpaceId&, const SpaceId&) = default;
+};
+
+// A successfully allocated piece of storage, as returned to clients.
+struct AllocatedSpace {
+  SpaceId id;
+  Bytes offset = 0;
+  Bytes length = 0;
+  net::NodeId host;     // endpoint currently exposing it
+  std::string service;  // owning service name
+};
+
+// --- Host/disk status (EndPoint -> Master heartbeats) --------------------------
+
+struct DiskStatusEntry {
+  std::string name;
+  bool recognized = false;
+  hw::DiskState state = hw::DiskState::kIdle;
+  bool failed = false;
+};
+
+struct HeartbeatMsg : net::Message {
+  int host_index = -1;
+  net::NodeId host;
+  std::vector<DiskStatusEntry> disks;
+};
+
+// --- EndPoint -> Controller: USB Monitor reports (§IV-B) ------------------------
+
+struct UsbReportMsg : net::Message {
+  int host_index = -1;
+  hw::UsbTreeReport report;
+};
+
+// --- ClientLib -> Master -------------------------------------------------------
+
+struct AllocateRequest : net::Message {
+  std::string service;
+  Bytes size = 0;
+  net::NodeId client;
+  int locality_host = -1;   // network-locality hint (§IV-A rule 2)
+  std::string disk_hint;    // pin to a specific disk (admin/benchmarks)
+};
+struct AllocateResponse : net::Message {
+  AllocatedSpace space;
+};
+
+struct LookupRequest : net::Message {
+  SpaceId id;
+};
+struct LookupResponse : net::Message {
+  net::NodeId host;
+  Bytes offset = 0;
+  Bytes length = 0;
+  bool available = false;  // false while failover is in progress
+};
+
+struct ReleaseRequest : net::Message {
+  SpaceId id;
+  std::string service;
+};
+
+enum class DiskPowerAction { kSpinUp, kSpinDown, kPowerOn, kPowerOff };
+
+// §IV-F: services may manage power for disks allocated to them.
+struct DiskPowerRequest : net::Message {
+  std::string service;
+  std::string disk;
+  DiskPowerAction action = DiskPowerAction::kSpinDown;
+};
+
+// Client registration for failover notifications.
+struct SubscribeRequest : net::Message {
+  SpaceId id;
+  net::NodeId client;
+};
+
+// Master -> ClientLib push notification after failover completes.
+struct SpaceMovedMsg : net::Message {
+  SpaceId id;
+  net::NodeId new_host;
+};
+
+// --- Master -> EndPoint ----------------------------------------------------------
+
+struct ExposeRequest : net::Message {
+  SpaceId id;
+  std::string disk;
+  Bytes offset = 0;
+  Bytes length = 0;
+};
+struct UnexposeRequest : net::Message {
+  SpaceId id;
+};
+struct SpinRequest : net::Message {
+  std::string disk;
+  bool spin_up = false;  // false = spin down
+};
+
+// --- Master -> Controller (§IV-C topology scheduling commands) --------------------
+
+struct DiskHostPair {
+  std::string disk;
+  int host_index = -1;
+};
+
+struct ScheduleRequest : net::Message {
+  std::vector<DiskHostPair> moves;  // "connect disk A to host H1 and ..."
+};
+struct ScheduleResponse : net::Message {};
+
+// Master -> Controller: drive a power relay (disk enclosure 12 V or hub
+// supply) through the microcontroller (§III-B).
+struct RelayPowerRequest : net::Message {
+  std::string device;  // disk or hub name
+  bool on = true;
+};
+
+// Controller-internal acknowledgement carries conflict detail via Status.
+
+// Master -> backup Controller: become active (§III-B — power on the
+// secondary microcontroller; the XOR bus preserves current switch state).
+struct ControllerTakeoverRequest : net::Message {};
+
+// Generic empty OK payload for acknowledgement-only RPCs.
+struct AckMsg : net::Message {};
+
+}  // namespace ustore::core

@@ -1,0 +1,114 @@
+#include "cost/cost_model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ustore::cost {
+namespace {
+
+double DisksFor(Bytes capacity) {
+  return static_cast<double>(capacity) / static_cast<double>(TB(3));
+}
+
+// Structural pod cost (chassis, PSU, fans, assembly) scaled by how many
+// disks the enclosure holds relative to the 45-disk Storage Pod baseline.
+Dollars PodStructure(const PriceTable& p, int disks_per_unit) {
+  const double scale = static_cast<double>(disks_per_unit) / 45.0;
+  return (p.pod_chassis + p.pod_psu + p.pod_misc) * scale;
+}
+
+}  // namespace
+
+CostBreakdown Md3260iCost(Bytes capacity, const PriceTable& p) {
+  CostBreakdown out;
+  out.system = "DELL PowerVault MD3260i";
+  out.media = "Near-line SAS";
+  out.unit_disks = 60;
+  const double scale =
+      static_cast<double>(capacity) / static_cast<double>(PB(10));
+  out.units = DisksFor(capacity) / 60.0;
+  out.total = p.md3260i_capex_10pb * scale;
+  out.attach_cost = p.md3260i_attex_10pb * scale;
+  out.media_cost = out.total - out.attach_cost;
+  return out;
+}
+
+CostBreakdown Sl150Cost(Bytes capacity, const PriceTable& p) {
+  CostBreakdown out;
+  out.system = "Sun StorageTek SL150";
+  out.media = "LTO6 Tape";
+  const double scale =
+      static_cast<double>(capacity) / static_cast<double>(PB(10));
+  out.total = p.sl150_capex_10pb * scale;
+  // The paper does not break the tape system into media vs attach ("-").
+  out.media_cost = 0;
+  out.attach_cost = 0;
+  return out;
+}
+
+CostBreakdown BackblazeCost(Bytes capacity, const PriceTable& p) {
+  CostBreakdown out;
+  out.system = "BACKBLAZE";
+  out.media = "SATA HD";
+  out.unit_disks = 45;
+  const double disks = DisksFor(capacity);
+  out.units = disks / 45.0;
+  out.media_cost = disks * p.disk_3tb;
+  const Dollars per_pod = PodStructure(p, 45) + p.pod_compute +
+                          p.pod_sata_fabric;
+  out.attach_cost = out.units * per_pod;
+  out.total = out.media_cost + out.attach_cost;
+  return out;
+}
+
+CostBreakdown PergamumCost(Bytes capacity, const PriceTable& p) {
+  CostBreakdown out;
+  out.system = "Pergamum";
+  out.media = "SATA HD";
+  out.unit_disks = 45;
+  const double disks = DisksFor(capacity);
+  out.units = disks / 45.0;
+  out.media_cost = disks * p.disk_3tb;
+  // 45 tomes per pod: each an ARM board + a 1 GbE port; two 10 GbE uplink
+  // ports per pod for the Ethernet tree (§VI footnote 2). No NVRAM (the
+  // paper removes it for a fair comparison) and no pod-level compute.
+  const Dollars per_pod = PodStructure(p, 45) +
+                          45.0 * (p.arm_tome_board + p.eth_port_1g) +
+                          2.0 * p.eth_port_10g;
+  out.attach_cost = out.units * per_pod;
+  out.total = out.media_cost + out.attach_cost;
+  return out;
+}
+
+Dollars FabricCost(const fabric::FabricBom& bom, const PriceTable& p) {
+  const int ics = bom.bridges + bom.hubs + bom.switches;
+  return ics * p.usb_ic * p.bom_markup + p.ustore_pcb_and_connectors;
+}
+
+CostBreakdown UStoreCost(Bytes capacity, const PriceTable& p) {
+  CostBreakdown out;
+  out.system = "UStore";
+  out.media = "SATA HD";
+  out.unit_disks = 64;  // §VI: 64 disks per 4U deploy unit
+  const double disks = DisksFor(capacity);
+  out.units = disks / 64.0;
+  out.media_cost = disks * p.disk_3tb;
+  // Fabric BOM for a 64-disk unit, prototype-style topology: 16 leaf hubs,
+  // 4 mid hubs, a switch at each hub uplink; one bridge per disk.
+  fabric::FabricBom bom;
+  bom.bridges = 64;
+  bom.hubs = 16 + 4;
+  bom.switches = 16 + 4;
+  const Dollars per_unit = PodStructure(p, 64) + FabricCost(bom, p);
+  out.attach_cost = out.units * per_unit;
+  out.total = out.media_cost + out.attach_cost;
+  return out;
+}
+
+std::vector<CostBreakdown> TableOne(Bytes capacity, const PriceTable& p) {
+  return {Md3260iCost(capacity, p), Sl150Cost(capacity, p),
+          PergamumCost(capacity, p), BackblazeCost(capacity, p),
+          UStoreCost(capacity, p)};
+}
+
+}  // namespace ustore::cost

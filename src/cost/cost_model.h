@@ -1,0 +1,69 @@
+// Capital-expense models for Table I (§VI): the estimated cost of 10 PB of
+// raw capacity under five storage architectures.
+//
+// Commercial systems (Dell PowerVault MD3260i, Sun StorageTek SL150) are
+// encoded from vendor-quoted system pricing, as the paper does. The three
+// DIY disk systems (BACKBLAZE, Pergamum, UStore) are computed from a
+// bill-of-materials: the paper uses Backblaze Storage Pod 4.0 published
+// component costs for the enclosure, Cubieboard3 pricing for the Pergamum
+// ARM tome, per-port Ethernet costs of $4 (1 GbE) / $100 (10 GbE), and
+// "all ICs in the fabric cost less than $1 each" with a 2x BOM->cost
+// markup for UStore's interconnect.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "fabric/builders.h"
+
+namespace ustore::cost {
+
+struct PriceTable {
+  Dollars disk_3tb = 100.0;           // SATA HDD used by the disk systems
+  // Backblaze Storage Pod 4.0 derived component costs (per 45-disk pod,
+  // excluding drives).
+  Dollars pod_chassis = 450.0;
+  Dollars pod_psu = 260.0;
+  Dollars pod_compute = 700.0;        // motherboard + CPU + RAM + boot
+  Dollars pod_sata_fabric = 1500.0;   // SATA cards, backplanes, cabling
+  Dollars pod_misc = 540.0;           // fans, wiring, assembly
+  // Pergamum tome parts.
+  Dollars arm_tome_board = 88.0;      // Cubieboard3-class board + SD + case
+  Dollars eth_port_1g = 4.0;
+  Dollars eth_port_10g = 100.0;
+  // UStore fabric parts ("less than $1 each"), before markup.
+  Dollars usb_ic = 1.0;               // bridge, hub or switch IC
+  double bom_markup = 2.0;            // BOM -> product cost (§VI)
+  Dollars ustore_pcb_and_connectors = 250.0;  // per 64-disk unit
+  // Commercial list prices for 10 PB (quoted, incl. media where noted).
+  Dollars md3260i_capex_10pb = 3340e3;
+  Dollars md3260i_attex_10pb = 1525e3;
+  Dollars sl150_capex_10pb = 1748e3;
+};
+
+struct CostBreakdown {
+  std::string system;
+  std::string media;
+  int unit_disks = 0;     // disks per enclosure/pod/unit
+  double units = 0;       // enclosures needed for the capacity
+  Dollars media_cost = 0;
+  Dollars attach_cost = 0;  // "AttEx": everything except the media
+  Dollars total = 0;        // CapEx
+};
+
+// All five Table I rows at the given raw capacity (the paper uses 10 PB).
+CostBreakdown Md3260iCost(Bytes capacity, const PriceTable& p = {});
+CostBreakdown Sl150Cost(Bytes capacity, const PriceTable& p = {});
+CostBreakdown BackblazeCost(Bytes capacity, const PriceTable& p = {});
+CostBreakdown PergamumCost(Bytes capacity, const PriceTable& p = {});
+CostBreakdown UStoreCost(Bytes capacity, const PriceTable& p = {});
+
+std::vector<CostBreakdown> TableOne(Bytes capacity = PB(10),
+                                    const PriceTable& p = {});
+
+// Cost of one interconnect fabric from its BOM — used by the topology
+// ablation (left vs right design of Fig. 2).
+Dollars FabricCost(const fabric::FabricBom& bom, const PriceTable& p = {});
+
+}  // namespace ustore::cost

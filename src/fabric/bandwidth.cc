@@ -1,0 +1,159 @@
+#include "fabric/bandwidth.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace ustore::fabric {
+namespace {
+
+struct Constraint {
+  double capacity = 0;
+  std::vector<double> coeff;  // per flow; usage = sum coeff[i] * rate[i]
+};
+
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+BandwidthResult SolveMaxMinFair(const BuiltFabric& fabric,
+                                const std::vector<FlowDemand>& demands,
+                                const hw::UsbHostControllerParams& host_params,
+                                const hw::UsbLinkParams& hub_link) {
+  const int n = static_cast<int>(demands.size());
+  BandwidthResult result;
+  result.flows.resize(n);
+
+  // Resolve each flow's path and which host controller it lands on.
+  std::vector<std::vector<NodeIndex>> paths(n);
+  std::vector<int> host_of_flow(n, -1);
+  for (int i = 0; i < n; ++i) {
+    paths[i] = fabric.topology.ActivePath(demands[i].disk);
+    if (paths[i].empty()) continue;
+    auto it = fabric.host_of_port.find(paths[i].back());
+    if (it == fabric.host_of_port.end()) {
+      paths[i].clear();
+      continue;
+    }
+    host_of_flow[i] = it->second;
+    result.flows[i].attached = true;
+  }
+
+  // Build constraints. Three per USB link (uplink of every disk/hub on a
+  // path), four per host controller.
+  std::vector<Constraint> constraints;
+  std::map<NodeIndex, int> link_constraint_base;   // node -> first of 3
+  std::map<int, int> host_constraint_base;         // host -> first of 4
+
+  auto add_constraint = [&](double capacity) {
+    Constraint c;
+    c.capacity = capacity;
+    c.coeff.assign(n, 0.0);
+    constraints.push_back(std::move(c));
+    return static_cast<int>(constraints.size()) - 1;
+  };
+
+  for (int i = 0; i < n; ++i) {
+    if (paths[i].empty()) continue;
+    const double rf = std::clamp(demands[i].read_fraction, 0.0, 1.0);
+    const double wf = 1.0 - rf;
+
+    for (NodeIndex node : paths[i]) {
+      const NodeKind kind = fabric.topology.node(node).kind;
+      if (kind != NodeKind::kDisk && kind != NodeKind::kHub) continue;
+      auto [it, inserted] = link_constraint_base.try_emplace(node, 0);
+      if (inserted) {
+        it->second = add_constraint(hub_link.cap_per_direction);  // read
+        add_constraint(hub_link.cap_per_direction);               // write
+        add_constraint(hub_link.cap_duplex_total);                // duplex
+      }
+      constraints[it->second + 0].coeff[i] += rf;
+      constraints[it->second + 1].coeff[i] += wf;
+      constraints[it->second + 2].coeff[i] += 1.0;
+    }
+
+    const int host = host_of_flow[i];
+    auto [it, inserted] = host_constraint_base.try_emplace(host, 0);
+    if (inserted) {
+      it->second =
+          add_constraint(host_params.root_link.cap_per_direction);  // read
+      add_constraint(host_params.root_link.cap_per_direction);      // write
+      add_constraint(host_params.root_link.cap_duplex_total);       // duplex
+      add_constraint(host_params.transaction_cap);                  // txn/s
+    }
+    constraints[it->second + 0].coeff[i] += rf;
+    constraints[it->second + 1].coeff[i] += wf;
+    constraints[it->second + 2].coeff[i] += 1.0;
+    constraints[it->second + 3].coeff[i] +=
+        1.0 / static_cast<double>(demands[i].request_size);
+  }
+
+  // Progressive filling: active flows all run at the common level `t`.
+  std::vector<bool> frozen(n, false);
+  std::vector<double> rate(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    if (paths[i].empty() || demands[i].demand <= 0) frozen[i] = true;
+  }
+
+  for (int round = 0; round < n + 1; ++round) {
+    bool any_active = false;
+    for (int i = 0; i < n; ++i) any_active |= !frozen[i];
+    if (!any_active) break;
+
+    // Lowest level at which something binds.
+    double t_next = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < n; ++i) {
+      if (!frozen[i]) t_next = std::min(t_next, demands[i].demand);
+    }
+    std::vector<int> binding;
+    for (std::size_t c = 0; c < constraints.size(); ++c) {
+      double frozen_usage = 0, active_coeff = 0;
+      for (int i = 0; i < n; ++i) {
+        if (frozen[i]) {
+          frozen_usage += constraints[c].coeff[i] * rate[i];
+        } else {
+          active_coeff += constraints[c].coeff[i];
+        }
+      }
+      if (active_coeff <= kEps) continue;
+      const double t_c =
+          (constraints[c].capacity - frozen_usage) / active_coeff;
+      if (t_c < t_next - kEps) {
+        t_next = t_c;
+        binding.clear();
+        binding.push_back(static_cast<int>(c));
+      } else if (t_c <= t_next + kEps) {
+        binding.push_back(static_cast<int>(c));
+      }
+    }
+
+    t_next = std::max(t_next, 0.0);
+    for (int i = 0; i < n; ++i) {
+      if (!frozen[i]) rate[i] = t_next;
+    }
+    // Freeze demand-satisfied flows and every flow through a binding
+    // constraint.
+    for (int i = 0; i < n; ++i) {
+      if (frozen[i]) continue;
+      if (demands[i].demand <= t_next + kEps) frozen[i] = true;
+      for (int c : binding) {
+        if (constraints[c].coeff[i] > kEps) frozen[i] = true;
+      }
+    }
+  }
+
+  for (int i = 0; i < n; ++i) {
+    FlowAllocation& flow = result.flows[i];
+    if (!flow.attached) continue;
+    const double rf = std::clamp(demands[i].read_fraction, 0.0, 1.0);
+    flow.rate = rate[i];
+    flow.read_rate = rate[i] * rf;
+    flow.write_rate = rate[i] * (1.0 - rf);
+    result.total += flow.rate;
+    result.total_read += flow.read_rate;
+    result.total_write += flow.write_rate;
+  }
+  return result;
+}
+
+}  // namespace ustore::fabric

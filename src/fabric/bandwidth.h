@@ -1,0 +1,59 @@
+// Max-min fair bandwidth allocation over the fabric.
+//
+// Concurrent disk workloads are modelled as flows from disks to their
+// attached host controllers. Each flow's demand is the disk's standalone
+// throughput (from the calibrated DiskModel); capacities constrain them:
+//
+//   * every USB link (hub uplink, root port) caps each direction at
+//     ~300 MB/s and the duplex sum at ~540 MB/s;
+//   * every *host controller* (covering all of a host's root ports) has the
+//     same direction/duplex caps plus a transaction-rate ceiling, which is
+//     the binding constraint for small transfers (Fig. 5: "the sequential
+//     throughput of 8 disks can saturate the USB tree").
+//
+// Progressive filling: all unfrozen flows rise at the same rate; a flow
+// freezes when it reaches its demand or when a constraint it uses
+// saturates. The paper's observation that "bandwidth is shared evenly
+// among the disks" is exactly max-min fairness with equal demands.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/units.h"
+#include "fabric/builders.h"
+#include "fabric/topology.h"
+#include "hw/usb.h"
+
+namespace ustore::fabric {
+
+struct FlowDemand {
+  NodeIndex disk = kInvalidNode;
+  BytesPerSec demand = 0;      // standalone total rate (read + write)
+  double read_fraction = 1.0;  // direction split of the demand
+  Bytes request_size = KiB(4); // for transaction accounting
+};
+
+struct FlowAllocation {
+  BytesPerSec rate = 0;  // total achieved rate
+  BytesPerSec read_rate = 0;
+  BytesPerSec write_rate = 0;
+  bool attached = false;  // false if the disk had no path to a host
+};
+
+struct BandwidthResult {
+  std::vector<FlowAllocation> flows;  // parallel to the input demands
+  BytesPerSec total = 0;
+  BytesPerSec total_read = 0;
+  BytesPerSec total_write = 0;
+};
+
+// Solves the allocation for the fabric's *current* switch configuration.
+// `host_params` describes every host controller (per-direction caps,
+// duplex cap, transaction cap); `hub_link` the hub uplink capacities.
+BandwidthResult SolveMaxMinFair(const BuiltFabric& fabric,
+                                const std::vector<FlowDemand>& demands,
+                                const hw::UsbHostControllerParams& host_params,
+                                const hw::UsbLinkParams& hub_link);
+
+}  // namespace ustore::fabric

@@ -1,0 +1,331 @@
+#include "fabric/fabric_manager.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace ustore::fabric {
+
+FabricManager::FabricManager(sim::Simulator* sim, BuiltFabric fabric,
+                             Options options, Rng rng)
+    : sim_(sim),
+      fabric_(std::move(fabric)),
+      options_(options),
+      rng_(rng),
+      bus_(static_cast<int>(fabric_.switches.size() + fabric_.disks.size() +
+                            fabric_.hubs.size())) {
+  // Line assignment: switches first, then disk relays, then hub relays.
+  int line = 0;
+  for (NodeIndex sw : fabric_.switches) {
+    switch_line_[sw] = line;
+    node_of_line_[line] = sw;
+    fabric_.topology.set_control_line(sw, line);
+    ++line;
+  }
+  for (NodeIndex d : fabric_.disks) {
+    disk_relay_line_[d] = line;
+    node_of_line_[line] = d;
+    ++line;
+  }
+  for (NodeIndex h : fabric_.hubs) {
+    hub_relay_line_[h] = line;
+    node_of_line_[line] = h;
+    ++line;
+  }
+
+  bus_.set_observer([this](int l, bool v) { OnLineChanged(l, v); });
+  mcus_.push_back(
+      std::make_unique<hw::Microcontroller>("mcu-0", line, &bus_));
+  mcus_.push_back(
+      std::make_unique<hw::Microcontroller>("mcu-1", line, &bus_));
+  mcus_[0]->PowerOn();  // normal operation: only the primary powered (§III-B)
+  if (!options_.disks_start_powered) {
+    // Cold unit: the primary board asserts every disk's power-cut line
+    // before anything else happens (rolling spin-up then releases them).
+    for (const auto& [node, line] : disk_relay_line_) {
+      (void)node;
+      Status asserted = mcus_[0]->SetOutput(line, true);
+      assert(asserted.ok());
+      (void)asserted;
+    }
+  }
+
+  for (std::size_t h = 0; h < fabric_.hosts.size(); ++h) {
+    stacks_.push_back(std::make_unique<hw::UsbHostStack>(
+        sim_, fabric_.hosts[h], options_.host_params));
+  }
+
+  const hw::DiskModel model(options_.disk_params, hw::UsbBridgeInterface());
+  for (NodeIndex node : fabric_.disks) {
+    const std::string& name = fabric_.topology.node(node).name;
+    disks_[name] = std::make_unique<hw::Disk>(sim_, name, model,
+                                              options_.disks_start_powered);
+    disk_name_of_node_[node] = name;
+    if (!options_.disks_start_powered) {
+      fabric_.topology.SetPowered(node, false);
+    }
+  }
+
+  // Announce the initial attachments.
+  RecomputeAttachments();
+}
+
+hw::Disk* FabricManager::disk(const std::string& name) {
+  auto it = disks_.find(name);
+  return it == disks_.end() ? nullptr : it->second.get();
+}
+
+hw::Disk* FabricManager::disk(NodeIndex node) {
+  auto it = disk_name_of_node_.find(node);
+  return it == disk_name_of_node_.end() ? nullptr : disk(it->second);
+}
+
+int FabricManager::SwitchLine(NodeIndex switch_node) const {
+  return switch_line_.at(switch_node);
+}
+int FabricManager::DiskRelayLine(NodeIndex disk_node) const {
+  return disk_relay_line_.at(disk_node);
+}
+int FabricManager::HubRelayLine(NodeIndex hub_node) const {
+  return hub_relay_line_.at(hub_node);
+}
+
+Status FabricManager::DriveLine(int mcu_index, int line, bool target) {
+  hw::Microcontroller* board = mcus_.at(mcu_index).get();
+  if (line < 0 || line >= bus_.line_count()) {
+    return InvalidArgumentError("line out of range");
+  }
+  // The board must flip its own output so the XOR-ed line reaches `target`.
+  const bool needed = board->output(line) != (bus_.line(line) != target);
+  return board->SetOutput(line, needed);
+}
+
+Status FabricManager::DriveSwitch(int mcu_index, NodeIndex switch_node,
+                                  bool select) {
+  auto it = switch_line_.find(switch_node);
+  if (it == switch_line_.end()) {
+    return InvalidArgumentError("node is not a switch");
+  }
+  return DriveLine(mcu_index, it->second, select);
+}
+
+Status FabricManager::DriveDiskPower(int mcu_index, NodeIndex disk_node,
+                                     bool on) {
+  auto it = disk_relay_line_.find(disk_node);
+  if (it == disk_relay_line_.end()) {
+    return InvalidArgumentError("node is not a disk");
+  }
+  // Relay line semantics: line HIGH = power cut (so the all-zero initial
+  // bus state leaves everything powered).
+  return DriveLine(mcu_index, it->second, !on);
+}
+
+Status FabricManager::DriveHubPower(int mcu_index, NodeIndex hub_node,
+                                    bool on) {
+  auto it = hub_relay_line_.find(hub_node);
+  if (it == hub_relay_line_.end()) {
+    return InvalidArgumentError("node is not a hub");
+  }
+  return DriveLine(mcu_index, it->second, !on);
+}
+
+void FabricManager::OnLineChanged(int line, bool value) {
+  const NodeIndex node = node_of_line_.at(line);
+  // Electrical settle, then apply and re-announce attachments.
+  sim_->Schedule(options_.switch_settle, [this, node, value] {
+    Topology& t = fabric_.topology;
+    const Node& n = t.node(node);
+    switch (n.kind) {
+      case NodeKind::kSwitch:
+        t.SetSwitch(node, value);
+        break;
+      case NodeKind::kDisk: {
+        const bool on = !value;
+        t.SetPowered(node, on);
+        hw::Disk* d = disk(node);
+        if (d != nullptr) {
+          if (on) {
+            d->PowerOn();
+            // A power cycle clears the stuck state, and the fresh
+            // enumeration that follows it is reliable (§V-B).
+            lost_attach_.erase(node);
+            power_cycled_.insert(node);
+          } else {
+            d->PowerOff();
+          }
+        }
+        break;
+      }
+      case NodeKind::kHub: {
+        const bool on = !value;
+        t.SetPowered(node, on);
+        if (on) {
+          // Power-cycling a hub also power-cycles enumeration of its
+          // subtree; clear any lost-attach markers beneath it.
+          for (NodeIndex dn : fabric_.disks) {
+            lost_attach_.erase(dn);
+          }
+        }
+        break;
+      }
+      case NodeKind::kHostPort:
+        break;  // host ports have no control line
+    }
+    RecomputeAttachments();
+  });
+}
+
+hw::UsbTreeEntry FabricManager::EntryFor(NodeIndex device,
+                                         NodeIndex /*host_port*/) const {
+  const Topology& t = fabric_.topology;
+  hw::UsbTreeEntry entry;
+  entry.device = t.node(device).name;
+  entry.is_hub = t.node(device).kind == NodeKind::kHub;
+  const NodeIndex parent = t.UsbParentOf(device);
+  entry.parent = (parent != kInvalidNode &&
+                  t.node(parent).kind == NodeKind::kHub)
+                     ? t.node(parent).name
+                     : "";
+  entry.tier = t.TierOf(device);
+  return entry;
+}
+
+void FabricManager::RecomputeAttachments() {
+  const Topology& t = fabric_.topology;
+
+  // Work over enumerable devices: hubs and disks.
+  std::vector<NodeIndex> devices = fabric_.hubs;
+  devices.insert(devices.end(), fabric_.disks.begin(), fabric_.disks.end());
+
+  for (NodeIndex device : devices) {
+    const NodeIndex port = t.AttachedHostPort(device);
+    int new_host = -1;
+    if (port != kInvalidNode) {
+      auto it = fabric_.host_of_port.find(port);
+      if (it != fabric_.host_of_port.end()) new_host = it->second;
+    }
+    if (new_host >= 0 && crashed_hosts_.contains(new_host)) {
+      new_host = -1;  // a dead host enumerates nothing
+    }
+
+    auto announced = announced_host_.find(device);
+    const int old_host = announced == announced_host_.end()
+                             ? -1
+                             : announced->second;
+    if (old_host == new_host) continue;
+
+    if (old_host >= 0) {
+      stacks_[old_host]->OnDeviceDetached(t.node(device).name);
+      announced_host_.erase(device);
+    }
+    if (new_host >= 0) {
+      const bool fresh_power_cycle = power_cycled_.erase(device) > 0;
+      if (!fresh_power_cycle && t.node(device).kind == NodeKind::kDisk &&
+          options_.attach_loss_probability > 0 &&
+          rng_.NextBool(options_.attach_loss_probability)) {
+        // §V-B: "sometimes disk switching is not detected reliably by the
+        // hosts, forcing us to power cycle the devices."
+        lost_attach_.insert(device);
+        USTORE_LOG(Warning) << t.node(device).name
+                            << ": attach event lost (flaky enumeration)";
+        continue;
+      }
+      if (lost_attach_.contains(device)) continue;
+      stacks_[new_host]->OnDeviceAttached(EntryFor(device, port));
+      announced_host_[device] = new_host;
+    }
+  }
+}
+
+void FabricManager::CrashHost(int host) {
+  if (!crashed_hosts_.insert(host).second) return;
+  stacks_[host]->Reset();
+  // Devices routed here are no longer announced anywhere.
+  for (auto it = announced_host_.begin(); it != announced_host_.end();) {
+    if (it->second == host) {
+      it = announced_host_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FabricManager::RestartHost(int host) {
+  if (crashed_hosts_.erase(host) == 0) return;
+  RecomputeAttachments();  // re-enumerates everything routed to its ports
+}
+
+Status FabricManager::FailUnit(const std::string& node_name) {
+  USTORE_ASSIGN_OR_RETURN(NodeIndex node, fabric_.topology.Find(node_name));
+  for (NodeIndex member : fabric_.topology.FailureUnitOf(node)) {
+    fabric_.topology.SetFailed(member, true);
+    if (hw::Disk* d = disk(member); d != nullptr) d->Fail();
+  }
+  RecomputeAttachments();
+  return Status::Ok();
+}
+
+Status FabricManager::RepairUnit(const std::string& node_name) {
+  USTORE_ASSIGN_OR_RETURN(NodeIndex node, fabric_.topology.Find(node_name));
+  for (NodeIndex member : fabric_.topology.FailureUnitOf(node)) {
+    fabric_.topology.SetFailed(member, false);
+    if (hw::Disk* d = disk(member); d != nullptr) {
+      d->Repair();
+      d->SpinUp();
+    }
+  }
+  RecomputeAttachments();
+  return Status::Ok();
+}
+
+int FabricManager::RoutedHostOfDisk(NodeIndex disk_node) const {
+  return fabric_.HostOfDisk(disk_node);
+}
+
+int FabricManager::VisibleHostOfDisk(const std::string& disk_name) const {
+  for (std::size_t h = 0; h < stacks_.size(); ++h) {
+    if (stacks_[h]->IsRecognized(disk_name)) return static_cast<int>(h);
+  }
+  return -1;
+}
+
+Watts FabricManager::HubPower(const HubPowerModel& model,
+                              int active_children) {
+  if (active_children <= 0) return model.base;
+  return model.base + model.first_device +
+         (active_children - 1) * model.per_extra_device;
+}
+
+Watts FabricManager::FabricPower() const {
+  const Topology& t = fabric_.topology;
+  const HubPowerModel hub_model;
+  Watts total = 0;
+  for (NodeIndex hub : fabric_.hubs) {
+    if (!t.node(hub).powered || t.node(hub).failed) continue;
+    // Count powered active children (through switches).
+    int active = 0;
+    for (NodeIndex child : t.ActiveChildren(hub)) {
+      NodeIndex leaf = child;
+      // A switch child passes through to the component below it.
+      if (t.node(leaf).kind == NodeKind::kSwitch) {
+        for (NodeIndex j : t.FailureUnitOf(leaf)) {
+          if (j != leaf) leaf = j;
+        }
+      }
+      if (t.node(leaf).powered && !t.node(leaf).failed) ++active;
+    }
+    total += HubPower(hub_model, active);
+  }
+  for (NodeIndex sw : fabric_.switches) {
+    if (t.node(sw).powered) total += kSwitchPower;
+  }
+  return total;
+}
+
+Watts FabricManager::DisksPower() const {
+  Watts total = 0;
+  for (const auto& [name, d] : disks_) total += d->current_power();
+  return total;
+}
+
+}  // namespace ustore::fabric

@@ -1,0 +1,142 @@
+// Runtime binding of a fabric: topology + control lines + host USB stacks
+// + disks + power relays.
+//
+// The FabricManager is the "physical" deploy unit. It owns:
+//   * the Topology and its current switch configuration,
+//   * two Microcontrollers on an XOR signal bus driving the switch-select
+//     and power-relay lines (§III-B),
+//   * one UsbHostStack per host (what each host OS sees),
+//   * one hw::Disk per fabric disk node (behind a USB bridge model).
+//
+// When a bus line changes, the manager applies the electrical effect after
+// a short settle delay, recomputes every device's attachment, and delivers
+// attach/detach events to the affected host stacks — from a host's view
+// "the USB devices are just inserted to or removed from the host".
+//
+// The manager also implements the §V-B reliability quirk: with a
+// configurable probability, a switched device's attach event is lost and
+// the device stays unrecognized until its power is cycled.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "fabric/builders.h"
+#include "fabric/topology.h"
+#include "hw/disk.h"
+#include "hw/microcontroller.h"
+#include "hw/usb.h"
+#include "sim/simulator.h"
+
+namespace ustore::fabric {
+
+class FabricManager {
+ public:
+  struct Options {
+    hw::UsbHostControllerParams host_params;
+    hw::DiskParams disk_params;
+    sim::Duration switch_settle = sim::MillisD(5);
+    double attach_loss_probability = 0.0;  // §V-B flaky-switch quirk
+    bool disks_start_powered = true;
+  };
+
+  FabricManager(sim::Simulator* sim, BuiltFabric fabric, Options options,
+                Rng rng);
+  FabricManager(const FabricManager&) = delete;
+  FabricManager& operator=(const FabricManager&) = delete;
+
+  // --- Structure access ------------------------------------------------------
+  const BuiltFabric& fabric() const { return fabric_; }
+  const Topology& topology() const { return fabric_.topology; }
+  int host_count() const { return static_cast<int>(fabric_.hosts.size()); }
+
+  hw::Disk* disk(const std::string& name);
+  hw::Disk* disk(NodeIndex node);
+  hw::UsbHostStack* host_stack(int host) { return stacks_.at(host).get(); }
+  hw::Microcontroller* mcu(int which) { return mcus_.at(which).get(); }
+  const hw::XorSignalBus& bus() const { return bus_; }
+
+  // --- Control lines -----------------------------------------------------------
+  int SwitchLine(NodeIndex switch_node) const;
+  int DiskRelayLine(NodeIndex disk_node) const;
+  int HubRelayLine(NodeIndex hub_node) const;
+  int line_count() const { return bus_.line_count(); }
+
+  // Drives a bus line to a target effective value through a given board
+  // (the board XORs against the other board's contribution).
+  Status DriveLine(int mcu_index, int line, bool target);
+
+  // Convenience wrappers used by the Controller.
+  Status DriveSwitch(int mcu_index, NodeIndex switch_node, bool select);
+  Status DriveDiskPower(int mcu_index, NodeIndex disk_node, bool on);
+  Status DriveHubPower(int mcu_index, NodeIndex hub_node, bool on);
+
+  // --- Host lifecycle -----------------------------------------------------------
+  // A host crash wipes its USB stack; restart re-enumerates everything
+  // currently routed to its ports.
+  void CrashHost(int host);
+  void RestartHost(int host);
+  bool host_alive(int host) const { return !crashed_hosts_.contains(host); }
+
+  // --- Fault injection -----------------------------------------------------------
+  // Fails/repairs the whole failure unit containing the named component.
+  Status FailUnit(const std::string& node_name);
+  Status RepairUnit(const std::string& node_name);
+
+  // --- Queries --------------------------------------------------------------------
+  // Host id a disk is currently *routed* to (fabric-level), -1 if none.
+  int RoutedHostOfDisk(NodeIndex disk_node) const;
+  // Host id where the disk is routed AND recognized by the host stack.
+  int VisibleHostOfDisk(const std::string& disk_name) const;
+
+  // --- Power accounting --------------------------------------------------------------
+  // Instantaneous fabric power: hubs (Table IV model) + switches.
+  Watts FabricPower() const;
+  Watts DisksPower() const;  // disks + bridges, by state
+
+  // Hub power model from Table IV: base + first-device + per-extra-device.
+  struct HubPowerModel {
+    Watts base = 0.21;
+    Watts first_device = 0.85;
+    Watts per_extra_device = 0.203;
+  };
+  static Watts HubPower(const HubPowerModel& model, int active_children);
+  static constexpr Watts kSwitchPower = 0.06;  // §VII-C
+
+ private:
+  void OnLineChanged(int line, bool value);
+  void RecomputeAttachments();
+  hw::UsbTreeEntry EntryFor(NodeIndex device, NodeIndex host_port) const;
+
+  sim::Simulator* sim_;
+  BuiltFabric fabric_;
+  Options options_;
+  Rng rng_;
+
+  hw::XorSignalBus bus_;
+  std::vector<std::unique_ptr<hw::Microcontroller>> mcus_;
+  std::vector<std::unique_ptr<hw::UsbHostStack>> stacks_;
+  std::map<std::string, std::unique_ptr<hw::Disk>> disks_;
+  std::map<NodeIndex, std::string> disk_name_of_node_;
+
+  std::map<NodeIndex, int> switch_line_;
+  std::map<NodeIndex, int> disk_relay_line_;
+  std::map<NodeIndex, int> hub_relay_line_;
+  std::map<int, NodeIndex> node_of_line_;  // reverse map
+
+  std::set<int> crashed_hosts_;
+  // Current visibility: device node -> host id it was announced to.
+  std::map<NodeIndex, int> announced_host_;
+  // Devices whose attach event was lost (§V-B quirk); cleared by power cycle.
+  std::set<NodeIndex> lost_attach_;
+  // Disks just power-cycled: their next attach enumerates reliably.
+  std::set<NodeIndex> power_cycled_;
+};
+
+}  // namespace ustore::fabric

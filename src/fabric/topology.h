@@ -1,0 +1,124 @@
+// The interconnect-fabric graph (§III).
+//
+// A fabric is a DAG of host ports, hubs, 2:1 switches and disks (each disk
+// includes its SATA<->USB bridge — the paper treats {disk, bridge, switch}
+// as one failure unit). Hubs and disks have exactly one upstream link;
+// switches have two candidate upstreams and a select line. For any switch
+// configuration, following active upstream links from a disk either reaches
+// exactly one host port (the disk's current attachment) or dead-ends in a
+// failed/unpowered component.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ustore::fabric {
+
+using NodeIndex = int;
+inline constexpr NodeIndex kInvalidNode = -1;
+
+enum class NodeKind { kHostPort, kHub, kSwitch, kDisk };
+
+std::string_view NodeKindName(NodeKind kind);
+
+struct Node {
+  NodeKind kind;
+  std::string name;
+  NodeIndex up_primary = kInvalidNode;    // all non-root nodes
+  NodeIndex up_secondary = kInvalidNode;  // switches only
+  bool failed = false;
+  bool powered = true;
+  bool select = false;  // switches: false -> up_primary, true -> up_secondary
+  int control_line = -1;  // XOR-bus line for switch select / power relay
+};
+
+// One required switch setting on a route (GETSWITCH output).
+struct SwitchSetting {
+  NodeIndex switch_node;
+  bool select;
+
+  friend bool operator==(const SwitchSetting&, const SwitchSetting&) = default;
+};
+
+class Topology {
+ public:
+  // --- Construction ---------------------------------------------------------
+  NodeIndex AddHostPort(std::string name);
+  NodeIndex AddHub(std::string name, NodeIndex upstream);
+  NodeIndex AddSwitch(std::string name, NodeIndex up_primary,
+                      NodeIndex up_secondary);
+  NodeIndex AddDisk(std::string name, NodeIndex upstream);
+
+  // Structural checks: acyclic, switch wiring sane, hub fan-in respected.
+  Status Validate(int hub_fan_in) const;
+
+  // --- Accessors -------------------------------------------------------------
+  int size() const { return static_cast<int>(nodes_.size()); }
+  const Node& node(NodeIndex i) const { return nodes_.at(i); }
+  Result<NodeIndex> Find(const std::string& name) const;
+
+  std::vector<NodeIndex> NodesOfKind(NodeKind kind) const;
+  std::vector<NodeIndex> Disks() const { return NodesOfKind(NodeKind::kDisk); }
+  std::vector<NodeIndex> HostPorts() const {
+    return NodesOfKind(NodeKind::kHostPort);
+  }
+
+  // Downstream neighbours whose *active* upstream is `i` (switch selects
+  // considered).
+  std::vector<NodeIndex> ActiveChildren(NodeIndex i) const;
+
+  // --- Switch and component state ---------------------------------------------
+  void SetSwitch(NodeIndex switch_node, bool select);
+  void SetFailed(NodeIndex i, bool failed);
+  void SetPowered(NodeIndex i, bool powered);
+  void set_control_line(NodeIndex i, int line) {
+    nodes_.at(i).control_line = line;
+  }
+
+  // --- Connectivity queries -----------------------------------------------------
+  // The upstream a node currently feeds into (switch select applied);
+  // kInvalidNode for host ports.
+  NodeIndex ActiveUpstream(NodeIndex i) const;
+
+  // Host port a device currently reaches, or kInvalidNode if the active
+  // path is broken (failed/unpowered component on it, including the device).
+  NodeIndex AttachedHostPort(NodeIndex device) const;
+
+  // The nodes on the active path, device first, host port last. Empty if
+  // the path is broken.
+  std::vector<NodeIndex> ActivePath(NodeIndex device) const;
+
+  // GETSWITCH (Algorithm 1): the switch settings that connect `disk` to
+  // `host`, ignoring current switch positions but honouring failed and
+  // unpowered components. kNotFound if no such path exists.
+  Result<std::vector<SwitchSetting>> RouteTo(NodeIndex disk,
+                                             NodeIndex host) const;
+
+  // All host ports reachable from `disk` under some switch configuration.
+  std::vector<NodeIndex> ReachableHostPorts(NodeIndex disk) const;
+
+  // Number of hubs on the active path above `device` (USB tier depth).
+  int TierOf(NodeIndex device) const;
+
+  // Nearest upstream hub (or host port) on the active path: the parent as
+  // the USB tree sees it — switches and bridges are invisible (§IV-E).
+  NodeIndex UsbParentOf(NodeIndex device) const;
+
+  // The failure unit containing `i` (§IV-E): a component plus the invisible
+  // switch attached to it. For a disk: {disk, its downstream switch if the
+  // disk feeds one}. For a hub: {hub, the switch its uplink feeds}.
+  std::vector<NodeIndex> FailureUnitOf(NodeIndex i) const;
+
+ private:
+  NodeIndex Add(Node node);
+  bool Usable(NodeIndex i) const {
+    const Node& n = nodes_[i];
+    return !n.failed && n.powered;
+  }
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace ustore::fabric

@@ -1,0 +1,194 @@
+#include "hw/disk.h"
+
+#include <cassert>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ustore::hw {
+
+std::string_view DiskStateName(DiskState state) {
+  switch (state) {
+    case DiskState::kPoweredOff: return "powered-off";
+    case DiskState::kSpinningUp: return "spinning-up";
+    case DiskState::kSpunDown: return "spun-down";
+    case DiskState::kIdle: return "idle";
+    case DiskState::kActive: return "active";
+  }
+  return "?";
+}
+
+Disk::Disk(sim::Simulator* sim, std::string name, DiskModel model,
+           bool start_powered)
+    : sim_(sim),
+      name_(std::move(name)),
+      model_(std::move(model)),
+      state_(start_powered ? DiskState::kIdle : DiskState::kPoweredOff),
+      spin_timer_(sim),
+      idle_timer_(sim) {}
+
+void Disk::SubmitIo(const IoRequest& request, IoCallback callback) {
+  assert(callback);
+  if (failed_) {
+    callback(UnavailableError(name_ + ": disk failed"));
+    return;
+  }
+  if (state_ == DiskState::kPoweredOff) {
+    callback(UnavailableError(name_ + ": disk powered off"));
+    return;
+  }
+  idle_timer_.Stop();
+  queue_.push_back(Pending{request, std::move(callback)});
+  if (state_ == DiskState::kSpunDown) {
+    SpinUp();  // implicit spin-up on access
+    return;    // queue drains once the platter is ready
+  }
+  MaybeStartNext();
+}
+
+void Disk::MaybeStartNext() {
+  if (busy_ || queue_.empty()) return;
+  if (state_ != DiskState::kIdle && state_ != DiskState::kActive) return;
+
+  busy_ = true;
+  state_ = DiskState::kActive;
+  Pending pending = std::move(queue_.front());
+  queue_.pop_front();
+
+  const sim::Duration service =
+      model_.ServiceTime(pending.request, last_direction_);
+  last_direction_ = pending.request.direction;
+
+  sim_->Schedule(service, [this, pending = std::move(pending)]() mutable {
+    busy_ = false;
+    if (failed_ || state_ == DiskState::kPoweredOff) {
+      pending.callback(UnavailableError(name_ + ": lost power mid-io"));
+      return;
+    }
+    ++ios_completed_;
+    if (pending.request.direction == IoDirection::kRead) {
+      bytes_read_ += pending.request.size;
+    } else {
+      bytes_written_ += pending.request.size;
+    }
+    state_ = DiskState::kIdle;
+    pending.callback(Status::Ok());
+    if (queue_.empty()) {
+      ArmIdleTimer();
+    } else {
+      MaybeStartNext();
+    }
+  });
+}
+
+void Disk::SpinUp() {
+  if (failed_ || state_ == DiskState::kPoweredOff) return;
+  if (state_ != DiskState::kSpunDown) return;
+
+  // §IV-F: if spin cycles come too frequently, back off the idle timeout.
+  if (configured_idle_timeout_ > 0 && last_spin_up_at_ >= 0 &&
+      sim_->now() - last_spin_up_at_ < 4 * configured_idle_timeout_) {
+    idle_timeout_ = std::min<sim::Duration>(idle_timeout_ * 2,
+                                            64 * configured_idle_timeout_);
+  }
+  last_spin_up_at_ = sim_->now();
+  ++spin_cycles_;
+
+  state_ = DiskState::kSpinningUp;
+  spin_timer_.StartOneShot(model_.disk().spin_up_time,
+                           [this] { FinishSpinUp(); });
+}
+
+void Disk::FinishSpinUp() {
+  if (state_ != DiskState::kSpinningUp) return;
+  state_ = DiskState::kIdle;
+  if (queue_.empty()) {
+    ArmIdleTimer();
+  } else {
+    MaybeStartNext();
+  }
+}
+
+void Disk::SpinDown() {
+  if (state_ != DiskState::kIdle) return;  // never interrupt active I/O
+  idle_timer_.Stop();
+  state_ = DiskState::kSpunDown;
+}
+
+void Disk::PowerOn() {
+  if (state_ != DiskState::kPoweredOff) return;
+  // Power-on leaves the platter stopped; spin-up is a separate (heavier)
+  // step so the Controller can do rolling spin-up (§III-B).
+  state_ = DiskState::kSpunDown;
+}
+
+void Disk::PowerOff() {
+  if (state_ == DiskState::kPoweredOff) return;
+  spin_timer_.Stop();
+  idle_timer_.Stop();
+  busy_ = false;
+  state_ = DiskState::kPoweredOff;
+  FailAll(UnavailableError(name_ + ": powered off"));
+}
+
+void Disk::Fail() {
+  if (failed_) return;
+  failed_ = true;
+  spin_timer_.Stop();
+  idle_timer_.Stop();
+  busy_ = false;
+  FailAll(UnavailableError(name_ + ": disk failed"));
+}
+
+void Disk::Repair() {
+  failed_ = false;
+  if (state_ != DiskState::kPoweredOff) state_ = DiskState::kSpunDown;
+}
+
+void Disk::FailAll(const Status& status) {
+  auto queue = std::move(queue_);
+  queue_.clear();
+  for (auto& pending : queue) pending.callback(status);
+}
+
+void Disk::SetIdleSpinDown(sim::Duration idle_timeout) {
+  configured_idle_timeout_ = idle_timeout;
+  idle_timeout_ = idle_timeout;
+  if (state_ == DiskState::kIdle && !busy_ && queue_.empty()) ArmIdleTimer();
+}
+
+void Disk::ArmIdleTimer() {
+  if (idle_timeout_ <= 0) return;
+  idle_timer_.StartOneShot(idle_timeout_, [this] {
+    if (state_ == DiskState::kIdle && !busy_ && queue_.empty()) SpinDown();
+  });
+}
+
+Watts Disk::current_power() const {
+  const DiskParams& d = model_.disk();
+  const InterfaceParams& i = model_.iface();
+  switch (state_) {
+    case DiskState::kPoweredOff:
+      return 0.0;
+    case DiskState::kSpinningUp:
+      return d.power_spin_up_surge + i.power_active;
+    case DiskState::kSpunDown:
+      return d.power_spun_down + i.power_spun_down;
+    case DiskState::kIdle:
+      return d.power_idle + i.power_idle;
+    case DiskState::kActive:
+      return d.power_active + i.power_active;
+  }
+  return 0.0;
+}
+
+void Disk::WriteFingerprint(Bytes offset, std::uint64_t tag) {
+  fingerprints_[offset / kFingerprintBlock] = tag;
+}
+
+std::uint64_t Disk::ReadFingerprint(Bytes offset) const {
+  auto it = fingerprints_.find(offset / kFingerprintBlock);
+  return it == fingerprints_.end() ? 0 : it->second;
+}
+
+}  // namespace ustore::hw

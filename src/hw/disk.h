@@ -1,0 +1,117 @@
+// A stateful simulated hard disk.
+//
+// Wraps DiskModel with a spin-state machine, a FIFO request queue served at
+// the modelled service times, power accounting, and a sparse block
+// fingerprint store so upper layers (iSCSI, MiniDfs) can verify data
+// integrity end to end without simulating real payload bytes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "hw/disk_model.h"
+#include "sim/simulator.h"
+
+namespace ustore::hw {
+
+enum class DiskState {
+  kPoweredOff,
+  kSpinningUp,
+  kSpunDown,   // platter stopped, electronics alive
+  kIdle,       // spinning, no I/O in progress
+  kActive,     // serving I/O
+};
+
+std::string_view DiskStateName(DiskState state);
+
+// Fingerprint granularity for the integrity store.
+inline constexpr Bytes kFingerprintBlock = KiB(4);
+
+class Disk {
+ public:
+  using IoCallback = std::function<void(Status)>;
+
+  Disk(sim::Simulator* sim, std::string name, DiskModel model,
+       bool start_powered = true);
+
+  const std::string& name() const { return name_; }
+  const DiskModel& model() const { return model_; }
+  DiskState state() const { return state_; }
+  Bytes capacity() const { return model_.disk().capacity; }
+
+  // --- I/O -----------------------------------------------------------------
+  // Queues a request; the callback fires when it completes. A request to a
+  // spun-down disk triggers an implicit spin-up first (as real disks do). A
+  // request to a powered-off or failed disk fails immediately.
+  void SubmitIo(const IoRequest& request, IoCallback callback);
+
+  std::size_t queue_depth() const { return queue_.size() + (busy_ ? 1 : 0); }
+
+  // --- Spin/power management (§IV-F) --------------------------------------
+  void SpinUp();
+  void SpinDown();
+  void PowerOn();
+  void PowerOff();  // in-flight and queued I/O fails with kUnavailable
+
+  // Marks the disk as failed hardware; all I/O fails until repaired.
+  void Fail();
+  void Repair();
+  bool failed() const { return failed_; }
+
+  // Idle spin-down policy: after `idle_timeout` with an empty queue the disk
+  // spins down automatically; 0 disables. §IV-F also doubles the timeout
+  // when spin cycles come too frequently — modelled here.
+  void SetIdleSpinDown(sim::Duration idle_timeout);
+  sim::Duration effective_idle_timeout() const { return idle_timeout_; }
+
+  // --- Power ---------------------------------------------------------------
+  Watts current_power() const;
+
+  // --- Integrity store -----------------------------------------------------
+  // Fingerprints are caller-chosen 64-bit tags per 4KiB block.
+  void WriteFingerprint(Bytes offset, std::uint64_t tag);
+  std::uint64_t ReadFingerprint(Bytes offset) const;  // 0 if never written
+
+  // --- Counters ------------------------------------------------------------
+  std::uint64_t ios_completed() const { return ios_completed_; }
+  Bytes bytes_read() const { return bytes_read_; }
+  Bytes bytes_written() const { return bytes_written_; }
+  int spin_cycles() const { return spin_cycles_; }
+
+ private:
+  struct Pending {
+    IoRequest request;
+    IoCallback callback;
+  };
+
+  void MaybeStartNext();
+  void FinishSpinUp();
+  void ArmIdleTimer();
+  void FailAll(const Status& status);
+
+  sim::Simulator* sim_;
+  std::string name_;
+  DiskModel model_;
+  DiskState state_;
+  bool failed_ = false;
+  bool busy_ = false;
+  IoDirection last_direction_ = IoDirection::kRead;
+  std::deque<Pending> queue_;
+  sim::Timer spin_timer_;
+  sim::Timer idle_timer_;
+  sim::Duration idle_timeout_ = 0;
+  sim::Duration configured_idle_timeout_ = 0;
+  sim::Time last_spin_up_at_ = -1;
+  int spin_cycles_ = 0;
+  std::uint64_t ios_completed_ = 0;
+  Bytes bytes_read_ = 0;
+  Bytes bytes_written_ = 0;
+  std::unordered_map<Bytes, std::uint64_t> fingerprints_;
+};
+
+}  // namespace ustore::hw

@@ -1,0 +1,71 @@
+#include "hw/microcontroller.h"
+
+#include <cassert>
+
+namespace ustore::hw {
+
+Microcontroller::Microcontroller(std::string name, int line_count,
+                                 XorSignalBus* bus)
+    : name_(std::move(name)), outputs_(line_count, false), bus_(bus) {
+  assert(bus != nullptr);
+  bus_->AttachBoard(this);
+}
+
+void Microcontroller::PowerOn() {
+  if (powered_) return;
+  powered_ = true;
+  outputs_.assign(outputs_.size(), false);
+  bus_->Recompute();
+}
+
+void Microcontroller::PowerOff() {
+  if (!powered_) return;
+  powered_ = false;
+  bus_->Recompute();
+}
+
+Status Microcontroller::SetOutput(int line, bool value) {
+  if (!powered_) {
+    return FailedPreconditionError(name_ + " is not powered");
+  }
+  if (line < 0 || line >= line_count()) {
+    return InvalidArgumentError(name_ + ": line out of range");
+  }
+  if (outputs_[line] == value) return Status::Ok();
+  outputs_[line] = value;
+  bus_->Recompute();
+  return Status::Ok();
+}
+
+bool Microcontroller::output(int line) const {
+  // An unpowered board contributes 0 on every line.
+  return powered_ && line >= 0 && line < line_count() && outputs_[line];
+}
+
+XorSignalBus::XorSignalBus(int line_count) : lines_(line_count, false) {}
+
+void XorSignalBus::AttachBoard(Microcontroller* board) {
+  assert(board != nullptr);
+  assert(board->line_count() == line_count());
+  boards_.push_back(board);
+}
+
+bool XorSignalBus::line(int index) const {
+  assert(index >= 0 && index < line_count());
+  return lines_[index];
+}
+
+void XorSignalBus::Recompute() {
+  for (int i = 0; i < line_count(); ++i) {
+    bool value = false;
+    for (const Microcontroller* board : boards_) {
+      value = value != board->output(i);  // XOR
+    }
+    if (value != lines_[i]) {
+      lines_[i] = value;
+      if (observer_) observer_(i, value);
+    }
+  }
+}
+
+}  // namespace ustore::hw

@@ -1,0 +1,78 @@
+// The control-plane side channel (§III-B).
+//
+// Two microcontrollers (the prototype used Arduino Mega 2560 boards) drive
+// the fabric's switch-select and power-relay lines. Their outputs are
+// XOR-ed onto the physical lines, so:
+//   - during normal operation only the primary is powered; its outputs set
+//     the lines directly (secondary, unpowered, contributes 0);
+//   - when the primary's host dies, powering on the secondary (whose
+//     outputs reset to 0) leaves every line unchanged — and the secondary
+//     can then *toggle* any line by raising its own bit.
+// This file models the boards and the XOR bus faithfully, including the
+// "powered-off boards contribute 0" electrical behaviour.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ustore::hw {
+
+class XorSignalBus;
+
+class Microcontroller {
+ public:
+  Microcontroller(std::string name, int line_count, XorSignalBus* bus);
+
+  const std::string& name() const { return name_; }
+  bool powered() const { return powered_; }
+  int line_count() const { return static_cast<int>(outputs_.size()); }
+
+  // Power transitions. Powering off drops all outputs to 0 (electrically);
+  // powering on starts from all-zero outputs.
+  void PowerOn();
+  void PowerOff();
+
+  // Sets one output line. Fails if the board is unpowered or the line is
+  // out of range.
+  Status SetOutput(int line, bool value);
+  bool output(int line) const;
+
+ private:
+  std::string name_;
+  bool powered_ = false;
+  std::vector<bool> outputs_;
+  XorSignalBus* bus_;
+};
+
+// Combines the two boards' outputs; notifies observers on effective-line
+// changes. Line indices are assigned by the fabric at build time (switch
+// selects first, then power relays).
+class XorSignalBus {
+ public:
+  using LineObserver = std::function<void(int line, bool value)>;
+
+  explicit XorSignalBus(int line_count);
+
+  int line_count() const { return static_cast<int>(lines_.size()); }
+
+  void AttachBoard(Microcontroller* board);
+
+  // Effective (XOR-ed) value of a line.
+  bool line(int index) const;
+
+  void set_observer(LineObserver observer) { observer_ = std::move(observer); }
+
+  // Called by boards whenever an output (or power state) changes.
+  void Recompute();
+
+ private:
+  std::vector<bool> lines_;
+  std::vector<Microcontroller*> boards_;
+  LineObserver observer_;
+};
+
+}  // namespace ustore::hw

@@ -1,0 +1,241 @@
+#include "iscsi/iscsi.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+#include "hw/disk_model.h"
+
+namespace ustore::iscsi {
+
+IscsiTarget::IscsiTarget(
+    sim::Simulator* sim, net::RpcEndpoint* endpoint,
+    std::function<hw::Disk*(const std::string&)> disk_resolver,
+    Options options)
+    : sim_(sim),
+      endpoint_(endpoint),
+      disk_resolver_(std::move(disk_resolver)),
+      options_(options) {
+  assert(disk_resolver_);
+  RegisterHandlers();
+}
+
+void IscsiTarget::Expose(const LunSpec& spec,
+                         std::function<void(Status)> done) {
+  assert(done);
+  if (luns_.contains(spec.lun_id)) {
+    done(AlreadyExistsError("lun " + spec.lun_id + " already exposed"));
+    return;
+  }
+  if (disk_resolver_(spec.disk_name) == nullptr) {
+    done(UnavailableError("disk " + spec.disk_name +
+                          " not recognized on this host"));
+    return;
+  }
+  sim_->Schedule(options_.setup_delay, [this, spec, done = std::move(done)] {
+    // Re-check: the disk may have moved away during setup.
+    if (disk_resolver_(spec.disk_name) == nullptr) {
+      done(UnavailableError("disk " + spec.disk_name +
+                            " disappeared during target setup"));
+      return;
+    }
+    luns_[spec.lun_id] = spec;
+    done(Status::Ok());
+  });
+}
+
+Status IscsiTarget::Unexpose(const std::string& lun_id) {
+  if (luns_.erase(lun_id) == 0) {
+    return NotFoundError("lun " + lun_id + " not exposed");
+  }
+  return Status::Ok();
+}
+
+void IscsiTarget::UnexposeAll() { luns_.clear(); }
+
+void IscsiTarget::RegisterHandlers() {
+  endpoint_->RegisterHandler<NopRequest>(
+      [](const net::NodeId&, net::MessagePtr,
+         std::function<void(Result<net::MessagePtr>)> reply) {
+        reply(net::MessagePtr(std::make_shared<NopResponse>()));
+      });
+
+  endpoint_->RegisterHandler<LoginRequest>(
+      [this](const net::NodeId&, net::MessagePtr msg,
+             std::function<void(Result<net::MessagePtr>)> reply) {
+        auto* login = static_cast<LoginRequest*>(msg.get());
+        auto it = luns_.find(login->lun_id);
+        if (it == luns_.end()) {
+          reply(NotFoundError("no such lun: " + login->lun_id));
+          return;
+        }
+        auto response = std::make_shared<LoginResponse>();
+        response->capacity = it->second.length;
+        reply(net::MessagePtr(std::move(response)));
+      });
+
+  endpoint_->RegisterHandler<IoRequest>(
+      [this](const net::NodeId&, net::MessagePtr msg,
+             std::function<void(Result<net::MessagePtr>)> reply) {
+        auto* io = static_cast<IoRequest*>(msg.get());
+        auto it = luns_.find(io->lun_id);
+        if (it == luns_.end()) {
+          reply(NotFoundError("no such lun: " + io->lun_id));
+          return;
+        }
+        const LunSpec& lun = it->second;
+        if (io->offset < 0 || io->length <= 0 ||
+            io->offset + io->length > lun.length) {
+          reply(InvalidArgumentError("io outside lun extent"));
+          return;
+        }
+        hw::Disk* disk = disk_resolver_(lun.disk_name);
+        if (disk == nullptr) {
+          reply(UnavailableError("disk " + lun.disk_name +
+                                 " not attached to this host"));
+          return;
+        }
+
+        hw::IoRequest request;
+        request.size = io->length;
+        request.direction =
+            io->is_read ? hw::IoDirection::kRead : hw::IoDirection::kWrite;
+        request.pattern = io->random ? hw::AccessPattern::kRandom
+                                     : hw::AccessPattern::kSequential;
+        const Bytes disk_offset = lun.offset + io->offset;
+        const bool is_read = io->is_read;
+        const Bytes length = io->length;
+        const std::uint64_t tag = io->tag;
+
+        sim_->Schedule(options_.per_op_overhead, [this, disk, request,
+                                                  disk_offset, is_read,
+                                                  length, tag, reply] {
+          disk->SubmitIo(request, [disk, disk_offset, is_read, length, tag,
+                                   reply](Status status) {
+            if (!status.ok()) {
+              reply(status);
+              return;
+            }
+            auto response = std::make_shared<IoResponse>();
+            if (is_read) {
+              response->tag = disk->ReadFingerprint(disk_offset);
+              response->payload = length;
+            } else if (tag != 0) {
+              disk->WriteFingerprint(disk_offset, tag);
+            }
+            reply(net::MessagePtr(std::move(response)));
+          });
+        });
+      });
+}
+
+IscsiInitiator::IscsiInitiator(sim::Simulator* sim,
+                               net::RpcEndpoint* endpoint, Options options)
+    : sim_(sim), endpoint_(endpoint), options_(options), ping_timer_(sim) {}
+
+IscsiInitiator::~IscsiInitiator() { Disconnect(); }
+
+void IscsiInitiator::Connect(const net::NodeId& target,
+                             const std::string& lun_id,
+                             std::function<void(Result<Bytes>)> done) {
+  auto request = std::make_shared<LoginRequest>();
+  request->lun_id = lun_id;
+  endpoint_->Call(
+      target, request, options_.login_timeout,
+      [this, target, lun_id, done = std::move(done)](
+          Result<net::MessagePtr> result) {
+        if (!result.ok()) {
+          done(result.status());
+          return;
+        }
+        auto* login = dynamic_cast<LoginResponse*>(result->get());
+        if (login == nullptr) {
+          done(InternalError("unexpected login response"));
+          return;
+        }
+        connected_ = true;
+        target_ = target;
+        lun_id_ = lun_id;
+        capacity_ = login->capacity;
+        ping_failures_ = 0;
+        ping_timer_.StartPeriodic(options_.ping_period,
+                                  [this] { SendPing(); });
+        done(capacity_);
+      });
+}
+
+void IscsiInitiator::SendPing() {
+  endpoint_->Call(target_, std::make_shared<NopRequest>(),
+                  options_.ping_timeout,
+                  [this](Result<net::MessagePtr> result) {
+                    if (!connected_) return;
+                    if (result.ok()) {
+                      ping_failures_ = 0;
+                      return;
+                    }
+                    if (++ping_failures_ >=
+                        options_.ping_failures_to_disconnect) {
+                      const Status reason = UnavailableError(
+                          "target " + target_ + " stopped answering pings");
+                      Disconnect();
+                      if (on_connection_lost_) on_connection_lost_(reason);
+                    }
+                  });
+}
+
+void IscsiInitiator::Disconnect() {
+  ping_timer_.Stop();
+  connected_ = false;
+  target_.clear();
+  lun_id_.clear();
+  capacity_ = 0;
+  ping_failures_ = 0;
+}
+
+void IscsiInitiator::Read(Bytes offset, Bytes length, bool random,
+                          std::function<void(Result<std::uint64_t>)> done) {
+  if (!connected_) {
+    done(FailedPreconditionError("not connected"));
+    return;
+  }
+  auto request = std::make_shared<IoRequest>();
+  request->lun_id = lun_id_;
+  request->offset = offset;
+  request->length = length;
+  request->is_read = true;
+  request->random = random;
+  endpoint_->Call(target_, request, options_.rpc_timeout,
+                  [done = std::move(done)](Result<net::MessagePtr> result) {
+                    if (!result.ok()) {
+                      done(result.status());
+                      return;
+                    }
+                    auto* io = dynamic_cast<IoResponse*>(result->get());
+                    if (io == nullptr) {
+                      done(InternalError("unexpected io response"));
+                      return;
+                    }
+                    done(io->tag);
+                  });
+}
+
+void IscsiInitiator::Write(Bytes offset, Bytes length, bool random,
+                           std::uint64_t tag,
+                           std::function<void(Status)> done) {
+  if (!connected_) {
+    done(FailedPreconditionError("not connected"));
+    return;
+  }
+  auto request = std::make_shared<IoRequest>();
+  request->lun_id = lun_id_;
+  request->offset = offset;
+  request->length = length;
+  request->is_read = false;
+  request->random = random;
+  request->tag = tag;
+  endpoint_->Call(target_, request, options_.rpc_timeout,
+                  [done = std::move(done)](Result<net::MessagePtr> result) {
+                    done(result.status());
+                  });
+}
+
+}  // namespace ustore::iscsi

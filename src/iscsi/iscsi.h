@@ -1,0 +1,159 @@
+// Minimal iSCSI-style block protocol over the simulated network (§IV-B).
+//
+// Each EndPoint runs an IscsiTarget that exposes storage spaces (a whole
+// disk, a partition, or a file-sized extent) as LUNs; clients attach an
+// IscsiInitiator per mounted LUN. Data payloads are represented by their
+// size (for bandwidth accounting) plus a 64-bit fingerprint tag so upper
+// layers can verify integrity end to end.
+//
+// Target setup takes ~1 s (device scan + target configuration), which is
+// the second component of the paper's Fig. 6 switching-time breakdown.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "hw/disk.h"
+#include "net/rpc.h"
+#include "sim/simulator.h"
+
+namespace ustore::iscsi {
+
+struct LunSpec {
+  std::string lun_id;     // globally unique, e.g. "/u0/disk-3/7"
+  std::string disk_name;  // backing fabric disk
+  Bytes offset = 0;       // extent within the disk
+  Bytes length = 0;
+};
+
+// --- Wire messages -------------------------------------------------------------
+
+struct LoginRequest : net::Message {
+  std::string lun_id;
+};
+struct LoginResponse : net::Message {
+  Bytes capacity = 0;
+};
+
+struct IoRequest : net::Message {
+  std::string lun_id;
+  Bytes offset = 0;  // within the LUN
+  Bytes length = 0;
+  bool is_read = true;
+  bool random = false;      // access-pattern hint for the disk model
+  std::uint64_t tag = 0;    // fingerprint (writes) / 0
+  Bytes wire_size() const override {
+    return 128 + (is_read ? 0 : length);  // write carries data out
+  }
+};
+struct IoResponse : net::Message {
+  std::uint64_t tag = 0;  // fingerprint read back
+  Bytes payload = 0;      // read data size, for bandwidth accounting
+  Bytes wire_size() const override { return 128 + payload; }
+};
+
+// Liveness probe (iSCSI NOP-Out/NOP-In): lets the initiator detect a dead
+// target quickly while still allowing slow commands (spin-up can hold an
+// I/O for many seconds).
+struct NopRequest : net::Message {};
+struct NopResponse : net::Message {};
+
+// --- Target ----------------------------------------------------------------------
+
+struct IscsiTargetOptions {
+  sim::Duration setup_delay = sim::Seconds(1);  // Fig. 6 part 2
+  sim::Duration per_op_overhead = sim::MicrosD(120);
+};
+
+class IscsiTarget {
+ public:
+  using Options = IscsiTargetOptions;
+
+  // `endpoint` is the owning host's RPC endpoint (handlers are registered
+  // on it); `disk_resolver` returns the live disk if it is currently
+  // recognized by this host, nullptr otherwise.
+  IscsiTarget(sim::Simulator* sim, net::RpcEndpoint* endpoint,
+              std::function<hw::Disk*(const std::string&)> disk_resolver,
+              Options options = {});
+
+  // Makes a LUN available after the setup delay.
+  void Expose(const LunSpec& spec, std::function<void(Status)> done);
+  Status Unexpose(const std::string& lun_id);
+  void UnexposeAll();
+
+  bool IsExposed(const std::string& lun_id) const {
+    return luns_.contains(lun_id);
+  }
+  std::size_t exposed_count() const { return luns_.size(); }
+
+ private:
+  void RegisterHandlers();
+
+  sim::Simulator* sim_;
+  net::RpcEndpoint* endpoint_;
+  std::function<hw::Disk*(const std::string&)> disk_resolver_;
+  Options options_;
+  std::map<std::string, LunSpec> luns_;
+};
+
+// --- Initiator -------------------------------------------------------------------
+
+struct IscsiInitiatorOptions {
+  // Commands may legitimately take many seconds (implicit spin-up), so the
+  // I/O timeout is generous; liveness is covered by NOP pings instead.
+  sim::Duration rpc_timeout = sim::Seconds(120);
+  sim::Duration login_timeout = sim::Seconds(2);
+  sim::Duration ping_period = sim::MillisD(500);
+  sim::Duration ping_timeout = sim::Seconds(1);
+  int ping_failures_to_disconnect = 2;
+};
+
+class IscsiInitiator {
+ public:
+  using Options = IscsiInitiatorOptions;
+
+  IscsiInitiator(sim::Simulator* sim, net::RpcEndpoint* endpoint,
+                 Options options = {});
+  ~IscsiInitiator();
+
+  // Establishes a session to `lun_id` on host `target`.
+  void Connect(const net::NodeId& target, const std::string& lun_id,
+               std::function<void(Result<Bytes>)> done);
+  void Disconnect();
+  bool connected() const { return connected_; }
+  const net::NodeId& target() const { return target_; }
+  Bytes capacity() const { return capacity_; }
+
+  // Fired once when NOP pings stop being answered (target host dead or the
+  // LUN moved away); the session is disconnected first.
+  void set_connection_lost_listener(std::function<void(Status)> listener) {
+    on_connection_lost_ = std::move(listener);
+  }
+
+  // Reads return the stored fingerprint tag; writes store one.
+  void Read(Bytes offset, Bytes length, bool random,
+            std::function<void(Result<std::uint64_t>)> done);
+  void Write(Bytes offset, Bytes length, bool random, std::uint64_t tag,
+             std::function<void(Status)> done);
+
+ private:
+  void SendPing();
+
+  sim::Simulator* sim_;
+  net::RpcEndpoint* endpoint_;
+  Options options_;
+  bool connected_ = false;
+  net::NodeId target_;
+  std::string lun_id_;
+  Bytes capacity_ = 0;
+  sim::Timer ping_timer_;
+  int ping_failures_ = 0;
+  std::function<void(Status)> on_connection_lost_;
+};
+
+}  // namespace ustore::iscsi

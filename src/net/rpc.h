@@ -1,0 +1,106 @@
+// Request/response RPC over the simulated network.
+//
+// An RpcEndpoint owns a network identity, dispatches incoming requests to
+// handlers registered by payload type, and correlates responses to pending
+// calls with per-call timeouts. All UStore control-plane traffic (heartbeats,
+// scheduling commands, Paxos, iSCSI) flows through this layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/status.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace ustore::net {
+
+struct RpcRequest : Message {
+  std::uint64_t rpc_id = 0;
+  MessagePtr payload;
+  Bytes wire_size() const override { return 64 + payload->wire_size(); }
+};
+
+struct RpcResponse : Message {
+  std::uint64_t rpc_id = 0;
+  MessagePtr payload;  // null on error
+  Status status;
+  Bytes wire_size() const override {
+    return 64 + (payload ? payload->wire_size() : 0);
+  }
+};
+
+class RpcEndpoint : public Node {
+ public:
+  using ResponseCallback = std::function<void(Result<MessagePtr>)>;
+  // A handler receives the request payload and a reply functor it must
+  // invoke exactly once (immediately or later — e.g. after disk I/O).
+  using Handler = std::function<void(const NodeId& from, MessagePtr request,
+                                     std::function<void(Result<MessagePtr>)> reply)>;
+  // A notification handler for fire-and-forget messages.
+  using NotifyHandler = std::function<void(const NodeId& from, MessagePtr msg)>;
+
+  RpcEndpoint(sim::Simulator* sim, Network* network, NodeId id);
+  ~RpcEndpoint() override;
+  RpcEndpoint(const RpcEndpoint&) = delete;
+  RpcEndpoint& operator=(const RpcEndpoint&) = delete;
+
+  const NodeId& id() const { return id_; }
+  sim::Simulator* simulator() const { return sim_; }
+  Network* network() const { return network_; }
+
+  // Registers the handler for requests whose payload is exactly type T.
+  template <typename T>
+  void RegisterHandler(Handler handler) {
+    handlers_[std::type_index(typeid(T))] = std::move(handler);
+  }
+
+  template <typename T>
+  void RegisterNotifyHandler(NotifyHandler handler) {
+    notify_handlers_[std::type_index(typeid(T))] = std::move(handler);
+  }
+
+  // Issues a request; `callback` fires with the response payload, or with
+  // kDeadlineExceeded if no response arrives within `timeout`.
+  void Call(const NodeId& to, MessagePtr request, sim::Duration timeout,
+            ResponseCallback callback);
+
+  // One-way message (no response correlation).
+  void Notify(const NodeId& to, MessagePtr msg);
+
+  // Fails all in-flight calls and clears handlers; used on simulated crash.
+  // A shut-down endpoint stays registered but drops all traffic, exactly
+  // like a crashed process behind a live NIC.
+  void Shutdown();
+  bool shut_down() const { return shut_down_; }
+
+  // Brings a shut-down endpoint back (simulated process restart). Handlers
+  // must be re-registered by the caller.
+  void Reopen();
+
+  void HandleMessage(const NodeId& from, const MessagePtr& msg) override;
+
+ private:
+  struct PendingCall {
+    ResponseCallback callback;
+    sim::EventId timeout_event;
+  };
+
+  void DispatchRequest(const NodeId& from, const RpcRequest& request);
+
+  sim::Simulator* sim_;
+  Network* network_;
+  NodeId id_;
+  bool shut_down_ = false;
+  std::uint64_t next_rpc_id_ = 1;
+  std::unordered_map<std::type_index, Handler> handlers_;
+  std::unordered_map<std::type_index, NotifyHandler> notify_handlers_;
+  std::unordered_map<std::uint64_t, PendingCall> pending_;
+};
+
+}  // namespace ustore::net

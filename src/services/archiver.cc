@@ -1,0 +1,83 @@
+#include "services/archiver.h"
+
+#include <cassert>
+
+namespace ustore::services {
+
+Archiver::Archiver(core::ClientLib* client, core::ClientLib::Volume* volume,
+                   std::string service_name)
+    : client_(client), volume_(volume), service_(std::move(service_name)) {
+  assert(client_ != nullptr && volume_ != nullptr);
+}
+
+void Archiver::ArchiveBatch(int objects, Bytes object_size,
+                            std::function<void(Status)> done) {
+  assert(object_size > 0);
+  last_object_size_ = object_size;
+  WriteNext(objects, object_size, std::move(done));
+}
+
+void Archiver::WriteNext(int remaining, Bytes object_size,
+                         std::function<void(Status)> done) {
+  if (remaining <= 0) {
+    done(Status::Ok());
+    return;
+  }
+  if (next_offset_ + object_size > volume_->space().length) {
+    done(ResourceExhaustedError("archive volume full"));
+    return;
+  }
+  const std::uint64_t tag = 0x9000 + next_index_;
+  volume_->Write(next_offset_, object_size, /*random=*/false, tag,
+                 [this, remaining, object_size,
+                  done = std::move(done)](Status status) mutable {
+                   if (!status.ok()) {
+                     done(status);
+                     return;
+                   }
+                   next_offset_ += object_size;
+                   ++next_index_;
+                   WriteNext(remaining - 1, object_size, std::move(done));
+                 });
+}
+
+void Archiver::VerifyBatch(std::uint64_t first_index, int objects,
+                           std::function<void(Status)> done) {
+  VerifyNext(first_index, first_index + objects, std::move(done));
+}
+
+void Archiver::VerifyNext(std::uint64_t index, std::uint64_t end,
+                          std::function<void(Status)> done) {
+  if (index >= end) {
+    done(Status::Ok());
+    return;
+  }
+  assert(last_object_size_ > 0);
+  const Bytes offset = static_cast<Bytes>(index) * last_object_size_;
+  volume_->Read(offset, last_object_size_, /*random=*/false,
+                [this, index, end,
+                 done = std::move(done)](Result<std::uint64_t> tag) mutable {
+                  if (!tag.ok()) {
+                    done(tag.status());
+                    return;
+                  }
+                  if (*tag != 0x9000 + index) {
+                    done(InternalError("archive integrity failure at " +
+                                       std::to_string(index)));
+                    return;
+                  }
+                  VerifyNext(index + 1, end, std::move(done));
+                });
+}
+
+void Archiver::EnterStandby(std::function<void(Status)> done) {
+  client_->SetDiskPower(service_, volume_->id().disk,
+                        core::DiskPowerAction::kSpinDown, std::move(done));
+}
+
+void Archiver::WakeUp(std::function<void(Status)> done) {
+  client_->SetDiskPower(service_, volume_->id().disk,
+                        core::DiskPowerAction::kSpinUp, std::move(done));
+}
+
+}  // namespace ustore::services

@@ -1,0 +1,54 @@
+// A small power-aware archival service (§IV-F usage pattern).
+//
+// The Archiver owns one UStore volume. It appends objects in batches and
+// uses the ClientLib power interface between batches: spin the disk down
+// after a batch, spin it up (implicitly, by the first write) when the next
+// batch arrives. This is the upper-layer behaviour the paper's power
+// management section is designed for, and the workload behind the Table V
+// "powered off" row.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "core/clientlib.h"
+
+namespace ustore::services {
+
+class Archiver {
+ public:
+  Archiver(core::ClientLib* client, core::ClientLib::Volume* volume,
+           std::string service_name);
+
+  // Appends `objects` objects of `object_size` each, tagged sequentially.
+  void ArchiveBatch(int objects, Bytes object_size,
+                    std::function<void(Status)> done);
+
+  // Verifies `objects` archived objects starting at `first_index`.
+  void VerifyBatch(std::uint64_t first_index, int objects,
+                   std::function<void(Status)> done);
+
+  // Power the backing disk down between batches / up before a heavy one.
+  void EnterStandby(std::function<void(Status)> done);
+  void WakeUp(std::function<void(Status)> done);
+
+  Bytes bytes_archived() const { return next_offset_; }
+  std::uint64_t objects_archived() const { return next_index_; }
+
+ private:
+  void WriteNext(int remaining, Bytes object_size,
+                 std::function<void(Status)> done);
+  void VerifyNext(std::uint64_t index, std::uint64_t end,
+                  std::function<void(Status)> done);
+
+  core::ClientLib* client_;
+  core::ClientLib::Volume* volume_;
+  std::string service_;
+  Bytes next_offset_ = 0;
+  std::uint64_t next_index_ = 0;
+  Bytes last_object_size_ = 0;
+};
+
+}  // namespace ustore::services

@@ -1,0 +1,274 @@
+#include "services/mini_dfs.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace ustore::services {
+
+// --- NameNode -------------------------------------------------------------------
+
+NameNode::NameNode(sim::Simulator* sim, net::Network* network,
+                   net::NodeId id, std::vector<net::NodeId> datanodes,
+                   DfsOptions options)
+    : endpoint_(std::make_unique<net::RpcEndpoint>(sim, network,
+                                                   std::move(id))),
+      datanodes_(std::move(datanodes)),
+      options_(options) {
+  assert(static_cast<int>(datanodes_.size()) >= options_.replication);
+  RegisterHandlers();
+}
+
+void NameNode::RegisterHandlers() {
+  endpoint_->RegisterHandler<NnCreateFileRequest>(
+      [this](const net::NodeId&, net::MessagePtr msg,
+             std::function<void(Result<net::MessagePtr>)> reply) {
+        auto* request = static_cast<NnCreateFileRequest*>(msg.get());
+        if (files_.contains(request->name)) {
+          reply(AlreadyExistsError("file exists: " + request->name));
+          return;
+        }
+        std::vector<BlockLocation> blocks;
+        for (int b = 0; b < request->blocks; ++b) {
+          BlockLocation location;
+          location.block_id = next_block_++;
+          // Round-robin replica placement over the DataNodes.
+          for (int r = 0; r < options_.replication; ++r) {
+            location.replicas.push_back(
+                datanodes_[(placement_cursor_ + r) % datanodes_.size()]);
+          }
+          placement_cursor_ =
+              (placement_cursor_ + 1) % static_cast<int>(datanodes_.size());
+          blocks.push_back(std::move(location));
+        }
+        files_[request->name] = blocks;
+        auto response = std::make_shared<NnFileInfoResponse>();
+        response->blocks = std::move(blocks);
+        reply(net::MessagePtr(std::move(response)));
+      });
+
+  endpoint_->RegisterHandler<NnLocateRequest>(
+      [this](const net::NodeId&, net::MessagePtr msg,
+             std::function<void(Result<net::MessagePtr>)> reply) {
+        auto* request = static_cast<NnLocateRequest*>(msg.get());
+        auto it = files_.find(request->name);
+        if (it == files_.end()) {
+          reply(NotFoundError("no such file: " + request->name));
+          return;
+        }
+        auto response = std::make_shared<NnFileInfoResponse>();
+        response->blocks = it->second;
+        reply(net::MessagePtr(std::move(response)));
+      });
+}
+
+// --- DataNode -------------------------------------------------------------------
+
+DataNode::DataNode(sim::Simulator* sim, net::Network* network,
+                   net::NodeId id, core::ClientLib::Volume* volume,
+                   DfsOptions options)
+    : endpoint_(std::make_unique<net::RpcEndpoint>(sim, network,
+                                                   std::move(id))),
+      volume_(volume),
+      options_(options) {
+  assert(volume_ != nullptr);
+  RegisterHandlers();
+}
+
+void DataNode::RegisterHandlers() {
+  endpoint_->RegisterHandler<DnWriteBlockRequest>(
+      [this](const net::NodeId&, net::MessagePtr msg,
+             std::function<void(Result<net::MessagePtr>)> reply) {
+        auto* request = static_cast<DnWriteBlockRequest*>(msg.get());
+        Bytes offset;
+        auto it = blocks_.find(request->block_id);
+        if (it != blocks_.end()) {
+          offset = it->second;  // re-write of the same block
+        } else {
+          if (next_offset_ + options_.block_size >
+              volume_->space().length) {
+            reply(ResourceExhaustedError(id() + ": volume full"));
+            return;
+          }
+          offset = next_offset_;
+        }
+        const std::uint64_t block_id = request->block_id;
+        volume_->Write(offset, request->size, /*random=*/false,
+                       request->tag,
+                       [this, block_id, offset, reply](Status status) {
+                         if (!status.ok()) {
+                           reply(status);
+                           return;
+                         }
+                         if (!blocks_.contains(block_id)) {
+                           blocks_[block_id] = offset;
+                           next_offset_ = offset + options_.block_size;
+                         }
+                         reply(net::MessagePtr(std::make_shared<DnAck>()));
+                       });
+      });
+
+  endpoint_->RegisterHandler<DnReadBlockRequest>(
+      [this](const net::NodeId&, net::MessagePtr msg,
+             std::function<void(Result<net::MessagePtr>)> reply) {
+        auto* request = static_cast<DnReadBlockRequest*>(msg.get());
+        auto it = blocks_.find(request->block_id);
+        if (it == blocks_.end()) {
+          reply(NotFoundError(id() + ": no block " +
+                              std::to_string(request->block_id)));
+          return;
+        }
+        const Bytes size = options_.block_size;
+        volume_->Read(it->second, size, /*random=*/false,
+                      [reply, size](Result<std::uint64_t> result) {
+                        if (!result.ok()) {
+                          reply(result.status());
+                          return;
+                        }
+                        auto response =
+                            std::make_shared<DnReadBlockResponse>();
+                        response->tag = *result;
+                        response->size = size;
+                        reply(net::MessagePtr(std::move(response)));
+                      });
+      });
+}
+
+// --- DfsClient -------------------------------------------------------------------
+
+DfsClient::DfsClient(sim::Simulator* sim, net::Network* network,
+                     net::NodeId id, net::NodeId namenode,
+                     DfsOptions options)
+    : sim_(sim),
+      endpoint_(std::make_unique<net::RpcEndpoint>(sim, network,
+                                                   std::move(id))),
+      namenode_(std::move(namenode)),
+      options_(options) {}
+
+void DfsClient::WriteFile(const std::string& name, int blocks,
+                          std::uint64_t tag_base,
+                          std::function<void(WriteReport)> done) {
+  auto request = std::make_shared<NnCreateFileRequest>();
+  request->name = name;
+  request->blocks = blocks;
+  endpoint_->Call(
+      namenode_, request, options_.rpc_timeout,
+      [this, tag_base, done = std::move(done)](
+          Result<net::MessagePtr> result) {
+        if (!result.ok()) {
+          done(WriteReport{result.status(), 0, 0});
+          return;
+        }
+        auto plan = std::dynamic_pointer_cast<NnFileInfoResponse>(
+            std::move(result).value());
+        auto report = std::make_shared<WriteReport>();
+        WriteBlocks(plan, tag_base, 0, 0, options_.write_max_retries,
+                    report, std::move(done));
+      });
+}
+
+void DfsClient::WriteBlocks(std::shared_ptr<NnFileInfoResponse> plan,
+                            std::uint64_t tag_base, std::size_t block_index,
+                            std::size_t replica_index, int retries_left,
+                            std::shared_ptr<WriteReport> report,
+                            std::function<void(WriteReport)> done) {
+  if (block_index >= plan->blocks.size()) {
+    report->status = Status::Ok();
+    done(*report);
+    return;
+  }
+  const BlockLocation& location = plan->blocks[block_index];
+  if (replica_index >= location.replicas.size()) {
+    WriteBlocks(plan, tag_base, block_index + 1, 0,
+                options_.write_max_retries, report, std::move(done));
+    return;
+  }
+  auto request = std::make_shared<DnWriteBlockRequest>();
+  request->block_id = location.block_id;
+  request->tag = tag_base + block_index;
+  request->size = options_.block_size;
+  endpoint_->Call(
+      location.replicas[replica_index], request, options_.rpc_timeout,
+      [this, plan, tag_base, block_index, replica_index, retries_left,
+       report, done = std::move(done)](Result<net::MessagePtr> result) mutable {
+        if (result.ok()) {
+          WriteBlocks(plan, tag_base, block_index, replica_index + 1,
+                      options_.write_max_retries, report, std::move(done));
+          return;
+        }
+        // Transient replica trouble (e.g. its disk is being switched):
+        // wait and retry, like the HDFS client in §VII-B.
+        ++report->transient_errors;
+        if (retries_left <= 0) {
+          report->status = result.status();
+          done(*report);
+          return;
+        }
+        report->stalled += options_.write_retry_delay;
+        sim_->Schedule(options_.write_retry_delay,
+                       [this, plan, tag_base, block_index, replica_index,
+                        retries_left, report, done = std::move(done)]() mutable {
+                         WriteBlocks(plan, tag_base, block_index,
+                                     replica_index, retries_left - 1,
+                                     report, std::move(done));
+                       });
+      });
+}
+
+void DfsClient::ReadFile(const std::string& name,
+                         std::function<void(ReadReport)> done) {
+  auto request = std::make_shared<NnLocateRequest>();
+  request->name = name;
+  endpoint_->Call(namenode_, request, options_.rpc_timeout,
+                  [this, done = std::move(done)](
+                      Result<net::MessagePtr> result) {
+                    if (!result.ok()) {
+                      done(ReadReport{result.status(), 0, {}});
+                      return;
+                    }
+                    auto plan = std::dynamic_pointer_cast<NnFileInfoResponse>(
+                        std::move(result).value());
+                    auto report = std::make_shared<ReadReport>();
+                    ReadBlocks(plan, 0, 0, report, std::move(done));
+                  });
+}
+
+void DfsClient::ReadBlocks(std::shared_ptr<NnFileInfoResponse> plan,
+                           std::size_t block_index,
+                           std::size_t replica_index,
+                           std::shared_ptr<ReadReport> report,
+                           std::function<void(ReadReport)> done) {
+  if (block_index >= plan->blocks.size()) {
+    report->status = Status::Ok();
+    done(*report);
+    return;
+  }
+  const BlockLocation& location = plan->blocks[block_index];
+  if (replica_index >= location.replicas.size()) {
+    report->status =
+        UnavailableError("all replicas failed for block " +
+                         std::to_string(location.block_id));
+    done(*report);
+    return;
+  }
+  auto request = std::make_shared<DnReadBlockRequest>();
+  request->block_id = location.block_id;
+  endpoint_->Call(
+      location.replicas[replica_index], request, options_.rpc_timeout,
+      [this, plan, block_index, replica_index, report,
+       done = std::move(done)](Result<net::MessagePtr> result) mutable {
+        if (!result.ok()) {
+          // Instant replica failover: reads are not interrupted (§VII-B).
+          ++report->replica_failovers;
+          ReadBlocks(plan, block_index, replica_index + 1, report,
+                     std::move(done));
+          return;
+        }
+        auto* response =
+            static_cast<DnReadBlockResponse*>(result->get());
+        report->tags.push_back(response->tag);
+        ReadBlocks(plan, block_index + 1, 0, report, std::move(done));
+      });
+}
+
+}  // namespace ustore::services

@@ -1,0 +1,156 @@
+// MiniDfs: a compact HDFS-like replicated block store used to reproduce the
+// paper's §VII-B experiment (Hadoop-1.2.1 on four UStore hosts, three
+// replicas, one disk switched during a write).
+//
+// One NameNode tracks files -> blocks -> replica DataNodes; each DataNode
+// stores blocks on a UStore volume obtained through the ClientLib, so a
+// fabric reconfiguration under a DataNode looks like a temporarily failing
+// local disk. Writes retry the failing replica for a few seconds (the
+// paper: "the HDFS client encounters error only for several seconds, then
+// it resumes"); reads fail over to another replica immediately ("read
+// operation is not interrupted at all").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/clientlib.h"
+#include "net/rpc.h"
+#include "sim/simulator.h"
+
+namespace ustore::services {
+
+struct DfsOptions {
+  int replication = 3;
+  Bytes block_size = MiB(4);
+  sim::Duration write_retry_delay = sim::Seconds(1);
+  int write_max_retries = 60;
+  sim::Duration rpc_timeout = sim::Seconds(2);
+};
+
+// --- Wire messages ------------------------------------------------------------
+
+struct NnCreateFileRequest : net::Message {
+  std::string name;
+  int blocks = 0;
+};
+struct BlockLocation {
+  std::uint64_t block_id = 0;
+  std::vector<net::NodeId> replicas;
+};
+struct NnFileInfoResponse : net::Message {
+  std::vector<BlockLocation> blocks;
+};
+struct NnLocateRequest : net::Message {
+  std::string name;
+};
+
+struct DnWriteBlockRequest : net::Message {
+  std::uint64_t block_id = 0;
+  std::uint64_t tag = 0;
+  Bytes size = 0;
+  Bytes wire_size() const override { return 128 + size; }
+};
+struct DnReadBlockRequest : net::Message {
+  std::uint64_t block_id = 0;
+};
+struct DnReadBlockResponse : net::Message {
+  std::uint64_t tag = 0;
+  Bytes size = 0;
+  Bytes wire_size() const override { return 128 + size; }
+};
+struct DnAck : net::Message {};
+
+// --- NameNode -------------------------------------------------------------------
+
+class NameNode {
+ public:
+  NameNode(sim::Simulator* sim, net::Network* network, net::NodeId id,
+           std::vector<net::NodeId> datanodes, DfsOptions options = {});
+
+  const net::NodeId& id() const { return endpoint_->id(); }
+  std::size_t file_count() const { return files_.size(); }
+
+ private:
+  void RegisterHandlers();
+
+  std::unique_ptr<net::RpcEndpoint> endpoint_;
+  std::vector<net::NodeId> datanodes_;
+  DfsOptions options_;
+  std::uint64_t next_block_ = 1;
+  int placement_cursor_ = 0;
+  std::map<std::string, std::vector<BlockLocation>> files_;
+};
+
+// --- DataNode -------------------------------------------------------------------
+
+class DataNode {
+ public:
+  // `volume` is a UStore volume the DataNode stores its blocks on; it must
+  // outlive the DataNode (owned by the caller's ClientLib).
+  DataNode(sim::Simulator* sim, net::Network* network, net::NodeId id,
+           core::ClientLib::Volume* volume, DfsOptions options = {});
+
+  const net::NodeId& id() const { return endpoint_->id(); }
+  std::size_t blocks_stored() const { return blocks_.size(); }
+
+ private:
+  void RegisterHandlers();
+
+  std::unique_ptr<net::RpcEndpoint> endpoint_;
+  core::ClientLib::Volume* volume_;
+  DfsOptions options_;
+  std::map<std::uint64_t, Bytes> blocks_;  // block id -> volume offset
+  Bytes next_offset_ = 0;
+};
+
+// --- Client ---------------------------------------------------------------------
+
+class DfsClient {
+ public:
+  DfsClient(sim::Simulator* sim, net::Network* network, net::NodeId id,
+            net::NodeId namenode, DfsOptions options = {});
+
+  // Writes `blocks` blocks tagged tag_base+i to all replicas. Reports the
+  // number of transient replica errors encountered (the §VII-B signal).
+  struct WriteReport {
+    Status status;
+    int transient_errors = 0;
+    sim::Duration stalled = 0;  // total time spent retrying
+  };
+  void WriteFile(const std::string& name, int blocks, std::uint64_t tag_base,
+                 std::function<void(WriteReport)> done);
+
+  // Reads every block, verifying tags; tolerates replica failures by
+  // trying the next replica.
+  struct ReadReport {
+    Status status;
+    int replica_failovers = 0;
+    std::vector<std::uint64_t> tags;
+  };
+  void ReadFile(const std::string& name,
+                std::function<void(ReadReport)> done);
+
+ private:
+  void WriteBlocks(std::shared_ptr<NnFileInfoResponse> plan,
+                   std::uint64_t tag_base, std::size_t block_index,
+                   std::size_t replica_index, int retries_left,
+                   std::shared_ptr<WriteReport> report,
+                   std::function<void(WriteReport)> done);
+  void ReadBlocks(std::shared_ptr<NnFileInfoResponse> plan,
+                  std::size_t block_index, std::size_t replica_index,
+                  std::shared_ptr<ReadReport> report,
+                  std::function<void(ReadReport)> done);
+
+  sim::Simulator* sim_;
+  std::unique_ptr<net::RpcEndpoint> endpoint_;
+  net::NodeId namenode_;
+  DfsOptions options_;
+};
+
+}  // namespace ustore::services

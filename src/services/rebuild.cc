@@ -1,0 +1,63 @@
+#include "services/rebuild.h"
+
+#include <cassert>
+
+namespace ustore::services {
+
+RebuildAgent::RebuildAgent(sim::Simulator* sim,
+                           core::ClientLib::Volume* source,
+                           core::ClientLib::Volume* target, Bytes block_size)
+    : sim_(sim), source_(source), target_(target), block_size_(block_size) {
+  assert(source_ != nullptr && target_ != nullptr && block_size_ > 0);
+}
+
+void RebuildAgent::Rebuild(int blocks,
+                           std::function<void(RebuildReport)> done) {
+  auto report = std::make_shared<RebuildReport>();
+  CopyNext(0, blocks, report, std::move(done), sim_->now());
+}
+
+void RebuildAgent::CopyNext(int index, int blocks,
+                            std::shared_ptr<RebuildReport> report,
+                            std::function<void(RebuildReport)> done,
+                            sim::Time started) {
+  if (index >= blocks) {
+    report->status = Status::Ok();
+    report->elapsed = sim_->now() - started;
+    if (report->elapsed > 0) {
+      report->throughput_mbps =
+          static_cast<double>(report->blocks_copied) *
+          static_cast<double>(block_size_) /
+          sim::ToSeconds(report->elapsed) / 1e6;
+    }
+    done(*report);
+    return;
+  }
+  const Bytes offset = static_cast<Bytes>(index) * block_size_;
+  source_->Read(
+      offset, block_size_, /*random=*/false,
+      [this, index, blocks, offset, report, done = std::move(done),
+       started](Result<std::uint64_t> tag) mutable {
+        if (!tag.ok()) {
+          report->status = tag.status();
+          report->elapsed = sim_->now() - started;
+          done(*report);
+          return;
+        }
+        target_->Write(
+            offset, block_size_, /*random=*/false, *tag,
+            [this, index, blocks, report, done = std::move(done), started,
+             expected = *tag](Status status) mutable {
+              if (!status.ok()) {
+                report->status = status;
+                report->elapsed = sim_->now() - started;
+                done(*report);
+                return;
+              }
+              ++report->blocks_copied;
+              CopyNext(index + 1, blocks, report, std::move(done), started);
+            });
+      });
+}
+
+}  // namespace ustore::services

@@ -1,0 +1,56 @@
+// Fabric-assisted data rebuild (§IV-E, left as future work in the paper):
+//
+//   "Since disks are not tightly coupled with servers, the involved disk
+//    can be switched to one or a small set of servers in order to reduce
+//    network load."
+//
+// RebuildAgent copies a replica volume onto a replacement volume, block by
+// block, the way an upper-layer service reconstructs a lost disk. Run it
+// two ways and compare:
+//   * baseline  — source and target volumes sit on different hosts; every
+//     block crosses the data-center network twice (read + write legs);
+//   * colocated — the fabric first switches the source disk's group to the
+//     target's host, so the copy is host-local and the network core moves
+//     (almost) nothing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+#include "core/clientlib.h"
+#include "sim/simulator.h"
+
+namespace ustore::services {
+
+struct RebuildReport {
+  Status status;
+  int blocks_copied = 0;
+  int tag_mismatches = 0;
+  sim::Duration elapsed = 0;
+  double throughput_mbps = 0;
+};
+
+class RebuildAgent {
+ public:
+  // `source` and `target` must be mounted volumes of equal-or-larger
+  // target capacity. The agent issues one read+write pipeline of
+  // `block_size` transfers (queue depth 1, like a conservative scrubber).
+  RebuildAgent(sim::Simulator* sim, core::ClientLib::Volume* source,
+               core::ClientLib::Volume* target, Bytes block_size = MiB(4));
+
+  void Rebuild(int blocks, std::function<void(RebuildReport)> done);
+
+ private:
+  void CopyNext(int index, int blocks,
+                std::shared_ptr<RebuildReport> report,
+                std::function<void(RebuildReport)> done,
+                sim::Time started);
+
+  sim::Simulator* sim_;
+  core::ClientLib::Volume* source_;
+  core::ClientLib::Volume* target_;
+  Bytes block_size_;
+};
+
+}  // namespace ustore::services

@@ -1,0 +1,135 @@
+#include "services/workloads.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ustore::services {
+
+LatencyStats SummarizeLatencies(std::vector<double> latencies_ms) {
+  LatencyStats stats;
+  if (latencies_ms.empty()) return stats;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  stats.count = static_cast<int>(latencies_ms.size());
+  double sum = 0;
+  for (double v : latencies_ms) {
+    sum += v;
+    if (v > 1000.0) ++stats.slow_hits;
+  }
+  stats.mean_ms = sum / stats.count;
+  stats.p50_ms = latencies_ms[stats.count / 2];
+  stats.p99_ms = latencies_ms[std::min(stats.count - 1,
+                                       (stats.count * 99) / 100)];
+  stats.max_ms = latencies_ms.back();
+  return stats;
+}
+
+ColdStorageStudy::ColdStorageStudy(sim::Simulator* sim,
+                                   core::ClientLib::Volume* volume,
+                                   hw::Disk* disk,
+                                   ColdWorkloadOptions options, Rng rng)
+    : sim_(sim),
+      volume_(volume),
+      disk_(disk),
+      options_(options),
+      rng_(rng),
+      sample_timer_(sim) {
+  assert(volume_ != nullptr && disk_ != nullptr);
+  assert(options_.object_count > 0);
+  // Zipf CDF over object ranks.
+  zipf_cdf_.resize(options_.object_count);
+  double total = 0;
+  for (int i = 0; i < options_.object_count; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), options_.zipf_s);
+    zipf_cdf_[i] = total;
+  }
+  for (double& v : zipf_cdf_) v /= total;
+}
+
+int ColdStorageStudy::SampleObject() {
+  const double u = rng_.NextDouble();
+  const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  return static_cast<int>(it - zipf_cdf_.begin());
+}
+
+void ColdStorageStudy::Run(sim::Duration duration,
+                           std::function<void(ColdStudyReport)> done) {
+  done_ = std::move(done);
+  Populate(0, [this, duration](Status status) {
+    if (!status.ok()) {
+      ColdStudyReport report;
+      report.status = status;
+      done_(report);
+      return;
+    }
+    sample_timer_.StartPeriodic(sim::Seconds(1), [this] {
+      meter_.Sample(sim_->now(), disk_->current_power());
+    });
+    meter_.Sample(sim_->now(), disk_->current_power());
+    ScheduleNextRead(sim_->now() + duration);
+  });
+}
+
+void ColdStorageStudy::Populate(int index,
+                                std::function<void(Status)> done) {
+  if (index >= options_.object_count) {
+    done(Status::Ok());
+    return;
+  }
+  volume_->Write(ObjectOffset(index), options_.object_size, false,
+                 0xC01D + index,
+                 [this, index, done = std::move(done)](Status status) mutable {
+                   if (!status.ok()) {
+                     done(status);
+                     return;
+                   }
+                   Populate(index + 1, std::move(done));
+                 });
+}
+
+void ColdStorageStudy::ScheduleNextRead(sim::Time end_at) {
+  const sim::Duration wait = sim::SecondsD(
+      rng_.NextExponential(options_.mean_interarrival_seconds));
+  if (sim_->now() + wait >= end_at) {
+    // Observation window over; wait for in-flight reads, then report.
+    deadline_passed_ = true;
+    sim_->ScheduleAt(end_at, [this] {
+      if (outstanding_ == 0) Finish();
+    });
+    return;
+  }
+  sim_->Schedule(wait, [this, end_at] {
+    const int object = SampleObject();
+    const sim::Time issued = sim_->now();
+    ++outstanding_;
+    volume_->Read(ObjectOffset(object), options_.object_size, true,
+                  [this, issued](Result<std::uint64_t> result) {
+                    --outstanding_;
+                    if (result.ok()) {
+                      latencies_ms_.push_back(
+                          sim::ToMillis(sim_->now() - issued));
+                    } else if (first_error_.ok()) {
+                      first_error_ = result.status();
+                    }
+                    if (deadline_passed_ && outstanding_ == 0) Finish();
+                  });
+    ScheduleNextRead(end_at);
+  });
+}
+
+void ColdStorageStudy::Finish() {
+  if (!done_) return;
+  meter_.Sample(sim_->now(), disk_->current_power());
+  sample_timer_.Stop();
+  ColdStudyReport report;
+  report.status = first_error_;
+  report.latency = SummarizeLatencies(latencies_ms_);
+  report.disk_energy = meter_.total_energy();
+  report.average_disk_power = meter_.average_power();
+  report.disk_spin_cycles = disk_->spin_cycles();
+  auto done = std::move(done_);
+  done_ = nullptr;
+  done(report);
+}
+
+}  // namespace ustore::services

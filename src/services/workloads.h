@@ -1,0 +1,92 @@
+// Synthetic cold and archival workloads (§I's two access patterns).
+//
+//   * Cold data: "accessed rarely, but when accessed, a user would expect
+//     the response to come back after a short amount of time, usually in
+//     the range of seconds" — modelled as Poisson request arrivals with a
+//     Zipf-ish popularity skew over stored objects.
+//   * Archival data: "accessed in large batches on a predictable
+//     schedule" — modelled as periodic batch writes/verifies.
+//
+// ColdStorageStudy drives a UStore volume with the cold workload under a
+// given idle-spin-down policy and reports the latency distribution
+// (including spin-up hits) and the energy drawn — the trade-off the §IV-F
+// power-management interface exists to navigate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/clientlib.h"
+#include "hw/disk.h"
+#include "power/power_model.h"
+#include "sim/simulator.h"
+
+namespace ustore::services {
+
+struct ColdWorkloadOptions {
+  double mean_interarrival_seconds = 600;  // one access every ~10 min
+  int object_count = 200;
+  Bytes object_size = MiB(4);
+  double zipf_s = 1.1;  // popularity skew
+};
+
+struct LatencyStats {
+  int count = 0;
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+  int slow_hits = 0;  // responses above 1 s (spin-up in the path)
+};
+
+struct ColdStudyReport {
+  Status status;
+  LatencyStats latency;
+  Joules disk_energy = 0;
+  Watts average_disk_power = 0;
+  int disk_spin_cycles = 0;
+};
+
+class ColdStorageStudy {
+ public:
+  // `disk` is the physical disk backing `volume` (for power sampling and
+  // spin-cycle counting).
+  ColdStorageStudy(sim::Simulator* sim, core::ClientLib::Volume* volume,
+                   hw::Disk* disk, ColdWorkloadOptions options, Rng rng);
+
+  // Pre-writes the object set (sequential layout), then serves Poisson
+  // cold reads for `duration`. Call Run once.
+  void Run(sim::Duration duration,
+           std::function<void(ColdStudyReport)> done);
+
+ private:
+  Bytes ObjectOffset(int index) const {
+    return static_cast<Bytes>(index) * options_.object_size;
+  }
+  int SampleObject();
+  void Populate(int index, std::function<void(Status)> done);
+  void ScheduleNextRead(sim::Time end_at);
+  void Finish();
+
+  sim::Simulator* sim_;
+  core::ClientLib::Volume* volume_;
+  hw::Disk* disk_;
+  ColdWorkloadOptions options_;
+  Rng rng_;
+  std::vector<double> zipf_cdf_;
+  std::vector<double> latencies_ms_;
+  power::PowerMeter meter_;
+  sim::Timer sample_timer_;
+  std::function<void(ColdStudyReport)> done_;
+  int outstanding_ = 0;
+  bool deadline_passed_ = false;
+  Status first_error_;
+};
+
+// Percentile helper shared with benches.
+LatencyStats SummarizeLatencies(std::vector<double> latencies_ms);
+
+}  // namespace ustore::services

@@ -1,0 +1,95 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ustore::sim {
+
+EventId Simulator::Schedule(Duration delay, std::function<void()> fn) {
+  return ScheduleAt(now_ + std::max<Duration>(delay, 0), std::move(fn));
+}
+
+EventId Simulator::ScheduleAt(Time t, std::function<void()> fn) {
+  assert(fn);
+  const EventId id = next_id_++;
+  queue_.push(Entry{std::max(t, now_), next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+void Simulator::Cancel(EventId id) {
+  if (id != kInvalidEventId) cancelled_.insert(id);
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(entry.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    assert(entry.time >= now_);
+    now_ = entry.time;
+    entry.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run(std::uint64_t max_events) {
+  for (std::uint64_t i = 0; i < max_events; ++i) {
+    if (!Step()) return;
+  }
+}
+
+void Simulator::RunUntil(Time t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    if (!Step()) break;
+  }
+  now_ = std::max(now_, t);
+}
+
+void Simulator::InstallLogTimeSource() {
+  Logger::Instance().set_time_source([this] { return FormatTime(now_); });
+}
+
+void Timer::StartOneShot(Duration delay, std::function<void()> fn) {
+  Stop();
+  period_ = 0;
+  fn_ = std::move(fn);
+  event_ = sim_->Schedule(delay, [this] {
+    event_ = kInvalidEventId;
+    auto fn = std::move(fn_);
+    fn_ = nullptr;
+    fn();
+  });
+}
+
+void Timer::StartPeriodic(Duration period, std::function<void()> fn) {
+  assert(period > 0);
+  Stop();
+  period_ = period;
+  fn_ = std::move(fn);
+  ArmPeriodic();
+}
+
+void Timer::ArmPeriodic() {
+  event_ = sim_->Schedule(period_, [this] {
+    // Re-arm before invoking so the callback may Stop() the timer.
+    ArmPeriodic();
+    fn_();
+  });
+}
+
+void Timer::Stop() {
+  if (event_ != kInvalidEventId) {
+    sim_->Cancel(event_);
+    event_ = kInvalidEventId;
+  }
+  fn_ = nullptr;
+}
+
+}  // namespace ustore::sim

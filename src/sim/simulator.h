@@ -1,0 +1,104 @@
+// Discrete-event simulator.
+//
+// A single-threaded event loop over a priority queue of (time, sequence)
+// ordered callbacks. All hardware models, network delivery and control-
+// plane timers in UStore are driven by one Simulator instance, so a whole
+// deploy-unit experiment is a deterministic function of its seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ustore::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedules `fn` to run `delay` from now (clamped to >= 0).
+  EventId Schedule(Duration delay, std::function<void()> fn);
+
+  // Schedules `fn` at absolute time `t` (clamped to >= now).
+  EventId ScheduleAt(Time t, std::function<void()> fn);
+
+  // Cancels a pending event. Cancelling an already-fired or invalid id is a
+  // harmless no-op — callers routinely cancel timeouts after completion.
+  void Cancel(EventId id);
+
+  // Executes the next pending event; returns false if the queue is empty.
+  bool Step();
+
+  // Runs until the queue drains (or `max_events` fire, as a runaway guard).
+  void Run(std::uint64_t max_events = UINT64_MAX);
+
+  // Runs all events with time <= t, then advances the clock to exactly t.
+  void RunUntil(Time t);
+  void RunFor(Duration d) { RunUntil(now_ + d); }
+
+  std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+
+  // Routes USTORE_LOG prefixes through this simulator's clock.
+  void InstallLogTimeSource();
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+// A restartable one-shot/periodic timer bound to a simulator. Used for
+// heartbeats, command timeouts and idle-disk spin-down clocks.
+class Timer {
+ public:
+  explicit Timer(Simulator* sim) : sim_(sim) {}
+  ~Timer() { Stop(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  // Fires `fn` once after `delay`; restarting cancels any pending firing.
+  void StartOneShot(Duration delay, std::function<void()> fn);
+
+  // Fires `fn` every `period` until stopped; first firing after `period`.
+  void StartPeriodic(Duration period, std::function<void()> fn);
+
+  void Stop();
+  bool active() const { return event_ != kInvalidEventId; }
+
+ private:
+  void ArmPeriodic();
+
+  Simulator* sim_;
+  EventId event_ = kInvalidEventId;
+  Duration period_ = 0;
+  std::function<void()> fn_;
+};
+
+}  // namespace ustore::sim

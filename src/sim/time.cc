@@ -1,0 +1,24 @@
+#include "sim/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ustore::sim {
+
+Duration SecondsD(double s) {
+  return static_cast<Duration>(std::llround(s * 1e9));
+}
+Duration MillisD(double ms) {
+  return static_cast<Duration>(std::llround(ms * 1e6));
+}
+Duration MicrosD(double us) {
+  return static_cast<Duration>(std::llround(us * 1e3));
+}
+
+std::string FormatTime(Time t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6fs", ToSeconds(t));
+  return buf;
+}
+
+}  // namespace ustore::sim

@@ -1,0 +1,33 @@
+// Simulated time.
+//
+// Time is integer nanoseconds since simulation start. Integer time plus a
+// monotonically increasing tie-break sequence number makes event ordering
+// — and therefore every experiment — fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ustore::sim {
+
+using Time = std::int64_t;      // absolute, ns since sim start
+using Duration = std::int64_t;  // relative, ns
+
+constexpr Duration Nanos(std::int64_t n) { return n; }
+constexpr Duration Micros(std::int64_t n) { return n * 1000; }
+constexpr Duration Millis(std::int64_t n) { return n * 1000 * 1000; }
+constexpr Duration Seconds(std::int64_t n) { return n * 1000 * 1000 * 1000; }
+
+// Fractional constructors, rounding to the nearest nanosecond.
+Duration SecondsD(double s);
+Duration MillisD(double ms);
+Duration MicrosD(double us);
+
+constexpr double ToSeconds(Duration d) { return static_cast<double>(d) / 1e9; }
+constexpr double ToMillis(Duration d) { return static_cast<double>(d) / 1e6; }
+constexpr double ToMicros(Duration d) { return static_cast<double>(d) / 1e3; }
+
+// Renders e.g. "12.345s" for log prefixes and reports.
+std::string FormatTime(Time t);
+
+}  // namespace ustore::sim

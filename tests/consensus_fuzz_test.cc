@@ -1,0 +1,223 @@
+// Randomized fault-injection fuzzing for the consensus layer.
+//
+//  * Paxos: random crash/restart/partition schedules under message loss;
+//    invariant: no two replicas ever apply different commands at the same
+//    log index, and the group keeps making progress when a majority is up.
+//  * MetaStore: random op sequences applied both to the replicated system
+//    and to a simple in-memory oracle; final states must agree.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "consensus/meta_client.h"
+#include "consensus/meta_service.h"
+#include "consensus/paxos.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace ustore::consensus {
+namespace {
+
+class PaxosFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PaxosFuzzTest, NoDivergenceUnderChaos) {
+  const std::uint64_t seed = GetParam();
+  sim::Simulator sim;
+  net::Network network(&sim, Rng(seed));
+  net::LinkParams lossy;
+  lossy.loss_probability = 0.1;
+  network.set_default_link(lossy);
+
+  constexpr int kNodes = 5;
+  PaxosConfig config;
+  for (int i = 0; i < kNodes; ++i) {
+    config.peers.push_back("paxos-" + std::to_string(i));
+  }
+
+  std::vector<std::map<std::uint64_t, std::string>> applied(kNodes);
+  std::vector<std::unique_ptr<PaxosNode>> nodes;
+  Rng rng(seed * 31 + 1);
+  for (int i = 0; i < kNodes; ++i) {
+    nodes.push_back(std::make_unique<PaxosNode>(
+        &sim, &network, config, i,
+        [&applied, i](std::uint64_t index, const std::string& command) {
+          // Apply is by construction in order and exactly once; record.
+          auto [it, inserted] = applied[i].emplace(index, command);
+          ASSERT_TRUE(inserted) << "double apply at " << index;
+        },
+        rng.Fork()));
+  }
+  sim.RunFor(sim::Seconds(3));
+
+  int proposed = 0;
+  for (int round = 0; round < 60; ++round) {
+    sim.RunFor(sim::MillisD(500));
+    // Random chaos, keeping a majority alive.
+    const double dice = rng.NextDouble();
+    int stopped = 0;
+    for (const auto& node : nodes) stopped += node->stopped() ? 1 : 0;
+    if (dice < 0.15 && stopped < kNodes / 2) {
+      nodes[rng.NextBelow(kNodes)]->Stop();
+    } else if (dice < 0.35) {
+      for (auto& node : nodes) {
+        if (node->stopped() && rng.NextBool(0.7)) node->Restart();
+      }
+    } else if (dice < 0.45) {
+      const int a = static_cast<int>(rng.NextBelow(kNodes));
+      const int b = static_cast<int>(rng.NextBelow(kNodes));
+      if (a != b) {
+        network.SetPartitioned(config.peers[a], config.peers[b],
+                               rng.NextBool(0.5));
+      }
+    }
+    // Pump proposals at whoever claims leadership.
+    for (auto& node : nodes) {
+      if (!node->stopped() && node->is_leader()) {
+        node->Propose("cmd-" + std::to_string(proposed++),
+                      [](Result<std::uint64_t>) {});
+        break;
+      }
+    }
+  }
+  // Heal everything and let the group converge.
+  for (auto& node : nodes) {
+    if (node->stopped()) node->Restart();
+  }
+  for (int a = 0; a < kNodes; ++a) {
+    for (int b = 0; b < kNodes; ++b) {
+      if (a != b) {
+        network.SetPartitioned(config.peers[a], config.peers[b], false);
+      }
+    }
+  }
+  sim.RunFor(sim::Seconds(20));
+
+  // Safety: indexes applied by two nodes must carry identical commands.
+  for (int a = 0; a < kNodes; ++a) {
+    for (int b = a + 1; b < kNodes; ++b) {
+      for (const auto& [index, command] : applied[a]) {
+        auto it = applied[b].find(index);
+        if (it != applied[b].end()) {
+          ASSERT_EQ(command, it->second)
+              << "seed " << seed << ": divergence at index " << index
+              << " between " << a << " and " << b;
+        }
+      }
+    }
+  }
+  // Liveness: after healing, something was committed and all replicas are
+  // at the same applied frontier.
+  EXPECT_GT(applied[0].size(), 0u) << "seed " << seed;
+  for (int i = 1; i < kNodes; ++i) {
+    EXPECT_EQ(nodes[i]->applied_up_to(), nodes[0]->applied_up_to())
+        << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaxosFuzzTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42));
+
+// --- MetaStore vs oracle --------------------------------------------------------
+
+class MetaFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MetaFuzzTest, ReplicatedStoreMatchesOracle) {
+  const std::uint64_t seed = GetParam();
+  sim::Simulator sim;
+  net::Network network(&sim, Rng(seed));
+
+  MetaService::Options options;
+  for (int i = 0; i < 3; ++i) {
+    options.paxos.peers.push_back("mp-" + std::to_string(i));
+    options.service_ids.push_back("ms-" + std::to_string(i));
+  }
+  std::vector<std::unique_ptr<MetaService>> services;
+  Rng rng(seed * 17 + 3);
+  for (int i = 0; i < 3; ++i) {
+    services.push_back(std::make_unique<MetaService>(&sim, &network,
+                                                     options, i, rng.Fork()));
+  }
+  MetaClient::Options client_options;
+  client_options.servers = options.service_ids;
+  MetaClient client(&sim, &network, "fuzz-client", client_options);
+  sim.RunFor(sim::Seconds(3));
+
+  // Oracle: path -> (data, version).
+  std::map<std::string, std::pair<std::string, std::uint64_t>> oracle;
+  const std::vector<std::string> paths = {"/a", "/b", "/a/x", "/a/y",
+                                          "/b/z"};
+  for (int op = 0; op < 120; ++op) {
+    const std::string path =
+        paths[rng.NextBelow(paths.size())];
+    const double dice = rng.NextDouble();
+    Status status = InternalError("pending");
+    if (dice < 0.45) {
+      const std::string data = "v" + std::to_string(op);
+      client.Create(path, data, false, [&](Status s) { status = s; });
+      sim.RunFor(sim::Seconds(1));
+      const std::string parent =
+          path.rfind('/') == 0 ? "/" : path.substr(0, path.rfind('/'));
+      const bool parent_ok = parent == "/" || oracle.contains(parent);
+      if (!oracle.contains(path) && parent_ok) {
+        ASSERT_TRUE(status.ok()) << path;
+        oracle[path] = {data, 0};
+      } else {
+        ASSERT_FALSE(status.ok()) << path;
+      }
+    } else if (dice < 0.8) {
+      const std::string data = "s" + std::to_string(op);
+      client.Set(path, data, kAnyVersion, [&](Status s) { status = s; });
+      sim.RunFor(sim::Seconds(1));
+      if (oracle.contains(path)) {
+        ASSERT_TRUE(status.ok()) << path;
+        oracle[path].first = data;
+        ++oracle[path].second;
+      } else {
+        ASSERT_EQ(status.code(), StatusCode::kNotFound) << path;
+      }
+    } else {
+      client.Delete(path, kAnyVersion, [&](Status s) { status = s; });
+      sim.RunFor(sim::Seconds(1));
+      bool has_children = false;
+      const std::string prefix = path + "/";
+      for (const auto& [p, v] : oracle) {
+        if (p.rfind(prefix, 0) == 0) has_children = true;
+      }
+      if (oracle.contains(path) && !has_children) {
+        ASSERT_TRUE(status.ok()) << path;
+        oracle.erase(path);
+      } else {
+        ASSERT_FALSE(status.ok()) << path;
+      }
+    }
+  }
+
+  // Compare final state on every replica.
+  sim.RunFor(sim::Seconds(3));
+  for (int i = 0; i < 3; ++i) {
+    const ZnodeTree& tree = services[i]->tree();
+    for (const auto& [path, expected] : oracle) {
+      auto node = tree.Get(path);
+      ASSERT_TRUE(node.ok()) << "replica " << i << " missing " << path;
+      EXPECT_EQ(node->data, expected.first) << path;
+      EXPECT_EQ(node->version, expected.second) << path;
+    }
+    for (const std::string& path : paths) {
+      if (!oracle.contains(path)) {
+        EXPECT_FALSE(tree.Exists(path)) << "replica " << i << " extra "
+                                        << path;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetaFuzzTest,
+                         ::testing::Values(7, 14, 28, 56));
+
+}  // namespace
+}  // namespace ustore::consensus

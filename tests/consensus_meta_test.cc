@@ -1,0 +1,257 @@
+// Integration tests: MetaService replicas + MetaClient over the simulated
+// network (the "ZooKeeper" of §V-B).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "consensus/meta_client.h"
+#include "consensus/meta_service.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace ustore::consensus {
+namespace {
+
+class MetaClusterTest : public ::testing::Test {
+ protected:
+  static constexpr int kReplicas = 3;
+
+  MetaClusterTest() : network_(&sim_, Rng(5)) {
+    MetaService::Options options;
+    for (int i = 0; i < kReplicas; ++i) {
+      options.paxos.peers.push_back("meta-paxos-" + std::to_string(i));
+      options.service_ids.push_back("meta-" + std::to_string(i));
+    }
+    Rng rng(11);
+    for (int i = 0; i < kReplicas; ++i) {
+      services_.push_back(std::make_unique<MetaService>(
+          &sim_, &network_, options, i, rng.Fork()));
+    }
+    client_ = MakeClient("client-0");
+    sim_.RunFor(sim::Seconds(3));  // let a leader emerge
+  }
+
+  std::unique_ptr<MetaClient> MakeClient(const std::string& id) {
+    MetaClient::Options options;
+    for (int i = 0; i < kReplicas; ++i) {
+      options.servers.push_back("meta-" + std::to_string(i));
+    }
+    return std::make_unique<MetaClient>(&sim_, &network_, id, options);
+  }
+
+  int LeaderIndex() const {
+    for (int i = 0; i < kReplicas; ++i) {
+      if (!services_[i]->stopped() && services_[i]->is_leader()) return i;
+    }
+    return -1;
+  }
+
+  Status CreateSync(MetaClient& client, const std::string& path,
+                    const std::string& data = "", bool ephemeral = false) {
+    Status out = InternalError("pending");
+    client.Create(path, data, ephemeral, [&](Status s) { out = s; });
+    sim_.RunFor(sim::Seconds(2));
+    return out;
+  }
+
+  sim::Simulator sim_;
+  net::Network network_;
+  std::vector<std::unique_ptr<MetaService>> services_;
+  std::unique_ptr<MetaClient> client_;
+};
+
+TEST_F(MetaClusterTest, LeaderEmerges) { EXPECT_GE(LeaderIndex(), 0); }
+
+TEST_F(MetaClusterTest, CreateGetRoundTrip) {
+  ASSERT_TRUE(CreateSync(*client_, "/config", "v1").ok());
+
+  Result<Znode> got = InternalError("pending");
+  client_->Get("/config", [&](Result<Znode> r) { got = std::move(r); });
+  sim_.RunFor(sim::Seconds(2));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->data, "v1");
+}
+
+TEST_F(MetaClusterTest, WritesReplicateToAllServers) {
+  ASSERT_TRUE(CreateSync(*client_, "/a", "x").ok());
+  sim_.RunFor(sim::Seconds(2));
+  for (int i = 0; i < kReplicas; ++i) {
+    EXPECT_TRUE(services_[i]->tree().Exists("/a")) << "replica " << i;
+  }
+}
+
+TEST_F(MetaClusterTest, GuardedSetConflict) {
+  ASSERT_TRUE(CreateSync(*client_, "/a", "x").ok());
+  Status status = InternalError("pending");
+  client_->Set("/a", "y", 7, [&](Status s) { status = s; });
+  sim_.RunFor(sim::Seconds(2));
+  EXPECT_EQ(status.code(), StatusCode::kConflict);
+}
+
+TEST_F(MetaClusterTest, GetChildren) {
+  ASSERT_TRUE(CreateSync(*client_, "/hosts").ok());
+  ASSERT_TRUE(CreateSync(*client_, "/hosts/h0").ok());
+  ASSERT_TRUE(CreateSync(*client_, "/hosts/h1").ok());
+
+  Result<std::vector<std::string>> children = InternalError("pending");
+  client_->GetChildren("/hosts", [&](Result<std::vector<std::string>> r) {
+    children = std::move(r);
+  });
+  sim_.RunFor(sim::Seconds(2));
+  ASSERT_TRUE(children.ok());
+  EXPECT_EQ(*children, (std::vector<std::string>{"/hosts/h0", "/hosts/h1"}));
+}
+
+TEST_F(MetaClusterTest, SessionAndEphemeralLifecycle) {
+  Status ready = InternalError("pending");
+  client_->Start([&](Status s) { ready = s; });
+  sim_.RunFor(sim::Seconds(2));
+  ASSERT_TRUE(ready.ok());
+  ASSERT_TRUE(client_->has_session());
+
+  ASSERT_TRUE(CreateSync(*client_, "/hosts").ok());
+  ASSERT_TRUE(CreateSync(*client_, "/hosts/h0", "alive", true).ok());
+
+  // While keepalives flow, the ephemeral stays.
+  sim_.RunFor(sim::Seconds(15));
+  const int leader = LeaderIndex();
+  ASSERT_GE(leader, 0);
+  EXPECT_TRUE(services_[leader]->tree().Exists("/hosts/h0"));
+
+  // Crash the client: keepalives stop, session expires, ephemeral goes.
+  client_->Crash();
+  sim_.RunFor(sim::Seconds(15));
+  const int leader2 = LeaderIndex();
+  ASSERT_GE(leader2, 0);
+  EXPECT_FALSE(services_[leader2]->tree().Exists("/hosts/h0"));
+}
+
+TEST_F(MetaClusterTest, EphemeralCreateWithoutSessionFails) {
+  Status status = InternalError("pending");
+  client_->Create("/x", "", true, [&](Status s) { status = s; });
+  sim_.RunFor(sim::Seconds(1));
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(MetaClusterTest, DataWatchFires) {
+  ASSERT_TRUE(CreateSync(*client_, "/w", "v0").ok());
+
+  std::string fired_path;
+  Status registered = InternalError("pending");
+  client_->Watch("/w", WatchType::kData,
+                 [&](const std::string& path) { fired_path = path; },
+                 [&](Status s) { registered = s; });
+  sim_.RunFor(sim::Seconds(2));
+  ASSERT_TRUE(registered.ok());
+  EXPECT_TRUE(fired_path.empty());
+
+  Status set_status = InternalError("pending");
+  client_->Set("/w", "v1", kAnyVersion, [&](Status s) { set_status = s; });
+  sim_.RunFor(sim::Seconds(2));
+  ASSERT_TRUE(set_status.ok());
+  EXPECT_EQ(fired_path, "/w");
+}
+
+TEST_F(MetaClusterTest, ChildWatchFiresOnEphemeralExpiry) {
+  // This is the Master's host-liveness mechanism: watch /hosts children,
+  // get notified when a host's session dies.
+  auto host_client = MakeClient("host-client");
+  Status ready = InternalError("pending");
+  host_client->Start([&](Status s) { ready = s; });
+  sim_.RunFor(sim::Seconds(2));
+  ASSERT_TRUE(ready.ok());
+
+  ASSERT_TRUE(CreateSync(*client_, "/hosts").ok());
+  ASSERT_TRUE(CreateSync(*host_client, "/hosts/h0", "", true).ok());
+
+  bool fired = false;
+  client_->Watch("/hosts", WatchType::kChildren,
+                 [&](const std::string&) { fired = true; },
+                 [](Status) {});
+  sim_.RunFor(sim::Seconds(2));
+  ASSERT_FALSE(fired);
+
+  host_client->Crash();
+  sim_.RunFor(sim::Seconds(15));
+  EXPECT_TRUE(fired);
+}
+
+TEST_F(MetaClusterTest, WatchIsOneShot) {
+  ASSERT_TRUE(CreateSync(*client_, "/w", "v0").ok());
+  int fires = 0;
+  client_->Watch("/w", WatchType::kData,
+                 [&](const std::string&) { ++fires; }, [](Status) {});
+  sim_.RunFor(sim::Seconds(1));
+  for (int i = 1; i <= 3; ++i) {
+    Status status = InternalError("pending");
+    client_->Set("/w", "v" + std::to_string(i), kAnyVersion,
+                 [&](Status s) { status = s; });
+    sim_.RunFor(sim::Seconds(2));
+    ASSERT_TRUE(status.ok());
+  }
+  EXPECT_EQ(fires, 1);
+}
+
+TEST_F(MetaClusterTest, ClientFollowsLeaderFailover) {
+  ASSERT_TRUE(CreateSync(*client_, "/a", "1").ok());
+  const int old_leader = LeaderIndex();
+  ASSERT_GE(old_leader, 0);
+  services_[old_leader]->Stop();
+  sim_.RunFor(sim::Seconds(5));
+
+  // Writes keep working against the new leader.
+  Status status = InternalError("pending");
+  client_->Set("/a", "2", kAnyVersion, [&](Status s) { status = s; });
+  sim_.RunFor(sim::Seconds(5));
+  EXPECT_TRUE(status.ok());
+
+  // And the restarted replica converges.
+  services_[old_leader]->Restart();
+  sim_.RunFor(sim::Seconds(8));
+  EXPECT_TRUE(services_[old_leader]->tree().Exists("/a"));
+}
+
+TEST_F(MetaClusterTest, MasterElectionPattern) {
+  // Two "master" processes race to create the same ephemeral node; exactly
+  // one wins; when the winner dies, a watch lets the loser take over.
+  auto master_a = MakeClient("master-a");
+  auto master_b = MakeClient("master-b");
+  Status ready_a = InternalError(""), ready_b = InternalError("");
+  master_a->Start([&](Status s) { ready_a = s; });
+  master_b->Start([&](Status s) { ready_b = s; });
+  sim_.RunFor(sim::Seconds(3));
+  ASSERT_TRUE(ready_a.ok());
+  ASSERT_TRUE(ready_b.ok());
+  ASSERT_TRUE(CreateSync(*client_, "/master").ok());
+
+  Status win_a = InternalError("pending"), win_b = InternalError("pending");
+  master_a->Create("/master/leader", "a", true, [&](Status s) { win_a = s; });
+  master_b->Create("/master/leader", "b", true, [&](Status s) { win_b = s; });
+  sim_.RunFor(sim::Seconds(3));
+  EXPECT_NE(win_a.ok(), win_b.ok());  // exactly one winner
+
+  MetaClient* loser = win_a.ok() ? master_b.get() : master_a.get();
+  MetaClient* winner = win_a.ok() ? master_a.get() : master_b.get();
+
+  bool leadership_open = false;
+  loser->Watch("/master/leader", WatchType::kData,
+               [&](const std::string&) { leadership_open = true; },
+               [](Status) {});
+  sim_.RunFor(sim::Seconds(1));
+
+  winner->Crash();
+  sim_.RunFor(sim::Seconds(15));
+  EXPECT_TRUE(leadership_open);
+
+  Status takeover = InternalError("pending");
+  loser->Create("/master/leader", "new", true,
+                [&](Status s) { takeover = s; });
+  sim_.RunFor(sim::Seconds(3));
+  EXPECT_TRUE(takeover.ok());
+}
+
+}  // namespace
+}  // namespace ustore::consensus

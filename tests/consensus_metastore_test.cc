@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "consensus/metastore.h"
+
+namespace ustore::consensus {
+namespace {
+
+MetaOp CreateOp(const std::string& path, const std::string& data = "",
+                bool ephemeral = false, std::uint64_t session = 0) {
+  MetaOp op;
+  op.kind = MetaOp::Kind::kCreate;
+  op.path = path;
+  op.data = data;
+  op.ephemeral = ephemeral;
+  op.session = session;
+  return op;
+}
+
+MetaOp SetOp(const std::string& path, const std::string& data,
+             std::int64_t version = kAnyVersion) {
+  MetaOp op;
+  op.kind = MetaOp::Kind::kSet;
+  op.path = path;
+  op.data = data;
+  op.expected_version = version;
+  return op;
+}
+
+MetaOp DeleteOp(const std::string& path,
+                std::int64_t version = kAnyVersion) {
+  MetaOp op;
+  op.kind = MetaOp::Kind::kDelete;
+  op.path = path;
+  op.expected_version = version;
+  return op;
+}
+
+// --- Codec ---------------------------------------------------------------------
+
+TEST(MetaOpCodecTest, RoundTrip) {
+  MetaOp op;
+  op.kind = MetaOp::Kind::kCreate;
+  op.path = "/units/u0/disks";
+  op.data = std::string("binary\0data:with:colons", 23);
+  op.ephemeral = true;
+  op.session = 42;
+  op.expected_version = -1;
+  op.ttl_ms = 6000;
+
+  auto decoded = DecodeOp(EncodeOp(op));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->kind, op.kind);
+  EXPECT_EQ(decoded->path, op.path);
+  EXPECT_EQ(decoded->data, op.data);
+  EXPECT_EQ(decoded->ephemeral, op.ephemeral);
+  EXPECT_EQ(decoded->session, op.session);
+  EXPECT_EQ(decoded->expected_version, op.expected_version);
+  EXPECT_EQ(decoded->ttl_ms, op.ttl_ms);
+}
+
+TEST(MetaOpCodecTest, RejectsGarbage) {
+  EXPECT_FALSE(DecodeOp("").ok());
+  EXPECT_FALSE(DecodeOp("hello").ok());
+  EXPECT_FALSE(DecodeOp("9999:trunc").ok());
+}
+
+TEST(MetaOpCodecTest, EmptyFieldsRoundTrip) {
+  MetaOp op;
+  auto decoded = DecodeOp(EncodeOp(op));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->kind, MetaOp::Kind::kNoOp);
+  EXPECT_TRUE(decoded->path.empty());
+}
+
+// --- ZnodeTree -------------------------------------------------------------------
+
+class ZnodeTreeTest : public ::testing::Test {
+ protected:
+  ApplyEffect Apply(const MetaOp& op, double now = 0.0) {
+    return tree_.Apply(op, now);
+  }
+  ZnodeTree tree_;
+};
+
+TEST_F(ZnodeTreeTest, RootExists) {
+  EXPECT_TRUE(tree_.Exists("/"));
+  EXPECT_EQ(tree_.node_count(), 1u);
+}
+
+TEST_F(ZnodeTreeTest, CreateAndGet) {
+  auto effect = Apply(CreateOp("/a", "hello"));
+  EXPECT_TRUE(effect.status.ok());
+  EXPECT_EQ(effect.touched, std::vector<std::string>{"/a"});
+  EXPECT_EQ(effect.children_changed, std::vector<std::string>{"/"});
+
+  auto node = tree_.Get("/a");
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(node->data, "hello");
+  EXPECT_EQ(node->version, 0u);
+}
+
+TEST_F(ZnodeTreeTest, CreateRejectsDuplicates) {
+  EXPECT_TRUE(Apply(CreateOp("/a")).status.ok());
+  EXPECT_EQ(Apply(CreateOp("/a")).status.code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(ZnodeTreeTest, CreateRequiresParent) {
+  EXPECT_EQ(Apply(CreateOp("/a/b")).status.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(Apply(CreateOp("/a")).status.ok());
+  EXPECT_TRUE(Apply(CreateOp("/a/b")).status.ok());
+}
+
+TEST_F(ZnodeTreeTest, RejectsMalformedPaths) {
+  for (const std::string& path :
+       {"", "a", "/a/", "//", "/a//b", "/"}) {
+    EXPECT_FALSE(Apply(CreateOp(path)).status.ok()) << "path=" << path;
+  }
+}
+
+TEST_F(ZnodeTreeTest, SetBumpsVersion) {
+  Apply(CreateOp("/a", "v0"));
+  EXPECT_TRUE(Apply(SetOp("/a", "v1")).status.ok());
+  auto node = tree_.Get("/a");
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(node->data, "v1");
+  EXPECT_EQ(node->version, 1u);
+}
+
+TEST_F(ZnodeTreeTest, GuardedSetChecksVersion) {
+  Apply(CreateOp("/a", "v0"));
+  EXPECT_EQ(Apply(SetOp("/a", "bad", 3)).status.code(),
+            StatusCode::kConflict);
+  EXPECT_TRUE(Apply(SetOp("/a", "good", 0)).status.ok());
+  EXPECT_TRUE(Apply(SetOp("/a", "better", 1)).status.ok());
+}
+
+TEST_F(ZnodeTreeTest, DeleteRequiresEmptyAndMatchingVersion) {
+  Apply(CreateOp("/a"));
+  Apply(CreateOp("/a/b"));
+  EXPECT_EQ(Apply(DeleteOp("/a")).status.code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Apply(DeleteOp("/a/b", 5)).status.code(), StatusCode::kConflict);
+  EXPECT_TRUE(Apply(DeleteOp("/a/b", 0)).status.ok());
+  EXPECT_TRUE(Apply(DeleteOp("/a")).status.ok());
+  EXPECT_FALSE(tree_.Exists("/a"));
+}
+
+TEST_F(ZnodeTreeTest, GetChildrenListsDirectOnly) {
+  Apply(CreateOp("/a"));
+  Apply(CreateOp("/a/b"));
+  Apply(CreateOp("/a/c"));
+  Apply(CreateOp("/a/b2"));
+  Apply(CreateOp("/a/b/deep"));
+  auto children = tree_.GetChildren("/a");
+  EXPECT_EQ(children,
+            (std::vector<std::string>{"/a/b", "/a/b2", "/a/c"}));
+  EXPECT_EQ(tree_.GetChildren("/").size(), 1u);
+}
+
+TEST_F(ZnodeTreeTest, SessionsAndEphemerals) {
+  MetaOp create_session;
+  create_session.kind = MetaOp::Kind::kCreateSession;
+  create_session.ttl_ms = 5000;
+  auto effect = Apply(create_session, 1.0);
+  ASSERT_NE(effect.created_session, 0u);
+  const std::uint64_t session = effect.created_session;
+
+  Apply(CreateOp("/hosts"));
+  EXPECT_TRUE(
+      Apply(CreateOp("/hosts/h1", "alive", true, session)).status.ok());
+
+  // Ephemerals cannot have children.
+  EXPECT_EQ(Apply(CreateOp("/hosts/h1/x")).status.code(),
+            StatusCode::kFailedPrecondition);
+
+  // Expiry removes the ephemeral.
+  MetaOp expire;
+  expire.kind = MetaOp::Kind::kExpireSession;
+  expire.session = session;
+  auto expire_effect = Apply(expire, 10.0);
+  EXPECT_TRUE(expire_effect.status.ok());
+  EXPECT_FALSE(tree_.Exists("/hosts/h1"));
+  EXPECT_FALSE(tree_.SessionAlive(session));
+  EXPECT_EQ(expire_effect.expired_sessions,
+            std::vector<std::uint64_t>{session});
+  ASSERT_FALSE(expire_effect.children_changed.empty());
+  EXPECT_EQ(expire_effect.children_changed[0], "/hosts");
+}
+
+TEST_F(ZnodeTreeTest, EphemeralCreateRequiresLiveSession) {
+  Apply(CreateOp("/hosts"));
+  EXPECT_EQ(Apply(CreateOp("/hosts/h1", "", true, 999)).status.code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ZnodeTreeTest, KeepAliveRefreshesSession) {
+  MetaOp create_session;
+  create_session.kind = MetaOp::Kind::kCreateSession;
+  create_session.ttl_ms = 5000;
+  const std::uint64_t session = Apply(create_session, 1.0).created_session;
+
+  MetaOp keepalive;
+  keepalive.kind = MetaOp::Kind::kKeepAlive;
+  keepalive.session = session;
+  EXPECT_TRUE(Apply(keepalive, 3.0).status.ok());
+  auto sessions = tree_.sessions();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_DOUBLE_EQ(sessions[0].last_seen_seconds, 3.0);
+
+  // Keepalive for an expired session reports NotFound.
+  keepalive.session = 999;
+  EXPECT_EQ(Apply(keepalive, 3.0).status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(ZnodeTreeTest, DeterministicReplay) {
+  // Two trees fed the same op sequence end up identical.
+  std::vector<MetaOp> ops = {
+      CreateOp("/a", "1"), CreateOp("/a/b", "2"), SetOp("/a", "3"),
+      CreateOp("/c"),      DeleteOp("/a/b"),      SetOp("/c", "4"),
+  };
+  ZnodeTree one, two;
+  for (const auto& op : ops) {
+    one.Apply(op, 0.0);
+    two.Apply(op, 0.0);
+  }
+  EXPECT_EQ(one.node_count(), two.node_count());
+  EXPECT_EQ(one.Get("/a")->data, two.Get("/a")->data);
+  EXPECT_EQ(one.Get("/c")->version, two.Get("/c")->version);
+}
+
+}  // namespace
+}  // namespace ustore::consensus

@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "consensus/paxos.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace ustore::consensus {
+namespace {
+
+class PaxosGroup {
+ public:
+  PaxosGroup(sim::Simulator* sim, net::Network* network, int n,
+             std::uint64_t seed = 1) {
+    PaxosConfig config;
+    for (int i = 0; i < n; ++i) {
+      config.peers.push_back("paxos-" + std::to_string(i));
+    }
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+      applied_.emplace_back();
+      nodes_.push_back(std::make_unique<PaxosNode>(
+          sim, network, config, i,
+          [this, i](std::uint64_t index, const std::string& command) {
+            applied_[i].emplace_back(index, command);
+          },
+          rng.Fork()));
+    }
+  }
+
+  PaxosNode* node(int i) { return nodes_[i].get(); }
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  int LeaderIndex() const {
+    for (int i = 0; i < size(); ++i) {
+      if (!nodes_[i]->stopped() && nodes_[i]->is_leader()) return i;
+    }
+    return -1;
+  }
+
+  int LeaderCount() const {
+    int count = 0;
+    for (const auto& node : nodes_) {
+      if (!node->stopped() && node->is_leader()) ++count;
+    }
+    return count;
+  }
+
+  // Applied command (excluding no-ops) sequences must be prefix-consistent.
+  void CheckConsistency() const {
+    for (int a = 0; a < size(); ++a) {
+      for (int b = a + 1; b < size(); ++b) {
+        const auto& log_a = applied_[a];
+        const auto& log_b = applied_[b];
+        // Compare by index: same index => same command.
+        std::map<std::uint64_t, std::string> map_b(log_b.begin(),
+                                                   log_b.end());
+        for (const auto& [index, command] : log_a) {
+          auto it = map_b.find(index);
+          if (it != map_b.end()) {
+            ASSERT_EQ(command, it->second)
+                << "divergence at index " << index << " between nodes " << a
+                << " and " << b;
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<std::string> CommandsApplied(int i) const {
+    std::vector<std::string> out;
+    for (const auto& [index, command] : applied_[i]) {
+      if (command != kNoOpCommand) out.push_back(command);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::unique_ptr<PaxosNode>> nodes_;
+  std::vector<std::vector<std::pair<std::uint64_t, std::string>>> applied_;
+};
+
+class PaxosTest : public ::testing::Test {
+ protected:
+  PaxosTest() : network_(&sim_, Rng(99)) {}
+  sim::Simulator sim_;
+  net::Network network_;
+};
+
+TEST_F(PaxosTest, ElectsExactlyOneLeader) {
+  PaxosGroup group(&sim_, &network_, 3);
+  sim_.RunFor(sim::Seconds(3));
+  EXPECT_EQ(group.LeaderCount(), 1);
+}
+
+TEST_F(PaxosTest, SingleNodeGroupWorks) {
+  PaxosGroup group(&sim_, &network_, 1);
+  sim_.RunFor(sim::Seconds(2));
+  ASSERT_TRUE(group.node(0)->is_leader());
+  bool committed = false;
+  group.node(0)->Propose("cmd", [&](Result<std::uint64_t> r) {
+    EXPECT_TRUE(r.ok());
+    committed = true;
+  });
+  sim_.RunFor(sim::Seconds(1));
+  EXPECT_TRUE(committed);
+  EXPECT_EQ(group.CommandsApplied(0), std::vector<std::string>{"cmd"});
+}
+
+TEST_F(PaxosTest, CommitsReplicateToAllNodes) {
+  PaxosGroup group(&sim_, &network_, 3);
+  sim_.RunFor(sim::Seconds(3));
+  const int leader = group.LeaderIndex();
+  ASSERT_GE(leader, 0);
+
+  for (int i = 0; i < 5; ++i) {
+    group.node(leader)->Propose("cmd-" + std::to_string(i),
+                                [](Result<std::uint64_t>) {});
+  }
+  sim_.RunFor(sim::Seconds(3));
+  for (int n = 0; n < 3; ++n) {
+    EXPECT_EQ(group.CommandsApplied(n).size(), 5u) << "node " << n;
+  }
+  group.CheckConsistency();
+}
+
+TEST_F(PaxosTest, NonLeaderRejectsProposals) {
+  PaxosGroup group(&sim_, &network_, 3);
+  sim_.RunFor(sim::Seconds(3));
+  const int leader = group.LeaderIndex();
+  const int follower = (leader + 1) % 3;
+  Status status;
+  group.node(follower)->Propose(
+      "nope", [&](Result<std::uint64_t> r) { status = r.status(); });
+  sim_.RunFor(sim::Seconds(1));
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(status.message().find("hint"), std::string::npos);
+}
+
+TEST_F(PaxosTest, LeaderCrashElectsNewLeaderAndPreservesLog) {
+  PaxosGroup group(&sim_, &network_, 3);
+  sim_.RunFor(sim::Seconds(3));
+  const int old_leader = group.LeaderIndex();
+  ASSERT_GE(old_leader, 0);
+  for (int i = 0; i < 3; ++i) {
+    group.node(old_leader)->Propose("before-" + std::to_string(i),
+                                    [](Result<std::uint64_t>) {});
+  }
+  sim_.RunFor(sim::Seconds(2));
+
+  group.node(old_leader)->Stop();
+  sim_.RunFor(sim::Seconds(5));
+  const int new_leader = group.LeaderIndex();
+  ASSERT_GE(new_leader, 0);
+  ASSERT_NE(new_leader, old_leader);
+
+  for (int i = 0; i < 3; ++i) {
+    group.node(new_leader)->Propose("after-" + std::to_string(i),
+                                    [](Result<std::uint64_t>) {});
+  }
+  sim_.RunFor(sim::Seconds(3));
+
+  const auto commands = group.CommandsApplied(new_leader);
+  EXPECT_EQ(commands.size(), 6u);
+  group.CheckConsistency();
+}
+
+TEST_F(PaxosTest, RestartedNodeCatchesUp) {
+  PaxosGroup group(&sim_, &network_, 3);
+  sim_.RunFor(sim::Seconds(3));
+  const int leader = group.LeaderIndex();
+  const int victim = (leader + 1) % 3;
+  group.node(victim)->Stop();
+
+  for (int i = 0; i < 10; ++i) {
+    group.node(leader)->Propose("cmd-" + std::to_string(i),
+                                [](Result<std::uint64_t>) {});
+  }
+  sim_.RunFor(sim::Seconds(3));
+
+  group.node(victim)->Restart();
+  sim_.RunFor(sim::Seconds(5));
+  EXPECT_EQ(group.CommandsApplied(victim).size(), 10u);
+  group.CheckConsistency();
+}
+
+TEST_F(PaxosTest, MinorityCrashDoesNotBlockProgress) {
+  PaxosGroup group(&sim_, &network_, 5);
+  sim_.RunFor(sim::Seconds(3));
+  int leader = group.LeaderIndex();
+  ASSERT_GE(leader, 0);
+  // Crash two non-leaders.
+  int crashed = 0;
+  for (int i = 0; i < 5 && crashed < 2; ++i) {
+    if (i != leader) {
+      group.node(i)->Stop();
+      ++crashed;
+    }
+  }
+  int committed = 0;
+  for (int i = 0; i < 4; ++i) {
+    group.node(leader)->Propose(
+        "cmd-" + std::to_string(i),
+        [&](Result<std::uint64_t> r) { committed += r.ok() ? 1 : 0; });
+  }
+  sim_.RunFor(sim::Seconds(3));
+  EXPECT_EQ(committed, 4);
+}
+
+TEST_F(PaxosTest, MajorityCrashBlocksCommits) {
+  PaxosGroup group(&sim_, &network_, 3);
+  sim_.RunFor(sim::Seconds(3));
+  const int leader = group.LeaderIndex();
+  for (int i = 0; i < 3; ++i) {
+    if (i != leader) group.node(i)->Stop();
+  }
+  bool fired = false;
+  group.node(leader)->Propose("stuck",
+                              [&](Result<std::uint64_t>) { fired = true; });
+  sim_.RunFor(sim::Seconds(5));
+  EXPECT_FALSE(fired);  // cannot commit without a majority
+}
+
+TEST_F(PaxosTest, SurvivesLossyNetwork) {
+  // 20% message loss: consensus still makes progress, logs stay consistent.
+  net::LinkParams lossy;
+  lossy.loss_probability = 0.2;
+  network_.set_default_link(lossy);
+
+  PaxosGroup group(&sim_, &network_, 3, /*seed=*/7);
+  sim_.RunFor(sim::Seconds(5));
+
+  // Proposals are pumped at whoever currently leads.
+  int committed = 0;
+  for (int round = 0; round < 20; ++round) {
+    sim_.RunFor(sim::Seconds(1));
+    const int leader = group.LeaderIndex();
+    if (leader < 0) continue;
+    group.node(leader)->Propose(
+        "cmd-" + std::to_string(round),
+        [&](Result<std::uint64_t> r) { committed += r.ok() ? 1 : 0; });
+  }
+  sim_.RunFor(sim::Seconds(10));
+  EXPECT_GT(committed, 10);
+  group.CheckConsistency();
+}
+
+TEST_F(PaxosTest, PartitionedLeaderStepsDownAndRejoins) {
+  PaxosGroup group(&sim_, &network_, 3);
+  sim_.RunFor(sim::Seconds(3));
+  const int old_leader = group.LeaderIndex();
+  ASSERT_GE(old_leader, 0);
+
+  // Isolate the leader from both peers.
+  for (int i = 0; i < 3; ++i) {
+    if (i != old_leader) {
+      network_.SetPartitioned("paxos-" + std::to_string(old_leader),
+                              "paxos-" + std::to_string(i), true);
+    }
+  }
+  sim_.RunFor(sim::Seconds(5));
+  // The majority side elected a new leader.
+  int majority_leader = -1;
+  for (int i = 0; i < 3; ++i) {
+    if (i != old_leader && group.node(i)->is_leader()) majority_leader = i;
+  }
+  ASSERT_GE(majority_leader, 0);
+
+  for (int i = 0; i < 3; ++i) {
+    group.node(majority_leader)->Propose("during-" + std::to_string(i),
+                                         [](Result<std::uint64_t>) {});
+  }
+  sim_.RunFor(sim::Seconds(2));
+
+  // Heal: the old leader must adopt the new history.
+  for (int i = 0; i < 3; ++i) {
+    if (i != old_leader) {
+      network_.SetPartitioned("paxos-" + std::to_string(old_leader),
+                              "paxos-" + std::to_string(i), false);
+    }
+  }
+  sim_.RunFor(sim::Seconds(5));
+  group.CheckConsistency();
+  EXPECT_EQ(group.LeaderCount(), 1);
+  EXPECT_EQ(group.CommandsApplied(old_leader).size(), 3u);
+}
+
+TEST_F(PaxosTest, ConcurrentProposalsAllCommitInSomeOrder) {
+  PaxosGroup group(&sim_, &network_, 3);
+  sim_.RunFor(sim::Seconds(3));
+  const int leader = group.LeaderIndex();
+  int committed = 0;
+  for (int i = 0; i < 20; ++i) {
+    group.node(leader)->Propose(
+        "c" + std::to_string(i),
+        [&](Result<std::uint64_t> r) { committed += r.ok() ? 1 : 0; });
+  }
+  sim_.RunFor(sim::Seconds(5));
+  EXPECT_EQ(committed, 20);
+  for (int n = 0; n < 3; ++n) {
+    EXPECT_EQ(group.CommandsApplied(n).size(), 20u);
+  }
+  group.CheckConsistency();
+}
+
+}  // namespace
+}  // namespace ustore::consensus

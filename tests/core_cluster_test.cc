@@ -1,0 +1,285 @@
+// End-to-end integration tests on the full simulated deployment (Fig. 3):
+// allocation, mount, I/O, host failover with automatic remount, master
+// takeover, and power management.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/cluster.h"
+
+namespace ustore::core {
+namespace {
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  ClusterTest() {
+    cluster_.Start();
+    client_ = cluster_.MakeClient("client-0");
+  }
+
+  Result<ClientLib::Volume*> AllocateSync(const std::string& service,
+                                          Bytes size,
+                                          ClientLib* client = nullptr) {
+    if (client == nullptr) client = client_.get();
+    Result<ClientLib::Volume*> out = InternalError("pending");
+    client->AllocateAndMount(service, size,
+                             [&](Result<ClientLib::Volume*> r) { out = r; });
+    cluster_.RunFor(sim::Seconds(10));
+    return out;
+  }
+
+  Status WriteSync(ClientLib::Volume* volume, Bytes offset,
+                   std::uint64_t tag) {
+    Status out = InternalError("pending");
+    volume->Write(offset, KiB(4), false, tag, [&](Status s) { out = s; });
+    cluster_.RunFor(sim::Seconds(5));
+    return out;
+  }
+
+  Result<std::uint64_t> ReadSync(ClientLib::Volume* volume, Bytes offset) {
+    Result<std::uint64_t> out = InternalError("pending");
+    volume->Read(offset, KiB(4), false,
+                 [&](Result<std::uint64_t> r) { out = r; });
+    cluster_.RunFor(sim::Seconds(5));
+    return out;
+  }
+
+  Cluster cluster_;
+  std::unique_ptr<ClientLib> client_;
+};
+
+TEST_F(ClusterTest, StartupElectsOneActiveMaster) {
+  int active = 0;
+  for (int i = 0; i < 2; ++i) {
+    if (cluster_.master(i)->is_active()) ++active;
+  }
+  EXPECT_EQ(active, 1);
+}
+
+TEST_F(ClusterTest, MasterSeesAllHostsAlive) {
+  Master* master = cluster_.active_master();
+  ASSERT_NE(master, nullptr);
+  for (int h = 0; h < 4; ++h) {
+    EXPECT_TRUE(master->HostAlive(h)) << "host " << h;
+  }
+}
+
+TEST_F(ClusterTest, MasterLearnsDiskMappingFromHeartbeats) {
+  Master* master = cluster_.active_master();
+  EXPECT_EQ(master->CurrentHostOfDisk("disk-0"), 0);
+  EXPECT_EQ(master->CurrentHostOfDisk("disk-7"), 1);
+  EXPECT_EQ(master->CurrentHostOfDisk("disk-15"), 3);
+}
+
+TEST_F(ClusterTest, AllocateMountWriteRead) {
+  auto volume = AllocateSync("backup-svc", GiB(100));
+  ASSERT_TRUE(volume.ok()) << volume.status();
+  EXPECT_TRUE((*volume)->mounted());
+
+  ASSERT_TRUE(WriteSync(*volume, 0, 0xCAFE).ok());
+  auto tag = ReadSync(*volume, 0);
+  ASSERT_TRUE(tag.ok());
+  EXPECT_EQ(*tag, 0xCAFEu);
+}
+
+TEST_F(ClusterTest, AllocationsPreferSameServiceDisk) {
+  auto first = AllocateSync("svc-a", GiB(10));
+  ASSERT_TRUE(first.ok());
+  auto second = AllocateSync("svc-a", GiB(10));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ((*first)->id().disk, (*second)->id().disk);
+
+  // A different service gets a different (fresh) disk.
+  auto other = AllocateSync("svc-b", GiB(10));
+  ASSERT_TRUE(other.ok());
+  EXPECT_NE((*other)->id().disk, (*first)->id().disk);
+}
+
+TEST_F(ClusterTest, AllocationsHonourLocalityHint) {
+  auto local_client = cluster_.MakeClient("client-near-2", /*locality=*/2);
+  auto volume = AllocateSync("svc-local", GiB(10), local_client.get());
+  ASSERT_TRUE(volume.ok());
+  Master* master = cluster_.active_master();
+  EXPECT_EQ(master->CurrentHostOfDisk((*volume)->id().disk), 2);
+}
+
+TEST_F(ClusterTest, AllocationRejectsOversizedRequests) {
+  Result<ClientLib::Volume*> result = InternalError("pending");
+  client_->AllocateAndMount("svc", TB(100),
+                            [&](Result<ClientLib::Volume*> r) { result = r; });
+  cluster_.RunFor(sim::Seconds(5));
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(ClusterTest, LookupReturnsCurrentHost) {
+  auto volume = AllocateSync("svc", GiB(10));
+  ASSERT_TRUE(volume.ok());
+  Result<LookupResponse> lookup = InternalError("pending");
+  client_->Lookup((*volume)->id(),
+                  [&](Result<LookupResponse> r) { lookup = r; });
+  cluster_.RunFor(sim::Seconds(2));
+  ASSERT_TRUE(lookup.ok());
+  EXPECT_TRUE(lookup->available);
+  EXPECT_EQ(lookup->host, (*volume)->current_host());
+}
+
+TEST_F(ClusterTest, ReleaseFreesSpaceAndChecksOwnership) {
+  auto volume = AllocateSync("svc-a", GiB(10));
+  ASSERT_TRUE(volume.ok());
+  const SpaceId id = (*volume)->id();
+
+  Status status = InternalError("pending");
+  client_->Release(id, "svc-b", [&](Status s) { status = s; });
+  cluster_.RunFor(sim::Seconds(3));
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+
+  // Remount before releasing properly (Release unmounted it locally).
+  client_->Release(id, "svc-a", [&](Status s) { status = s; });
+  cluster_.RunFor(sim::Seconds(3));
+  EXPECT_TRUE(status.ok());
+
+  Result<LookupResponse> lookup = InternalError("pending");
+  client_->Lookup(id, [&](Result<LookupResponse> r) { lookup = r; });
+  cluster_.RunFor(sim::Seconds(2));
+  EXPECT_EQ(lookup.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ClusterTest, HostFailureTriggersAutomaticFailover) {
+  // The flagship behaviour: allocate on host 0, crash host 0, observe the
+  // volume come back on another host with data intact.
+  auto local_client = cluster_.MakeClient("client-near-0", /*locality=*/0);
+  auto volume = AllocateSync("svc", GiB(10), local_client.get());
+  ASSERT_TRUE(volume.ok());
+  ASSERT_EQ(cluster_.active_master()->CurrentHostOfDisk((*volume)->id().disk),
+            0);
+  Status write = InternalError("pending");
+  (*volume)->Write(0, KiB(4), false, 0xBEEF, [&](Status s) { write = s; });
+  cluster_.RunFor(sim::Seconds(3));
+  ASSERT_TRUE(write.ok());
+
+  cluster_.CrashHost(0);
+  cluster_.RunFor(sim::Seconds(30));
+
+  Master* master = cluster_.active_master();
+  ASSERT_NE(master, nullptr);
+  EXPECT_FALSE(master->HostAlive(0));
+  EXPECT_GE(master->failovers_completed(), 1);
+  const int new_host = master->CurrentHostOfDisk((*volume)->id().disk);
+  EXPECT_NE(new_host, 0);
+  EXPECT_GE(new_host, 0);
+
+  // The volume remounted automatically and serves the old data.
+  EXPECT_TRUE((*volume)->mounted());
+  EXPECT_GE((*volume)->remount_count(), 1);
+  Result<std::uint64_t> tag = InternalError("pending");
+  (*volume)->Read(0, KiB(4), false,
+                  [&](Result<std::uint64_t> r) { tag = r; });
+  cluster_.RunFor(sim::Seconds(5));
+  ASSERT_TRUE(tag.ok()) << tag.status();
+  EXPECT_EQ(*tag, 0xBEEFu);
+}
+
+TEST_F(ClusterTest, FailoverOfControllingHostUsesBackupController) {
+  // Host 0 runs the primary controller; crashing it exercises the §III-B
+  // takeover path (secondary microcontroller + backup controller).
+  auto client = cluster_.MakeClient("client", /*locality=*/0);
+  auto volume = AllocateSync("svc", GiB(10), client.get());
+  ASSERT_TRUE(volume.ok());
+
+  cluster_.CrashHost(0);
+  cluster_.RunFor(sim::Seconds(30));
+
+  EXPECT_TRUE(cluster_.fabric().mcu(1)->powered());
+  const int new_host =
+      cluster_.active_master()->CurrentHostOfDisk((*volume)->id().disk);
+  EXPECT_GT(new_host, 0);
+  EXPECT_TRUE((*volume)->mounted());
+}
+
+TEST_F(ClusterTest, IoDuringFailoverFailsThenRecovers) {
+  auto client = cluster_.MakeClient("client", /*locality=*/3);
+  auto volume = AllocateSync("svc", GiB(10), client.get());
+  ASSERT_TRUE(volume.ok());
+
+  cluster_.CrashHost(3);
+  cluster_.RunFor(sim::Seconds(1));
+  // The first I/O after the crash fails (timeout), kicking off remount.
+  Status during = InternalError("pending");
+  (*volume)->Write(0, KiB(4), false, 1, [&](Status s) { during = s; });
+  cluster_.RunFor(sim::Seconds(10));
+  EXPECT_FALSE(during.ok());
+
+  cluster_.RunFor(sim::Seconds(25));
+  EXPECT_TRUE((*volume)->mounted());
+  EXPECT_TRUE(WriteSync(*volume, 0, 2).ok());
+}
+
+TEST_F(ClusterTest, StandbyMasterTakesOverWithAllocationsIntact) {
+  auto volume = AllocateSync("svc", GiB(10));
+  ASSERT_TRUE(volume.ok());
+  Master* active = cluster_.active_master();
+  Master* standby =
+      cluster_.master(0) == active ? cluster_.master(1) : cluster_.master(0);
+  ASSERT_FALSE(standby->is_active());
+
+  active->Crash();
+  cluster_.RunFor(sim::Seconds(20));  // session expiry + election + load
+
+  EXPECT_TRUE(standby->is_active());
+  EXPECT_EQ(standby->allocation_count(), 1u);
+  // The new master serves lookups for the existing allocation.
+  Result<LookupResponse> lookup = InternalError("pending");
+  client_->Lookup((*volume)->id(),
+                  [&](Result<LookupResponse> r) { lookup = r; });
+  cluster_.RunFor(sim::Seconds(5));
+  ASSERT_TRUE(lookup.ok());
+  EXPECT_EQ(lookup->length, GiB(10));
+}
+
+TEST_F(ClusterTest, ServicePowerManagement) {
+  auto volume = AllocateSync("archive-svc", GiB(10));
+  ASSERT_TRUE(volume.ok());
+  const std::string disk = (*volume)->id().disk;
+
+  // Another service may not touch the disk.
+  Status status = InternalError("pending");
+  client_->SetDiskPower("other-svc", disk, DiskPowerAction::kSpinDown,
+                        [&](Status s) { status = s; });
+  cluster_.RunFor(sim::Seconds(3));
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+
+  // The owner spins it down...
+  client_->SetDiskPower("archive-svc", disk, DiskPowerAction::kSpinDown,
+                        [&](Status s) { status = s; });
+  cluster_.RunFor(sim::Seconds(3));
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(cluster_.fabric().disk(disk)->state(),
+            hw::DiskState::kSpunDown);
+
+  // ...reads spin it back up implicitly (with spin-up latency)...
+  auto tag = ReadSync(*volume, 0);
+  cluster_.RunFor(sim::Seconds(10));
+  EXPECT_EQ(cluster_.fabric().disk(disk)->state(), hw::DiskState::kIdle);
+
+  // ...and can cut its power entirely through the fabric relay.
+  client_->SetDiskPower("archive-svc", disk, DiskPowerAction::kPowerOff,
+                        [&](Status s) { status = s; });
+  cluster_.RunFor(sim::Seconds(3));
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(cluster_.fabric().disk(disk)->state(),
+            hw::DiskState::kPoweredOff);
+}
+
+TEST_F(ClusterTest, RestartedHostRejoins) {
+  cluster_.CrashHost(2);
+  cluster_.RunFor(sim::Seconds(30));
+  EXPECT_FALSE(cluster_.active_master()->HostAlive(2));
+
+  cluster_.RestartHost(2);
+  cluster_.RunFor(sim::Seconds(10));
+  EXPECT_TRUE(cluster_.active_master()->HostAlive(2));
+}
+
+}  // namespace
+}  // namespace ustore::core

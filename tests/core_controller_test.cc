@@ -1,0 +1,217 @@
+// Controller unit tests: Algorithm 1 (SwitchesToTurn), command execution
+// with verification, conflicts and rollback.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "core/controller.h"
+#include "core/types.h"
+#include "fabric/fabric_manager.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace ustore::core {
+namespace {
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest()
+      : network_(&sim_, Rng(21)),
+        manager_(&sim_, fabric::BuildPrototypeFabric(),
+                 fabric::FabricManager::Options{}, Rng(22)),
+        controller_(&sim_, &network_, "ctrl-0",
+                    fabric::BuildPrototypeFabric(), &manager_, 0),
+        requester_(&sim_, &network_, "requester") {
+    // Feed the controller USB reports the way EndPoints would.
+    report_timer_ = std::make_unique<sim::Timer>(&sim_);
+    report_timer_->StartPeriodic(sim::MillisD(300), [this] {
+      for (int h = 0; h < 4; ++h) {
+        auto report = std::make_shared<UsbReportMsg>();
+        report->host_index = h;
+        report->report = manager_.host_stack(h)->TreeReport();
+        requester_.Notify("ctrl-0", report);
+      }
+    });
+    sim_.RunFor(sim::Seconds(5));  // initial enumeration + first reports
+  }
+
+  Status Schedule(std::vector<DiskHostPair> moves,
+                  sim::Duration wait = sim::Seconds(40)) {
+    auto request = std::make_shared<ScheduleRequest>();
+    request->moves = std::move(moves);
+    Status out = InternalError("pending");
+    requester_.Call("ctrl-0", request, sim::Seconds(60),
+                    [&](Result<net::MessagePtr> result) {
+                      out = result.status();
+                    });
+    sim_.RunFor(wait);
+    return out;
+  }
+
+  sim::Simulator sim_;
+  net::Network network_;
+  fabric::FabricManager manager_;
+  Controller controller_;
+  net::RpcEndpoint requester_;
+  std::unique_ptr<sim::Timer> report_timer_;
+};
+
+TEST_F(ControllerTest, BelievedStateMatchesInitialFabric) {
+  EXPECT_EQ(controller_.BelievedHostOfDisk("disk-0"), 0);
+  EXPECT_EQ(controller_.BelievedHostOfDisk("disk-5"), 1);
+  EXPECT_EQ(controller_.BelievedHostOfDisk("disk-15"), 3);
+  EXPECT_EQ(controller_.BelievedHostOfDisk("nonexistent"), -1);
+}
+
+TEST_F(ControllerTest, SwitchesToTurnForGroupMove) {
+  // Moving the whole group 0 to host 1 needs exactly one flip (swl-0).
+  std::vector<DiskHostPair> moves;
+  for (int d = 0; d < 4; ++d) {
+    moves.push_back({"disk-" + std::to_string(d), 1});
+  }
+  auto plan = controller_.SwitchesToTurn(moves);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->size(), 1u);
+}
+
+TEST_F(ControllerTest, SwitchesToTurnNoOpWhenAlreadyThere) {
+  auto plan = controller_.SwitchesToTurn({{"disk-0", 0}});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->empty());
+}
+
+TEST_F(ControllerTest, SingleDiskMoveConflictsWithGroupMates) {
+  // Algorithm 1: moving only disk-0 to host 1 requires flipping swl-0,
+  // which carries disks 1-3 (not in the command) — a conflict.
+  auto plan = controller_.SwitchesToTurn({{"disk-0", 1}});
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kConflict);
+}
+
+TEST_F(ControllerTest, ExecutesGroupMoveAndVerifies) {
+  std::vector<DiskHostPair> moves;
+  for (int d = 0; d < 4; ++d) {
+    moves.push_back({"disk-" + std::to_string(d), 1});
+  }
+  Status status = Schedule(moves);
+  EXPECT_TRUE(status.ok()) << status;
+  // Physical fabric and controller belief both updated.
+  EXPECT_EQ(manager_.VisibleHostOfDisk("disk-0"), 1);
+  EXPECT_EQ(controller_.BelievedHostOfDisk("disk-0"), 1);
+  EXPECT_EQ(controller_.BelievedHostOfDisk("disk-3"), 1);
+}
+
+TEST_F(ControllerTest, MoveBackRestores) {
+  std::vector<DiskHostPair> there, back;
+  for (int d = 0; d < 4; ++d) {
+    there.push_back({"disk-" + std::to_string(d), 1});
+    back.push_back({"disk-" + std::to_string(d), 0});
+  }
+  ASSERT_TRUE(Schedule(there).ok());
+  ASSERT_TRUE(Schedule(back).ok());
+  EXPECT_EQ(manager_.VisibleHostOfDisk("disk-0"), 0);
+}
+
+TEST_F(ControllerTest, ConflictingCommandRejectedWithoutChanges) {
+  Status status = Schedule({{"disk-0", 1}}, sim::Seconds(5));
+  EXPECT_EQ(status.code(), StatusCode::kConflict);
+  EXPECT_EQ(manager_.VisibleHostOfDisk("disk-0"), 0);  // untouched
+}
+
+TEST_F(ControllerTest, CommandsAreSerializedThroughTheLock) {
+  // Two commands queued back to back both execute, in order.
+  std::vector<DiskHostPair> there, back;
+  for (int d = 0; d < 4; ++d) {
+    there.push_back({"disk-" + std::to_string(d), 1});
+    back.push_back({"disk-" + std::to_string(d), 0});
+  }
+  Status first = InternalError("pending"), second = InternalError("pending");
+  auto request1 = std::make_shared<ScheduleRequest>();
+  request1->moves = there;
+  auto request2 = std::make_shared<ScheduleRequest>();
+  request2->moves = back;
+  requester_.Call("ctrl-0", request1, sim::Seconds(90),
+                  [&](Result<net::MessagePtr> r) { first = r.status(); });
+  requester_.Call("ctrl-0", request2, sim::Seconds(90),
+                  [&](Result<net::MessagePtr> r) { second = r.status(); });
+  sim_.RunFor(sim::Seconds(80));
+  EXPECT_TRUE(first.ok()) << first;
+  EXPECT_TRUE(second.ok()) << second;
+  EXPECT_EQ(manager_.VisibleHostOfDisk("disk-0"), 0);
+}
+
+TEST_F(ControllerTest, VerificationTimeoutRollsBack) {
+  // Crash the destination host: the disks switch over physically but its
+  // (dead) OS never reports them, so verification must time out and the
+  // controller must roll the switches back.
+  manager_.CrashHost(1);
+  std::vector<DiskHostPair> moves;
+  for (int d = 0; d < 4; ++d) {
+    moves.push_back({"disk-" + std::to_string(d), 1});
+  }
+  Status status = Schedule(moves, sim::Seconds(60));
+  EXPECT_EQ(status.code(), StatusCode::kAborted);
+  // Rolled back to host 0.
+  sim_.RunFor(sim::Seconds(5));
+  EXPECT_EQ(manager_.VisibleHostOfDisk("disk-0"), 0);
+  EXPECT_EQ(controller_.BelievedHostOfDisk("disk-0"), 0);
+}
+
+TEST_F(ControllerTest, RelayPowerRequestCutsDiskPower) {
+  auto request = std::make_shared<RelayPowerRequest>();
+  request->device = "disk-7";
+  request->on = false;
+  Status status = InternalError("pending");
+  requester_.Call("ctrl-0", request, sim::Seconds(5),
+                  [&](Result<net::MessagePtr> r) { status = r.status(); });
+  sim_.RunFor(sim::Seconds(2));
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(manager_.disk("disk-7")->state(), hw::DiskState::kPoweredOff);
+}
+
+TEST_F(ControllerTest, CrashedControllerIgnoresCommands) {
+  controller_.Crash();
+  Status status = Schedule({{"disk-0", 0}}, sim::Seconds(70));
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(ControllerTest, SecondControllerTakesOverViaXorBus) {
+  // Build the backup controller on mcu 1; its board is unpowered until
+  // takeover.
+  Controller backup(&sim_, &network_, "ctrl-1",
+                    fabric::BuildPrototypeFabric(), &manager_, 1);
+  sim::Timer backup_reports(&sim_);
+  backup_reports.StartPeriodic(sim::MillisD(300), [&] {
+    for (int h = 0; h < 4; ++h) {
+      auto report = std::make_shared<UsbReportMsg>();
+      report->host_index = h;
+      report->report = manager_.host_stack(h)->TreeReport();
+      requester_.Notify("ctrl-1", report);
+    }
+  });
+
+  controller_.Crash();
+  Status takeover = InternalError("pending");
+  requester_.Call("ctrl-1", std::make_shared<ControllerTakeoverRequest>(),
+                  sim::Seconds(5),
+                  [&](Result<net::MessagePtr> r) { takeover = r.status(); });
+  sim_.RunFor(sim::Seconds(2));
+  ASSERT_TRUE(takeover.ok());
+
+  std::vector<DiskHostPair> moves;
+  for (int d = 0; d < 4; ++d) {
+    moves.push_back({"disk-" + std::to_string(d), 1});
+  }
+  auto request = std::make_shared<ScheduleRequest>();
+  request->moves = moves;
+  Status status = InternalError("pending");
+  requester_.Call("ctrl-1", request, sim::Seconds(60),
+                  [&](Result<net::MessagePtr> r) { status = r.status(); });
+  sim_.RunFor(sim::Seconds(40));
+  EXPECT_TRUE(status.ok()) << status;
+  EXPECT_EQ(manager_.VisibleHostOfDisk("disk-0"), 1);
+}
+
+}  // namespace
+}  // namespace ustore::core

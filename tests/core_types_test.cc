@@ -1,0 +1,37 @@
+#include <gtest/gtest.h>
+
+#include "core/types.h"
+
+namespace ustore::core {
+namespace {
+
+TEST(SpaceIdTest, ToStringFormat) {
+  SpaceId id{0, "disk-3", 7};
+  EXPECT_EQ(id.ToString(), "/u0/disk-3/7");
+}
+
+TEST(SpaceIdTest, ParseRoundTrip) {
+  SpaceId id{12, "disk-15", 42};
+  auto parsed = SpaceId::Parse(id.ToString());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, id);
+}
+
+TEST(SpaceIdTest, ParseRejectsGarbage) {
+  for (const std::string& bad :
+       {"", "/", "/u", "/u0", "/u0/disk-1", "/ux/disk-1/2", "/u0//3",
+        "/u0/disk-1/x", "u0/disk-1/2", "/u0/disk-1/2/3x"}) {
+    EXPECT_FALSE(SpaceId::Parse(bad).ok()) << "input: " << bad;
+  }
+}
+
+TEST(SpaceIdTest, Ordering) {
+  SpaceId a{0, "disk-1", 1};
+  SpaceId b{0, "disk-1", 2};
+  SpaceId c{0, "disk-2", 1};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+}  // namespace
+}  // namespace ustore::core

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "fabric/builders.h"
+#include "fabric/topology.h"
+
+namespace ustore::fabric {
+namespace {
+
+// A tiny hand-built fabric: two hosts, one hub each, one disk switchable
+// between them.
+//
+//   host-a:p0     host-b:p0
+//      |             |
+//    hub-a         hub-b
+//        \         /
+//         sw (2:1)
+//          |
+//        disk-0
+class TinyFabricTest : public ::testing::Test {
+ protected:
+  TinyFabricTest() {
+    host_a_ = t_.AddHostPort("host-a:p0");
+    host_b_ = t_.AddHostPort("host-b:p0");
+    hub_a_ = t_.AddHub("hub-a", host_a_);
+    hub_b_ = t_.AddHub("hub-b", host_b_);
+    sw_ = t_.AddSwitch("sw", hub_a_, hub_b_);
+    disk_ = t_.AddDisk("disk-0", sw_);
+  }
+
+  Topology t_;
+  NodeIndex host_a_, host_b_, hub_a_, hub_b_, sw_, disk_;
+};
+
+TEST_F(TinyFabricTest, Validates) {
+  EXPECT_TRUE(t_.Validate(kDefaultHubFanIn).ok());
+}
+
+TEST_F(TinyFabricTest, DefaultAttachesToPrimary) {
+  EXPECT_EQ(t_.AttachedHostPort(disk_), host_a_);
+}
+
+TEST_F(TinyFabricTest, SwitchingMovesAttachment) {
+  t_.SetSwitch(sw_, true);
+  EXPECT_EQ(t_.AttachedHostPort(disk_), host_b_);
+  t_.SetSwitch(sw_, false);
+  EXPECT_EQ(t_.AttachedHostPort(disk_), host_a_);
+}
+
+TEST_F(TinyFabricTest, ActivePathListsComponentsInOrder) {
+  auto path = t_.ActivePath(disk_);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path[0], disk_);
+  EXPECT_EQ(path[1], sw_);
+  EXPECT_EQ(path[2], hub_a_);
+  EXPECT_EQ(path[3], host_a_);
+}
+
+TEST_F(TinyFabricTest, FailedHubBreaksPath) {
+  t_.SetFailed(hub_a_, true);
+  EXPECT_EQ(t_.AttachedHostPort(disk_), kInvalidNode);
+  EXPECT_TRUE(t_.ActivePath(disk_).empty());
+  // But the other tree is still reachable by switching.
+  t_.SetSwitch(sw_, true);
+  EXPECT_EQ(t_.AttachedHostPort(disk_), host_b_);
+}
+
+TEST_F(TinyFabricTest, UnpoweredDiskDetaches) {
+  t_.SetPowered(disk_, false);
+  EXPECT_EQ(t_.AttachedHostPort(disk_), kInvalidNode);
+}
+
+TEST_F(TinyFabricTest, RouteToFindsSwitchSettings) {
+  auto route = t_.RouteTo(disk_, host_b_);
+  ASSERT_TRUE(route.ok());
+  ASSERT_EQ(route->size(), 1u);
+  EXPECT_EQ((*route)[0], (SwitchSetting{sw_, true}));
+
+  route = t_.RouteTo(disk_, host_a_);
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ((*route)[0], (SwitchSetting{sw_, false}));
+}
+
+TEST_F(TinyFabricTest, RouteToFailsThroughFailedComponents) {
+  t_.SetFailed(hub_b_, true);
+  auto route = t_.RouteTo(disk_, host_b_);
+  EXPECT_FALSE(route.ok());
+  EXPECT_EQ(route.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(TinyFabricTest, RouteToFailedDiskIsUnavailable) {
+  t_.SetFailed(disk_, true);
+  auto route = t_.RouteTo(disk_, host_a_);
+  EXPECT_EQ(route.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(TinyFabricTest, ReachableHostPorts) {
+  auto hosts = t_.ReachableHostPorts(disk_);
+  EXPECT_EQ(hosts.size(), 2u);
+  t_.SetFailed(hub_b_, true);
+  hosts = t_.ReachableHostPorts(disk_);
+  ASSERT_EQ(hosts.size(), 1u);
+  EXPECT_EQ(hosts[0], host_a_);
+}
+
+TEST_F(TinyFabricTest, TierAndUsbParent) {
+  EXPECT_EQ(t_.TierOf(disk_), 1);  // one hub above it
+  EXPECT_EQ(t_.UsbParentOf(disk_), hub_a_);  // the switch is invisible
+  t_.SetSwitch(sw_, true);
+  EXPECT_EQ(t_.UsbParentOf(disk_), hub_b_);
+}
+
+TEST_F(TinyFabricTest, FailureUnits) {
+  // The disk's unit includes the switch below... above it (its uplink
+  // switch); the switch's unit includes the disk.
+  auto disk_unit = t_.FailureUnitOf(disk_);
+  EXPECT_NE(std::find(disk_unit.begin(), disk_unit.end(), sw_),
+            disk_unit.end());
+  auto switch_unit = t_.FailureUnitOf(sw_);
+  EXPECT_NE(std::find(switch_unit.begin(), switch_unit.end(), disk_),
+            switch_unit.end());
+}
+
+TEST_F(TinyFabricTest, FindByName) {
+  auto found = t_.Find("disk-0");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, disk_);
+  EXPECT_FALSE(t_.Find("nonexistent").ok());
+}
+
+// --- Validation failures -----------------------------------------------------
+
+TEST(TopologyValidationTest, RejectsIdenticalSwitchUpstreams) {
+  Topology t;
+  NodeIndex host = t.AddHostPort("h");
+  NodeIndex hub = t.AddHub("hub", host);
+  t.AddSwitch("sw", hub, hub);
+  EXPECT_FALSE(t.Validate(4).ok());
+}
+
+TEST(TopologyValidationTest, RejectsExcessFanIn) {
+  Topology t;
+  NodeIndex host = t.AddHostPort("h");
+  NodeIndex hub = t.AddHub("hub", host);
+  for (int i = 0; i < 5; ++i) t.AddDisk("d" + std::to_string(i), hub);
+  EXPECT_FALSE(t.Validate(4).ok());
+  EXPECT_TRUE(t.Validate(5).ok());
+}
+
+TEST(TopologyValidationTest, CountsPotentialFanInThroughSwitches) {
+  Topology t;
+  NodeIndex host_a = t.AddHostPort("a");
+  NodeIndex host_b = t.AddHostPort("b");
+  NodeIndex hub_a = t.AddHub("hub-a", host_a);
+  NodeIndex hub_b = t.AddHub("hub-b", host_b);
+  for (int i = 0; i < 4; ++i) {
+    NodeIndex sw = t.AddSwitch("sw" + std::to_string(i), hub_a, hub_b);
+    t.AddDisk("d" + std::to_string(i), sw);
+  }
+  EXPECT_TRUE(t.Validate(4).ok());
+  // A fifth switchable disk could oversubscribe either hub.
+  NodeIndex sw = t.AddSwitch("sw4", hub_a, hub_b);
+  t.AddDisk("d4", sw);
+  EXPECT_FALSE(t.Validate(4).ok());
+}
+
+}  // namespace
+}  // namespace ustore::fabric

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "hw/microcontroller.h"
+
+namespace ustore::hw {
+namespace {
+
+class McuTest : public ::testing::Test {
+ protected:
+  McuTest()
+      : bus_(8),
+        primary_("mcu-a", 8, &bus_),
+        secondary_("mcu-b", 8, &bus_) {
+    bus_.set_observer(
+        [this](int line, bool value) { changes_[line] = value; });
+    primary_.PowerOn();
+  }
+
+  XorSignalBus bus_;
+  Microcontroller primary_;
+  Microcontroller secondary_;
+  std::map<int, bool> changes_;
+};
+
+TEST_F(McuTest, PrimaryDrivesLinesDirectly) {
+  ASSERT_TRUE(primary_.SetOutput(3, true).ok());
+  EXPECT_TRUE(bus_.line(3));
+  EXPECT_FALSE(bus_.line(2));
+  EXPECT_TRUE(changes_.at(3));
+}
+
+TEST_F(McuTest, UnpoweredBoardCannotSet) {
+  Status s = secondary_.SetOutput(0, true);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(McuTest, OutOfRangeLineRejected) {
+  EXPECT_EQ(primary_.SetOutput(8, true).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(primary_.SetOutput(-1, true).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(McuTest, SecondaryPowerOnLeavesLinesUnchanged) {
+  // The crucial XOR property (§III-B): the standby board powers on with
+  // all-zero outputs, so the effective line values do not glitch.
+  ASSERT_TRUE(primary_.SetOutput(1, true).ok());
+  ASSERT_TRUE(primary_.SetOutput(5, true).ok());
+  changes_.clear();
+
+  secondary_.PowerOn();
+  EXPECT_TRUE(changes_.empty());
+  EXPECT_TRUE(bus_.line(1));
+  EXPECT_TRUE(bus_.line(5));
+  EXPECT_FALSE(bus_.line(0));
+}
+
+TEST_F(McuTest, SecondaryCanToggleLinesAfterTakeover) {
+  ASSERT_TRUE(primary_.SetOutput(2, true).ok());
+  secondary_.PowerOn();
+  // Secondary toggles line 2 off and line 4 on by raising its own bits.
+  ASSERT_TRUE(secondary_.SetOutput(2, true).ok());  // 1 XOR 1 = 0
+  ASSERT_TRUE(secondary_.SetOutput(4, true).ok());  // 0 XOR 1 = 1
+  EXPECT_FALSE(bus_.line(2));
+  EXPECT_TRUE(bus_.line(4));
+}
+
+TEST_F(McuTest, PrimaryPowerLossFlipsItsLinesToZeroContribution) {
+  // If the primary's power is cut, its outputs drop and lines revert to
+  // the secondary's view — modelling the electrical behaviour.
+  ASSERT_TRUE(primary_.SetOutput(1, true).ok());
+  secondary_.PowerOn();
+  ASSERT_TRUE(secondary_.SetOutput(6, true).ok());
+  primary_.PowerOff();
+  EXPECT_FALSE(bus_.line(1));  // was primary's
+  EXPECT_TRUE(bus_.line(6));   // secondary still drives it
+}
+
+TEST_F(McuTest, PowerCycleResetsOutputs) {
+  ASSERT_TRUE(primary_.SetOutput(1, true).ok());
+  primary_.PowerOff();
+  primary_.PowerOn();
+  EXPECT_FALSE(bus_.line(1));
+  EXPECT_FALSE(primary_.output(1));
+}
+
+TEST_F(McuTest, RedundantSetIsIdempotent) {
+  ASSERT_TRUE(primary_.SetOutput(0, true).ok());
+  changes_.clear();
+  ASSERT_TRUE(primary_.SetOutput(0, true).ok());
+  EXPECT_TRUE(changes_.empty());
+}
+
+}  // namespace
+}  // namespace ustore::hw

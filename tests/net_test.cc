@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/network.h"
+#include "net/rpc.h"
+#include "sim/simulator.h"
+
+namespace ustore::net {
+namespace {
+
+struct TestMsg : Message {
+  explicit TestMsg(int v, Bytes size = 256) : value(v), size(size) {}
+  int value;
+  Bytes size;
+  Bytes wire_size() const override { return size; }
+};
+
+struct EchoRequest : Message {
+  explicit EchoRequest(int v) : value(v) {}
+  int value;
+};
+struct EchoResponse : Message {
+  explicit EchoResponse(int v) : value(v) {}
+  int value;
+};
+
+class Recorder : public Node {
+ public:
+  void HandleMessage(const NodeId& from, const MessagePtr& msg) override {
+    received.emplace_back(from, std::static_pointer_cast<TestMsg>(msg)->value);
+  }
+  std::vector<std::pair<NodeId, int>> received;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : net_(&sim_, Rng(42)) {}
+  sim::Simulator sim_;
+  Network net_;
+};
+
+TEST_F(NetworkTest, DeliversWithLatency) {
+  Recorder receiver;
+  net_.Register("a", &receiver);
+  net_.Register("b", &receiver);
+  LinkParams link;
+  link.latency = sim::Millis(5);
+  link.bandwidth = MBps(1000);
+  net_.set_default_link(link);
+
+  net_.Send("a", "b", std::make_shared<TestMsg>(7, 0 + 256));
+  sim_.Run();
+  ASSERT_EQ(receiver.received.size(), 1u);
+  EXPECT_EQ(receiver.received[0].second, 7);
+  EXPECT_GE(sim_.now(), sim::Millis(5));
+}
+
+TEST_F(NetworkTest, BandwidthSerializesLargeMessages) {
+  Recorder receiver;
+  net_.Register("a", &receiver);
+  net_.Register("b", &receiver);
+  LinkParams link;
+  link.latency = 0;
+  link.bandwidth = MBps(100);  // 10 ms per MB
+  net_.set_default_link(link);
+
+  // Two 1 MB messages back to back: second finishes at ~20 ms.
+  net_.Send("a", "b", std::make_shared<TestMsg>(1, 1'000'000));
+  net_.Send("a", "b", std::make_shared<TestMsg>(2, 1'000'000));
+  sim_.Run();
+  ASSERT_EQ(receiver.received.size(), 2u);
+  EXPECT_NEAR(sim::ToMillis(sim_.now()), 20.0, 0.5);
+}
+
+TEST_F(NetworkTest, DropsToUnknownNode) {
+  Recorder receiver;
+  net_.Register("a", &receiver);
+  net_.Send("a", "ghost", std::make_shared<TestMsg>(1));
+  sim_.Run();
+  EXPECT_EQ(net_.messages_dropped(), 1u);
+}
+
+TEST_F(NetworkTest, DownNodeDropsTraffic) {
+  Recorder receiver;
+  net_.Register("a", &receiver);
+  net_.Register("b", &receiver);
+  net_.SetNodeDown("b", true);
+  net_.Send("a", "b", std::make_shared<TestMsg>(1));
+  sim_.Run();
+  EXPECT_TRUE(receiver.received.empty());
+
+  net_.SetNodeDown("b", false);
+  net_.Send("a", "b", std::make_shared<TestMsg>(2));
+  sim_.Run();
+  EXPECT_EQ(receiver.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, CrashWhileInFlightDropsMessage) {
+  Recorder receiver;
+  net_.Register("a", &receiver);
+  net_.Register("b", &receiver);
+  LinkParams link;
+  link.latency = sim::Millis(10);
+  net_.set_default_link(link);
+  net_.Send("a", "b", std::make_shared<TestMsg>(1));
+  sim_.Schedule(sim::Millis(1), [&] { net_.SetNodeDown("b", true); });
+  sim_.Run();
+  EXPECT_TRUE(receiver.received.empty());
+}
+
+TEST_F(NetworkTest, PartitionBlocksBothDirections) {
+  Recorder receiver;
+  net_.Register("a", &receiver);
+  net_.Register("b", &receiver);
+  net_.SetPartitioned("a", "b", true);
+  net_.Send("a", "b", std::make_shared<TestMsg>(1));
+  net_.Send("b", "a", std::make_shared<TestMsg>(2));
+  sim_.Run();
+  EXPECT_TRUE(receiver.received.empty());
+
+  net_.SetPartitioned("a", "b", false);
+  net_.Send("a", "b", std::make_shared<TestMsg>(3));
+  sim_.Run();
+  EXPECT_EQ(receiver.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, LossyLinkDropsSomeMessages) {
+  Recorder receiver;
+  net_.Register("a", &receiver);
+  net_.Register("b", &receiver);
+  LinkParams link;
+  link.loss_probability = 0.5;
+  net_.set_default_link(link);
+  for (int i = 0; i < 200; ++i) {
+    net_.Send("a", "b", std::make_shared<TestMsg>(i));
+  }
+  sim_.Run();
+  EXPECT_GT(receiver.received.size(), 50u);
+  EXPECT_LT(receiver.received.size(), 150u);
+}
+
+// --- RPC ---------------------------------------------------------------------
+
+class RpcTest : public ::testing::Test {
+ protected:
+  RpcTest()
+      : net_(&sim_, Rng(42)),
+        server_(&sim_, &net_, "server"),
+        client_(&sim_, &net_, "client") {}
+
+  sim::Simulator sim_;
+  Network net_;
+  RpcEndpoint server_;
+  RpcEndpoint client_;
+};
+
+TEST_F(RpcTest, RoundTrip) {
+  server_.RegisterHandler<EchoRequest>(
+      [](const NodeId&, MessagePtr req,
+         std::function<void(Result<MessagePtr>)> reply) {
+        auto* echo = static_cast<EchoRequest*>(req.get());
+        reply(MessagePtr(std::make_shared<EchoResponse>(echo->value * 2)));
+      });
+
+  int got = 0;
+  client_.Call("server", std::make_shared<EchoRequest>(21), sim::Seconds(1),
+               [&](Result<MessagePtr> result) {
+                 ASSERT_TRUE(result.ok());
+                 got = static_cast<EchoResponse*>(result->get())->value;
+               });
+  sim_.Run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST_F(RpcTest, DeferredReply) {
+  server_.RegisterHandler<EchoRequest>(
+      [this](const NodeId&, MessagePtr req,
+             std::function<void(Result<MessagePtr>)> reply) {
+        auto* echo = static_cast<EchoRequest*>(req.get());
+        sim_.Schedule(sim::Millis(50), [reply, value = echo->value] {
+          reply(MessagePtr(std::make_shared<EchoResponse>(value + 1)));
+        });
+      });
+
+  int got = 0;
+  client_.Call("server", std::make_shared<EchoRequest>(1), sim::Seconds(1),
+               [&](Result<MessagePtr> result) {
+                 ASSERT_TRUE(result.ok());
+                 got = static_cast<EchoResponse*>(result->get())->value;
+               });
+  sim_.Run();
+  EXPECT_EQ(got, 2);
+  EXPECT_GE(sim_.now(), sim::Millis(50));
+}
+
+TEST_F(RpcTest, TimeoutWhenServerDown) {
+  net_.SetNodeDown("server", true);
+  Status status;
+  client_.Call("server", std::make_shared<EchoRequest>(1), sim::Millis(100),
+               [&](Result<MessagePtr> result) { status = result.status(); });
+  sim_.Run();
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NEAR(sim::ToMillis(sim_.now()), 100.0, 1.0);
+}
+
+TEST_F(RpcTest, UnhandledRequestTypeFails) {
+  Status status;
+  client_.Call("server", std::make_shared<EchoRequest>(1), sim::Seconds(1),
+               [&](Result<MessagePtr> result) { status = result.status(); });
+  sim_.Run();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(RpcTest, HandlerErrorPropagates) {
+  server_.RegisterHandler<EchoRequest>(
+      [](const NodeId&, MessagePtr,
+         std::function<void(Result<MessagePtr>)> reply) {
+        reply(NotFoundError("no such disk"));
+      });
+  Status status;
+  client_.Call("server", std::make_shared<EchoRequest>(1), sim::Seconds(1),
+               [&](Result<MessagePtr> result) { status = result.status(); });
+  sim_.Run();
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(RpcTest, NotifyDelivery) {
+  int got = 0;
+  server_.RegisterNotifyHandler<EchoRequest>(
+      [&](const NodeId& from, MessagePtr msg) {
+        EXPECT_EQ(from, "client");
+        got = static_cast<EchoRequest*>(msg.get())->value;
+      });
+  client_.Notify("server", std::make_shared<EchoRequest>(5));
+  sim_.Run();
+  EXPECT_EQ(got, 5);
+}
+
+TEST_F(RpcTest, ShutdownDropsPendingCallbacks) {
+  server_.RegisterHandler<EchoRequest>(
+      [this](const NodeId&, MessagePtr,
+             std::function<void(Result<MessagePtr>)> reply) {
+        sim_.Schedule(sim::Seconds(10), [reply] {
+          reply(MessagePtr(std::make_shared<EchoResponse>(0)));
+        });
+      });
+  bool callback_fired = false;
+  client_.Call("server", std::make_shared<EchoRequest>(1), sim::Seconds(30),
+               [&](Result<MessagePtr>) { callback_fired = true; });
+  sim_.Schedule(sim::Millis(10), [&] { client_.Shutdown(); });
+  sim_.Run();
+  EXPECT_FALSE(callback_fired);
+}
+
+TEST_F(RpcTest, LateResponseAfterTimeoutIsIgnored) {
+  server_.RegisterHandler<EchoRequest>(
+      [this](const NodeId&, MessagePtr,
+             std::function<void(Result<MessagePtr>)> reply) {
+        sim_.Schedule(sim::Seconds(5), [reply] {
+          reply(MessagePtr(std::make_shared<EchoResponse>(9)));
+        });
+      });
+  int callbacks = 0;
+  Status first_status;
+  client_.Call("server", std::make_shared<EchoRequest>(1), sim::Millis(100),
+               [&](Result<MessagePtr> result) {
+                 ++callbacks;
+                 first_status = result.status();
+               });
+  sim_.Run();
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_EQ(first_status.code(), StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace ustore::net

@@ -1,0 +1,195 @@
+// Validates the analytic models against the paper's Tables I, III, IV, V
+// and the fault-tolerance claims of §III-A.
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "cost/cost_model.h"
+#include "power/power_model.h"
+
+namespace ustore {
+namespace {
+
+// --- Table III: one-disk power ------------------------------------------------
+
+TEST(PowerTest, TableIIISataRow) {
+  auto row = power::SataDiskPower();
+  EXPECT_NEAR(row.spin_down, 0.05, 0.01);
+  EXPECT_NEAR(row.idle, 4.71, 0.01);
+  EXPECT_NEAR(row.read_write, 6.66, 0.01);
+}
+
+TEST(PowerTest, TableIIIUsbRow) {
+  auto row = power::UsbDiskPower();
+  EXPECT_NEAR(row.spin_down, 1.56, 0.01);
+  EXPECT_NEAR(row.idle, 5.76, 0.01);
+  EXPECT_NEAR(row.read_write, 7.56, 0.01);
+}
+
+// --- Table IV: hub power --------------------------------------------------------
+
+TEST(PowerTest, TableIVHubPower) {
+  power::ComponentPower c;
+  const double expected[] = {0.21, 1.06, 1.23, 1.47, 1.67};
+  for (int devices = 0; devices <= 4; ++devices) {
+    EXPECT_NEAR(power::HubPower(c, devices), expected[devices], 0.05)
+        << devices << " devices";
+  }
+}
+
+// --- Table V: 16-disk system power ----------------------------------------------
+
+TEST(PowerTest, TableVSpinning) {
+  const double ustore =
+      power::UStorePower(16, power::SystemState::kSpinning).total;
+  const double pergamum =
+      power::PergamumPower(16, power::SystemState::kSpinning).total;
+  const double dd860 =
+      power::Dd860Es30Power(power::SystemState::kSpinning).total;
+  EXPECT_NEAR(ustore, 166.8, 167.0 * 0.05);
+  EXPECT_NEAR(pergamum, 193.5, 193.5 * 0.05);
+  EXPECT_NEAR(dd860, 222.5, 0.1);
+  // The ordering is the table's claim.
+  EXPECT_LT(ustore, pergamum);
+  EXPECT_LT(pergamum, dd860);
+}
+
+TEST(PowerTest, TableVPoweredOff) {
+  const double ustore =
+      power::UStorePower(16, power::SystemState::kPoweredOff).total;
+  const double pergamum =
+      power::PergamumPower(16, power::SystemState::kPoweredOff).total;
+  const double dd860 =
+      power::Dd860Es30Power(power::SystemState::kPoweredOff).total;
+  EXPECT_NEAR(ustore, 22.1, 22.1 * 0.12);
+  EXPECT_NEAR(pergamum, 28.9, 28.9 * 0.06);
+  EXPECT_NEAR(dd860, 83.5, 0.1);
+  EXPECT_LT(ustore, pergamum);
+  EXPECT_LT(pergamum, dd860);
+}
+
+TEST(PowerTest, FabricPowersDownMostOfItself) {
+  // §VII-C: "the interconnect fabric consumes about 71% less power" when
+  // the disks are off.
+  const auto on = power::UStorePower(16, power::SystemState::kSpinning);
+  const auto off = power::UStorePower(16, power::SystemState::kPoweredOff);
+  EXPECT_LT(off.interconnect, on.interconnect * 0.4);
+}
+
+TEST(PowerTest, MeterIntegratesEnergy) {
+  power::PowerMeter meter;
+  meter.Sample(0, 100.0);
+  meter.Sample(sim::Seconds(10), 50.0);
+  meter.Sample(sim::Seconds(20), 0.0);
+  EXPECT_DOUBLE_EQ(meter.total_energy(), 100.0 * 10 + 50.0 * 10);
+  EXPECT_DOUBLE_EQ(meter.average_power(), 75.0);
+}
+
+// --- Table I: cost ----------------------------------------------------------------
+
+TEST(CostTest, TableOneMatchesPaper) {
+  // Paper values in thousands: CapEx / AttEx.
+  struct Expected {
+    const char* system;
+    double capex_k;
+    double attex_k;
+  };
+  const Expected expected[] = {
+      {"DELL PowerVault MD3260i", 3340, 1525},
+      {"Sun StorageTek SL150", 1748, -1},
+      {"Pergamum", 756, 415},
+      {"BACKBLAZE", 598, 257},
+      {"UStore", 456, 115},
+  };
+  auto table = cost::TableOne();
+  ASSERT_EQ(table.size(), 5u);
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    EXPECT_EQ(table[i].system, expected[i].system);
+    EXPECT_NEAR(table[i].total / 1000.0, expected[i].capex_k,
+                expected[i].capex_k * 0.05)
+        << table[i].system;
+    if (expected[i].attex_k >= 0) {
+      EXPECT_NEAR(table[i].attach_cost / 1000.0, expected[i].attex_k,
+                  expected[i].attex_k * 0.06)
+          << table[i].system;
+    }
+  }
+}
+
+TEST(CostTest, UStoreCheapestOnBothAxes) {
+  auto ustore = cost::UStoreCost(PB(10));
+  auto backblaze = cost::BackblazeCost(PB(10));
+  // §VI: "UStore costs 24% lower than BACKBLAZE... Excluding the disk
+  // cost, UStore is 55% cheaper."
+  EXPECT_NEAR(1.0 - ustore.total / backblaze.total, 0.24, 0.03);
+  EXPECT_NEAR(1.0 - ustore.attach_cost / backblaze.attach_cost, 0.55, 0.04);
+}
+
+TEST(CostTest, ScalesLinearlyWithCapacity) {
+  auto at_10 = cost::UStoreCost(PB(10));
+  auto at_20 = cost::UStoreCost(PB(20));
+  EXPECT_NEAR(at_20.total / at_10.total, 2.0, 0.01);
+}
+
+TEST(CostTest, FabricCostFollowsBom) {
+  fabric::FabricBom small{4, 4, 8, 2};
+  fabric::FabricBom big{8, 8, 16, 4};
+  EXPECT_LT(cost::FabricCost(small), cost::FabricCost(big));
+}
+
+TEST(CostTest, RightDesignFabricCheaperThanLeft) {
+  // Ablation A1: Fig. 2 right (high-level switching) needs fewer parts.
+  auto right = fabric::CountBom(fabric::BuildPrototypeFabric());
+  auto left =
+      fabric::CountBom(fabric::BuildLeafSwitchedFabric({.disks = 16}));
+  EXPECT_LT(cost::FabricCost(right), cost::FabricCost(left));
+}
+
+// --- Baselines -----------------------------------------------------------------------
+
+TEST(BaselinesTest, BackblazeNicBottleneck) {
+  baselines::BackblazePodModel pod;
+  hw::DiskModel disk(hw::DiskParams{}, hw::SataInterface());
+  hw::WorkloadSpec spec{MiB(4), 1.0, hw::AccessPattern::kSequential};
+  // One disk already saturates the GbE NIC.
+  EXPECT_NEAR(ToMBps(pod.AggregateThroughput(disk, spec, 1)), 118.0, 1.0);
+  EXPECT_NEAR(ToMBps(pod.AggregateThroughput(disk, spec, 45)), 118.0, 1.0);
+}
+
+TEST(BaselinesTest, PergamumCpuBottleneck) {
+  baselines::PergamumTomeModel tome;
+  hw::DiskModel disk(hw::DiskParams{}, hw::SataInterface());
+  hw::WorkloadSpec spec{MiB(4), 1.0, hw::AccessPattern::kSequential};
+  EXPECT_NEAR(ToMBps(tome.TomeThroughput(disk, spec)), 20.0, 0.1);
+  // But tomes scale out linearly.
+  EXPECT_NEAR(ToMBps(tome.AggregateThroughput(disk, spec, 16)), 320.0, 1.0);
+}
+
+TEST(BaselinesTest, FaultCoveragePlainTreeLosesWholeHub) {
+  auto coverage = baselines::AnalyzeSingleFaultCoverage(
+      [] { return fabric::BuildSingleHostTree({.disks = 16}); });
+  // Host failure loses everything; each hub failure loses its 4 disks.
+  EXPECT_EQ(coverage.worst_case_lost, 16);
+  EXPECT_EQ(coverage.fully_tolerated, 0);
+}
+
+TEST(BaselinesTest, FaultCoverageLeafSwitchedToleratesEverything) {
+  // §III-A: the left design tolerates any single hub or host failure.
+  auto coverage = baselines::AnalyzeSingleFaultCoverage(
+      [] { return fabric::BuildLeafSwitchedFabric({.disks = 16}); });
+  EXPECT_EQ(coverage.fully_tolerated,
+            static_cast<int>(coverage.scenarios.size()));
+  EXPECT_EQ(coverage.worst_case_lost, 0);
+}
+
+TEST(BaselinesTest, FaultCoveragePrototypeToleratesHostsAndMidHubs) {
+  auto coverage = baselines::AnalyzeSingleFaultCoverage(
+      [] { return fabric::BuildPrototypeFabric(); });
+  // 4 host scenarios + 4 mid-hub scenarios tolerated; 4 leaf-hub
+  // scenarios lose exactly their 4 disks (§IV-E trade-off).
+  EXPECT_EQ(coverage.scenarios.size(), 12u);
+  EXPECT_EQ(coverage.fully_tolerated, 8);
+  EXPECT_EQ(coverage.worst_case_lost, 4);
+}
+
+}  // namespace
+}  // namespace ustore

@@ -1,0 +1,233 @@
+// MiniDfs + Archiver on a live cluster, including the §VII-B experiment:
+// switch a disk while HDFS writes — the write stalls for seconds and
+// resumes, reads are never interrupted.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/cluster.h"
+#include "services/archiver.h"
+#include "services/mini_dfs.h"
+
+namespace ustore::services {
+namespace {
+
+class DfsFixture : public ::testing::Test {
+ protected:
+  static constexpr int kDataNodes = 3;
+
+  DfsFixture() {
+    cluster_.Start();
+    // One DataNode per host 1..3 with a volume allocated near that host
+    // (host 0 is left as the failover target).
+    std::vector<net::NodeId> dn_ids;
+    for (int i = 0; i < kDataNodes; ++i) {
+      dn_ids.push_back("dfs-dn-" + std::to_string(i));
+    }
+    for (int i = 0; i < kDataNodes; ++i) {
+      auto client = cluster_.MakeClient("dn-client-" + std::to_string(i),
+                                        /*locality=*/i + 1);
+      Result<core::ClientLib::Volume*> volume = InternalError("pending");
+      client->AllocateAndMount(
+          "mini-dfs", GiB(10),
+          [&](Result<core::ClientLib::Volume*> r) { volume = r; });
+      cluster_.RunFor(sim::Seconds(10));
+      EXPECT_TRUE(volume.ok()) << volume.status();
+      datanodes_.push_back(std::make_unique<DataNode>(
+          &cluster_.sim(), &cluster_.network(), dn_ids[i], *volume));
+      dn_clients_.push_back(std::move(client));
+      dn_volumes_.push_back(*volume);
+    }
+    namenode_ = std::make_unique<NameNode>(
+        &cluster_.sim(), &cluster_.network(), "dfs-nn", dn_ids);
+    dfs_client_ = std::make_unique<DfsClient>(
+        &cluster_.sim(), &cluster_.network(), "dfs-client", "dfs-nn");
+  }
+
+  core::Cluster cluster_;
+  std::vector<std::unique_ptr<core::ClientLib>> dn_clients_;
+  std::vector<core::ClientLib::Volume*> dn_volumes_;
+  std::vector<std::unique_ptr<DataNode>> datanodes_;
+  std::unique_ptr<NameNode> namenode_;
+  std::unique_ptr<DfsClient> dfs_client_;
+};
+
+TEST_F(DfsFixture, WriteThenReadVerifiesTags) {
+  DfsClient::WriteReport write;
+  write.status = InternalError("pending");
+  dfs_client_->WriteFile("/logs/day1", 5, 1000,
+                         [&](DfsClient::WriteReport r) { write = r; });
+  cluster_.RunFor(sim::Seconds(30));
+  ASSERT_TRUE(write.status.ok()) << write.status;
+  EXPECT_EQ(write.transient_errors, 0);
+
+  DfsClient::ReadReport read;
+  read.status = InternalError("pending");
+  dfs_client_->ReadFile("/logs/day1",
+                        [&](DfsClient::ReadReport r) { read = r; });
+  cluster_.RunFor(sim::Seconds(30));
+  ASSERT_TRUE(read.status.ok()) << read.status;
+  ASSERT_EQ(read.tags.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(read.tags[i], 1000u + i);
+  }
+  EXPECT_EQ(read.replica_failovers, 0);
+}
+
+TEST_F(DfsFixture, DuplicateFileRejected) {
+  DfsClient::WriteReport write;
+  write.status = InternalError("pending");
+  dfs_client_->WriteFile("/f", 1, 1, [&](auto r) { write = r; });
+  cluster_.RunFor(sim::Seconds(20));
+  ASSERT_TRUE(write.status.ok());
+  dfs_client_->WriteFile("/f", 1, 1, [&](auto r) { write = r; });
+  cluster_.RunFor(sim::Seconds(20));
+  EXPECT_EQ(write.status.code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(DfsFixture, EveryBlockHasThreeReplicas) {
+  DfsClient::WriteReport write;
+  write.status = InternalError("pending");
+  dfs_client_->WriteFile("/r", 4, 50, [&](auto r) { write = r; });
+  cluster_.RunFor(sim::Seconds(60));
+  ASSERT_TRUE(write.status.ok());
+  std::size_t total = 0;
+  for (const auto& dn : datanodes_) total += dn->blocks_stored();
+  EXPECT_EQ(total, 4u * 3u);
+}
+
+TEST_F(DfsFixture, HostFailureDuringWriteStallsSecondsThenResumes) {
+  // The §VII-B experiment, with a real failure driving the switch: crash
+  // the host under DataNode 0's volume mid-write; UStore moves the disk
+  // and the DFS write resumes after a few seconds of retries.
+  const int dn0_host = cluster_.active_master()->CurrentHostOfDisk(
+      dn_volumes_[0]->id().disk);
+  ASSERT_GT(dn0_host, 0);
+
+  DfsClient::WriteReport write;
+  write.status = InternalError("pending");
+  bool crashed = false;
+  dfs_client_->WriteFile("/big", 24, 7000,
+                         [&](DfsClient::WriteReport r) { write = r; });
+  // Let a few blocks land, then yank the host.
+  cluster_.RunFor(sim::Seconds(3));
+  crashed = true;
+  cluster_.CrashHost(dn0_host);
+  cluster_.RunFor(sim::Seconds(120));
+
+  ASSERT_TRUE(crashed);
+  ASSERT_TRUE(write.status.ok()) << write.status;
+  EXPECT_GT(write.transient_errors, 0);          // errors for a while...
+  EXPECT_GT(write.stalled, sim::Seconds(1));     // ...a few seconds...
+  EXPECT_LT(write.stalled, sim::Seconds(60));    // ...not forever.
+
+  // And the data all round-trips afterwards.
+  DfsClient::ReadReport read;
+  read.status = InternalError("pending");
+  dfs_client_->ReadFile("/big", [&](DfsClient::ReadReport r) { read = r; });
+  cluster_.RunFor(sim::Seconds(120));
+  ASSERT_TRUE(read.status.ok()) << read.status;
+  ASSERT_EQ(read.tags.size(), 24u);
+  for (int i = 0; i < 24; ++i) EXPECT_EQ(read.tags[i], 7000u + i);
+}
+
+TEST_F(DfsFixture, ReadsFailOverToReplicasWithoutInterruption) {
+  DfsClient::WriteReport write;
+  write.status = InternalError("pending");
+  dfs_client_->WriteFile("/replicated", 6, 300, [&](auto r) { write = r; });
+  cluster_.RunFor(sim::Seconds(60));
+  ASSERT_TRUE(write.status.ok());
+
+  // Take DataNode 0's volume host down and read immediately: the client
+  // hops to another replica per block, no stall beyond the RPC timeout.
+  const int dn0_host = cluster_.active_master()->CurrentHostOfDisk(
+      dn_volumes_[0]->id().disk);
+  cluster_.CrashHost(dn0_host);
+  cluster_.RunFor(sim::MillisD(200));
+
+  DfsClient::ReadReport read;
+  read.status = InternalError("pending");
+  dfs_client_->ReadFile("/replicated",
+                        [&](DfsClient::ReadReport r) { read = r; });
+  cluster_.RunFor(sim::Seconds(60));
+  ASSERT_TRUE(read.status.ok()) << read.status;
+  EXPECT_EQ(read.tags.size(), 6u);
+  EXPECT_GT(read.replica_failovers, 0);
+}
+
+// --- Archiver -------------------------------------------------------------------
+
+class ArchiverFixture : public ::testing::Test {
+ protected:
+  ArchiverFixture() {
+    cluster_.Start();
+    client_ = cluster_.MakeClient("archive-client");
+    Result<core::ClientLib::Volume*> volume = InternalError("pending");
+    client_->AllocateAndMount(
+        "cold-archive", GiB(50),
+        [&](Result<core::ClientLib::Volume*> r) { volume = r; });
+    cluster_.RunFor(sim::Seconds(10));
+    EXPECT_TRUE(volume.ok());
+    volume_ = *volume;
+    archiver_ =
+        std::make_unique<Archiver>(client_.get(), volume_, "cold-archive");
+  }
+
+  core::Cluster cluster_;
+  std::unique_ptr<core::ClientLib> client_;
+  core::ClientLib::Volume* volume_ = nullptr;
+  std::unique_ptr<Archiver> archiver_;
+};
+
+TEST_F(ArchiverFixture, BatchArchiveAndVerify) {
+  Status status = InternalError("pending");
+  archiver_->ArchiveBatch(10, MiB(4), [&](Status s) { status = s; });
+  cluster_.RunFor(sim::Seconds(30));
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(archiver_->objects_archived(), 10u);
+  EXPECT_EQ(archiver_->bytes_archived(), 10 * MiB(4));
+
+  archiver_->VerifyBatch(0, 10, [&](Status s) { status = s; });
+  cluster_.RunFor(sim::Seconds(30));
+  EXPECT_TRUE(status.ok()) << status;
+}
+
+TEST_F(ArchiverFixture, StandbySpinsDiskDownAndBatchWakesIt) {
+  Status status = InternalError("pending");
+  archiver_->ArchiveBatch(2, MiB(4), [&](Status s) { status = s; });
+  cluster_.RunFor(sim::Seconds(20));
+  ASSERT_TRUE(status.ok());
+
+  archiver_->EnterStandby([&](Status s) { status = s; });
+  cluster_.RunFor(sim::Seconds(5));
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(cluster_.fabric().disk(volume_->id().disk)->state(),
+            hw::DiskState::kSpunDown);
+
+  // The next batch spins the disk up implicitly (with spin-up latency).
+  const sim::Time start = cluster_.sim().now();
+  archiver_->ArchiveBatch(1, MiB(4), [&](Status s) { status = s; });
+  cluster_.RunFor(sim::Seconds(30));
+  ASSERT_TRUE(status.ok());
+  EXPECT_GT(cluster_.sim().now() - start,
+            hw::DiskParams{}.spin_up_time);
+}
+
+TEST_F(ArchiverFixture, VolumeFullReportsExhaustion) {
+  core::ClientLibOptions options;
+  Result<core::ClientLib::Volume*> small = InternalError("pending");
+  client_->AllocateAndMount("cold-archive", MiB(8),
+                            [&](auto r) { small = r; });
+  cluster_.RunFor(sim::Seconds(10));
+  ASSERT_TRUE(small.ok());
+  Archiver tiny(client_.get(), *small, "cold-archive");
+  Status status = InternalError("pending");
+  tiny.ArchiveBatch(3, MiB(4), [&](Status s) { status = s; });
+  cluster_.RunFor(sim::Seconds(20));
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(tiny.objects_archived(), 2u);
+}
+
+}  // namespace
+}  // namespace ustore::services

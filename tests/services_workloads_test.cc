@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/cluster.h"
+#include "services/workloads.h"
+
+namespace ustore::services {
+namespace {
+
+TEST(LatencySummaryTest, EmptyIsZero) {
+  LatencyStats stats = SummarizeLatencies({});
+  EXPECT_EQ(stats.count, 0);
+  EXPECT_DOUBLE_EQ(stats.mean_ms, 0);
+}
+
+TEST(LatencySummaryTest, PercentilesAndSlowHits) {
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) values.push_back(i * 10.0);  // 10..1000
+  values.push_back(8000.0);  // one spin-up hit
+  LatencyStats stats = SummarizeLatencies(values);
+  EXPECT_EQ(stats.count, 101);
+  EXPECT_NEAR(stats.p50_ms, 510.0, 15.0);
+  EXPECT_NEAR(stats.p99_ms, 1000.0, 15.0);
+  EXPECT_DOUBLE_EQ(stats.max_ms, 8000.0);
+  EXPECT_EQ(stats.slow_hits, 1);
+}
+
+class ColdStudyTest : public ::testing::Test {
+ protected:
+  ColdStudyTest() {
+    cluster_.Start();
+    client_ = cluster_.MakeClient("cold-test-client");
+    client_->AllocateAndMount("cold-test", GiB(10),
+                              [&](Result<core::ClientLib::Volume*> r) {
+                                if (r.ok()) volume_ = *r;
+                              });
+    cluster_.RunFor(sim::Seconds(10));
+  }
+
+  ColdStudyReport Run(sim::Duration spin_down, double interarrival_s,
+                      sim::Duration window) {
+    hw::Disk* disk = cluster_.fabric().disk(volume_->id().disk);
+    disk->SetIdleSpinDown(spin_down);
+    ColdWorkloadOptions options;
+    options.mean_interarrival_seconds = interarrival_s;
+    options.object_count = 20;
+    ColdStorageStudy study(&cluster_.sim(), volume_, disk, options, Rng(8));
+    ColdStudyReport report;
+    report.status = InternalError("never finished");
+    bool finished = false;
+    study.Run(window, [&](ColdStudyReport r) {
+      report = r;
+      finished = true;
+    });
+    cluster_.RunFor(window + sim::Seconds(120));
+    EXPECT_TRUE(finished);
+    return report;
+  }
+
+  core::Cluster cluster_;
+  std::unique_ptr<core::ClientLib> client_;
+  core::ClientLib::Volume* volume_ = nullptr;
+};
+
+TEST_F(ColdStudyTest, ServesReadsAndReportsLatency) {
+  ASSERT_NE(volume_, nullptr);
+  auto report = Run(/*spin_down=*/0, /*interarrival=*/30,
+                    sim::Seconds(1200));
+  ASSERT_TRUE(report.status.ok()) << report.status;
+  EXPECT_GT(report.latency.count, 10);
+  EXPECT_GT(report.latency.mean_ms, 1.0);
+  EXPECT_EQ(report.latency.slow_hits, 0);  // disk never spins down
+  EXPECT_EQ(report.disk_spin_cycles, 0);
+  EXPECT_NEAR(report.average_disk_power, 5.76, 0.5);  // idle USB disk
+}
+
+TEST_F(ColdStudyTest, AggressiveSpinDownTradesLatencyForPower) {
+  ASSERT_NE(volume_, nullptr);
+  auto report = Run(/*spin_down=*/sim::Seconds(30), /*interarrival=*/300,
+                    sim::Seconds(4 * 3600));
+  ASSERT_TRUE(report.status.ok()) << report.status;
+  EXPECT_GT(report.latency.slow_hits, 0);   // spin-up hits the tail
+  EXPECT_GT(report.disk_spin_cycles, 0);
+  EXPECT_LT(report.average_disk_power, 4.0);  // but power drops a lot
+  EXPECT_GT(report.latency.max_ms, 7000.0);
+}
+
+TEST_F(ColdStudyTest, DeterministicForSameSeed) {
+  ASSERT_NE(volume_, nullptr);
+  // Two full clusters with the same seeds produce identical studies.
+  auto run_once = [] {
+    core::ClusterOptions options;
+    options.seed = 123;
+    core::Cluster cluster(options);
+    cluster.Start();
+    auto client = cluster.MakeClient("c");
+    core::ClientLib::Volume* volume = nullptr;
+    client->AllocateAndMount("svc", GiB(10),
+                             [&](Result<core::ClientLib::Volume*> r) {
+                               if (r.ok()) volume = *r;
+                             });
+    cluster.RunFor(sim::Seconds(10));
+    hw::Disk* disk = cluster.fabric().disk(volume->id().disk);
+    disk->SetIdleSpinDown(sim::Seconds(60));
+    ColdWorkloadOptions options2;
+    options2.mean_interarrival_seconds = 60;
+    options2.object_count = 10;
+    ColdStorageStudy study(&cluster.sim(), volume, disk, options2, Rng(4));
+    ColdStudyReport report;
+    study.Run(sim::Seconds(1800),
+              [&](ColdStudyReport r) { report = r; });
+    cluster.RunFor(sim::Seconds(2000));
+    return report;
+  };
+  auto a = run_once();
+  auto b = run_once();
+  EXPECT_EQ(a.latency.count, b.latency.count);
+  EXPECT_DOUBLE_EQ(a.latency.mean_ms, b.latency.mean_ms);
+  EXPECT_DOUBLE_EQ(a.disk_energy, b.disk_energy);
+  EXPECT_EQ(a.disk_spin_cycles, b.disk_spin_cycles);
+}
+
+}  // namespace
+}  // namespace ustore::services

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace ustore::sim {
+namespace {
+
+TEST(TimeTest, Constructors) {
+  EXPECT_EQ(Seconds(2), 2'000'000'000);
+  EXPECT_EQ(Millis(3), 3'000'000);
+  EXPECT_EQ(Micros(5), 5'000);
+  EXPECT_EQ(SecondsD(1.5), 1'500'000'000);
+  EXPECT_EQ(MillisD(0.25), 250'000);
+  EXPECT_EQ(MicrosD(0.5), 500);
+}
+
+TEST(TimeTest, Conversions) {
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(ToMillis(Millis(7)), 7.0);
+  EXPECT_DOUBLE_EQ(ToMicros(Micros(9)), 9.0);
+}
+
+TEST(TimeTest, Format) { EXPECT_EQ(FormatTime(Seconds(2)), "2.000000s"); }
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(Seconds(3), [&] { order.push_back(3); });
+  sim.Schedule(Seconds(1), [&] { order.push_back(1); });
+  sim.Schedule(Seconds(2), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), Seconds(3));
+}
+
+TEST(SimulatorTest, TiesBreakInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(Seconds(1), [&, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  Time inner_fired_at = -1;
+  sim.Schedule(Seconds(1), [&] {
+    sim.Schedule(Seconds(2), [&] { inner_fired_at = sim.now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(inner_fired_at, Seconds(3));
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  Time fired_at = -1;
+  sim.Schedule(Seconds(1), [&] {
+    sim.Schedule(-Seconds(5), [&] { fired_at = sim.now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(fired_at, Seconds(1));
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.Schedule(Seconds(1), [&] { fired = true; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelUnknownIdIsNoOp) {
+  Simulator sim;
+  sim.Cancel(kInvalidEventId);
+  sim.Cancel(9999);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockExactly) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(Seconds(1), [&] { ++fired; });
+  sim.Schedule(Seconds(5), [&] { ++fired; });
+  sim.RunUntil(Seconds(3));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), Seconds(3));
+  sim.RunFor(Seconds(10));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), Seconds(13));
+}
+
+TEST(SimulatorTest, RunUntilIncludesBoundaryEvents) {
+  Simulator sim;
+  bool fired = false;
+  sim.Schedule(Seconds(3), [&] { fired = true; });
+  sim.RunUntil(Seconds(3));
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, MaxEventsGuard) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> loop = [&] {
+    ++count;
+    sim.Schedule(Seconds(1), loop);
+  };
+  sim.Schedule(Seconds(1), loop);
+  sim.Run(100);
+  EXPECT_EQ(count, 100);
+}
+
+TEST(TimerTest, OneShotFiresOnce) {
+  Simulator sim;
+  Timer timer(&sim);
+  int fired = 0;
+  timer.StartOneShot(Seconds(2), [&] { ++fired; });
+  EXPECT_TRUE(timer.active());
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(timer.active());
+}
+
+TEST(TimerTest, RestartReplacesPending) {
+  Simulator sim;
+  Timer timer(&sim);
+  std::vector<Time> fires;
+  timer.StartOneShot(Seconds(2), [&] { fires.push_back(sim.now()); });
+  sim.RunUntil(Seconds(1));
+  timer.StartOneShot(Seconds(2), [&] { fires.push_back(sim.now()); });
+  sim.Run();
+  ASSERT_EQ(fires.size(), 1u);
+  EXPECT_EQ(fires[0], Seconds(3));
+}
+
+TEST(TimerTest, PeriodicFiresRepeatedly) {
+  Simulator sim;
+  Timer timer(&sim);
+  int fired = 0;
+  timer.StartPeriodic(Seconds(1), [&] {
+    if (++fired == 5) timer.Stop();
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now(), Seconds(5));
+}
+
+TEST(TimerTest, StopPreventsFiring) {
+  Simulator sim;
+  Timer timer(&sim);
+  bool fired = false;
+  timer.StartOneShot(Seconds(1), [&] { fired = true; });
+  timer.Stop();
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(TimerTest, DestructorCancels) {
+  Simulator sim;
+  bool fired = false;
+  {
+    Timer timer(&sim);
+    timer.StartOneShot(Seconds(1), [&] { fired = true; });
+  }
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+}  // namespace
+}  // namespace ustore::sim
