@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_spinup.dir/bench_ablation_spinup.cc.o"
+  "CMakeFiles/bench_ablation_spinup.dir/bench_ablation_spinup.cc.o.d"
+  "bench_ablation_spinup"
+  "bench_ablation_spinup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_spinup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_cold_workload.cc" "bench/CMakeFiles/bench_cold_workload.dir/bench_cold_workload.cc.o" "gcc" "bench/CMakeFiles/bench_cold_workload.dir/bench_cold_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/services/CMakeFiles/ustore_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ustore_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ustore_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/ustore_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/ustore_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/iscsi/CMakeFiles/ustore_iscsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ustore_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ustore_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ustore_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ustore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cold_workload.dir/bench_cold_workload.cc.o"
+  "CMakeFiles/bench_cold_workload.dir/bench_cold_workload.cc.o.d"
+  "bench_cold_workload"
+  "bench_cold_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cold_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

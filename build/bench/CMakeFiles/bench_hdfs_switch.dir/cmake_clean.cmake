@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hdfs_switch.dir/bench_hdfs_switch.cc.o"
+  "CMakeFiles/bench_hdfs_switch.dir/bench_hdfs_switch.cc.o.d"
+  "bench_hdfs_switch"
+  "bench_hdfs_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hdfs_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

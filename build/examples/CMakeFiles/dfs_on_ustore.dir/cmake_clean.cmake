@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_on_ustore.dir/dfs_on_ustore.cpp.o"
+  "CMakeFiles/dfs_on_ustore.dir/dfs_on_ustore.cpp.o.d"
+  "dfs_on_ustore"
+  "dfs_on_ustore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_on_ustore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dfs_on_ustore.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_aware_archiver.dir/power_aware_archiver.cpp.o"
+  "CMakeFiles/power_aware_archiver.dir/power_aware_archiver.cpp.o.d"
+  "power_aware_archiver"
+  "power_aware_archiver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_aware_archiver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

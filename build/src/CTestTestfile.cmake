@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("net")
+subdirs("hw")
+subdirs("fabric")
+subdirs("consensus")
+subdirs("iscsi")
+subdirs("core")
+subdirs("services")
+subdirs("power")
+subdirs("cost")
+subdirs("baselines")

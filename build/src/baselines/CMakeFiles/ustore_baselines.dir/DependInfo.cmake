@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baselines.cc" "src/baselines/CMakeFiles/ustore_baselines.dir/baselines.cc.o" "gcc" "src/baselines/CMakeFiles/ustore_baselines.dir/baselines.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ustore_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ustore_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/ustore_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ustore_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

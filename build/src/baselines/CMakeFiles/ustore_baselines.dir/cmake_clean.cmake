@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ustore_baselines.dir/baselines.cc.o"
+  "CMakeFiles/ustore_baselines.dir/baselines.cc.o.d"
+  "libustore_baselines.a"
+  "libustore_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ustore_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libustore_baselines.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for ustore_baselines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ustore_common.dir/logging.cc.o"
+  "CMakeFiles/ustore_common.dir/logging.cc.o.d"
+  "CMakeFiles/ustore_common.dir/rng.cc.o"
+  "CMakeFiles/ustore_common.dir/rng.cc.o.d"
+  "CMakeFiles/ustore_common.dir/status.cc.o"
+  "CMakeFiles/ustore_common.dir/status.cc.o.d"
+  "CMakeFiles/ustore_common.dir/units.cc.o"
+  "CMakeFiles/ustore_common.dir/units.cc.o.d"
+  "libustore_common.a"
+  "libustore_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ustore_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ustore_consensus.dir/meta_client.cc.o"
+  "CMakeFiles/ustore_consensus.dir/meta_client.cc.o.d"
+  "CMakeFiles/ustore_consensus.dir/meta_service.cc.o"
+  "CMakeFiles/ustore_consensus.dir/meta_service.cc.o.d"
+  "CMakeFiles/ustore_consensus.dir/metastore.cc.o"
+  "CMakeFiles/ustore_consensus.dir/metastore.cc.o.d"
+  "CMakeFiles/ustore_consensus.dir/paxos.cc.o"
+  "CMakeFiles/ustore_consensus.dir/paxos.cc.o.d"
+  "libustore_consensus.a"
+  "libustore_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ustore_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/clientlib.cc" "src/core/CMakeFiles/ustore_core.dir/clientlib.cc.o" "gcc" "src/core/CMakeFiles/ustore_core.dir/clientlib.cc.o.d"
+  "/root/repo/src/core/cluster.cc" "src/core/CMakeFiles/ustore_core.dir/cluster.cc.o" "gcc" "src/core/CMakeFiles/ustore_core.dir/cluster.cc.o.d"
+  "/root/repo/src/core/controller.cc" "src/core/CMakeFiles/ustore_core.dir/controller.cc.o" "gcc" "src/core/CMakeFiles/ustore_core.dir/controller.cc.o.d"
+  "/root/repo/src/core/endpoint.cc" "src/core/CMakeFiles/ustore_core.dir/endpoint.cc.o" "gcc" "src/core/CMakeFiles/ustore_core.dir/endpoint.cc.o.d"
+  "/root/repo/src/core/master.cc" "src/core/CMakeFiles/ustore_core.dir/master.cc.o" "gcc" "src/core/CMakeFiles/ustore_core.dir/master.cc.o.d"
+  "/root/repo/src/core/power_sequencer.cc" "src/core/CMakeFiles/ustore_core.dir/power_sequencer.cc.o" "gcc" "src/core/CMakeFiles/ustore_core.dir/power_sequencer.cc.o.d"
+  "/root/repo/src/core/types.cc" "src/core/CMakeFiles/ustore_core.dir/types.cc.o" "gcc" "src/core/CMakeFiles/ustore_core.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ustore_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ustore_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ustore_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ustore_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/ustore_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/ustore_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/iscsi/CMakeFiles/ustore_iscsi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ustore_core.dir/clientlib.cc.o"
+  "CMakeFiles/ustore_core.dir/clientlib.cc.o.d"
+  "CMakeFiles/ustore_core.dir/cluster.cc.o"
+  "CMakeFiles/ustore_core.dir/cluster.cc.o.d"
+  "CMakeFiles/ustore_core.dir/controller.cc.o"
+  "CMakeFiles/ustore_core.dir/controller.cc.o.d"
+  "CMakeFiles/ustore_core.dir/endpoint.cc.o"
+  "CMakeFiles/ustore_core.dir/endpoint.cc.o.d"
+  "CMakeFiles/ustore_core.dir/master.cc.o"
+  "CMakeFiles/ustore_core.dir/master.cc.o.d"
+  "CMakeFiles/ustore_core.dir/power_sequencer.cc.o"
+  "CMakeFiles/ustore_core.dir/power_sequencer.cc.o.d"
+  "CMakeFiles/ustore_core.dir/types.cc.o"
+  "CMakeFiles/ustore_core.dir/types.cc.o.d"
+  "libustore_core.a"
+  "libustore_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ustore_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ustore_cost.dir/cost_model.cc.o"
+  "CMakeFiles/ustore_cost.dir/cost_model.cc.o.d"
+  "libustore_cost.a"
+  "libustore_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ustore_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

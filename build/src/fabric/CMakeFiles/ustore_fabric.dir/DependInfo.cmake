@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/bandwidth.cc" "src/fabric/CMakeFiles/ustore_fabric.dir/bandwidth.cc.o" "gcc" "src/fabric/CMakeFiles/ustore_fabric.dir/bandwidth.cc.o.d"
+  "/root/repo/src/fabric/builders.cc" "src/fabric/CMakeFiles/ustore_fabric.dir/builders.cc.o" "gcc" "src/fabric/CMakeFiles/ustore_fabric.dir/builders.cc.o.d"
+  "/root/repo/src/fabric/fabric_manager.cc" "src/fabric/CMakeFiles/ustore_fabric.dir/fabric_manager.cc.o" "gcc" "src/fabric/CMakeFiles/ustore_fabric.dir/fabric_manager.cc.o.d"
+  "/root/repo/src/fabric/topology.cc" "src/fabric/CMakeFiles/ustore_fabric.dir/topology.cc.o" "gcc" "src/fabric/CMakeFiles/ustore_fabric.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ustore_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ustore_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ustore_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

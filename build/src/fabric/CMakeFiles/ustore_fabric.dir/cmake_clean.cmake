@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ustore_fabric.dir/bandwidth.cc.o"
+  "CMakeFiles/ustore_fabric.dir/bandwidth.cc.o.d"
+  "CMakeFiles/ustore_fabric.dir/builders.cc.o"
+  "CMakeFiles/ustore_fabric.dir/builders.cc.o.d"
+  "CMakeFiles/ustore_fabric.dir/fabric_manager.cc.o"
+  "CMakeFiles/ustore_fabric.dir/fabric_manager.cc.o.d"
+  "CMakeFiles/ustore_fabric.dir/topology.cc.o"
+  "CMakeFiles/ustore_fabric.dir/topology.cc.o.d"
+  "libustore_fabric.a"
+  "libustore_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ustore_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/disk.cc" "src/hw/CMakeFiles/ustore_hw.dir/disk.cc.o" "gcc" "src/hw/CMakeFiles/ustore_hw.dir/disk.cc.o.d"
+  "/root/repo/src/hw/disk_model.cc" "src/hw/CMakeFiles/ustore_hw.dir/disk_model.cc.o" "gcc" "src/hw/CMakeFiles/ustore_hw.dir/disk_model.cc.o.d"
+  "/root/repo/src/hw/microcontroller.cc" "src/hw/CMakeFiles/ustore_hw.dir/microcontroller.cc.o" "gcc" "src/hw/CMakeFiles/ustore_hw.dir/microcontroller.cc.o.d"
+  "/root/repo/src/hw/usb.cc" "src/hw/CMakeFiles/ustore_hw.dir/usb.cc.o" "gcc" "src/hw/CMakeFiles/ustore_hw.dir/usb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ustore_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ustore_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ustore_hw.dir/disk.cc.o"
+  "CMakeFiles/ustore_hw.dir/disk.cc.o.d"
+  "CMakeFiles/ustore_hw.dir/disk_model.cc.o"
+  "CMakeFiles/ustore_hw.dir/disk_model.cc.o.d"
+  "CMakeFiles/ustore_hw.dir/microcontroller.cc.o"
+  "CMakeFiles/ustore_hw.dir/microcontroller.cc.o.d"
+  "CMakeFiles/ustore_hw.dir/usb.cc.o"
+  "CMakeFiles/ustore_hw.dir/usb.cc.o.d"
+  "libustore_hw.a"
+  "libustore_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ustore_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

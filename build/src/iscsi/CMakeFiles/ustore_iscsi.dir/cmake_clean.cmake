@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ustore_iscsi.dir/iscsi.cc.o"
+  "CMakeFiles/ustore_iscsi.dir/iscsi.cc.o.d"
+  "libustore_iscsi.a"
+  "libustore_iscsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ustore_iscsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

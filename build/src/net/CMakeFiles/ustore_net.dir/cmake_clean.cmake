@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ustore_net.dir/network.cc.o"
+  "CMakeFiles/ustore_net.dir/network.cc.o.d"
+  "CMakeFiles/ustore_net.dir/rpc.cc.o"
+  "CMakeFiles/ustore_net.dir/rpc.cc.o.d"
+  "libustore_net.a"
+  "libustore_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ustore_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

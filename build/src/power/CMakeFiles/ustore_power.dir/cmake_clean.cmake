@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ustore_power.dir/power_model.cc.o"
+  "CMakeFiles/ustore_power.dir/power_model.cc.o.d"
+  "libustore_power.a"
+  "libustore_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ustore_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

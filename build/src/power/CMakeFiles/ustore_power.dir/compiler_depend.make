@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ustore_power.
+# This may be replaced when dependencies are built.

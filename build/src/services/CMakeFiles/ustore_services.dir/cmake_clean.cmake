@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ustore_services.dir/archiver.cc.o"
+  "CMakeFiles/ustore_services.dir/archiver.cc.o.d"
+  "CMakeFiles/ustore_services.dir/mini_dfs.cc.o"
+  "CMakeFiles/ustore_services.dir/mini_dfs.cc.o.d"
+  "CMakeFiles/ustore_services.dir/rebuild.cc.o"
+  "CMakeFiles/ustore_services.dir/rebuild.cc.o.d"
+  "CMakeFiles/ustore_services.dir/workloads.cc.o"
+  "CMakeFiles/ustore_services.dir/workloads.cc.o.d"
+  "libustore_services.a"
+  "libustore_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ustore_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ustore_sim.dir/simulator.cc.o"
+  "CMakeFiles/ustore_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/ustore_sim.dir/time.cc.o"
+  "CMakeFiles/ustore_sim.dir/time.cc.o.d"
+  "libustore_sim.a"
+  "libustore_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ustore_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consensus_fuzz_test.dir/consensus_fuzz_test.cc.o"
+  "CMakeFiles/consensus_fuzz_test.dir/consensus_fuzz_test.cc.o.d"
+  "consensus_fuzz_test"
+  "consensus_fuzz_test.pdb"
+  "consensus_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consensus_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_test.dir/fabric_bandwidth_test.cc.o"
+  "CMakeFiles/fabric_test.dir/fabric_bandwidth_test.cc.o.d"
+  "CMakeFiles/fabric_test.dir/fabric_builders_test.cc.o"
+  "CMakeFiles/fabric_test.dir/fabric_builders_test.cc.o.d"
+  "CMakeFiles/fabric_test.dir/fabric_manager_test.cc.o"
+  "CMakeFiles/fabric_test.dir/fabric_manager_test.cc.o.d"
+  "CMakeFiles/fabric_test.dir/fabric_topology_test.cc.o"
+  "CMakeFiles/fabric_test.dir/fabric_topology_test.cc.o.d"
+  "fabric_test"
+  "fabric_test.pdb"
+  "fabric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw_disk_model_test.cc" "tests/CMakeFiles/hw_test.dir/hw_disk_model_test.cc.o" "gcc" "tests/CMakeFiles/hw_test.dir/hw_disk_model_test.cc.o.d"
+  "/root/repo/tests/hw_disk_test.cc" "tests/CMakeFiles/hw_test.dir/hw_disk_test.cc.o" "gcc" "tests/CMakeFiles/hw_test.dir/hw_disk_test.cc.o.d"
+  "/root/repo/tests/hw_microcontroller_test.cc" "tests/CMakeFiles/hw_test.dir/hw_microcontroller_test.cc.o" "gcc" "tests/CMakeFiles/hw_test.dir/hw_microcontroller_test.cc.o.d"
+  "/root/repo/tests/hw_usb_test.cc" "tests/CMakeFiles/hw_test.dir/hw_usb_test.cc.o" "gcc" "tests/CMakeFiles/hw_test.dir/hw_usb_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/ustore_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ustore_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ustore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_cost_baselines_test.dir/power_cost_baselines_test.cc.o"
+  "CMakeFiles/power_cost_baselines_test.dir/power_cost_baselines_test.cc.o.d"
+  "power_cost_baselines_test"
+  "power_cost_baselines_test.pdb"
+  "power_cost_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_cost_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/services_workloads_test.dir/services_workloads_test.cc.o"
+  "CMakeFiles/services_workloads_test.dir/services_workloads_test.cc.o.d"
+  "services_workloads_test"
+  "services_workloads_test.pdb"
+  "services_workloads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/services_workloads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_inspect.dir/fabric_inspect.cpp.o"
+  "CMakeFiles/fabric_inspect.dir/fabric_inspect.cpp.o.d"
+  "fabric_inspect"
+  "fabric_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
