@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "hw/disk.h"
 #include "hw/disk_model.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace {
@@ -21,6 +22,8 @@ using namespace ustore;
 double MeasureDes(const hw::DiskModel& model, const hw::WorkloadSpec& spec,
                   int n = 400) {
   sim::Simulator sim;
+  // Stamp this run's metrics/trace events with the local sim clock.
+  obs::BindSimulator(&sim);
   hw::Disk disk(&sim, "bench", model);
   Rng rng(7);
   int completed = 0;
@@ -40,7 +43,9 @@ double MeasureDes(const hw::DiskModel& model, const hw::WorkloadSpec& spec,
   };
   issue();
   sim.Run();
-  return completed / sim::ToSeconds(sim.now());
+  const double iops = completed / sim::ToSeconds(sim.now());
+  obs::BindSimulator(nullptr);
+  return iops;
 }
 
 void Section(const char* title, Bytes size, hw::AccessPattern pattern,
@@ -97,5 +102,6 @@ int main() {
   std::printf(
       "\nShape checks: SATA ~2.5x USB on 4KB sequential; parity on large\n"
       "transfers; USB ahead of SATA on 4MB random (bridge read-ahead).\n");
+  bench::EmitMetricsJson();
   return 0;
 }

@@ -1,10 +1,13 @@
-// Shared helpers for the reproduction benches: fixed-width table printing
-// and paper-vs-measured rows with relative deviation.
+// Shared helpers for the reproduction benches: fixed-width table printing,
+// paper-vs-measured rows with relative deviation, and a machine-readable
+// metrics dump sourced from the global observability registry.
 #pragma once
 
 #include <cstdio>
 #include <string>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace ustore::bench {
 
@@ -34,6 +37,16 @@ inline std::string VsPaper(double measured, double paper, int decimals = 1) {
   std::snprintf(buf, sizeof(buf), "%.*f (%+.1f%%)", decimals, measured,
                 delta);
   return buf;
+}
+
+// Dumps the accumulated metrics registry as a fenced JSON block, so bench
+// output stays grep-able by humans and parseable by tooling:
+//   --- METRICS JSON ---
+//   { ... }
+//   --- END METRICS JSON ---
+inline void EmitMetricsJson() {
+  std::printf("\n--- METRICS JSON ---\n%s\n--- END METRICS JSON ---\n",
+              obs::DumpJson().c_str());
 }
 
 }  // namespace ustore::bench

@@ -24,6 +24,7 @@ Logger& Logger::Instance() {
 }
 
 void Logger::Write(LogLevel level, const std::string& message) {
+  if (write_observer_) write_observer_(level);
   if (sink_) {
     sink_(level, message);
     return;

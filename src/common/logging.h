@@ -33,6 +33,14 @@ class Logger {
   // Redirect output (tests capture lines this way). Null restores stderr.
   void set_sink(Sink sink) { sink_ = std::move(sink); }
 
+  // Fired for every emitted line (regardless of sink) with its level. The
+  // obs metrics registry installs this to keep per-level counters
+  // (log.warnings, log.errors) without the logger depending on obs.
+  using WriteObserver = std::function<void(LogLevel)>;
+  void set_write_observer(WriteObserver observer) {
+    write_observer_ = std::move(observer);
+  }
+
   void Write(LogLevel level, const std::string& message);
 
  private:
@@ -40,6 +48,7 @@ class Logger {
   LogLevel threshold_ = LogLevel::kWarning;
   TimeSource time_source_;
   Sink sink_;
+  WriteObserver write_observer_;
 };
 
 // RAII line builder: accumulates the stream then emits on destruction.

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ustore::consensus {
 namespace {
@@ -142,6 +144,9 @@ void PaxosNode::ResetElectionTimer() {
 
 void PaxosNode::StartElection() {
   if (stopped_) return;
+  obs::Metrics().Increment("paxos.elections");
+  obs::Tracer().Record("paxos:" + id(), "election_started", sim_->now(),
+                       sim_->now());
   role_ = Role::kCandidate;
   leader_hint_ = -1;
   my_ballot_ = MakeBallot(std::max(promised_.round, my_ballot_.round) + 1);
@@ -195,6 +200,10 @@ void PaxosNode::StartElection() {
 
 void PaxosNode::BecomeLeader() {
   if (role_ == Role::kLeader) return;
+  obs::Metrics().Increment("paxos.leader_changes");
+  obs::Tracer().Record("paxos:" + id(), "became_leader", sim_->now(),
+                       sim_->now(),
+                       {{"round", std::to_string(my_ballot_.round)}});
   role_ = Role::kLeader;
   leader_hint_ = my_index_;
   ++election_cookie_;  // no more promises accepted for this round
@@ -231,6 +240,7 @@ void PaxosNode::BecomeLeader() {
 
 void PaxosNode::StepDown(int new_leader_hint) {
   const bool was_leader = role_ == Role::kLeader;
+  if (was_leader) obs::Metrics().Increment("paxos.step_downs");
   role_ = Role::kFollower;
   leader_hint_ = new_leader_hint;
   ++election_cookie_;
@@ -275,6 +285,7 @@ void PaxosNode::Propose(const std::string& command,
 
 void PaxosNode::StartAccept(std::uint64_t s, std::string value,
                             ProposeCallback callback) {
+  obs::Metrics().Increment("paxos.accept_rounds");
   PendingAccept pending;
   pending.ballot = my_ballot_;
   pending.value = value;
@@ -337,6 +348,7 @@ void PaxosNode::OnChosen(std::uint64_t s, const std::string& value) {
   if (!entry.chosen) {
     entry.chosen = true;
     entry.chosen_value = value;
+    obs::Metrics().Increment("paxos.slots_chosen");
   }
   if (role_ == Role::kLeader) BroadcastCommit(s);
   TryApply();

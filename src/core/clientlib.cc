@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ustore::core {
 
@@ -69,6 +71,7 @@ void ClientLib::AllocateAndMount(
 void ClientLib::AllocateAndMountOnDisk(
     const std::string& service, Bytes size, const std::string& disk,
     std::function<void(Result<Volume*>)> done) {
+  obs::Metrics().Increment("client.allocations_requested");
   auto request = std::make_shared<AllocateRequest>();
   request->service = service;
   request->size = size;
@@ -217,6 +220,7 @@ void ClientLib::Volume::OnIoError(const Status& status) {
 void ClientLib::Volume::StartRemount(sim::Time deadline) {
   remounting_ = true;
   ++remount_count_;
+  obs::Metrics().Increment("client.remounts");
   USTORE_LOG(Info) << owner_->id() << ": volume " << space_.id.ToString()
                    << " unreachable; remounting";
 
@@ -267,9 +271,20 @@ void ClientLib::Volume::Read(
     done(UnavailableError("volume not mounted (failover in progress)"));
     return;
   }
+  obs::Metrics().Increment("client.reads");
+  const obs::SpanId span = obs::Tracer().Begin("client", "read");
+  obs::Tracer().Annotate(span, "space", space_.id.ToString());
+  obs::Tracer().Annotate(span, "bytes", std::to_string(length));
+  const sim::Time started = owner_->sim_->now();
   initiator_.Read(offset, length, random,
-                  [this, done = std::move(done)](
+                  [this, span, started, done = std::move(done)](
                       Result<std::uint64_t> result) {
+                    obs::Metrics().Observe(
+                        "client.read.latency_us",
+                        sim::ToMicros(owner_->sim_->now() - started));
+                    obs::Tracer().Annotate(span, "outcome",
+                                           result.ok() ? "ok" : "error");
+                    obs::Tracer().End(span);
                     if (!result.ok()) OnIoError(result.status());
                     done(std::move(result));
                   });
@@ -282,8 +297,20 @@ void ClientLib::Volume::Write(Bytes offset, Bytes length, bool random,
     done(UnavailableError("volume not mounted (failover in progress)"));
     return;
   }
+  obs::Metrics().Increment("client.writes");
+  const obs::SpanId span = obs::Tracer().Begin("client", "write");
+  obs::Tracer().Annotate(span, "space", space_.id.ToString());
+  obs::Tracer().Annotate(span, "bytes", std::to_string(length));
+  const sim::Time started = owner_->sim_->now();
   initiator_.Write(offset, length, random, tag,
-                   [this, done = std::move(done)](Status status) {
+                   [this, span, started,
+                    done = std::move(done)](Status status) {
+                     obs::Metrics().Observe(
+                         "client.write.latency_us",
+                         sim::ToMicros(owner_->sim_->now() - started));
+                     obs::Tracer().Annotate(span, "outcome",
+                                            status.ok() ? "ok" : "error");
+                     obs::Tracer().End(span);
                      if (!status.ok()) OnIoError(status);
                      done(status);
                    });

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "fabric/builders.h"
+#include "obs/metrics.h"
 
 namespace ustore::core {
 
@@ -23,6 +24,8 @@ fabric::BuiltFabric BuildFor(const ClusterOptions& options) {
 
 Cluster::Cluster(ClusterOptions options)
     : options_(options), rng_(options.seed) {
+  // Stamp metrics snapshots and trace spans with this cluster's sim clock.
+  obs::BindSimulator(&sim_);
   network_ = std::make_unique<net::Network>(&sim_, rng_.Fork());
 
   fabric_ = std::make_unique<fabric::FabricManager>(
@@ -70,7 +73,11 @@ Cluster::Cluster(ClusterOptions options)
   }
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster() {
+  // Drop the clock binding so later obs calls never dereference the dead
+  // simulator (tests construct clusters back to back).
+  obs::BindSimulator(nullptr);
+}
 
 std::vector<net::NodeId> Cluster::master_ids() const {
   std::vector<net::NodeId> out;

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace ustore::core {
 
@@ -25,6 +26,7 @@ void Controller::RegisterHandlers() {
   endpoint_->RegisterNotifyHandler<UsbReportMsg>(
       [this](const net::NodeId&, net::MessagePtr msg) {
         auto* report = static_cast<UsbReportMsg*>(msg.get());
+        obs::Metrics().Increment("controller.usb_reports_received");
         std::set<std::string>& seen = visible_[report->host_index];
         seen.clear();
         for (const auto& entry : report->report) {
@@ -70,6 +72,7 @@ void Controller::RegisterHandlers() {
       [this](const net::NodeId&, net::MessagePtr msg,
              std::function<void(Result<net::MessagePtr>)> reply) {
         auto* request = static_cast<ScheduleRequest*>(msg.get());
+        obs::Metrics().Increment("controller.commands_received");
         queue_.push_back(Command{request->moves, std::move(reply)});
         MaybeExecuteNext();
       });
@@ -197,12 +200,21 @@ void Controller::MaybeExecuteNext() {
 }
 
 void Controller::Execute(Command command) {
+  command.span = obs::Tracer().Begin(id(), "execute");
+  obs::Tracer().Annotate(command.span, "moves",
+                         std::to_string(command.moves.size()));
   // Step 2: determine the switches to turn.
   auto plan = SwitchesToTurn(command.moves);
   if (!plan.ok()) {
+    if (plan.status().code() == StatusCode::kConflict) {
+      obs::Metrics().Increment("controller.conflicts");
+    }
     FinishCommand(command, plan.status());
     return;
   }
+  obs::Metrics().Observe("controller.switches_per_command",
+                         static_cast<double>(plan->size()),
+                         obs::CountBuckets());
 
   // Step 3: drive the switches through the microcontroller, one by one.
   for (const auto& setting : *plan) {
@@ -242,6 +254,7 @@ void Controller::VerifyLoop(Command command,
   }
   if (sim_->now() >= deadline) {
     USTORE_LOG(Warning) << id() << ": verification timed out; rolling back";
+    obs::Tracer().Annotate(command.span, "rolled_back", "true");
     RollBack(turned);
     FinishCommand(command,
                   AbortedError("expected connections did not appear; "
@@ -258,6 +271,7 @@ void Controller::VerifyLoop(Command command,
 }
 
 void Controller::RollBack(const std::vector<fabric::SwitchSetting>& turned) {
+  obs::Metrics().Increment("controller.rollbacks");
   for (auto it = turned.rbegin(); it != turned.rend(); ++it) {
     const bool original = !it->select;
     if (manager_->DriveSwitch(mcu_index_, it->switch_node, original).ok()) {
@@ -268,6 +282,14 @@ void Controller::RollBack(const std::vector<fabric::SwitchSetting>& turned) {
 
 void Controller::FinishCommand(Command& command, const Status& status) {
   executing_ = false;
+  obs::Metrics().Increment(status.ok() ? "controller.commands_ok"
+                                       : "controller.commands_failed");
+  if (command.span != obs::kInvalidSpan) {
+    obs::Tracer().Annotate(command.span, "status",
+                           status.ok() ? "ok" : status.ToString());
+    obs::Tracer().End(command.span);
+    command.span = obs::kInvalidSpan;
+  }
   if (command.reply) {
     if (status.ok()) {
       command.reply(

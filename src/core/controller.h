@@ -28,6 +28,7 @@
 #include "fabric/builders.h"
 #include "fabric/fabric_manager.h"
 #include "net/rpc.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace ustore::core {
@@ -71,6 +72,7 @@ class Controller {
   struct Command {
     std::vector<DiskHostPair> moves;
     std::function<void(Result<net::MessagePtr>)> reply;
+    obs::SpanId span = obs::kInvalidSpan;  // execute -> verify/rollback trace
   };
 
   void RegisterHandlers();

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace ustore::core {
 
@@ -85,6 +86,7 @@ void EndPoint::Start() {
 }
 
 void EndPoint::SendHeartbeat() {
+  obs::Metrics().Increment("endpoint.heartbeats_sent");
   auto heartbeat = std::make_shared<HeartbeatMsg>();
   heartbeat->host_index = host_index_;
   heartbeat->host = id();
@@ -105,6 +107,7 @@ void EndPoint::SendHeartbeat() {
 }
 
 void EndPoint::SendUsbReport() {
+  obs::Metrics().Increment("endpoint.usb_reports_sent");
   auto report = std::make_shared<UsbReportMsg>();
   report->host_index = host_index_;
   report->report = manager_->host_stack(host_index_)->TreeReport();
@@ -146,6 +149,7 @@ void EndPoint::TryExpose(ExposeRequest request,
       return;
     }
     exposed_[spec.lun_id] = spec;
+    obs::Metrics().Increment("endpoint.luns_exposed");
     reply(net::MessagePtr(std::make_shared<AckMsg>()));
   });
 }

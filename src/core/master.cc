@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace ustore::core {
 namespace {
@@ -216,6 +217,7 @@ void Master::MonitorTick() {
   for (auto& [host_index, stat] : hosts_) {
     if (stat.alive && now - stat.last_heartbeat > options_.heartbeat_timeout) {
       stat.alive = false;
+      obs::Metrics().Increment("master.heartbeat_misses");
       USTORE_LOG(Warning) << id() << ": host " << host_index
                           << " missed heartbeats, starting failover";
       HandleHostFailure(host_index);
@@ -252,9 +254,21 @@ net::NodeId Master::ActiveControllerId() const {
   return controller_ids_.at(active_controller_);
 }
 
+void Master::EndFailoverSpan(int host_index, const std::string& outcome) {
+  auto it = failover_spans_.find(host_index);
+  if (it == failover_spans_.end()) return;
+  obs::Tracer().Annotate(it->second, "outcome", outcome);
+  obs::Tracer().End(it->second);
+  failover_spans_.erase(it);
+}
+
 void Master::HandleHostFailure(int failed_host) {
   if (failovers_in_progress_.contains(failed_host)) return;
   failovers_in_progress_.insert(failed_host);
+  obs::Metrics().Increment("master.failovers_started");
+  const obs::SpanId span = obs::Tracer().Begin("master", "failover");
+  obs::Tracer().Annotate(span, "host", std::to_string(failed_host));
+  failover_spans_[failed_host] = span;
 
   // Control-plane takeover first: if the failed host ran the active
   // controller, switch to the backup and power on its microcontroller.
@@ -279,6 +293,7 @@ void Master::HandleHostFailure(int failed_host) {
   }
   if (stranded.empty()) {
     failovers_in_progress_.erase(failed_host);
+    EndFailoverSpan(failed_host, "no-disks-stranded");
     return;
   }
 
@@ -319,6 +334,7 @@ void Master::HandleHostFailure(int failed_host) {
     USTORE_LOG(Error) << id() << ": no live host to adopt disks of host "
                       << failed_host;
     failovers_in_progress_.erase(failed_host);
+    EndFailoverSpan(failed_host, "no-candidate-host");
     return;
   }
 
@@ -329,6 +345,7 @@ void Master::HandleHostFailure(int failed_host) {
       USTORE_LOG(Error) << id() << ": every failover target for host "
                         << failed_host << " was rejected";
       failovers_in_progress_.erase(failed_host);
+      EndFailoverSpan(failed_host, "all-targets-rejected");
       return;
     }
     const int target = candidates[index].second;
@@ -336,10 +353,17 @@ void Master::HandleHostFailure(int failed_host) {
     for (const std::string& disk : stranded) {
       moves.push_back(DiskHostPair{disk, target});
     }
+    const obs::SpanId schedule_span =
+        obs::Tracer().Begin("master", "failover.schedule");
+    obs::Tracer().Annotate(schedule_span, "target", std::to_string(target));
     SendSchedule(moves, [this, failed_host, stranded, target, index,
-                         try_candidate](Status status) {
+                         schedule_span, try_candidate](Status status) {
+      obs::Tracer().Annotate(schedule_span, "status",
+                             status.ok() ? "ok" : status.ToString());
+      obs::Tracer().End(schedule_span);
       if (status.code() == StatusCode::kConflict ||
           status.code() == StatusCode::kAborted) {
+        obs::Metrics().Increment("master.failover.reschedules");
         USTORE_LOG(Warning) << id() << ": target host " << target
                             << " rejected (" << status
                             << "); re-scheduling";
@@ -349,21 +373,29 @@ void Master::HandleHostFailure(int failed_host) {
       if (!status.ok()) {
         USTORE_LOG(Error) << id() << ": schedule failed: " << status;
         failovers_in_progress_.erase(failed_host);
+        EndFailoverSpan(failed_host, "schedule-failed");
         return;
       }
+      const obs::SpanId expose_span =
+          obs::Tracer().Begin("master", "failover.re_expose");
       auto remaining =
           std::make_shared<int>(static_cast<int>(stranded.size()));
       for (const std::string& disk : stranded) {
         disks_[disk].host = target;
         ReExposeDisk(disk, target,
-                     [this, failed_host, remaining](Status expose_status) {
+                     [this, failed_host, remaining,
+                      expose_span](Status expose_status) {
                        if (!expose_status.ok()) {
                          USTORE_LOG(Warning)
                              << id() << ": re-expose: " << expose_status;
                        }
                        if (--*remaining == 0) {
+                         obs::Tracer().End(expose_span);
                          failovers_in_progress_.erase(failed_host);
                          ++failovers_completed_;
+                         obs::Metrics().Increment(
+                             "master.failovers_completed");
+                         EndFailoverSpan(failed_host, "completed");
                        }
                      });
       }
@@ -376,6 +408,7 @@ void Master::HandleDiskFailure(const std::string& disk) {
   DiskStat& stat = disks_[disk];
   if (stat.failed) return;
   stat.failed = true;
+  obs::Metrics().Increment("master.disk_failures");
   USTORE_LOG(Warning) << id() << ": disk " << disk
                       << " reported failed; flagging for replacement";
   // Data recovery is delegated to the upper-layer service (§IV-E); we just
@@ -511,6 +544,7 @@ void Master::RegisterHandlers() {
   endpoint_->RegisterNotifyHandler<HeartbeatMsg>(
       [this](const net::NodeId&, net::MessagePtr msg) {
         auto* heartbeat = static_cast<HeartbeatMsg*>(msg.get());
+        obs::Metrics().Increment("master.heartbeats_received");
         HostStat& host = hosts_[heartbeat->host_index];
         host.last_heartbeat = sim_->now();
         if (!host.alive) {

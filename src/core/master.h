@@ -35,6 +35,7 @@
 #include "core/types.h"
 #include "fabric/builders.h"
 #include "net/rpc.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace ustore::core {
@@ -109,6 +110,8 @@ class Master {
   void MonitorTick();
   void HandleHostFailure(int host_index);
   void HandleDiskFailure(const std::string& disk);
+  // Closes the failover trace span for `host_index` with an outcome attr.
+  void EndFailoverSpan(int host_index, const std::string& outcome);
 
   // Allocation machinery.
   Result<std::string> PickDisk(const std::string& service, Bytes size,
@@ -158,6 +161,7 @@ class Master {
   sim::Timer monitor_timer_;
   int failovers_completed_ = 0;
   std::set<int> failovers_in_progress_;
+  std::map<int, obs::SpanId> failover_spans_;
   std::set<std::string> re_expose_in_progress_;
 };
 

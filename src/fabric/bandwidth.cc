@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "obs/metrics.h"
+
 namespace ustore::fabric {
 namespace {
 
@@ -95,10 +97,13 @@ BandwidthResult SolveMaxMinFair(const BuiltFabric& fabric,
     if (paths[i].empty() || demands[i].demand <= 0) frozen[i] = true;
   }
 
+  int rounds_run = 0;
+  int constraints_bound = 0;
   for (int round = 0; round < n + 1; ++round) {
     bool any_active = false;
     for (int i = 0; i < n; ++i) any_active |= !frozen[i];
     if (!any_active) break;
+    ++rounds_run;
 
     // Lowest level at which something binds.
     double t_next = std::numeric_limits<double>::infinity();
@@ -128,6 +133,7 @@ BandwidthResult SolveMaxMinFair(const BuiltFabric& fabric,
     }
 
     t_next = std::max(t_next, 0.0);
+    constraints_bound += static_cast<int>(binding.size());
     for (int i = 0; i < n; ++i) {
       if (!frozen[i]) rate[i] = t_next;
     }
@@ -153,6 +159,20 @@ BandwidthResult SolveMaxMinFair(const BuiltFabric& fabric,
     result.total_read += flow.read_rate;
     result.total_write += flow.write_rate;
   }
+
+  // USB-tree contention observability: how often the solver runs, how many
+  // progressive-filling rounds it needs, and how many link/host-controller
+  // constraints actually bound (each binding constraint is a saturated hub
+  // uplink, root port or transaction ceiling — Fig. 5's saturation story).
+  obs::MetricsRegistry& metrics = obs::Metrics();
+  metrics.Increment("fabric.maxmin.solves");
+  metrics.Observe("fabric.maxmin.rounds", rounds_run, obs::CountBuckets());
+  metrics.Increment("fabric.maxmin.saturated_constraints",
+                    static_cast<std::uint64_t>(constraints_bound));
+  int attached = 0;
+  for (const FlowAllocation& flow : result.flows) attached += flow.attached;
+  metrics.SetGauge("fabric.flows.attached", attached);
+  metrics.SetGauge("fabric.allocated_total_mbps", result.total / 1e6);
   return result;
 }
 

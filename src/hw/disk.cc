@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace ustore::hw {
 
@@ -25,7 +26,17 @@ Disk::Disk(sim::Simulator* sim, std::string name, DiskModel model,
       model_(std::move(model)),
       state_(start_powered ? DiskState::kIdle : DiskState::kPoweredOff),
       spin_timer_(sim),
-      idle_timer_(sim) {}
+      idle_timer_(sim) {
+  obs::Metrics().SetGauge("disk." + name_ + ".state",
+                          static_cast<double>(state_));
+}
+
+void Disk::EnterState(DiskState next) {
+  if (next == state_) return;
+  state_ = next;
+  obs::Metrics().SetGauge("disk." + name_ + ".state",
+                          static_cast<double>(next));
+}
 
 void Disk::SubmitIo(const IoRequest& request, IoCallback callback) {
   assert(callback);
@@ -38,7 +49,14 @@ void Disk::SubmitIo(const IoRequest& request, IoCallback callback) {
     return;
   }
   idle_timer_.Stop();
-  queue_.push_back(Pending{request, std::move(callback)});
+  Pending pending{request, std::move(callback)};
+  pending.span = obs::Tracer().Begin("disk:" + name_, "io");
+  obs::Tracer().Annotate(pending.span, "dir",
+                         request.direction == IoDirection::kRead ? "read"
+                                                                 : "write");
+  obs::Tracer().Annotate(pending.span, "size",
+                         std::to_string(request.size));
+  queue_.push_back(std::move(pending));
   if (state_ == DiskState::kSpunDown) {
     SpinUp();  // implicit spin-up on access
     return;    // queue drains once the platter is ready
@@ -51,27 +69,34 @@ void Disk::MaybeStartNext() {
   if (state_ != DiskState::kIdle && state_ != DiskState::kActive) return;
 
   busy_ = true;
-  state_ = DiskState::kActive;
+  EnterState(DiskState::kActive);
   Pending pending = std::move(queue_.front());
   queue_.pop_front();
 
   const sim::Duration service =
       model_.ServiceTime(pending.request, last_direction_);
   last_direction_ = pending.request.direction;
+  obs::Metrics().Observe("disk.op.service_time_us", sim::ToMicros(service));
 
   sim_->Schedule(service, [this, pending = std::move(pending)]() mutable {
     busy_ = false;
     if (failed_ || state_ == DiskState::kPoweredOff) {
+      obs::Tracer().Annotate(pending.span, "error", "lost-power");
+      obs::Tracer().End(pending.span);
       pending.callback(UnavailableError(name_ + ": lost power mid-io"));
       return;
     }
     ++ios_completed_;
+    obs::Metrics().Increment("disk.op.count");
     if (pending.request.direction == IoDirection::kRead) {
       bytes_read_ += pending.request.size;
+      obs::Metrics().Increment("disk.op.read_bytes", pending.request.size);
     } else {
       bytes_written_ += pending.request.size;
+      obs::Metrics().Increment("disk.op.write_bytes", pending.request.size);
     }
-    state_ = DiskState::kIdle;
+    EnterState(DiskState::kIdle);
+    obs::Tracer().End(pending.span);
     pending.callback(Status::Ok());
     if (queue_.empty()) {
       ArmIdleTimer();
@@ -93,15 +118,19 @@ void Disk::SpinUp() {
   }
   last_spin_up_at_ = sim_->now();
   ++spin_cycles_;
+  obs::Metrics().Increment("disk.spin_up.count");
+  spin_span_ = obs::Tracer().Begin("disk:" + name_, "spin_up");
 
-  state_ = DiskState::kSpinningUp;
+  EnterState(DiskState::kSpinningUp);
   spin_timer_.StartOneShot(model_.disk().spin_up_time,
                            [this] { FinishSpinUp(); });
 }
 
 void Disk::FinishSpinUp() {
   if (state_ != DiskState::kSpinningUp) return;
-  state_ = DiskState::kIdle;
+  obs::Tracer().End(spin_span_);
+  spin_span_ = obs::kInvalidSpan;
+  EnterState(DiskState::kIdle);
   if (queue_.empty()) {
     ArmIdleTimer();
   } else {
@@ -112,14 +141,15 @@ void Disk::FinishSpinUp() {
 void Disk::SpinDown() {
   if (state_ != DiskState::kIdle) return;  // never interrupt active I/O
   idle_timer_.Stop();
-  state_ = DiskState::kSpunDown;
+  obs::Metrics().Increment("disk.spin_down.count");
+  EnterState(DiskState::kSpunDown);
 }
 
 void Disk::PowerOn() {
   if (state_ != DiskState::kPoweredOff) return;
   // Power-on leaves the platter stopped; spin-up is a separate (heavier)
   // step so the Controller can do rolling spin-up (§III-B).
-  state_ = DiskState::kSpunDown;
+  EnterState(DiskState::kSpunDown);
 }
 
 void Disk::PowerOff() {
@@ -127,7 +157,7 @@ void Disk::PowerOff() {
   spin_timer_.Stop();
   idle_timer_.Stop();
   busy_ = false;
-  state_ = DiskState::kPoweredOff;
+  EnterState(DiskState::kPoweredOff);
   FailAll(UnavailableError(name_ + ": powered off"));
 }
 
@@ -142,13 +172,17 @@ void Disk::Fail() {
 
 void Disk::Repair() {
   failed_ = false;
-  if (state_ != DiskState::kPoweredOff) state_ = DiskState::kSpunDown;
+  if (state_ != DiskState::kPoweredOff) EnterState(DiskState::kSpunDown);
 }
 
 void Disk::FailAll(const Status& status) {
   auto queue = std::move(queue_);
   queue_.clear();
-  for (auto& pending : queue) pending.callback(status);
+  for (auto& pending : queue) {
+    obs::Tracer().Annotate(pending.span, "error", status.ToString());
+    obs::Tracer().End(pending.span);
+    pending.callback(status);
+  }
 }
 
 void Disk::SetIdleSpinDown(sim::Duration idle_timeout) {

@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "common/units.h"
 #include "hw/disk_model.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace ustore::hw {
@@ -87,12 +88,16 @@ class Disk {
   struct Pending {
     IoRequest request;
     IoCallback callback;
+    obs::SpanId span = obs::kInvalidSpan;  // submit -> completion trace
   };
 
   void MaybeStartNext();
   void FinishSpinUp();
   void ArmIdleTimer();
   void FailAll(const Status& status);
+  // All state transitions funnel through here so the spin-state gauge and
+  // transition counters stay consistent with `state_`.
+  void EnterState(DiskState next);
 
   sim::Simulator* sim_;
   std::string name_;
@@ -107,6 +112,7 @@ class Disk {
   sim::Duration idle_timeout_ = 0;
   sim::Duration configured_idle_timeout_ = 0;
   sim::Time last_spin_up_at_ = -1;
+  obs::SpanId spin_span_ = obs::kInvalidSpan;
   int spin_cycles_ = 0;
   std::uint64_t ios_completed_ = 0;
   Bytes bytes_read_ = 0;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace ustore::hw {
 
 InterfaceParams SataInterface() {
@@ -82,7 +84,9 @@ sim::Duration DiskModel::ServiceTime(const IoRequest& request,
   }
   if (request.direction != previous_direction) {
     t += DirectionSwitchPenalty(request.pattern, request.size);
+    obs::Metrics().Increment("disk.model.direction_switches");
   }
+  obs::Metrics().Increment("disk.model.service_time_calls");
   return t;
 }
 

@@ -4,6 +4,8 @@
 
 #include "common/logging.h"
 #include "hw/disk_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ustore::iscsi {
 
@@ -106,11 +108,22 @@ void IscsiTarget::RegisterHandlers() {
         const Bytes length = io->length;
         const std::uint64_t tag = io->tag;
 
+        obs::Metrics().Increment(is_read ? "iscsi.target.reads"
+                                         : "iscsi.target.writes");
+        const obs::SpanId span = obs::Tracer().Begin("iscsi:" + endpoint_->id(),
+                                                     is_read ? "target_read"
+                                                             : "target_write");
+        obs::Tracer().Annotate(span, "lun", io->lun_id);
+        obs::Tracer().Annotate(span, "disk", lun.disk_name);
+
         sim_->Schedule(options_.per_op_overhead, [this, disk, request,
                                                   disk_offset, is_read,
-                                                  length, tag, reply] {
+                                                  length, tag, span, reply] {
           disk->SubmitIo(request, [disk, disk_offset, is_read, length, tag,
-                                   reply](Status status) {
+                                   span, reply](Status status) {
+            obs::Tracer().Annotate(span, "outcome",
+                                   status.ok() ? "ok" : status.ToString());
+            obs::Tracer().End(span);
             if (!status.ok()) {
               reply(status);
               return;

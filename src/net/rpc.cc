@@ -1,8 +1,10 @@
 #include "net/rpc.h"
 
 #include <cassert>
+#include <string_view>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace ustore::net {
 
@@ -30,15 +32,36 @@ void RpcEndpoint::Call(const NodeId& to, MessagePtr request,
         auto it = pending_.find(rpc_id);
         if (it == pending_.end()) return;
         auto cb = std::move(it->second.callback);
+        obs::Metrics().Increment("rpc.timeouts");
+        FinishCall(it->second, "timeout");
         pending_.erase(it);
         cb(DeadlineExceededError("rpc to " + to + " timed out"));
       });
-  pending_[rpc_id] = PendingCall{std::move(callback), timeout_event};
+  PendingCall call{std::move(callback), timeout_event, sim_->now(),
+                   obs::kInvalidSpan};
+  obs::Metrics().Increment("rpc.calls");
+  call.span = obs::Tracer().Begin("rpc", "call");
+  obs::Tracer().Annotate(call.span, "from", id_);
+  obs::Tracer().Annotate(call.span, "to", to);
+  pending_[rpc_id] = std::move(call);
   network_->Send(id_, to, std::move(wrapper));
+}
+
+void RpcEndpoint::FinishCall(PendingCall& call, const char* outcome) {
+  // A shut-down endpoint's calls vanished rather than completed; keep them
+  // out of the latency distribution but still close their spans.
+  if (outcome != std::string_view("shutdown")) {
+    obs::Metrics().Observe("rpc.latency_us",
+                           sim::ToMicros(sim_->now() - call.started));
+  }
+  obs::Tracer().Annotate(call.span, "outcome", outcome);
+  obs::Tracer().End(call.span);
+  call.span = obs::kInvalidSpan;
 }
 
 void RpcEndpoint::Notify(const NodeId& to, MessagePtr msg) {
   if (shut_down_) return;
+  obs::Metrics().Increment("rpc.notifies");
   network_->Send(id_, to, std::move(msg));
 }
 
@@ -47,6 +70,7 @@ void RpcEndpoint::Shutdown() {
   shut_down_ = true;
   for (auto& [id, call] : pending_) {
     sim_->Cancel(call.timeout_event);
+    FinishCall(call, "shutdown");
   }
   // Deliberately do not invoke callbacks: a crashed process's continuations
   // simply vanish, which is the semantics the failover tests rely on.
@@ -68,6 +92,8 @@ void RpcEndpoint::HandleMessage(const NodeId& from, const MessagePtr& msg) {
     if (it == pending_.end()) return;  // late response after timeout
     sim_->Cancel(it->second.timeout_event);
     auto cb = std::move(it->second.callback);
+    obs::Metrics().Increment("rpc.responses");
+    FinishCall(it->second, response->status.ok() ? "ok" : "error");
     pending_.erase(it);
     if (response->status.ok()) {
       cb(response->payload);

@@ -16,6 +16,7 @@
 
 #include "common/status.h"
 #include "net/network.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace ustore::net {
@@ -89,7 +90,12 @@ class RpcEndpoint : public Node {
   struct PendingCall {
     ResponseCallback callback;
     sim::EventId timeout_event;
+    sim::Time started = 0;                 // for rpc.latency_us
+    obs::SpanId span = obs::kInvalidSpan;  // call -> response/timeout trace
   };
+
+  // Closes out a pending call's latency/trace bookkeeping.
+  void FinishCall(PendingCall& call, const char* outcome);
 
   void DispatchRequest(const NodeId& from, const RpcRequest& request);
 

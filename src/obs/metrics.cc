@@ -1,0 +1,247 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+namespace ustore::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  assert(!bounds_.empty());
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Record(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts_[b];
+    if (static_cast<double>(cumulative) < target) continue;
+    // The target sample lands in bucket b: interpolate across its span.
+    const double lower = b == 0 ? std::max(0.0, min_) : bounds_[b - 1];
+    const double upper = b < bounds_.size() ? bounds_[b] : max_;
+    const double fraction =
+        counts_[b] == 0 ? 0
+                        : (target - before) / static_cast<double>(counts_[b]);
+    const double estimate = lower + fraction * (upper - lower);
+    return std::clamp(estimate, min_, max_);
+  }
+  return max_;
+}
+
+void Histogram::Reset() {
+  counts_.assign(counts_.size(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0;
+}
+
+std::vector<double> LatencyBucketsUs() {
+  std::vector<double> bounds;
+  for (double decade = 1; decade <= 1e7; decade *= 10) {
+    bounds.push_back(decade);
+    bounds.push_back(2 * decade);
+    bounds.push_back(5 * decade);
+  }
+  bounds.push_back(1e8);  // 100s
+  return bounds;
+}
+
+std::vector<double> CountBuckets() {
+  return {1, 2, 3, 4, 5, 8, 10, 15, 20, 30, 50, 100};
+}
+
+MetricsRegistry::MetricsRegistry() {
+  // Satellite of the registry: every emitted log line bumps a per-level
+  // counter, so tests can assert "no errors logged" without capturing the
+  // sink.
+  Logger::Instance().set_write_observer([this](LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug: Increment("log.debugs"); break;
+      case LogLevel::kInfo: Increment("log.infos"); break;
+      case LogLevel::kWarning: Increment("log.warnings"); break;
+      case LogLevel::kError: Increment("log.errors"); break;
+    }
+  });
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot(bool reset) {
+  MetricsSnapshot snapshot;
+  snapshot.at = now();
+  for (auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter.value();
+    if (reset) counter.Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    MetricsSnapshot::GaugeState state;
+    state.value = gauge.value();
+    state.samples.assign(gauge.samples().begin(), gauge.samples().end());
+    snapshot.gauges[name] = std::move(state);
+    if (reset) gauge.Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramState state;
+    state.count = histogram->count();
+    state.sum = histogram->sum();
+    state.min = histogram->min();
+    state.max = histogram->max();
+    state.p50 = histogram->Quantile(0.50);
+    state.p90 = histogram->Quantile(0.90);
+    state.p99 = histogram->Quantile(0.99);
+    state.bounds = histogram->bounds();
+    state.bucket_counts = histogram->bucket_counts();
+    snapshot.histograms[name] = std::move(state);
+    if (reset) histogram->Reset();
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry& Metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void BindSimulator(sim::Simulator* sim) {
+  if (sim == nullptr) {
+    Metrics().set_time_source(nullptr);
+    Tracer().set_time_source(nullptr);
+    return;
+  }
+  Metrics().set_time_source([sim] { return sim->now(); });
+  Tracer().set_time_source([sim] { return sim->now(); });
+}
+
+namespace {
+
+// Minimal JSON string escaping; metric names and attrs are plain ASCII.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  char buf[64];
+  // %.17g round-trips doubles but is noisy; %.6g is plenty for metrics.
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string DumpJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n";
+  out += "  \"sim_time_ns\": " + std::to_string(snapshot.at) + ",\n";
+
+  out += "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) + "\": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : snapshot.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) +
+           "\": {\"value\": " + JsonNumber(gauge.value) + ", \"samples\": [";
+    bool first_sample = true;
+    for (const GaugeSample& sample : gauge.samples) {
+      if (!first_sample) out += ", ";
+      first_sample = false;
+      out += "[" + std::to_string(sample.at) + ", " +
+             JsonNumber(sample.value) + "]";
+    }
+    out += "]}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) + "\": {";
+    out += "\"count\": " + std::to_string(h.count);
+    out += ", \"sum\": " + JsonNumber(h.sum);
+    out += ", \"min\": " + JsonNumber(h.min);
+    out += ", \"max\": " + JsonNumber(h.max);
+    out += ", \"p50\": " + JsonNumber(h.p50);
+    out += ", \"p90\": " + JsonNumber(h.p90);
+    out += ", \"p99\": " + JsonNumber(h.p99);
+    out += ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.bucket_counts.size(); ++b) {
+      if (b > 0) out += ", ";
+      const std::string le =
+          b < h.bounds.size() ? JsonNumber(h.bounds[b]) : "\"inf\"";
+      out += "[" + le + ", " + std::to_string(h.bucket_counts[b]) + "]";
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}";
+  return out;
+}
+
+std::string DumpJson() { return DumpJson(Metrics().Snapshot()); }
+
+}  // namespace ustore::obs

@@ -1,0 +1,187 @@
+// Process-wide metrics registry stamped with simulated time.
+//
+// Three metric kinds cover everything the reproduction measures:
+//
+//   * Counter   — monotonically increasing uint64 (ops, RPCs, elections);
+//   * Gauge     — last-value double plus a bounded ring of (sim-time, value)
+//                 samples, so state machines (disk spin state, power draw)
+//                 leave an inspectable trail;
+//   * Histogram — fixed upper-bound buckets with count/sum/min/max and
+//                 linear-interpolation quantile estimation (service times,
+//                 RPC latencies, switch flips per command).
+//
+// Names follow `component.metric` with a unit suffix where applicable
+// (`_us`, `_bytes`, `_w`); see the README convention table. The registry is
+// a singleton (`obs::Metrics()`) so instrumentation points anywhere in the
+// stack need no plumbing; experiments call `Reset()` between runs and
+// `BindSimulator()` so snapshots carry simulated — not wall-clock — time.
+// Everything is single-threaded, like the simulator it observes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ustore::sim {
+class Simulator;
+}  // namespace ustore::sim
+
+namespace ustore::obs {
+
+class Counter {
+ public:
+  void Increment(std::uint64_t by = 1) { value_ += by; }
+  std::uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+struct GaugeSample {
+  sim::Time at = 0;
+  double value = 0;
+};
+
+class Gauge {
+ public:
+  // Bounded sample trail: the most recent `kMaxSamples` Set() calls.
+  static constexpr std::size_t kMaxSamples = 256;
+
+  void Set(double value, sim::Time at) {
+    value_ = value;
+    samples_.push_back(GaugeSample{at, value});
+    if (samples_.size() > kMaxSamples) samples_.pop_front();
+  }
+  double value() const { return value_; }
+  const std::deque<GaugeSample>& samples() const { return samples_; }
+  // Reset clears the trail but keeps the last value: a gauge describes
+  // current state, which survives a snapshot boundary.
+  void Reset() { samples_.clear(); }
+
+ private:
+  double value_ = 0;
+  std::deque<GaugeSample> samples_;
+};
+
+class Histogram {
+ public:
+  // `bounds` are inclusive upper bucket bounds, strictly increasing; an
+  // implicit +inf bucket catches the overflow.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Record(double value);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0 : min_; }
+  double max() const { return count_ == 0 ? 0 : max_; }
+  double mean() const { return count_ == 0 ? 0 : sum_ / count_; }
+
+  // Quantile estimate (q in [0,1]) by linear interpolation inside the
+  // bucket holding the q-th sample; the overflow bucket is clamped to the
+  // observed max.
+  double Quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 (overflow)
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Default bucket bounds for microsecond-scale latencies: 1us .. 100s in a
+// 1-2-5 progression.
+std::vector<double> LatencyBucketsUs();
+// Small-integer buckets (rounds, flips, queue depths): 1..100.
+std::vector<double> CountBuckets();
+
+struct MetricsSnapshot {
+  sim::Time at = 0;
+  std::map<std::string, std::uint64_t> counters;
+  struct GaugeState {
+    double value = 0;
+    std::vector<GaugeSample> samples;
+  };
+  std::map<std::string, GaugeState> gauges;
+  struct HistogramState {
+    std::uint64_t count = 0;
+    double sum = 0, min = 0, max = 0;
+    double p50 = 0, p90 = 0, p99 = 0;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> bucket_counts;
+  };
+  std::map<std::string, HistogramState> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  using TimeSource = std::function<sim::Time()>;
+
+  MetricsRegistry();
+
+  // Get-or-create by name. Histogram bounds are fixed at first creation;
+  // later callers get the existing instance regardless of `bounds`.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> bounds = LatencyBucketsUs());
+
+  // Convenience mirroring the common instrumentation one-liners.
+  void Increment(const std::string& name, std::uint64_t by = 1) {
+    GetCounter(name).Increment(by);
+  }
+  void SetGauge(const std::string& name, double value) {
+    GetGauge(name).Set(value, now());
+  }
+  void Observe(const std::string& name, double value,
+               std::vector<double> bounds = LatencyBucketsUs()) {
+    GetHistogram(name, std::move(bounds)).Record(value);
+  }
+
+  // Snapshot of every metric, stamped with the current simulated time.
+  // With `reset`, counters zero, histograms empty, and gauge trails clear
+  // (gauge last-values persist) — so periodic collectors see per-interval
+  // deltas.
+  MetricsSnapshot Snapshot(bool reset = false);
+
+  // Drops every metric entirely (experiment/test isolation).
+  void Clear();
+
+  void set_time_source(TimeSource source) { time_source_ = std::move(source); }
+  sim::Time now() const { return time_source_ ? time_source_() : 0; }
+
+ private:
+  TimeSource time_source_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// The process-wide registry every instrumentation point writes to.
+MetricsRegistry& Metrics();
+
+// Points the registry's and trace buffer's clocks at `sim` (call once per
+// experiment, right after constructing the simulator). Passing nullptr
+// restores the zero clock.
+void BindSimulator(sim::Simulator* sim);
+
+// Renders the full registry state (or a snapshot taken elsewhere) as a
+// single JSON object — the metrics block benches append to their output.
+std::string DumpJson();
+std::string DumpJson(const MetricsSnapshot& snapshot);
+
+}  // namespace ustore::obs

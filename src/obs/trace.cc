@@ -1,0 +1,136 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ustore::obs {
+
+SpanId TraceBuffer::Begin(std::string component, std::string name) {
+  TraceSpan span;
+  span.id = next_id_++;
+  span.component = std::move(component);
+  span.name = std::move(name);
+  span.start = now();
+  const SpanId id = span.id;
+  open_.emplace(id, std::move(span));
+  return id;
+}
+
+void TraceBuffer::Annotate(SpanId id, const std::string& key,
+                           const std::string& value) {
+  auto it = open_.find(id);
+  if (it == open_.end()) return;
+  it->second.attrs.emplace_back(key, value);
+}
+
+void TraceBuffer::End(SpanId id) {
+  auto it = open_.find(id);
+  if (it == open_.end()) return;
+  TraceSpan span = std::move(it->second);
+  open_.erase(it);
+  span.end = now();
+  PushCompleted(std::move(span));
+}
+
+void TraceBuffer::Record(
+    std::string component, std::string name, sim::Time start, sim::Time end,
+    std::vector<std::pair<std::string, std::string>> attrs) {
+  TraceSpan span;
+  span.id = next_id_++;
+  span.component = std::move(component);
+  span.name = std::move(name);
+  span.start = start;
+  span.end = end;
+  span.attrs = std::move(attrs);
+  PushCompleted(std::move(span));
+}
+
+void TraceBuffer::PushCompleted(TraceSpan span) {
+  completed_.push_back(std::move(span));
+  while (completed_.size() > capacity_) {
+    completed_.pop_front();
+    ++dropped_;
+  }
+}
+
+void TraceBuffer::set_capacity(std::size_t capacity) {
+  capacity_ = std::max<std::size_t>(capacity, 1);
+  while (completed_.size() > capacity_) {
+    completed_.pop_front();
+    ++dropped_;
+  }
+}
+
+void TraceBuffer::Clear() {
+  open_.clear();
+  completed_.clear();
+  dropped_ = 0;
+}
+
+TraceBuffer& Tracer() {
+  static TraceBuffer buffer;
+  return buffer;
+}
+
+std::string FormatTimeline(const TraceBuffer& buffer) {
+  std::vector<const TraceSpan*> spans;
+  spans.reserve(buffer.completed().size());
+  for (const TraceSpan& span : buffer.completed()) spans.push_back(&span);
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const TraceSpan* a, const TraceSpan* b) {
+                     if (a->start != b->start) return a->start < b->start;
+                     return a->id < b->id;
+                   });
+
+  std::string out;
+  char line[256];
+  for (const TraceSpan* span : spans) {
+    std::snprintf(line, sizeof(line), "[%12.6fs .. %12.6fs] %10.3fms  %-18s %-16s",
+                  sim::ToSeconds(span->start), sim::ToSeconds(span->end),
+                  sim::ToMillis(span->duration()), span->component.c_str(),
+                  span->name.c_str());
+    out += line;
+    for (const auto& [key, value] : span->attrs) {
+      out += " " + key + "=" + value;
+    }
+    out += "\n";
+  }
+  if (buffer.dropped() > 0) {
+    std::snprintf(line, sizeof(line), "(+%llu older spans evicted)\n",
+                  static_cast<unsigned long long>(buffer.dropped()));
+    out += line;
+  }
+  return out;
+}
+
+std::string DumpTraceJson(const TraceBuffer& buffer) {
+  std::vector<const TraceSpan*> spans;
+  spans.reserve(buffer.completed().size());
+  for (const TraceSpan& span : buffer.completed()) spans.push_back(&span);
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const TraceSpan* a, const TraceSpan* b) {
+                     if (a->start != b->start) return a->start < b->start;
+                     return a->id < b->id;
+                   });
+
+  std::string out = "[";
+  bool first = true;
+  for (const TraceSpan* span : spans) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"component\": \"" + span->component + "\", \"name\": \"" +
+           span->name + "\", \"start_ns\": " + std::to_string(span->start) +
+           ", \"end_ns\": " + std::to_string(span->end) + ", \"attrs\": {";
+    bool first_attr = true;
+    for (const auto& [key, value] : span->attrs) {
+      if (!first_attr) out += ", ";
+      first_attr = false;
+      out += "\"" + key + "\": \"" + value + "\"";
+    }
+    out += "}}";
+  }
+  out += first ? "]" : "\n]";
+  return out;
+}
+
+}  // namespace ustore::obs

@@ -1,0 +1,94 @@
+// Bounded buffer of structured trace spans over simulated time.
+//
+// A span covers one unit of work in one component — a disk I/O, an RPC, a
+// Paxos election, a failover — with sim-time start/end stamps and free-form
+// string attributes. Because the whole control plane is driven by one
+// single-threaded simulator, spans started along a request's causal chain
+// (ClientLib -> Master -> Controller -> EndPoint -> USB fabric -> Disk)
+// have monotonically ordered start times, which makes the flat buffer an
+// adequate request-lifecycle trace without propagating context through
+// every callback.
+//
+// The buffer is bounded: once `capacity` completed spans accumulate, the
+// oldest are evicted (and counted in `dropped`), so long experiments pay a
+// constant memory cost.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ustore::obs {
+
+using SpanId = std::uint64_t;
+inline constexpr SpanId kInvalidSpan = 0;
+
+struct TraceSpan {
+  SpanId id = kInvalidSpan;
+  std::string component;  // e.g. "disk:u0-d3", "rpc", "master"
+  std::string name;       // e.g. "io", "spin_up", "failover"
+  sim::Time start = 0;
+  sim::Time end = -1;  // -1 while open
+  std::vector<std::pair<std::string, std::string>> attrs;
+
+  sim::Duration duration() const { return end < start ? 0 : end - start; }
+};
+
+class TraceBuffer {
+ public:
+  using TimeSource = std::function<sim::Time()>;
+
+  explicit TraceBuffer(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  // Opens a span at the current sim time. Ending an unknown/already-ended
+  // id is a harmless no-op (callers may lose the race with an eviction).
+  SpanId Begin(std::string component, std::string name);
+  void Annotate(SpanId id, const std::string& key, const std::string& value);
+  void End(SpanId id);
+
+  // One-shot span for work whose duration is known when it completes.
+  void Record(std::string component, std::string name, sim::Time start,
+              sim::Time end,
+              std::vector<std::pair<std::string, std::string>> attrs = {});
+
+  // Completed spans in completion order (oldest surviving first).
+  const std::deque<TraceSpan>& completed() const { return completed_; }
+  std::size_t open_count() const { return open_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+  std::size_t capacity() const { return capacity_; }
+  void set_capacity(std::size_t capacity);
+
+  void Clear();
+
+  void set_time_source(TimeSource source) { time_source_ = std::move(source); }
+  sim::Time now() const { return time_source_ ? time_source_() : 0; }
+
+ private:
+  void PushCompleted(TraceSpan span);
+
+  std::size_t capacity_;
+  TimeSource time_source_;
+  SpanId next_id_ = 1;
+  std::unordered_map<SpanId, TraceSpan> open_;
+  std::deque<TraceSpan> completed_;
+  std::uint64_t dropped_ = 0;
+};
+
+// The process-wide trace buffer (clock bound via obs::BindSimulator).
+TraceBuffer& Tracer();
+
+// Completed spans sorted by start time and rendered one per line:
+//   [  12.345s ..  12.347s]   2.1ms  disk:u0-d3  io  dir=read size=4096
+std::string FormatTimeline(const TraceBuffer& buffer);
+
+// The trace buffer as a JSON array of span objects (same order as the
+// timeline).
+std::string DumpTraceJson(const TraceBuffer& buffer);
+
+}  // namespace ustore::obs

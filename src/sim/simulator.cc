@@ -20,7 +20,9 @@ EventId Simulator::ScheduleAt(Time t, std::function<void()> fn) {
 }
 
 void Simulator::Cancel(EventId id) {
-  if (id != kInvalidEventId) cancelled_.insert(id);
+  // With no queued events every id is fired or invalid, so a tombstone
+  // could only go stale (and skew pending_events()) — skip it.
+  if (id != kInvalidEventId && !queue_.empty()) cancelled_.insert(id);
 }
 
 bool Simulator::Step() {
@@ -36,6 +38,9 @@ bool Simulator::Step() {
     entry.fn();
     return true;
   }
+  // Queue drained: every surviving cancelled id refers to a fired event and
+  // can never match again.
+  cancelled_.clear();
   return false;
 }
 

@@ -6,6 +6,7 @@
 // deploy-unit experiment is a deterministic function of its seed.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -48,7 +49,14 @@ class Simulator {
   void RunUntil(Time t);
   void RunFor(Duration d) { RunUntil(now_ + d); }
 
-  std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  // Approximate count of live (non-cancelled) queued events. Cancelled ids
+  // whose entries already fired linger in `cancelled_` — Cancel() cannot
+  // tell a fired id from a pending one — so clamp instead of letting the
+  // unsigned subtraction wrap after a drain.
+  std::size_t pending_events() const {
+    const std::size_t cancelled = std::min(cancelled_.size(), queue_.size());
+    return queue_.size() - cancelled;
+  }
 
   // Routes USTORE_LOG prefixes through this simulator's clock.
   void InstallLogTimeSource();

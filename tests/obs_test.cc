@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+namespace ustore::obs {
+namespace {
+
+// Every test starts from a clean global registry/trace buffer: they are
+// process-wide singletons shared across the whole binary.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Metrics().Clear();
+    Tracer().Clear();
+    BindSimulator(nullptr);
+  }
+  void TearDown() override {
+    Metrics().Clear();
+    Tracer().Clear();
+    BindSimulator(nullptr);
+  }
+};
+
+TEST_F(ObsTest, CounterIncrements) {
+  Metrics().Increment("test.counter");
+  Metrics().Increment("test.counter", 4);
+  EXPECT_EQ(Metrics().GetCounter("test.counter").value(), 5u);
+}
+
+TEST_F(ObsTest, HistogramStats) {
+  Histogram h({10, 20, 50});
+  for (double v : {1.0, 12.0, 30.0, 100.0}) h.Record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 143.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 35.75);
+}
+
+TEST_F(ObsTest, HistogramQuantilesInterpolate) {
+  Histogram h({10, 20, 50});
+  // 100 samples uniform in (0, 10]: every quantile stays inside bucket 0.
+  for (int i = 1; i <= 100; ++i) h.Record(i * 0.1);
+  const double p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, h.min());
+  EXPECT_LE(p50, 10.0);
+  // Quantiles are monotone in q.
+  EXPECT_LE(h.Quantile(0.1), h.Quantile(0.5));
+  EXPECT_LE(h.Quantile(0.5), h.Quantile(0.9));
+  // Extremes clamp to the observed range.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), h.min());
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), h.max());
+}
+
+TEST_F(ObsTest, HistogramOverflowBucketClampsToMax) {
+  Histogram h({10});
+  h.Record(1000);
+  h.Record(2000);
+  EXPECT_LE(h.Quantile(0.99), 2000.0);
+  EXPECT_GE(h.Quantile(0.99), 1000.0);
+}
+
+TEST_F(ObsTest, SnapshotAndResetSemantics) {
+  sim::Simulator sim;
+  BindSimulator(&sim);
+  sim.Schedule(sim::Seconds(3), [] {
+    Metrics().Increment("test.ops", 7);
+    Metrics().SetGauge("test.state", 2.0);
+    Metrics().Observe("test.latency_us", 42.0);
+  });
+  sim.Run();
+
+  MetricsSnapshot snapshot = Metrics().Snapshot(/*reset=*/true);
+  EXPECT_EQ(snapshot.at, sim::Seconds(3));
+  EXPECT_EQ(snapshot.counters.at("test.ops"), 7u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges.at("test.state").value, 2.0);
+  ASSERT_EQ(snapshot.gauges.at("test.state").samples.size(), 1u);
+  EXPECT_EQ(snapshot.gauges.at("test.state").samples[0].at, sim::Seconds(3));
+  EXPECT_EQ(snapshot.histograms.at("test.latency_us").count, 1u);
+
+  // After a resetting snapshot: counters zero, histograms empty, gauge
+  // trail cleared but last value retained.
+  MetricsSnapshot after = Metrics().Snapshot();
+  EXPECT_EQ(after.counters.at("test.ops"), 0u);
+  EXPECT_EQ(after.histograms.at("test.latency_us").count, 0u);
+  EXPECT_DOUBLE_EQ(after.gauges.at("test.state").value, 2.0);
+  EXPECT_TRUE(after.gauges.at("test.state").samples.empty());
+}
+
+TEST_F(ObsTest, LoggerWritesFeedLevelCounters) {
+  Metrics();  // ensure the observer hook is installed
+  USTORE_LOG(Warning) << "obs_test warning";
+  USTORE_LOG(Error) << "obs_test error";
+  EXPECT_GE(Metrics().GetCounter("log.warnings").value(), 1u);
+  EXPECT_GE(Metrics().GetCounter("log.errors").value(), 1u);
+}
+
+TEST_F(ObsTest, TraceSpanLifecycle) {
+  sim::Simulator sim;
+  BindSimulator(&sim);
+  SpanId span = kInvalidSpan;
+  sim.Schedule(sim::Seconds(1), [&] {
+    span = Tracer().Begin("unit", "op");
+    Tracer().Annotate(span, "key", "value");
+  });
+  sim.Schedule(sim::Seconds(2), [&] { Tracer().End(span); });
+  sim.Run();
+
+  ASSERT_EQ(Tracer().completed().size(), 1u);
+  const TraceSpan& done = Tracer().completed().front();
+  EXPECT_EQ(done.component, "unit");
+  EXPECT_EQ(done.name, "op");
+  EXPECT_EQ(done.start, sim::Seconds(1));
+  EXPECT_EQ(done.end, sim::Seconds(2));
+  EXPECT_EQ(done.duration(), sim::Seconds(1));
+  ASSERT_EQ(done.attrs.size(), 1u);
+  EXPECT_EQ(done.attrs[0].first, "key");
+  EXPECT_EQ(done.attrs[0].second, "value");
+}
+
+TEST_F(ObsTest, TraceBufferEvictsOldestWhenFull) {
+  TraceBuffer buffer(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    buffer.Record("unit", "op" + std::to_string(i), i, i + 1);
+  }
+  EXPECT_EQ(buffer.completed().size(), 4u);
+  EXPECT_EQ(buffer.dropped(), 6u);
+  // The survivors are the newest four.
+  EXPECT_EQ(buffer.completed().front().name, "op6");
+  EXPECT_EQ(buffer.completed().back().name, "op9");
+}
+
+TEST_F(ObsTest, TimelineIsSortedBySimTime) {
+  TraceBuffer buffer;
+  buffer.Record("b", "second", sim::Seconds(2), sim::Seconds(3));
+  buffer.Record("a", "first", sim::Seconds(1), sim::Seconds(4));
+  const std::string timeline = FormatTimeline(buffer);
+  const auto first = timeline.find("first");
+  const auto second = timeline.find("second");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_LT(first, second);
+}
+
+TEST_F(ObsTest, DumpJsonContainsEveryKind) {
+  Metrics().Increment("test.ops");
+  Metrics().SetGauge("test.state", 1.0);
+  Metrics().Observe("test.latency_us", 5.0);
+  const std::string json = DumpJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.ops\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ustore::obs

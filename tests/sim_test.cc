@@ -88,6 +88,28 @@ TEST(SimulatorTest, CancelUnknownIdIsNoOp) {
   EXPECT_FALSE(sim.Step());
 }
 
+TEST(SimulatorTest, PendingEventsNeverUnderflows) {
+  Simulator sim;
+  // Cancelling an already-fired event used to leave a stale tombstone that
+  // made `queue_.size() - cancelled_.size()` wrap around to ~SIZE_MAX.
+  EventId id = sim.Schedule(Seconds(1), [] {});
+  sim.Run();
+  sim.Cancel(id);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  // And stale tombstones must not hide genuinely pending events.
+  sim.Schedule(Seconds(1), [] {});
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, PendingEventsCountsLiveMinusCancelled) {
+  Simulator sim;
+  EventId a = sim.Schedule(Seconds(1), [] {});
+  sim.Schedule(Seconds(2), [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
 TEST(SimulatorTest, RunUntilAdvancesClockExactly) {
   Simulator sim;
   int fired = 0;
