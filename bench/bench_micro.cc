@@ -48,12 +48,72 @@ void BM_MaxMinFairSolver(benchmark::State& state) {
     demands.push_back(fabric::FlowDemand{
         f.disks[i], model.Evaluate(spec).bytes_per_sec, 1.0, KiB(4)});
   }
+  fabric::BandwidthSolver solver(&f, hw::UsbHostControllerParams{},
+                                 hw::UsbLinkParams{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Solve(demands));
+  }
+}
+BENCHMARK(BM_MaxMinFairSolver)->Arg(4)->Arg(12)->Arg(48);
+
+void BM_MaxMinFairSolverPrototype(benchmark::State& state) {
+  const int groups = static_cast<int>(state.range(0));
+  fabric::BuiltFabric f = fabric::BuildPrototypeFabric({.groups = groups});
+  const hw::DiskModel model(hw::DiskParams{}, hw::UsbBridgeInterface());
+  hw::WorkloadSpec spec{KiB(64), 0.5, hw::AccessPattern::kSequential};
+  std::vector<fabric::FlowDemand> demands;
+  for (fabric::NodeIndex disk : f.disks) {
+    demands.push_back(fabric::FlowDemand{
+        disk, model.Evaluate(spec).bytes_per_sec, 0.5, KiB(64)});
+  }
+  fabric::BandwidthSolver solver(&f, hw::UsbHostControllerParams{},
+                                 hw::UsbLinkParams{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Solve(demands));
+  }
+}
+BENCHMARK(BM_MaxMinFairSolverPrototype)->Arg(4)->Arg(16);
+
+void BM_MaxMinFairSolverColdStart(benchmark::State& state) {
+  // The one-shot wrapper: paths re-resolved and the sparse constraint
+  // structure rebuilt on every call (no cross-call caching).
+  const int disks = static_cast<int>(state.range(0));
+  fabric::BuiltFabric f = fabric::BuildSingleHostTree({.disks = disks});
+  const hw::DiskModel model(hw::DiskParams{}, hw::UsbBridgeInterface());
+  hw::WorkloadSpec spec{KiB(4), 1.0, hw::AccessPattern::kSequential};
+  std::vector<fabric::FlowDemand> demands;
+  for (int i = 0; i < disks; ++i) {
+    demands.push_back(fabric::FlowDemand{
+        f.disks[i], model.Evaluate(spec).bytes_per_sec, 1.0, KiB(4)});
+  }
   for (auto _ : state) {
     benchmark::DoNotOptimize(fabric::SolveMaxMinFair(
         f, demands, hw::UsbHostControllerParams{}, hw::UsbLinkParams{}));
   }
 }
-BENCHMARK(BM_MaxMinFairSolver)->Arg(4)->Arg(12)->Arg(48);
+BENCHMARK(BM_MaxMinFairSolverColdStart)->Arg(48);
+
+void BM_MaxMinFairSolverSwitchChurn(benchmark::State& state) {
+  // Worst case for the caches: a switch flips between solves, so every
+  // solve re-resolves paths and rebuilds the constraint structure.
+  fabric::BuiltFabric f = fabric::BuildPrototypeFabric({.groups = 4});
+  const hw::DiskModel model(hw::DiskParams{}, hw::UsbBridgeInterface());
+  hw::WorkloadSpec spec{KiB(64), 0.5, hw::AccessPattern::kSequential};
+  std::vector<fabric::FlowDemand> demands;
+  for (fabric::NodeIndex disk : f.disks) {
+    demands.push_back(fabric::FlowDemand{
+        disk, model.Evaluate(spec).bytes_per_sec, 0.5, KiB(64)});
+  }
+  fabric::BandwidthSolver solver(&f, hw::UsbHostControllerParams{},
+                                 hw::UsbLinkParams{});
+  bool select = false;
+  for (auto _ : state) {
+    f.topology.SetSwitch(f.switches[0], select);
+    select = !select;
+    benchmark::DoNotOptimize(solver.Solve(demands));
+  }
+}
+BENCHMARK(BM_MaxMinFairSolverSwitchChurn);
 
 void BM_EventQueue(benchmark::State& state) {
   for (auto _ : state) {
@@ -67,6 +127,63 @@ void BM_EventQueue(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EventQueue);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  // Steady-state Schedule/Cancel/Step churn over a queue that never drains —
+  // the control-plane pattern (timeouts armed, then cancelled on completion).
+  // The captured payload mirrors a network-delivery closure (too big for
+  // std::function's inline buffer).
+  sim::Simulator sim;
+  struct Payload {
+    std::uint64_t src = 1, dst = 2, bytes = 4096;
+  };
+  constexpr int kBacklog = 1024;
+  std::vector<sim::EventId> ids(kBacklog);
+  std::uint64_t fired = 0;
+  Payload p;
+  for (int i = 0; i < kBacklog; ++i) {
+    ids[i] = sim.Schedule(sim::Micros(100 + i),
+                          [&fired, p] { fired += p.bytes; });
+  }
+  int slot = 0;
+  for (auto _ : state) {
+    sim.Cancel(ids[slot]);
+    ids[slot] = sim.Schedule(sim::Micros(100 + slot),
+                             [&fired, p] { fired += p.bytes; });
+    slot = (slot + 1) % kBacklog;
+    sim.Step();
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_TimerRearm(benchmark::State& state) {
+  // Heartbeat/timeout restart pattern: a Timer repeatedly re-armed before it
+  // fires. Each batch restarts the timer 1024 times, then drains.
+  sim::Simulator sim;
+  sim::Timer timer(&sim);
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) {
+      timer.StartOneShot(sim::Seconds(1), [&fired] { ++fired; });
+    }
+    sim.Run();
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_TimerRearm);
+
+void BM_ActivePathResolution(benchmark::State& state) {
+  // Path walks on an unchanged topology — what the bandwidth solver and
+  // FabricManager attachment recompute do between fabric mutations.
+  fabric::BuiltFabric f = fabric::BuildPrototypeFabric({.groups = 8});
+  for (auto _ : state) {
+    for (fabric::NodeIndex disk : f.disks) {
+      benchmark::DoNotOptimize(f.topology.ActivePath(disk));
+    }
+  }
+}
+BENCHMARK(BM_ActivePathResolution);
 
 void BM_FabricRouteTo(benchmark::State& state) {
   fabric::BuiltFabric f = fabric::BuildPrototypeFabric({.groups = 8});

@@ -3,25 +3,245 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
-
-#include "obs/metrics.h"
+#include <map>
 
 namespace ustore::fabric {
 namespace {
-
-struct Constraint {
-  double capacity = 0;
-  std::vector<double> coeff;  // per flow; usage = sum coeff[i] * rate[i]
-};
 
 constexpr double kEps = 1e-9;
 
 }  // namespace
 
+BandwidthSolver::BandwidthSolver(const BuiltFabric* fabric,
+                                 hw::UsbHostControllerParams host_params,
+                                 hw::UsbLinkParams hub_link)
+    : fabric_(fabric),
+      host_params_(host_params),
+      hub_link_(hub_link),
+      rounds_metric_("fabric.maxmin.rounds", obs::CountBuckets()) {
+  assert(fabric_ != nullptr);
+}
+
+bool BandwidthSolver::StructureMatches(
+    const std::vector<FlowDemand>& demands) const {
+  if (demands.size() != built_shape_.size()) return false;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const FlowDemand& a = demands[i];
+    const FlowDemand& b = built_shape_[i];
+    // Demand values are solve inputs, not structure; everything else shapes
+    // the constraint coefficients.
+    if (a.disk != b.disk || a.read_fraction != b.read_fraction ||
+        a.request_size != b.request_size) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void BandwidthSolver::Rebuild(const std::vector<FlowDemand>& demands) {
+  const int n = static_cast<int>(demands.size());
+  const Topology& topology = fabric_->topology;
+  built_shape_ = demands;
+  constraints_.clear();
+  flow_constraints_.assign(n, {});
+  attached_.assign(n, false);
+
+  // First of the 3 link constraints per disk/hub node, 4 host-controller
+  // constraints per host; -1 until the first flow touches them. Creation
+  // order matches the reference solver's first-touch order.
+  std::vector<int> link_base(topology.size(), -1);
+  std::vector<int> host_base(fabric_->hosts.size(), -1);
+
+  auto add_constraint = [&](double capacity) {
+    Constraint c;
+    c.capacity = capacity;
+    constraints_.push_back(std::move(c));
+    return static_cast<int>(constraints_.size()) - 1;
+  };
+  auto add_coeff = [&](int constraint, int flow, double coeff) {
+    if (coeff <= 0) return;  // zero entries shape nothing
+    constraints_[constraint].flows.emplace_back(flow, coeff);
+    constraints_[constraint].total_coeff += coeff;
+    flow_constraints_[flow].emplace_back(constraint, coeff);
+  };
+
+  for (int i = 0; i < n; ++i) {
+    const std::vector<NodeIndex>& path =
+        topology.ActivePathRef(demands[i].disk);
+    if (path.empty()) continue;
+    auto host_it = fabric_->host_of_port.find(path.back());
+    if (host_it == fabric_->host_of_port.end()) continue;
+    attached_[i] = true;
+
+    const double rf = std::clamp(demands[i].read_fraction, 0.0, 1.0);
+    const double wf = 1.0 - rf;
+
+    for (NodeIndex node : path) {
+      const NodeKind kind = topology.node(node).kind;
+      if (kind != NodeKind::kDisk && kind != NodeKind::kHub) continue;
+      int& base = link_base[node];
+      if (base < 0) {
+        base = add_constraint(hub_link_.cap_per_direction);  // read
+        add_constraint(hub_link_.cap_per_direction);         // write
+        add_constraint(hub_link_.cap_duplex_total);          // duplex
+      }
+      add_coeff(base + 0, i, rf);
+      add_coeff(base + 1, i, wf);
+      add_coeff(base + 2, i, 1.0);
+    }
+
+    int& base = host_base[host_it->second];
+    if (base < 0) {
+      base = add_constraint(host_params_.root_link.cap_per_direction);
+      add_constraint(host_params_.root_link.cap_per_direction);
+      add_constraint(host_params_.root_link.cap_duplex_total);
+      add_constraint(host_params_.transaction_cap);
+    }
+    add_coeff(base + 0, i, rf);
+    add_coeff(base + 1, i, wf);
+    add_coeff(base + 2, i, 1.0);
+    add_coeff(base + 3, i,
+              1.0 / static_cast<double>(demands[i].request_size));
+  }
+}
+
+BandwidthResult BandwidthSolver::Solve(const std::vector<FlowDemand>& demands) {
+  const int n = static_cast<int>(demands.size());
+  ++solve_count_;
+  if (fabric_->topology.generation() != built_generation_ ||
+      !StructureMatches(demands)) {
+    Rebuild(demands);
+    built_generation_ = fabric_->topology.generation();
+    ++rebuild_count_;
+    rebuilds_metric_.Increment();
+  }
+
+  BandwidthResult result;
+  result.flows.resize(n);
+
+  // Reset working state; freezing a flow moves its coefficient mass from
+  // the active sum to the frozen-usage sum of every constraint it touches.
+  rate_.assign(n, 0.0);
+  frozen_.assign(n, 0);
+  active_.clear();
+  for (Constraint& c : constraints_) {
+    c.active_coeff = c.total_coeff;
+    c.frozen_usage = 0;
+  }
+  auto freeze = [&](int i, double at_rate) {
+    frozen_[i] = 1;
+    rate_[i] = at_rate;
+    for (const auto& [c, coeff] : flow_constraints_[i]) {
+      constraints_[c].active_coeff -= coeff;
+      constraints_[c].frozen_usage += coeff * at_rate;
+    }
+  };
+  for (int i = 0; i < n; ++i) {
+    result.flows[i].attached = attached_[i];
+    if (!attached_[i] || demands[i].demand <= 0) {
+      if (attached_[i]) {
+        freeze(i, 0.0);
+      } else {
+        frozen_[i] = 1;
+      }
+    } else {
+      active_.push_back(i);
+    }
+  }
+
+  // Progressive filling: all active flows rise to the lowest level at which
+  // a demand is met or a constraint saturates, those flows freeze, repeat.
+  int rounds_run = 0;
+  int constraints_bound = 0;
+  for (int round = 0; round < n + 1 && !active_.empty(); ++round) {
+    ++rounds_run;
+
+    double t_next = std::numeric_limits<double>::infinity();
+    for (int i : active_) {
+      t_next = std::min(t_next, demands[i].demand);
+    }
+    binding_.clear();
+    for (std::size_t c = 0; c < constraints_.size(); ++c) {
+      const Constraint& cn = constraints_[c];
+      if (cn.active_coeff <= kEps) continue;
+      const double t_c = (cn.capacity - cn.frozen_usage) / cn.active_coeff;
+      if (t_c < t_next - kEps) {
+        t_next = t_c;
+        binding_.clear();
+        binding_.push_back(static_cast<int>(c));
+      } else if (t_c <= t_next + kEps) {
+        binding_.push_back(static_cast<int>(c));
+      }
+    }
+
+    t_next = std::max(t_next, 0.0);
+    constraints_bound += static_cast<int>(binding_.size());
+    for (int i : active_) rate_[i] = t_next;
+
+    // Freeze demand-satisfied flows and every flow through a binding
+    // constraint — the latter walks only the constraint's own flow list.
+    for (int i : active_) {
+      if (!frozen_[i] && demands[i].demand <= t_next + kEps) {
+        freeze(i, t_next);
+      }
+    }
+    for (int b : binding_) {
+      for (const auto& [i, coeff] : constraints_[b].flows) {
+        if (!frozen_[i] && coeff > kEps) freeze(i, t_next);
+      }
+    }
+    std::erase_if(active_, [&](int i) { return frozen_[i] != 0; });
+  }
+
+  for (int i = 0; i < n; ++i) {
+    FlowAllocation& flow = result.flows[i];
+    if (!flow.attached) continue;
+    const double rf = std::clamp(demands[i].read_fraction, 0.0, 1.0);
+    flow.rate = rate_[i];
+    flow.read_rate = rate_[i] * rf;
+    flow.write_rate = rate_[i] * (1.0 - rf);
+    result.total += flow.rate;
+    result.total_read += flow.read_rate;
+    result.total_write += flow.write_rate;
+  }
+
+  // USB-tree contention observability: how often the solver runs, how many
+  // progressive-filling rounds it needs, and how many link/host-controller
+  // constraints actually bound (each binding constraint is a saturated hub
+  // uplink, root port or transaction ceiling — Fig. 5's saturation story).
+  solves_metric_.Increment();
+  rounds_metric_.Observe(rounds_run);
+  saturated_metric_.Increment(static_cast<std::uint64_t>(constraints_bound));
+  int attached = 0;
+  for (const FlowAllocation& flow : result.flows) attached += flow.attached;
+  attached_metric_.Set(attached);
+  total_metric_.Set(result.total / 1e6);
+  return result;
+}
+
 BandwidthResult SolveMaxMinFair(const BuiltFabric& fabric,
                                 const std::vector<FlowDemand>& demands,
                                 const hw::UsbHostControllerParams& host_params,
                                 const hw::UsbLinkParams& hub_link) {
+  BandwidthSolver solver(&fabric, host_params, hub_link);
+  return solver.Solve(demands);
+}
+
+// --- Dense reference oracle ---------------------------------------------------
+//
+// The original from-scratch implementation: dense per-flow coefficient rows
+// rebuilt on every call, full O(flows x constraints) scans per round. Kept
+// as the ground truth the property tests compare the incremental solver
+// against.
+BandwidthResult SolveMaxMinFairReference(
+    const BuiltFabric& fabric, const std::vector<FlowDemand>& demands,
+    const hw::UsbHostControllerParams& host_params,
+    const hw::UsbLinkParams& hub_link) {
+  struct Constraint {
+    double capacity = 0;
+    std::vector<double> coeff;  // per flow; usage = sum coeff[i] * rate[i]
+  };
+
   const int n = static_cast<int>(demands.size());
   BandwidthResult result;
   result.flows.resize(n);
@@ -30,7 +250,7 @@ BandwidthResult SolveMaxMinFair(const BuiltFabric& fabric,
   std::vector<std::vector<NodeIndex>> paths(n);
   std::vector<int> host_of_flow(n, -1);
   for (int i = 0; i < n; ++i) {
-    paths[i] = fabric.topology.ActivePath(demands[i].disk);
+    paths[i] = fabric.topology.WalkActivePath(demands[i].disk);
     if (paths[i].empty()) continue;
     auto it = fabric.host_of_port.find(paths[i].back());
     if (it == fabric.host_of_port.end()) {
@@ -44,8 +264,8 @@ BandwidthResult SolveMaxMinFair(const BuiltFabric& fabric,
   // Build constraints. Three per USB link (uplink of every disk/hub on a
   // path), four per host controller.
   std::vector<Constraint> constraints;
-  std::map<NodeIndex, int> link_constraint_base;   // node -> first of 3
-  std::map<int, int> host_constraint_base;         // host -> first of 4
+  std::map<NodeIndex, int> link_constraint_base;  // node -> first of 3
+  std::map<int, int> host_constraint_base;        // host -> first of 4
 
   auto add_constraint = [&](double capacity) {
     Constraint c;
@@ -97,13 +317,10 @@ BandwidthResult SolveMaxMinFair(const BuiltFabric& fabric,
     if (paths[i].empty() || demands[i].demand <= 0) frozen[i] = true;
   }
 
-  int rounds_run = 0;
-  int constraints_bound = 0;
   for (int round = 0; round < n + 1; ++round) {
     bool any_active = false;
     for (int i = 0; i < n; ++i) any_active |= !frozen[i];
     if (!any_active) break;
-    ++rounds_run;
 
     // Lowest level at which something binds.
     double t_next = std::numeric_limits<double>::infinity();
@@ -133,7 +350,6 @@ BandwidthResult SolveMaxMinFair(const BuiltFabric& fabric,
     }
 
     t_next = std::max(t_next, 0.0);
-    constraints_bound += static_cast<int>(binding.size());
     for (int i = 0; i < n; ++i) {
       if (!frozen[i]) rate[i] = t_next;
     }
@@ -159,20 +375,6 @@ BandwidthResult SolveMaxMinFair(const BuiltFabric& fabric,
     result.total_read += flow.read_rate;
     result.total_write += flow.write_rate;
   }
-
-  // USB-tree contention observability: how often the solver runs, how many
-  // progressive-filling rounds it needs, and how many link/host-controller
-  // constraints actually bound (each binding constraint is a saturated hub
-  // uplink, root port or transaction ceiling — Fig. 5's saturation story).
-  obs::MetricsRegistry& metrics = obs::Metrics();
-  metrics.Increment("fabric.maxmin.solves");
-  metrics.Observe("fabric.maxmin.rounds", rounds_run, obs::CountBuckets());
-  metrics.Increment("fabric.maxmin.saturated_constraints",
-                    static_cast<std::uint64_t>(constraints_bound));
-  int attached = 0;
-  for (const FlowAllocation& flow : result.flows) attached += flow.attached;
-  metrics.SetGauge("fabric.flows.attached", attached);
-  metrics.SetGauge("fabric.allocated_total_mbps", result.total / 1e6);
   return result;
 }
 

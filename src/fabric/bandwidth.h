@@ -17,13 +17,15 @@
 // among the disks" is exactly max-min fairness with equal demands.
 #pragma once
 
-#include <map>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/units.h"
 #include "fabric/builders.h"
 #include "fabric/topology.h"
 #include "hw/usb.h"
+#include "obs/metrics.h"
 
 namespace ustore::fabric {
 
@@ -48,12 +50,91 @@ struct BandwidthResult {
   BytesPerSec total_write = 0;
 };
 
-// Solves the allocation for the fabric's *current* switch configuration.
-// `host_params` describes every host controller (per-direction caps,
-// duplex cap, transaction cap); `hub_link` the hub uplink capacities.
+// Persistent incremental max-min-fair solver.
+//
+// Paths and the constraint structure are resolved once and reused across
+// Solve() calls: constraints are stored sparsely (per-constraint flow lists
+// and per-flow constraint lists instead of dense coefficient rows), and the
+// progressive-filling rounds maintain per-constraint frozen-usage /
+// active-coefficient sums incrementally, so a round costs O(nonzeros
+// touched) instead of O(flows x constraints). The cached structure is
+// invalidated by the topology generation counter (any switch flip, failure
+// or power change) and by demand-shape changes (different disks, direction
+// splits or request sizes); demand *values* may change freely between
+// calls without a rebuild.
+class BandwidthSolver {
+ public:
+  // `fabric` must outlive the solver. `host_params` describes every host
+  // controller (per-direction caps, duplex cap, transaction cap);
+  // `hub_link` the hub uplink capacities.
+  BandwidthSolver(const BuiltFabric* fabric,
+                  hw::UsbHostControllerParams host_params,
+                  hw::UsbLinkParams hub_link);
+
+  // Solves for the fabric's *current* switch configuration.
+  BandwidthResult Solve(const std::vector<FlowDemand>& demands);
+
+  // Cache behaviour, for tests: total Solve() calls and how many of them
+  // had to re-resolve paths and rebuild the constraint structure.
+  std::uint64_t solve_count() const { return solve_count_; }
+  std::uint64_t rebuild_count() const { return rebuild_count_; }
+
+ private:
+  struct Constraint {
+    double capacity = 0;
+    double total_coeff = 0;   // sum of coeff over every flow in the list
+    std::vector<std::pair<int, double>> flows;  // (flow index, coeff)
+    // Working state, reset at the start of each Solve():
+    double active_coeff = 0;  // sum of coeff over unfrozen flows
+    double frozen_usage = 0;  // sum of coeff * rate over frozen flows
+  };
+
+  bool StructureMatches(const std::vector<FlowDemand>& demands) const;
+  void Rebuild(const std::vector<FlowDemand>& demands);
+
+  const BuiltFabric* fabric_;
+  hw::UsbHostControllerParams host_params_;
+  hw::UsbLinkParams hub_link_;
+
+  std::uint64_t built_generation_ = 0;
+  std::uint64_t solve_count_ = 0;
+  std::uint64_t rebuild_count_ = 0;
+
+  // Shape the cached structure was built for (demand values ignored).
+  std::vector<FlowDemand> built_shape_;
+  std::vector<Constraint> constraints_;
+  // Per flow: (constraint index, coeff) — the transpose of the above.
+  std::vector<std::vector<std::pair<int, double>>> flow_constraints_;
+  std::vector<bool> attached_;
+
+  // Scratch reused across Solve() calls.
+  std::vector<double> rate_;
+  std::vector<char> frozen_;
+  std::vector<int> active_;
+  std::vector<int> binding_;
+
+  obs::CounterHandle solves_metric_{"fabric.maxmin.solves"};
+  obs::CounterHandle rebuilds_metric_{"fabric.maxmin.rebuilds"};
+  obs::CounterHandle saturated_metric_{"fabric.maxmin.saturated_constraints"};
+  obs::HistogramHandle rounds_metric_;
+  obs::GaugeHandle attached_metric_{"fabric.flows.attached"};
+  obs::GaugeHandle total_metric_{"fabric.allocated_total_mbps"};
+};
+
+// One-shot convenience wrapper (the original entry point): builds a solver
+// for a single call. Prefer a persistent BandwidthSolver when solving
+// repeatedly against the same fabric.
 BandwidthResult SolveMaxMinFair(const BuiltFabric& fabric,
                                 const std::vector<FlowDemand>& demands,
                                 const hw::UsbHostControllerParams& host_params,
                                 const hw::UsbLinkParams& hub_link);
+
+// The original dense from-scratch implementation, kept verbatim as the
+// reference oracle the property tests check the incremental solver against.
+// Not instrumented and not optimized — do not use on hot paths.
+BandwidthResult SolveMaxMinFairReference(
+    const BuiltFabric& fabric, const std::vector<FlowDemand>& demands,
+    const hw::UsbHostControllerParams& host_params,
+    const hw::UsbLinkParams& hub_link);
 
 }  // namespace ustore::fabric

@@ -19,6 +19,7 @@ std::string_view NodeKindName(NodeKind kind) {
 
 NodeIndex Topology::Add(Node node) {
   nodes_.push_back(std::move(node));
+  ++generation_;
   return static_cast<NodeIndex>(nodes_.size()) - 1;
 }
 
@@ -85,18 +86,39 @@ std::vector<NodeIndex> Topology::ActiveChildren(NodeIndex i) const {
 void Topology::SetSwitch(NodeIndex switch_node, bool select) {
   Node& n = nodes_.at(switch_node);
   assert(n.kind == NodeKind::kSwitch);
+  if (n.select == select) return;
   n.select = select;
+  ++generation_;
 }
 
 void Topology::SetFailed(NodeIndex i, bool failed) {
-  nodes_.at(i).failed = failed;
+  Node& n = nodes_.at(i);
+  if (n.failed == failed) return;
+  n.failed = failed;
+  ++generation_;
 }
 
 void Topology::SetPowered(NodeIndex i, bool powered) {
-  nodes_.at(i).powered = powered;
+  Node& n = nodes_.at(i);
+  if (n.powered == powered) return;
+  n.powered = powered;
+  ++generation_;
 }
 
-std::vector<NodeIndex> Topology::ActivePath(NodeIndex device) const {
+const std::vector<NodeIndex>& Topology::ActivePathRef(
+    NodeIndex device) const {
+  if (path_cache_.size() != nodes_.size()) {
+    path_cache_.assign(nodes_.size(), PathCacheEntry{});
+  }
+  PathCacheEntry& entry = path_cache_.at(static_cast<std::size_t>(device));
+  if (entry.gen != generation_) {
+    entry.path = WalkActivePath(device);
+    entry.gen = generation_;
+  }
+  return entry.path;
+}
+
+std::vector<NodeIndex> Topology::WalkActivePath(NodeIndex device) const {
   std::vector<NodeIndex> path;
   NodeIndex cur = device;
   while (cur != kInvalidNode) {
@@ -113,7 +135,7 @@ std::vector<NodeIndex> Topology::ActivePath(NodeIndex device) const {
 }
 
 NodeIndex Topology::AttachedHostPort(NodeIndex device) const {
-  std::vector<NodeIndex> path = ActivePath(device);
+  const std::vector<NodeIndex>& path = ActivePathRef(device);
   if (path.empty()) return kInvalidNode;
   return path.back();
 }
@@ -168,14 +190,14 @@ std::vector<NodeIndex> Topology::ReachableHostPorts(NodeIndex disk) const {
 
 int Topology::TierOf(NodeIndex device) const {
   int hubs = 0;
-  for (NodeIndex i : ActivePath(device)) {
+  for (NodeIndex i : ActivePathRef(device)) {
     if (i != device && nodes_[i].kind == NodeKind::kHub) ++hubs;
   }
   return hubs;
 }
 
 NodeIndex Topology::UsbParentOf(NodeIndex device) const {
-  const std::vector<NodeIndex> path = ActivePath(device);
+  const std::vector<NodeIndex>& path = ActivePathRef(device);
   for (std::size_t i = 1; i < path.size(); ++i) {
     const NodeKind kind = nodes_[path[i]].kind;
     if (kind == NodeKind::kHub || kind == NodeKind::kHostPort) {

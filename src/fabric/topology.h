@@ -9,6 +9,7 @@
 // failed/unpowered component.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -77,6 +78,12 @@ class Topology {
     nodes_.at(i).control_line = line;
   }
 
+  // Monotonic configuration version: bumped by every mutation that can
+  // change an active path (construction, switch flips, fail/power changes).
+  // No-op mutations (setting a switch to its current position, re-failing a
+  // failed node) keep the generation — and therefore the path cache — warm.
+  std::uint64_t generation() const { return generation_; }
+
   // --- Connectivity queries -----------------------------------------------------
   // The upstream a node currently feeds into (switch select applied);
   // kInvalidNode for host ports.
@@ -87,8 +94,19 @@ class Topology {
   NodeIndex AttachedHostPort(NodeIndex device) const;
 
   // The nodes on the active path, device first, host port last. Empty if
-  // the path is broken.
-  std::vector<NodeIndex> ActivePath(NodeIndex device) const;
+  // the path is broken. Memoized per device and invalidated by
+  // generation(), so repeated queries on an unchanged fabric are O(1).
+  std::vector<NodeIndex> ActivePath(NodeIndex device) const {
+    return ActivePathRef(device);
+  }
+
+  // Allocation-free variant: the returned reference is valid until the next
+  // topology mutation or node addition.
+  const std::vector<NodeIndex>& ActivePathRef(NodeIndex device) const;
+
+  // Uncached walk — the reference the memoized path is checked against in
+  // the property tests.
+  std::vector<NodeIndex> WalkActivePath(NodeIndex device) const;
 
   // GETSWITCH (Algorithm 1): the switch settings that connect `disk` to
   // `host`, ignoring current switch positions but honouring failed and
@@ -118,7 +136,14 @@ class Topology {
     return !n.failed && n.powered;
   }
 
+  struct PathCacheEntry {
+    std::uint64_t gen = 0;  // generation the cached path was walked at
+    std::vector<NodeIndex> path;
+  };
+
   std::vector<Node> nodes_;
+  std::uint64_t generation_ = 1;
+  mutable std::vector<PathCacheEntry> path_cache_;  // indexed by device
 };
 
 }  // namespace ustore::fabric

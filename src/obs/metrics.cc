@@ -140,6 +140,7 @@ void MetricsRegistry::Clear() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  ++generation_;  // invalidates cached metric handles
 }
 
 MetricsRegistry& Metrics() {

@@ -161,11 +161,17 @@ class MetricsRegistry {
   // Drops every metric entirely (experiment/test isolation).
   void Clear();
 
+  // Bumped by Clear(); lets cached metric handles detect that their pointer
+  // was invalidated. (Map nodes are otherwise stable, so handles survive
+  // unrelated metric creation.)
+  std::uint64_t generation() const { return generation_; }
+
   void set_time_source(TimeSource source) { time_source_ = std::move(source); }
   sim::Time now() const { return time_source_ ? time_source_() : 0; }
 
  private:
   TimeSource time_source_;
+  std::uint64_t generation_ = 1;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
@@ -173,6 +179,70 @@ class MetricsRegistry {
 
 // The process-wide registry every instrumentation point writes to.
 MetricsRegistry& Metrics();
+
+// Cached handles to named metrics for hot paths: the string-keyed map walk
+// happens once, then each use is a generation compare plus a pointer
+// dereference. Handles transparently re-resolve after Metrics().Clear(), so
+// they are safe to keep in long-lived objects across experiment resets.
+class CounterHandle {
+ public:
+  explicit CounterHandle(std::string name) : name_(std::move(name)) {}
+  Counter& get() {
+    MetricsRegistry& registry = Metrics();
+    if (cached_ == nullptr || generation_ != registry.generation()) {
+      cached_ = &registry.GetCounter(name_);
+      generation_ = registry.generation();
+    }
+    return *cached_;
+  }
+  void Increment(std::uint64_t by = 1) { get().Increment(by); }
+
+ private:
+  std::string name_;
+  Counter* cached_ = nullptr;
+  std::uint64_t generation_ = 0;
+};
+
+class GaugeHandle {
+ public:
+  explicit GaugeHandle(std::string name) : name_(std::move(name)) {}
+  Gauge& get() {
+    MetricsRegistry& registry = Metrics();
+    if (cached_ == nullptr || generation_ != registry.generation()) {
+      cached_ = &registry.GetGauge(name_);
+      generation_ = registry.generation();
+    }
+    return *cached_;
+  }
+  void Set(double value) { get().Set(value, Metrics().now()); }
+
+ private:
+  std::string name_;
+  Gauge* cached_ = nullptr;
+  std::uint64_t generation_ = 0;
+};
+
+class HistogramHandle {
+ public:
+  explicit HistogramHandle(std::string name,
+                           std::vector<double> bounds = LatencyBucketsUs())
+      : name_(std::move(name)), bounds_(std::move(bounds)) {}
+  Histogram& get() {
+    MetricsRegistry& registry = Metrics();
+    if (cached_ == nullptr || generation_ != registry.generation()) {
+      cached_ = &registry.GetHistogram(name_, bounds_);
+      generation_ = registry.generation();
+    }
+    return *cached_;
+  }
+  void Observe(double value) { get().Record(value); }
+
+ private:
+  std::string name_;
+  std::vector<double> bounds_;
+  Histogram* cached_ = nullptr;
+  std::uint64_t generation_ = 0;
+};
 
 // Points the registry's and trace buffer's clocks at `sim` (call once per
 // experiment, right after constructing the simulator). Passing nullptr

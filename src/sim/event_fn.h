@@ -1,0 +1,102 @@
+// Small-buffer-optimized event callback.
+//
+// Every Schedule() stores one closure; with std::function the typical
+// capture set (a this-pointer plus a couple of ids, or a NodeId string)
+// overflows the 16-byte libstdc++ inline buffer and costs a heap
+// allocation per event. EventFn keeps closures up to kInlineSize bytes
+// inline in the event slot, falling back to the heap only for genuinely
+// large captures. Move-only, like the event queue that owns it.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ustore::sim {
+
+class EventFn {
+ public:
+  // Fits three pointers plus a 32-byte SSO string — the dominant closure
+  // shapes in the RPC and hardware layers.
+  static constexpr std::size_t kInlineSize = 48;
+
+  EventFn() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, EventFn> &&
+             std::is_invocable_r_v<void, std::decay_t<F>&>)
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineSize &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { MoveFrom(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { Destroy(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+  void operator()() { ops_->invoke(storage_); }
+  void reset() { Destroy(); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-constructs into `to` and destroys `from`.
+    void (*relocate)(void* from, void* to);
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* from, void* to) {
+        D* f = static_cast<D*>(from);
+        ::new (to) D(std::move(*f));
+        f->~D();
+      },
+      [](void* p) { static_cast<D*>(p)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* p) { (**static_cast<D**>(p))(); },
+      [](void* from, void* to) { ::new (to) D*(*static_cast<D**>(from)); },
+      [](void* p) { delete *static_cast<D**>(p); },
+  };
+
+  void Destroy() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+  void MoveFrom(EventFn& other) {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace ustore::sim

@@ -1,47 +1,74 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
 
 #include "common/logging.h"
 
 namespace ustore::sim {
 
-EventId Simulator::Schedule(Duration delay, std::function<void()> fn) {
+EventId Simulator::Schedule(Duration delay, EventFn fn) {
   return ScheduleAt(now_ + std::max<Duration>(delay, 0), std::move(fn));
 }
 
-EventId Simulator::ScheduleAt(Time t, std::function<void()> fn) {
+EventId Simulator::ScheduleAt(Time t, EventFn fn) {
   assert(fn);
-  const EventId id = next_id_++;
-  queue_.push(Entry{std::max(t, now_), next_seq_++, id, std::move(fn)});
-  return id;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.heap_pos = static_cast<std::int32_t>(heap_.size());
+  heap_.push_back(HeapEntry{std::max(t, now_), next_seq_++, slot});
+  SiftUp(heap_.size() - 1);
+  return MakeId(slot, s.gen);
+}
+
+Simulator::Slot* Simulator::Resolve(EventId id) {
+  const std::uint64_t hi = id >> 32;
+  if (hi == 0 || hi > slots_.size()) return nullptr;
+  Slot& s = slots_[hi - 1];
+  if (s.gen != static_cast<std::uint32_t>(id) || s.heap_pos < 0) {
+    return nullptr;
+  }
+  return &s;
 }
 
 void Simulator::Cancel(EventId id) {
-  // With no queued events every id is fired or invalid, so a tombstone
-  // could only go stale (and skew pending_events()) — skip it.
-  if (id != kInvalidEventId && !queue_.empty()) cancelled_.insert(id);
+  Slot* s = Resolve(id);
+  if (s == nullptr) return;  // fired, cancelled, or never existed
+  const std::uint32_t slot = heap_[s->heap_pos].slot;
+  RemoveFromHeap(static_cast<std::size_t>(s->heap_pos));
+  FreeSlot(slot);
+}
+
+bool Simulator::Reschedule(EventId id, Duration delay) {
+  Slot* s = Resolve(id);
+  if (s == nullptr) return false;
+  HeapEntry& e = heap_[s->heap_pos];
+  e.time = now_ + std::max<Duration>(delay, 0);
+  e.seq = next_seq_++;  // re-enters tie-break order as freshly scheduled
+  SiftUp(static_cast<std::size_t>(s->heap_pos));
+  SiftDown(static_cast<std::size_t>(s->heap_pos));
+  return true;
 }
 
 bool Simulator::Step() {
-  while (!queue_.empty()) {
-    Entry entry = queue_.top();
-    queue_.pop();
-    if (auto it = cancelled_.find(entry.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    assert(entry.time >= now_);
-    now_ = entry.time;
-    entry.fn();
-    return true;
-  }
-  // Queue drained: every surviving cancelled id refers to a fired event and
-  // can never match again.
-  cancelled_.clear();
-  return false;
+  if (heap_.empty()) return false;
+  const HeapEntry top = heap_[0];
+  RemoveFromHeap(0);
+  Slot& s = slots_[top.slot];
+  assert(top.time >= now_);
+  now_ = top.time;
+  EventFn fn = std::move(s.fn);
+  FreeSlot(top.slot);  // the callback may reuse the slot for new events
+  fn();
+  return true;
 }
 
 void Simulator::Run(std::uint64_t max_events) {
@@ -51,10 +78,58 @@ void Simulator::Run(std::uint64_t max_events) {
 }
 
 void Simulator::RunUntil(Time t) {
-  while (!queue_.empty() && queue_.top().time <= t) {
-    if (!Step()) break;
+  while (!heap_.empty() && heap_[0].time <= t) {
+    Step();
   }
   now_ = std::max(now_, t);
+}
+
+void Simulator::SiftUp(std::size_t pos) {
+  const HeapEntry entry = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 2;
+    if (!Earlier(entry, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    slots_[heap_[pos].slot].heap_pos = static_cast<std::int32_t>(pos);
+    pos = parent;
+  }
+  heap_[pos] = entry;
+  slots_[entry.slot].heap_pos = static_cast<std::int32_t>(pos);
+}
+
+void Simulator::SiftDown(std::size_t pos) {
+  const HeapEntry entry = heap_[pos];
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t child = 2 * pos + 1;
+    if (child >= n) break;
+    if (child + 1 < n && Earlier(heap_[child + 1], heap_[child])) ++child;
+    if (!Earlier(heap_[child], entry)) break;
+    heap_[pos] = heap_[child];
+    slots_[heap_[pos].slot].heap_pos = static_cast<std::int32_t>(pos);
+    pos = child;
+  }
+  heap_[pos] = entry;
+  slots_[entry.slot].heap_pos = static_cast<std::int32_t>(pos);
+}
+
+void Simulator::RemoveFromHeap(std::size_t pos) {
+  slots_[heap_[pos].slot].heap_pos = -1;
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;  // removed the tail
+  heap_[pos] = last;
+  slots_[last.slot].heap_pos = static_cast<std::int32_t>(pos);
+  SiftDown(pos);
+  SiftUp(static_cast<std::size_t>(slots_[last.slot].heap_pos));
+}
+
+void Simulator::FreeSlot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn.reset();
+  s.heap_pos = -1;
+  if (++s.gen == 0) ++s.gen;  // keep ids nonzero on wrap
+  free_slots_.push_back(slot);
 }
 
 void Simulator::InstallLogTimeSource() {
@@ -62,31 +137,36 @@ void Simulator::InstallLogTimeSource() {
 }
 
 void Timer::StartOneShot(Duration delay, std::function<void()> fn) {
-  Stop();
   period_ = 0;
   fn_ = std::move(fn);
-  event_ = sim_->Schedule(delay, [this] {
-    event_ = kInvalidEventId;
-    auto fn = std::move(fn_);
-    fn_ = nullptr;
-    fn();
-  });
+  Arm(delay);
 }
 
 void Timer::StartPeriodic(Duration period, std::function<void()> fn) {
   assert(period > 0);
-  Stop();
   period_ = period;
   fn_ = std::move(fn);
-  ArmPeriodic();
+  Arm(period);
 }
 
-void Timer::ArmPeriodic() {
-  event_ = sim_->Schedule(period_, [this] {
+void Timer::Arm(Duration delay) {
+  // A pending firing is re-keyed in place: same event slot, same trampoline
+  // callback, no cancel + reallocate round-trip.
+  if (event_ != kInvalidEventId && sim_->Reschedule(event_, delay)) return;
+  event_ = sim_->Schedule(delay, [this] { OnFire(); });
+}
+
+void Timer::OnFire() {
+  if (period_ > 0) {
     // Re-arm before invoking so the callback may Stop() the timer.
-    ArmPeriodic();
+    event_ = sim_->Schedule(period_, [this] { OnFire(); });
     fn_();
-  });
+  } else {
+    event_ = kInvalidEventId;
+    auto fn = std::move(fn_);
+    fn_ = nullptr;
+    fn();
+  }
 }
 
 void Timer::Stop() {

@@ -1,19 +1,25 @@
 // Discrete-event simulator.
 //
-// A single-threaded event loop over a priority queue of (time, sequence)
-// ordered callbacks. All hardware models, network delivery and control-
-// plane timers in UStore are driven by one Simulator instance, so a whole
-// deploy-unit experiment is a deterministic function of its seed.
+// A single-threaded event loop over an *indexed* binary heap of
+// (time, sequence) ordered callbacks. All hardware models, network delivery
+// and control-plane timers in UStore are driven by one Simulator instance,
+// so a whole deploy-unit experiment is a deterministic function of its seed.
+//
+// Event storage is a slab of slots addressed by the heap; each EventId
+// encodes (slot, generation), so Cancel() is a true O(log n) heap removal
+// — no tombstone set that grows with cancelled-after-fire ids — and
+// Reschedule() re-keys a pending event in place. Callbacks live in
+// small-buffer-optimized EventFn storage inside the slot, so scheduling a
+// typical closure performs no heap allocation.
 #pragma once
 
-#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/event_fn.h"
 #include "sim/time.h"
 
 namespace ustore::sim {
@@ -30,14 +36,20 @@ class Simulator {
   Time now() const { return now_; }
 
   // Schedules `fn` to run `delay` from now (clamped to >= 0).
-  EventId Schedule(Duration delay, std::function<void()> fn);
+  EventId Schedule(Duration delay, EventFn fn);
 
   // Schedules `fn` at absolute time `t` (clamped to >= now).
-  EventId ScheduleAt(Time t, std::function<void()> fn);
+  EventId ScheduleAt(Time t, EventFn fn);
 
   // Cancels a pending event. Cancelling an already-fired or invalid id is a
   // harmless no-op — callers routinely cancel timeouts after completion.
   void Cancel(EventId id);
+
+  // Moves a still-pending event to `delay` from now, keeping its callback
+  // (and allocation) in place; it re-enters the tie-break order as if
+  // freshly scheduled. Returns false — and does nothing — if the event
+  // already fired or was cancelled.
+  bool Reschedule(EventId id, Duration delay);
 
   // Executes the next pending event; returns false if the queue is empty.
   bool Step();
@@ -49,41 +61,52 @@ class Simulator {
   void RunUntil(Time t);
   void RunFor(Duration d) { RunUntil(now_ + d); }
 
-  // Approximate count of live (non-cancelled) queued events. Cancelled ids
-  // whose entries already fired linger in `cancelled_` — Cancel() cannot
-  // tell a fired id from a pending one — so clamp instead of letting the
-  // unsigned subtraction wrap after a drain.
-  std::size_t pending_events() const {
-    const std::size_t cancelled = std::min(cancelled_.size(), queue_.size());
-    return queue_.size() - cancelled;
-  }
+  // Exact count of live queued events.
+  std::size_t pending_events() const { return heap_.size(); }
 
   // Routes USTORE_LOG prefixes through this simulator's clock.
   void InstallLogTimeSource();
 
  private:
-  struct Entry {
+  // Ordering keys live inline in the heap array so sift comparisons stay
+  // cache-local; the slab holds the callback and the id bookkeeping.
+  struct HeapEntry {
     Time time;
     std::uint64_t seq;
-    EventId id;
-    std::function<void()> fn;
+    std::uint32_t slot;
   };
-  struct EntryLater {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  struct Slot {
+    std::uint32_t gen = 1;       // bumped on free, so stale ids miss
+    std::int32_t heap_pos = -1;  // -1 when not queued
+    EventFn fn;
   };
+
+  static EventId MakeId(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(slot) + 1) << 32 | gen;
+  }
+  // The slot a live, still-pending id refers to; nullptr otherwise.
+  Slot* Resolve(EventId id);
+
+  static bool Earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+  void SiftUp(std::size_t pos);
+  void SiftDown(std::size_t pos);
+  void RemoveFromHeap(std::size_t pos);
+  void FreeSlot(std::uint32_t slot);
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 1;
-  EventId next_id_ = 1;
-  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::vector<Slot> slots_;  // slab; index = EventId slot part
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<HeapEntry> heap_;  // binary min-heap
 };
 
 // A restartable one-shot/periodic timer bound to a simulator. Used for
-// heartbeats, command timeouts and idle-disk spin-down clocks.
+// heartbeats, command timeouts and idle-disk spin-down clocks. Restarting
+// a timer with a pending firing re-arms the existing event in place
+// (Simulator::Reschedule) instead of cancelling and rescheduling.
 class Timer {
  public:
   explicit Timer(Simulator* sim) : sim_(sim) {}
@@ -101,7 +124,8 @@ class Timer {
   bool active() const { return event_ != kInvalidEventId; }
 
  private:
-  void ArmPeriodic();
+  void Arm(Duration delay);
+  void OnFire();
 
   Simulator* sim_;
   EventId event_ = kInvalidEventId;

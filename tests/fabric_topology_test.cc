@@ -130,6 +130,71 @@ TEST_F(TinyFabricTest, FindByName) {
   EXPECT_FALSE(t_.Find("nonexistent").ok());
 }
 
+// --- Generation counter and path cache ---------------------------------------
+
+TEST(TopologyGenerationTest, MutationsBumpGeneration) {
+  Topology t;
+  const std::uint64_t g0 = t.generation();
+  NodeIndex host = t.AddHostPort("h");
+  EXPECT_GT(t.generation(), g0);  // construction counts as mutation
+  NodeIndex hub = t.AddHub("hub", host);
+  NodeIndex hub2 = t.AddHub("hub2", host);
+  NodeIndex sw = t.AddSwitch("sw", hub, hub2);
+  t.AddDisk("d0", sw);
+
+  std::uint64_t g = t.generation();
+  t.SetSwitch(sw, true);
+  EXPECT_GT(t.generation(), g);
+  g = t.generation();
+  t.SetFailed(hub, true);
+  EXPECT_GT(t.generation(), g);
+  g = t.generation();
+  t.SetPowered(hub2, false);
+  EXPECT_GT(t.generation(), g);
+}
+
+TEST(TopologyGenerationTest, NoOpMutationsKeepGeneration) {
+  Topology t;
+  NodeIndex host = t.AddHostPort("h");
+  NodeIndex hub = t.AddHub("hub", host);
+  NodeIndex hub2 = t.AddHub("hub2", host);
+  NodeIndex sw = t.AddSwitch("sw", hub, hub2);
+  t.SetSwitch(sw, true);
+  t.SetFailed(hub, true);
+
+  const std::uint64_t g = t.generation();
+  t.SetSwitch(sw, true);    // already selected
+  t.SetFailed(hub, true);   // already failed
+  t.SetPowered(hub2, true); // already powered
+  EXPECT_EQ(t.generation(), g);
+}
+
+TEST(TopologyGenerationTest, CachedPathTracksMutations) {
+  Topology t;
+  NodeIndex host_a = t.AddHostPort("a");
+  NodeIndex host_b = t.AddHostPort("b");
+  NodeIndex hub_a = t.AddHub("hub-a", host_a);
+  NodeIndex hub_b = t.AddHub("hub-b", host_b);
+  NodeIndex sw = t.AddSwitch("sw", hub_a, hub_b);
+  NodeIndex disk = t.AddDisk("d0", sw);
+
+  // Warm the cache, then mutate and confirm the cached answer follows.
+  EXPECT_EQ(t.ActivePath(disk), t.WalkActivePath(disk));
+  EXPECT_EQ(t.ActivePath(disk).back(), host_a);
+  t.SetSwitch(sw, true);
+  EXPECT_EQ(t.ActivePath(disk), t.WalkActivePath(disk));
+  EXPECT_EQ(t.ActivePath(disk).back(), host_b);
+  t.SetFailed(hub_b, true);
+  EXPECT_EQ(t.ActivePath(disk), t.WalkActivePath(disk));
+  EXPECT_TRUE(t.ActivePath(disk).empty());
+  t.SetFailed(hub_b, false);
+  EXPECT_EQ(t.ActivePath(disk).back(), host_b);
+  // Cache survives node addition (it is resized, not corrupted).
+  NodeIndex disk2 = t.AddDisk("d1", hub_a);
+  EXPECT_EQ(t.ActivePath(disk2), t.WalkActivePath(disk2));
+  EXPECT_EQ(t.ActivePath(disk), t.WalkActivePath(disk));
+}
+
 // --- Validation failures -----------------------------------------------------
 
 TEST(TopologyValidationTest, RejectsIdenticalSwitchUpstreams) {

@@ -147,6 +147,45 @@ TEST_F(ObsTest, TimelineIsSortedBySimTime) {
   EXPECT_LT(first, second);
 }
 
+TEST_F(ObsTest, MetricHandlesCacheAndIncrement) {
+  CounterHandle ops("handle.ops");
+  ops.Increment();
+  ops.Increment(4);
+  EXPECT_EQ(Metrics().GetCounter("handle.ops").value(), 5u);
+
+  GaugeHandle state("handle.state");
+  state.Set(2.5);
+  EXPECT_DOUBLE_EQ(Metrics().GetGauge("handle.state").value(), 2.5);
+
+  HistogramHandle lat("handle.latency_us");
+  lat.Observe(10.0);
+  lat.Observe(20.0);
+  EXPECT_EQ(Metrics().GetHistogram("handle.latency_us").count(), 2u);
+}
+
+TEST_F(ObsTest, MetricHandlesSurviveRegistryClear) {
+  // Handles cache a pointer into the registry; Clear() invalidates it via
+  // the registry generation, so a stale handle re-resolves instead of
+  // writing through a dangling pointer.
+  CounterHandle ops("handle.ops");
+  ops.Increment(3);
+  Metrics().Clear();
+  ops.Increment(2);
+  EXPECT_EQ(Metrics().GetCounter("handle.ops").value(), 2u);
+
+  GaugeHandle state("handle.state");
+  state.Set(1.0);
+  Metrics().Clear();
+  state.Set(7.0);
+  EXPECT_DOUBLE_EQ(Metrics().GetGauge("handle.state").value(), 7.0);
+
+  HistogramHandle lat("handle.latency_us");
+  lat.Observe(5.0);
+  Metrics().Clear();
+  lat.Observe(9.0);
+  EXPECT_EQ(Metrics().GetHistogram("handle.latency_us").count(), 1u);
+}
+
 TEST_F(ObsTest, DumpJsonContainsEveryKind) {
   Metrics().Increment("test.ops");
   Metrics().SetGauge("test.state", 1.0);

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 #include "sim/simulator.h"
@@ -129,6 +131,113 @@ TEST(SimulatorTest, RunUntilIncludesBoundaryEvents) {
   sim.Schedule(Seconds(3), [&] { fired = true; });
   sim.RunUntil(Seconds(3));
   EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, CancellingFiredIdsInNeverEmptyQueueStaysExact) {
+  // Regression: cancelled ids of already-fired events used to accumulate in
+  // a tombstone set for as long as the queue stayed non-empty, leaking
+  // memory in long-running sims and skewing pending_events(). The indexed
+  // heap resolves fired ids exactly, so pending_events() stays exact no
+  // matter how many stale cancels arrive.
+  Simulator sim;
+  sim.Schedule(Seconds(1'000'000), [] {});  // keeps the queue non-empty
+  for (int i = 0; i < 10'000; ++i) {
+    EventId id = sim.Schedule(Micros(1), [] {});
+    EXPECT_EQ(sim.pending_events(), 2u);
+    sim.Step();  // fires the short event
+    sim.Cancel(id);  // stale cancel of a fired id: must be a no-op
+    EXPECT_EQ(sim.pending_events(), 1u);
+  }
+}
+
+TEST(SimulatorTest, StaleIdNeverCancelsARecycledSlot) {
+  Simulator sim;
+  bool first = false, second = false;
+  EventId a = sim.Schedule(Seconds(1), [&] { first = true; });
+  sim.RunFor(Seconds(2));
+  // `a` fired; its slot is recycled by the next schedule. The stale id must
+  // not touch the new occupant.
+  EventId b = sim.Schedule(Seconds(1), [&] { second = true; });
+  EXPECT_NE(a, b);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Run();
+  EXPECT_TRUE(first);
+  EXPECT_TRUE(second);
+}
+
+TEST(SimulatorTest, CancelInterleavedKeepsOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 16; ++i) {
+    ids.push_back(sim.Schedule(Seconds(i + 1), [&order, i] {
+      order.push_back(i);
+    }));
+  }
+  for (int i = 1; i < 16; i += 2) sim.Cancel(ids[i]);  // cancel the odds
+  EXPECT_EQ(sim.pending_events(), 8u);
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 4, 6, 8, 10, 12, 14}));
+}
+
+TEST(SimulatorTest, RescheduleMovesPendingEventLater) {
+  Simulator sim;
+  Time fired_at = -1;
+  EventId id = sim.Schedule(Seconds(1), [&] { fired_at = sim.now(); });
+  EXPECT_TRUE(sim.Reschedule(id, Seconds(5)));
+  sim.Run();
+  EXPECT_EQ(fired_at, Seconds(5));
+}
+
+TEST(SimulatorTest, RescheduleMovesPendingEventEarlier) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(Seconds(2), [&] { order.push_back(1); });
+  EventId id = sim.Schedule(Seconds(9), [&] { order.push_back(2); });
+  EXPECT_TRUE(sim.Reschedule(id, Seconds(1)));
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(SimulatorTest, RescheduleFiredOrCancelledIdFails) {
+  Simulator sim;
+  int fired = 0;
+  EventId a = sim.Schedule(Seconds(1), [&] { ++fired; });
+  sim.Run();
+  EXPECT_FALSE(sim.Reschedule(a, Seconds(1)));
+  EventId b = sim.Schedule(Seconds(1), [&] { ++fired; });
+  sim.Cancel(b);
+  EXPECT_FALSE(sim.Reschedule(b, Seconds(1)));
+  EXPECT_FALSE(sim.Reschedule(kInvalidEventId, Seconds(1)));
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, RescheduledEventLosesTieBreakToExisting) {
+  // Re-keying re-enters the tie-break order as if freshly scheduled, the
+  // same ordering cancel + reschedule produced before.
+  Simulator sim;
+  std::vector<int> order;
+  EventId moved = sim.Schedule(Seconds(1), [&] { order.push_back(0); });
+  sim.Schedule(Seconds(2), [&] { order.push_back(1); });
+  sim.Reschedule(moved, Seconds(2));
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 0}));
+}
+
+TEST(SimulatorTest, LargeCaptureCallbacksFire) {
+  // Closures beyond EventFn's inline buffer take the heap fallback; they
+  // must still move and fire correctly.
+  Simulator sim;
+  std::array<std::uint64_t, 32> big{};
+  big.fill(7);
+  std::uint64_t sum = 0;
+  sim.Schedule(Seconds(1), [big, &sum] {
+    for (std::uint64_t v : big) sum += v;
+  });
+  sim.Run();
+  EXPECT_EQ(sum, 7u * 32);
 }
 
 TEST(SimulatorTest, MaxEventsGuard) {
