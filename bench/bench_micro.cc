@@ -8,10 +8,12 @@
 
 #include "common/rng.h"
 #include "consensus/paxos.h"
+#include "core/cluster.h"
 #include "fabric/bandwidth.h"
 #include "fabric/builders.h"
 #include "hw/disk_model.h"
 #include "net/network.h"
+#include "net/rpc.h"
 #include "sim/simulator.h"
 
 namespace {
@@ -195,6 +197,58 @@ void BM_FabricRouteTo(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FabricRouteTo);
+
+void BM_MasterHeartbeat(benchmark::State& state) {
+  // Full-heartbeat handling cost as a function of StorAlloc size. With the
+  // disk->allocation reverse indexes this must be flat: processing a beat
+  // touches only the listed disks, never the allocation table, so the
+  // Arg(1000) run stays within ~2x of Arg(10) (setup noise, not scans).
+  const int allocs = static_cast<int>(state.range(0));
+  core::ClusterOptions options;
+  options.seed = 99;
+  core::Cluster cluster(options);
+  cluster.Start();
+  core::Master* master = cluster.active_master();
+  net::RpcEndpoint admin(&cluster.sim(), &cluster.network(), "bench-admin");
+  int created = 0;
+  for (int i = 0; i < allocs; ++i) {
+    auto request = std::make_shared<core::AllocateRequest>();
+    request->service = "bench-svc";
+    request->size = MiB(1);
+    request->client = admin.id();
+    request->disk_hint = "disk-" + std::to_string(i % 16);
+    admin.Call(master->id(), request, sim::Seconds(60),
+               [&created](Result<net::MessagePtr> result) {
+                 if (result.ok()) ++created;
+               });
+    if (i % 32 == 31) cluster.RunFor(sim::Seconds(2));
+  }
+  cluster.RunFor(sim::Seconds(30));
+  if (created != allocs) {
+    state.SkipWithError("allocation setup failed");
+    return;
+  }
+
+  // A synthetic full heartbeat from host 0 listing its four disks — the
+  // same shape every EndPoint sends each full-beat period.
+  auto heartbeat = std::make_shared<core::HeartbeatMsg>();
+  heartbeat->host_index = 0;
+  heartbeat->host = cluster.endpoint(0)->id();
+  heartbeat->full = true;
+  for (int d = 0; d < 4; ++d) {
+    core::DiskStatusEntry entry;
+    entry.name = "disk-" + std::to_string(d);
+    entry.recognized = true;
+    heartbeat->disks.push_back(entry);
+  }
+  for (auto _ : state) {
+    admin.Notify(master->id(), heartbeat);
+    cluster.RunFor(sim::MillisD(1));
+  }
+  benchmark::DoNotOptimize(master->allocation_count());
+}
+BENCHMARK(BM_MasterHeartbeat)->Arg(10)->Arg(1000)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_PaxosCommitThroughput(benchmark::State& state) {
   for (auto _ : state) {

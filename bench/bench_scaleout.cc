@@ -1,0 +1,292 @@
+// Fleet scale-out benchmark (DESIGN.md §8).
+//
+// Runs N independent deploy units (core::Fleet) under a mixed cold-read +
+// archival-write workload and reports simulation throughput:
+//
+//   * wall-clock events/second across the whole fleet,
+//   * simulated-seconds advanced per wall-clock second,
+//   * nanoseconds of wall time per simulated event (the figure tracked by
+//     tools/bench_compare --bench scaleout against a committed baseline).
+//
+// With --check-determinism every configuration is run twice — at the
+// requested thread count and at threads=1 — and the merged deterministic
+// reports (FleetReport::ToJson) must match byte for byte; the speedup
+// column then compares the two wall times. Deploy units share nothing, so
+// on a multi-core machine the fleet scales near-linearly until the unit
+// count saturates the cores; on a single core the threaded run matches
+// threads=1 (the determinism contract is unaffected).
+//
+// Output: a human table on stdout and, with --json, a google-benchmark
+// compatible JSON document (one "iteration" entry per unit count whose
+// real_time is ns/event).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/fleet.h"
+
+namespace {
+
+using namespace ustore;
+
+struct Args {
+  std::vector<int> unit_counts = {1, 4, 16, 64};
+  int threads = 0;  // 0 = hardware concurrency
+  double sim_seconds = 20;
+  int repeats = 3;  // best-of-N, to damp scheduler noise on busy machines
+  std::string json_path;
+  bool check_determinism = false;
+  std::uint64_t seed = 42;
+};
+
+bool ParseArgs(int argc, char** argv, Args& args) {
+  auto next_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) return nullptr;
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--units") == 0) {
+      const char* value = next_value(i);
+      if (value == nullptr) return false;
+      args.unit_counts.clear();
+      for (const char* p = value; *p != '\0';) {
+        args.unit_counts.push_back(std::atoi(p));
+        while (*p != '\0' && *p != ',') ++p;
+        if (*p == ',') ++p;
+      }
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      const char* value = next_value(i);
+      if (value == nullptr) return false;
+      args.threads = std::atoi(value);
+    } else if (std::strcmp(arg, "--sim-seconds") == 0) {
+      const char* value = next_value(i);
+      if (value == nullptr) return false;
+      args.sim_seconds = std::atof(value);
+    } else if (std::strcmp(arg, "--repeats") == 0) {
+      const char* value = next_value(i);
+      if (value == nullptr) return false;
+      args.repeats = std::atoi(value);
+      if (args.repeats < 1) args.repeats = 1;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      const char* value = next_value(i);
+      if (value == nullptr) return false;
+      args.json_path = value;
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      const char* value = next_value(i);
+      if (value == nullptr) return false;
+      args.seed = std::strtoull(value, nullptr, 10);
+    } else if (std::strcmp(arg, "--check-determinism") == 0) {
+      args.check_determinism = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return false;
+    }
+  }
+  return !args.unit_counts.empty();
+}
+
+// Mixed workload for one deploy unit: a handful of mounted volumes serving
+// occasional cold reads (random offsets) alongside an archival ingest
+// stream (large sequential appends). Everything draws from ctx.rng, so the
+// unit's behaviour is a pure function of its seed.
+void MixedWorkload(core::UnitContext& ctx, double sim_seconds) {
+  core::Cluster& cluster = *ctx.cluster;
+  auto client = cluster.MakeClient("scale-client-u" +
+                                   std::to_string(ctx.unit_id));
+  std::vector<core::ClientLib::Volume*> volumes;
+  constexpr int kVolumes = 3;
+  for (int i = 0; i < kVolumes; ++i) {
+    client->AllocateAndMount("scale-svc", GiB(2),
+                             [&](Result<core::ClientLib::Volume*> r) {
+                               if (r.ok()) volumes.push_back(*r);
+                             });
+  }
+  cluster.RunFor(sim::Seconds(10));
+  if (volumes.empty()) return;
+
+  std::vector<Bytes> write_cursors(volumes.size(), 0);
+  const sim::Time end =
+      cluster.sim().now() +
+      static_cast<sim::Duration>(sim_seconds * 1e9);
+  std::uint64_t next_tag = 1;
+  while (cluster.sim().now() < end) {
+    const std::size_t v = ctx.rng->NextBelow(volumes.size());
+    core::ClientLib::Volume* volume = volumes[v];
+    if (ctx.rng->NextBool(0.3)) {
+      // Archival write: 1 MiB sequential append (wrapping).
+      const Bytes length = MiB(1);
+      if (write_cursors[v] + length > volume->space().length) {
+        write_cursors[v] = 0;
+      }
+      obs::Metrics().Increment("workload.archival_writes");
+      volume->Write(write_cursors[v], length, /*random=*/false, next_tag++,
+                    [](Status) {});
+      write_cursors[v] += length;
+    } else {
+      // Cold read: 128 KiB at a random (aligned) offset.
+      const Bytes length = KiB(128);
+      const Bytes slots = volume->space().length / length;
+      const Bytes offset =
+          static_cast<Bytes>(ctx.rng->NextBelow(
+              static_cast<std::uint64_t>(slots))) *
+          length;
+      obs::Metrics().Increment("workload.cold_reads");
+      volume->Read(offset, length, /*random=*/true,
+                   [](Result<std::uint64_t>) {});
+    }
+    // Poisson arrivals, mean 250 ms between ops across the unit.
+    cluster.RunFor(static_cast<sim::Duration>(
+        ctx.rng->NextExponential(0.25) * 1e9));
+  }
+  cluster.RunFor(sim::Seconds(2));  // drain in-flight ops
+}
+
+struct RunResult {
+  core::FleetReport report;
+  double events_per_second = 0;
+  double sim_per_wall = 0;
+  double ns_per_event = 0;
+};
+
+RunResult RunFleet(const Args& args, int units, int threads) {
+  core::FleetOptions options;
+  options.units = units;
+  options.threads = threads;
+  options.seed = args.seed;
+  core::Fleet fleet(options);
+  RunResult result;
+  const double sim_seconds = args.sim_seconds;
+  result.report = fleet.Run([sim_seconds](core::UnitContext& ctx) {
+    MixedWorkload(ctx, sim_seconds);
+  });
+  const double wall = result.report.wall_seconds;
+  const double events =
+      static_cast<double>(result.report.total_events);
+  result.events_per_second = wall > 0 ? events / wall : 0;
+  result.sim_per_wall =
+      wall > 0 ? static_cast<double>(result.report.total_sim_time) / 1e9 /
+                     wall
+               : 0;
+  result.ns_per_event = events > 0 ? wall * 1e9 / events : 0;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, args)) {
+    std::fprintf(
+        stderr,
+        "usage: bench_scaleout [--units 1,4,16,64] [--threads N]\n"
+        "                      [--sim-seconds S] [--repeats N] [--seed S]\n"
+        "                      [--json PATH] [--check-determinism]\n");
+    return 2;
+  }
+  int threads = args.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+
+  bench::PrintHeader(
+      "Fleet scale-out: independent deploy units on a worker pool\n"
+      "(" +
+      bench::Fmt(args.sim_seconds, 0) +
+      " simulated seconds per unit, mixed cold reads + archival writes,\n"
+      "threads=" +
+      std::to_string(threads) + ")");
+  std::vector<std::string> header = {"units", "events", "Mev/s", "sim-s/s",
+                                     "ns/event"};
+  if (args.check_determinism) {
+    header.push_back("speedup");
+    header.push_back("identical");
+  }
+  bench::PrintRow(header, 12);
+
+  bool determinism_ok = true;
+  std::string json = "{\n  \"context\": {\"threads\": " +
+                     std::to_string(threads) + ", \"sim_seconds\": " +
+                     bench::Fmt(args.sim_seconds, 3) + "},\n"
+                     "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < args.unit_counts.size(); ++i) {
+    const int units = args.unit_counts[i];
+    // Best-of-N: fleet runs are deterministic, so every repeat produces
+    // the same report — only the wall time varies. Keeping the fastest
+    // repeat filters out scheduler interference on loaded machines.
+    RunResult threaded = RunFleet(args, units, threads);
+    for (int repeat = 1; repeat < args.repeats; ++repeat) {
+      RunResult again = RunFleet(args, units, threads);
+      if (again.ns_per_event < threaded.ns_per_event) {
+        threaded = std::move(again);
+      }
+    }
+    for (const core::UnitReport& unit : threaded.report.units) {
+      if (!unit.error.empty()) {
+        std::fprintf(stderr, "unit %d failed: %s\n", unit.unit_id,
+                     unit.error.c_str());
+        return 1;
+      }
+    }
+
+    std::vector<std::string> row = {
+        std::to_string(units),
+        std::to_string(threaded.report.total_events),
+        bench::Fmt(threaded.events_per_second / 1e6, 2),
+        bench::Fmt(threaded.sim_per_wall, 1),
+        bench::Fmt(threaded.ns_per_event, 1)};
+    double speedup = 1.0;
+    if (args.check_determinism) {
+      RunResult serial = RunFleet(args, units, /*threads=*/1);
+      const bool identical =
+          serial.report.ToJson() == threaded.report.ToJson();
+      determinism_ok = determinism_ok && identical;
+      speedup = threaded.report.wall_seconds > 0
+                    ? serial.report.wall_seconds /
+                          threaded.report.wall_seconds
+                    : 0;
+      row.push_back(bench::Fmt(speedup, 2) + "x");
+      row.push_back(identical ? "yes" : "NO");
+    }
+    bench::PrintRow(row, 12);
+
+    json += "    {\"name\": \"scaleout/units:" + std::to_string(units) +
+            "\", \"run_type\": \"iteration\", \"iterations\": " +
+            std::to_string(args.repeats) +
+            ", \"real_time\": " +
+            bench::Fmt(threaded.ns_per_event, 1) +
+            ", \"cpu_time\": " + bench::Fmt(threaded.ns_per_event, 1) +
+            ", \"time_unit\": \"ns\", \"events\": " +
+            std::to_string(threaded.report.total_events) +
+            ", \"events_per_second\": " +
+            bench::Fmt(threaded.events_per_second, 1) +
+            ", \"sim_seconds_per_wall_second\": " +
+            bench::Fmt(threaded.sim_per_wall, 2) + "}";
+    json += i + 1 < args.unit_counts.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+
+  if (!args.json_path.empty()) {
+    std::FILE* f = std::fopen(args.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  }
+
+  if (args.check_determinism) {
+    std::printf("\ndeterminism: %s\n",
+                determinism_ok
+                    ? "merged reports bit-identical across thread counts"
+                    : "MISMATCH between threaded and serial runs");
+    if (!determinism_ok) return 1;
+  }
+  return 0;
+}

@@ -37,7 +37,11 @@ EndPoint::EndPoint(sim::Simulator* sim, net::Network* network,
         if (!crashed_) SendUsbReport();
       });
   manager_->host_stack(host_index_)
-      ->set_detach_listener([this](const std::string&) {
+      ->set_detach_listener([this](const std::string& name) {
+        // The detached disk may back exposed LUNs: drop their cached
+        // backing-disk pointers so the next I/O re-resolves (and fails
+        // cleanly if the disk is really gone).
+        target_->InvalidateDisk(name);
         if (!crashed_) SendUsbReport();
       });
 }
@@ -51,6 +55,11 @@ hw::Disk* EndPoint::ResolveRecognizedDisk(const std::string& name) {
 }
 
 void EndPoint::Start() {
+  // First beat after (re)start is always full: the Masters may know
+  // nothing about this host.
+  force_full_heartbeat_ = true;
+  last_sent_disks_.clear();
+  heartbeat_seq_ = 0;
   heartbeat_timer_.StartPeriodic(options_.heartbeat_period,
                                  [this] { SendHeartbeat(); });
   usb_report_timer_.StartPeriodic(options_.usb_report_period,
@@ -90,6 +99,7 @@ void EndPoint::SendHeartbeat() {
   auto heartbeat = std::make_shared<HeartbeatMsg>();
   heartbeat->host_index = host_index_;
   heartbeat->host = id();
+  std::vector<DiskStatusEntry> disks;
   for (const std::string& device :
        manager_->host_stack(host_index_)->RecognizedDevices()) {
     hw::Disk* disk = manager_->disk(device);
@@ -99,7 +109,23 @@ void EndPoint::SendHeartbeat() {
     entry.recognized = true;
     entry.state = disk->state();
     entry.failed = disk->failed();
-    heartbeat->disks.push_back(std::move(entry));
+    disks.push_back(std::move(entry));
+  }
+  // Delta encoding: ship the disk list only when it differs from the last
+  // full beat, or every k-th beat as a refresh for late-joining Masters.
+  ++heartbeat_seq_;
+  const bool full =
+      force_full_heartbeat_ || disks != last_sent_disks_ ||
+      (options_.full_heartbeat_every > 0 &&
+       heartbeat_seq_ % options_.full_heartbeat_every == 0);
+  heartbeat->full = full;
+  if (full) {
+    obs::Metrics().Increment("endpoint.heartbeats_full");
+    last_sent_disks_ = disks;
+    heartbeat->disks = std::move(disks);
+    force_full_heartbeat_ = false;
+  } else {
+    obs::Metrics().Increment("endpoint.heartbeats_delta");
   }
   for (const auto& master : master_ids_) {
     endpoint_->Notify(master, heartbeat);

@@ -32,6 +32,10 @@ struct EndPointOptions {
   sim::Duration expose_retry_poll = sim::MillisD(100);
   sim::Duration expose_retry_deadline = sim::Seconds(20);
   sim::Duration idle_spin_down = 0;  // 0 = disabled by default
+  // Heartbeats are delta-encoded: the full disk list goes out only when it
+  // changed since the last beat or on every k-th beat as a refresh (so a
+  // newly elected Master rebuilds SysStat within k beats). 1 = always full.
+  int full_heartbeat_every = 4;
   iscsi::IscsiTargetOptions target;
 };
 
@@ -84,6 +88,12 @@ class EndPoint {
   sim::Timer heartbeat_timer_;
   sim::Timer usb_report_timer_;
   std::map<std::string, iscsi::LunSpec> exposed_;  // for re-expose on restart
+
+  // Delta-heartbeat state: the disk list most recently sent in a full beat
+  // and a beat counter driving the periodic full refresh.
+  std::vector<DiskStatusEntry> last_sent_disks_;
+  std::uint64_t heartbeat_seq_ = 0;
+  bool force_full_heartbeat_ = true;
 };
 
 }  // namespace ustore::core

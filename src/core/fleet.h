@@ -1,0 +1,101 @@
+// Fleet-scale execution harness (DESIGN.md §8).
+//
+// A Fleet instantiates N deploy units — each an independent core::Cluster
+// with its own sim::Simulator, seed and workload — and runs them on a
+// thread pool. Deploy units share nothing at runtime (that is the point of
+// the paper's unit-granular design), so the fleet parallelises perfectly:
+// each worker thread owns one unit at a time, with obs::Metrics() and
+// obs::Tracer() redirected to unit-local registries via ScopedObsBinding.
+//
+// Determinism contract: unit k's seed is a pure function of (fleet seed,
+// k); every unit runs single-threaded on whichever worker picks it up; and
+// per-unit results are collected into per-unit slots and merged in unit
+// order. The merged FleetReport::ToJson() is therefore bit-identical for
+// any thread count, including 1 — the fleet determinism test and
+// bench_scaleout --check-determinism both assert exactly this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/cluster.h"
+#include "obs/metrics.h"
+#include "sim/time.h"
+
+namespace ustore::core {
+
+// The derived seed for unit `unit_id` of a fleet seeded with `fleet_seed`:
+// a double splitmix64 mix, so adjacent unit ids land in unrelated parts of
+// the sequence space.
+std::uint64_t FleetUnitSeed(std::uint64_t fleet_seed, int unit_id);
+
+struct FleetOptions {
+  int units = 1;
+  // Worker threads; 0 = std::thread::hardware_concurrency(). Clamped to
+  // [1, units]. The merged report does not depend on this value.
+  int threads = 1;
+  std::uint64_t seed = 42;
+  // Per-unit template; `unit_id` and `seed` are overwritten per unit.
+  ClusterOptions cluster;
+};
+
+// What a workload body sees for one deploy unit. Everything here is
+// unit-local; the body runs with the obs singletons redirected to the
+// unit's own registries and must not touch state outside the context.
+struct UnitContext {
+  int unit_id = 0;
+  std::uint64_t seed = 0;
+  Cluster* cluster = nullptr;
+  Rng* rng = nullptr;  // workload stream, independent of the cluster's
+};
+
+struct UnitReport {
+  int unit_id = 0;
+  std::uint64_t seed = 0;
+  sim::Time sim_end = 0;                 // unit sim clock when done
+  std::uint64_t events_processed = 0;    // simulator events fired
+  std::uint64_t trace_completed = 0;
+  std::uint64_t trace_dropped = 0;
+  std::size_t allocation_count = 0;
+  std::string allocations;  // Master::DumpAllocations() of the active master
+  obs::MetricsSnapshot metrics;
+  std::string error;  // nonempty if the workload body threw
+};
+
+struct FleetReport {
+  std::vector<UnitReport> units;  // indexed by unit id
+  std::uint64_t total_events = 0;
+  sim::Time total_sim_time = 0;  // summed across units
+  // Wall-clock of the Run() call. Measurement only — deliberately absent
+  // from ToJson(), which must be a pure function of the fleet inputs.
+  double wall_seconds = 0;
+
+  // Counters summed across all units.
+  std::map<std::string, std::uint64_t> MergedCounters() const;
+
+  // Canonical deterministic rendering: seeds, event counts, per-unit
+  // counters + histogram counts + trace counts + allocation tables, and
+  // the merged counters. Bit-identical across runs and thread counts.
+  std::string ToJson() const;
+};
+
+class Fleet {
+ public:
+  using Workload = std::function<void(UnitContext&)>;
+
+  explicit Fleet(FleetOptions options) : options_(std::move(options)) {}
+
+  // Runs `workload` once per unit (units may run concurrently, so the
+  // callable must be safe to invoke from multiple threads at once; all
+  // mutable state should live in the UnitContext).
+  FleetReport Run(const Workload& workload);
+
+ private:
+  FleetOptions options_;
+};
+
+}  // namespace ustore::core

@@ -48,12 +48,89 @@ Master::Master(sim::Simulator* sim, net::Network* network, net::NodeId id,
   meta_ = std::make_unique<consensus::MetaClient>(
       sim, network, endpoint_->id() + ":meta", std::move(meta_options));
   for (fabric::NodeIndex node : wiring_.disks) {
-    disks_[wiring_.topology.node(node).name] = DiskStat{};
+    InternDisk(wiring_.topology.node(node).name);
   }
   RegisterHandlers();
 }
 
 Master::~Master() = default;
+
+// --- Disk interning + reverse indexes ------------------------------------------
+
+int Master::InternDisk(const std::string& name) {
+  auto it = disk_index_.find(name);
+  if (it != disk_index_.end()) return it->second;
+  const int handle = static_cast<int>(disks_.size());
+  disk_index_.emplace(name, handle);
+  disk_names_.push_back(name);
+  disks_.emplace_back();
+  return handle;
+}
+
+int Master::FindDisk(const std::string& name) const {
+  auto it = disk_index_.find(name);
+  return it == disk_index_.end() ? -1 : it->second;
+}
+
+void Master::SetDiskHost(int disk, int host) {
+  DiskStat& stat = disks_[disk];
+  if (stat.host == host) return;
+  if (stat.host >= 0) host_disks_[stat.host].erase(disk);
+  if (host >= 0) host_disks_[host].insert(disk);
+  stat.host = host;
+  // Attribution changed without the new host listing the disk yet: a full
+  // heartbeat must confirm it before delta beats refresh its liveness.
+  stat.present = false;
+}
+
+void Master::SetAllocExposedHost(AllocEntry& entry, int host) {
+  if (entry.exposed_host == host) return;
+  DiskStat& stat = disks_[FindDisk(entry.id.disk)];
+  if (entry.exposed_host >= 0) {
+    auto it = stat.exposed_counts.find(entry.exposed_host);
+    if (it != stat.exposed_counts.end() && --it->second == 0) {
+      stat.exposed_counts.erase(it);
+    }
+  }
+  if (host >= 0) ++stat.exposed_counts[host];
+  entry.exposed_host = host;
+}
+
+void Master::AddAllocToIndexes(const AllocEntry& entry) {
+  DiskStat& stat = disks_[InternDisk(entry.id.disk)];
+  stat.spaces.insert(entry.id.space);
+  if (entry.exposed_host >= 0) ++stat.exposed_counts[entry.exposed_host];
+}
+
+void Master::RemoveAllocFromIndexes(const AllocEntry& entry) {
+  const int disk = FindDisk(entry.id.disk);
+  if (disk < 0) return;
+  DiskStat& stat = disks_[disk];
+  stat.spaces.erase(entry.id.space);
+  if (entry.exposed_host >= 0) {
+    auto it = stat.exposed_counts.find(entry.exposed_host);
+    if (it != stat.exposed_counts.end() && --it->second == 0) {
+      stat.exposed_counts.erase(it);
+    }
+  }
+}
+
+bool Master::DiskExposedElsewhere(const DiskStat& stat,
+                                  int host_index) const {
+  for (const auto& [host, count] : stat.exposed_counts) {
+    if (host != host_index && count > 0) return true;
+  }
+  return false;
+}
+
+void Master::MarkDiskSpacesUnavailable(int disk) {
+  for (std::uint64_t space : disks_[disk].spaces) {
+    auto it = allocations_.find(SpaceId{unit_id_, DiskName(disk), space});
+    if (it != allocations_.end()) it->second.available = false;
+  }
+}
+
+// --- Lifecycle -----------------------------------------------------------------
 
 void Master::Start() {
   if (started_) return;
@@ -192,7 +269,8 @@ void Master::LoadAllocations(std::function<void(Status)> done) {
                   DecodeAlloc(node->data, service, offset, length)) {
                 AllocEntry entry{*parsed, service, offset, length, true};
                 allocations_[*parsed] = entry;
-                DiskStat& stat = disks_[parsed->disk];
+                AddAllocToIndexes(entry);
+                DiskStat& stat = disks_[InternDisk(parsed->disk)];
                 stat.allocated += length;
                 stat.next_space =
                     std::max(stat.next_space, parsed->space + 1);
@@ -227,14 +305,15 @@ void Master::MonitorTick() {
   // USB tree — without a host failure to explain it — is a failed unit
   // (disk, bridge or its switch). Flag it for replacement.
   if (failovers_in_progress_.empty()) {
-    for (auto& [name, disk] : disks_) {
+    for (int d = 0; d < static_cast<int>(disks_.size()); ++d) {
+      const DiskStat& disk = disks_[d];
       if (disk.failed || disk.last_seen < 0) continue;
       if (disk.host >= 0 && !HostAlive(disk.host)) continue;
       if (now - disk.last_seen > options_.disk_missing_timeout) {
         USTORE_LOG(Warning)
-            << id() << ": disk " << name
+            << id() << ": disk " << DiskName(d)
             << " disappeared from the fabric; treating as failed";
-        HandleDiskFailure(name);
+        HandleDiskFailure(d);
       }
     }
   }
@@ -246,8 +325,8 @@ bool Master::HostAlive(int host_index) const {
 }
 
 int Master::CurrentHostOfDisk(const std::string& disk) const {
-  auto it = disks_.find(disk);
-  return it == disks_.end() ? -1 : it->second.host;
+  const int handle = FindDisk(disk);
+  return handle < 0 ? -1 : disks_[handle].host;
 }
 
 net::NodeId Master::ActiveControllerId() const {
@@ -280,17 +359,14 @@ void Master::HandleHostFailure(int failed_host) {
                     sim::Seconds(5), [](Result<net::MessagePtr>) {});
   }
 
-  // Collect the disks stranded on the failed host.
-  std::vector<std::string> stranded;
-  for (auto& [name, stat] : disks_) {
-    if (stat.host == failed_host) {
-      stranded.push_back(name);
-      // Spaces on this disk become unavailable until re-exposed.
-      for (auto& [space_id, entry] : allocations_) {
-        if (entry.id.disk == name) entry.available = false;
-      }
-    }
+  // The disks stranded on the failed host, straight from the host->disks
+  // index (sorted, so the move order is deterministic). Spaces on them
+  // become unavailable until re-exposed.
+  std::vector<int> stranded;
+  if (auto it = host_disks_.find(failed_host); it != host_disks_.end()) {
+    stranded.assign(it->second.begin(), it->second.end());
   }
+  for (int disk : stranded) MarkDiskSpacesUnavailable(disk);
   if (stranded.empty()) {
     failovers_in_progress_.erase(failed_host);
     EndFailoverSpan(failed_host, "no-disks-stranded");
@@ -301,8 +377,8 @@ void Master::HandleHostFailure(int failed_host) {
   // host to a non-faulty one") — among hosts the fabric can actually route
   // every stranded disk to (SysConf knows the wiring).
   auto reachable_by_all = [&](int host_index) {
-    for (const std::string& disk : stranded) {
-      auto node = wiring_.topology.Find(disk);
+    for (int disk : stranded) {
+      auto node = wiring_.topology.Find(DiskName(disk));
       if (!node.ok()) return false;
       bool reachable = false;
       for (fabric::NodeIndex port : wiring_.PortsOfHost(host_index)) {
@@ -318,14 +394,14 @@ void Master::HandleHostFailure(int failed_host) {
   // Candidate targets, least-loaded first. A candidate may still fail with
   // a scheduling conflict (its route would steal a switch an uninvolved
   // disk group depends on) — per §IV-C the Master then re-schedules onto
-  // the next candidate.
+  // the next candidate. Load is the host->disks index bucket size.
   std::vector<std::pair<int, int>> candidates;  // (load, host)
   for (const auto& [host_index, stat] : hosts_) {
     if (!stat.alive || host_index == failed_host) continue;
     if (!reachable_by_all(host_index)) continue;
     int load = 0;
-    for (const auto& [name, disk_stat] : disks_) {
-      if (disk_stat.host == host_index) ++load;
+    if (auto it = host_disks_.find(host_index); it != host_disks_.end()) {
+      load = static_cast<int>(it->second.size());
     }
     candidates.emplace_back(load, host_index);
   }
@@ -350,8 +426,8 @@ void Master::HandleHostFailure(int failed_host) {
     }
     const int target = candidates[index].second;
     std::vector<DiskHostPair> moves;
-    for (const std::string& disk : stranded) {
-      moves.push_back(DiskHostPair{disk, target});
+    for (int disk : stranded) {
+      moves.push_back(DiskHostPair{DiskName(disk), target});
     }
     const obs::SpanId schedule_span =
         obs::Tracer().Begin("master", "failover.schedule");
@@ -380,8 +456,8 @@ void Master::HandleHostFailure(int failed_host) {
           obs::Tracer().Begin("master", "failover.re_expose");
       auto remaining =
           std::make_shared<int>(static_cast<int>(stranded.size()));
-      for (const std::string& disk : stranded) {
-        disks_[disk].host = target;
+      for (int disk : stranded) {
+        SetDiskHost(disk, target);
         ReExposeDisk(disk, target,
                      [this, failed_host, remaining,
                       expose_span](Status expose_status) {
@@ -404,18 +480,16 @@ void Master::HandleHostFailure(int failed_host) {
   (*try_candidate)(0);
 }
 
-void Master::HandleDiskFailure(const std::string& disk) {
+void Master::HandleDiskFailure(int disk) {
   DiskStat& stat = disks_[disk];
   if (stat.failed) return;
   stat.failed = true;
   obs::Metrics().Increment("master.disk_failures");
-  USTORE_LOG(Warning) << id() << ": disk " << disk
+  USTORE_LOG(Warning) << id() << ": disk " << DiskName(disk)
                       << " reported failed; flagging for replacement";
   // Data recovery is delegated to the upper-layer service (§IV-E); we just
   // mark spaces unavailable and notify subscribers via lookups.
-  for (auto& [space_id, entry] : allocations_) {
-    if (entry.id.disk == disk) entry.available = false;
-  }
+  MarkDiskSpacesUnavailable(disk);
 }
 
 void Master::SendSchedule(std::vector<DiskHostPair> moves,
@@ -444,7 +518,7 @@ void Master::ExposeEntry(const AllocEntry& entry, int host_index,
           auto it = allocations_.find(id);
           if (it != allocations_.end()) {
             it->second.available = true;
-            it->second.exposed_host = host_index;
+            SetAllocExposedHost(it->second, host_index);
             NotifySubscribers(id, HostEndpointId(host_index));
           }
         }
@@ -452,11 +526,14 @@ void Master::ExposeEntry(const AllocEntry& entry, int host_index,
       });
 }
 
-void Master::ReExposeDisk(const std::string& disk, int new_host,
+void Master::ReExposeDisk(int disk, int new_host,
                           std::function<void(Status)> done) {
+  // Snapshot the disk's entries via the reverse index (the set may mutate
+  // while the expose RPCs are in flight).
   std::vector<AllocEntry> entries;
-  for (const auto& [space_id, entry] : allocations_) {
-    if (entry.id.disk == disk) entries.push_back(entry);
+  for (std::uint64_t space : disks_[disk].spaces) {
+    auto it = allocations_.find(SpaceId{unit_id_, DiskName(disk), space});
+    if (it != allocations_.end()) entries.push_back(it->second);
   }
   if (entries.empty()) {
     done(Status::Ok());
@@ -487,12 +564,13 @@ void Master::NotifySubscribers(const SpaceId& space_id,
   }
 }
 
-Result<std::string> Master::PickDisk(const std::string& service, Bytes size,
-                                     int locality_host) {
-  std::string best;
+Result<int> Master::PickDisk(const std::string& service, Bytes size,
+                             int locality_host) {
+  int best = -1;
   int best_score = -1;
   Bytes best_free = -1;
-  for (const auto& [name, stat] : disks_) {
+  for (int d = 0; d < static_cast<int>(disks_.size()); ++d) {
+    const DiskStat& stat = disks_[d];
     if (stat.failed || stat.host < 0 || !HostAlive(stat.host)) continue;
     const Bytes capacity = TB(3);
     const Bytes free = capacity - stat.allocated;
@@ -508,12 +586,12 @@ Result<std::string> Master::PickDisk(const std::string& service, Bytes size,
       score += 1;  // rule 2: network locality
     }
     if (score > best_score || (score == best_score && free > best_free)) {
-      best = name;
+      best = d;
       best_score = score;
       best_free = free;
     }
   }
-  if (best.empty()) {
+  if (best < 0) {
     return ResourceExhaustedError("no disk can fit " + FormatBytes(size) +
                                   " for service " + service);
   }
@@ -545,8 +623,9 @@ void Master::RegisterHandlers() {
       [this](const net::NodeId&, net::MessagePtr msg) {
         auto* heartbeat = static_cast<HeartbeatMsg*>(msg.get());
         obs::Metrics().Increment("master.heartbeats_received");
+        const sim::Time now = sim_->now();
         HostStat& host = hosts_[heartbeat->host_index];
-        host.last_heartbeat = sim_->now();
+        host.last_heartbeat = now;
         if (!host.alive) {
           if (host.ever_seen) {
             USTORE_LOG(Info) << id() << ": host " << heartbeat->host_index
@@ -555,12 +634,26 @@ void Master::RegisterHandlers() {
           host.alive = true;
         }
         host.ever_seen = true;
+        if (!heartbeat->full) {
+          // Delta heartbeat: no disk-list payload (nothing changed at the
+          // EndPoint). Refresh liveness of the disks this host most
+          // recently confirmed present via the host->disks index.
+          if (auto it = host_disks_.find(heartbeat->host_index);
+              it != host_disks_.end()) {
+            for (int d : it->second) {
+              if (disks_[d].present) disks_[d].last_seen = now;
+            }
+          }
+          return;
+        }
         for (const DiskStatusEntry& entry : heartbeat->disks) {
-          DiskStat& disk = disks_[entry.name];
-          disk.host = heartbeat->host_index;
+          const int d = InternDisk(entry.name);
+          SetDiskHost(d, heartbeat->host_index);
+          DiskStat& disk = disks_[d];
+          disk.present = true;
           disk.state = entry.state;
-          disk.last_seen = sim_->now();
-          if (entry.failed && !disk.failed) HandleDiskFailure(entry.name);
+          disk.last_seen = now;
+          if (entry.failed && !disk.failed) HandleDiskFailure(d);
           if (!entry.failed && disk.failed) {
             // The unit came back (repaired/replaced); spaces become
             // available again once re-exposed.
@@ -570,20 +663,24 @@ void Master::RegisterHandlers() {
           }
           // A disk that surfaced on a host other than the one exposing its
           // LUNs was moved (deliberate rebalance or a failover we did not
-          // initiate): re-expose its spaces there.
+          // initiate): re-expose its spaces there. The per-disk
+          // exposed-host counts answer this in O(1) — no allocation scan.
           if (!active_) continue;
-          for (auto& [space_id, alloc] : allocations_) {
-            if (alloc.id.disk == entry.name && alloc.exposed_host >= 0 &&
-                alloc.exposed_host != heartbeat->host_index &&
-                !re_expose_in_progress_.contains(entry.name)) {
-              re_expose_in_progress_.insert(entry.name);
-              const std::string disk_name = entry.name;
-              ReExposeDisk(disk_name, heartbeat->host_index,
-                           [this, disk_name](Status) {
-                             re_expose_in_progress_.erase(disk_name);
-                           });
-              break;
-            }
+          if (DiskExposedElsewhere(disk, heartbeat->host_index) &&
+              !re_expose_in_progress_.contains(d)) {
+            re_expose_in_progress_.insert(d);
+            ReExposeDisk(d, heartbeat->host_index, [this, d](Status) {
+              re_expose_in_progress_.erase(d);
+            });
+          }
+        }
+        // Disks attributed to this host but absent from the full list are
+        // no longer visible there: stop the implicit delta-beat refresh so
+        // they age out via disk_missing_timeout.
+        if (auto it = host_disks_.find(heartbeat->host_index);
+            it != host_disks_.end()) {
+          for (int d : it->second) {
+            if (disks_[d].last_seen != now) disks_[d].present = false;
           }
         }
       });
@@ -600,16 +697,17 @@ void Master::RegisterHandlers() {
           reply(InvalidArgumentError("allocation size must be positive"));
           return;
         }
-        Result<std::string> disk = request->disk_hint;
+        Result<int> disk = -1;
         if (request->disk_hint.empty()) {
           disk = PickDisk(request->service, request->size,
                           request->locality_host);
-        } else if (!disks_.contains(request->disk_hint)) {
+        } else if (int hinted = FindDisk(request->disk_hint); hinted < 0) {
           disk = NotFoundError("no disk " + request->disk_hint);
-        } else if (disks_[request->disk_hint].host < 0 ||
-                   disks_[request->disk_hint].failed) {
+        } else if (disks_[hinted].host < 0 || disks_[hinted].failed) {
           disk = UnavailableError("disk " + request->disk_hint +
                                   " is not attached to any live host");
+        } else {
+          disk = hinted;
         }
         if (!disk.ok()) {
           reply(disk.status());
@@ -617,7 +715,7 @@ void Master::RegisterHandlers() {
         }
         DiskStat& stat = disks_[*disk];
         AllocEntry entry;
-        entry.id = SpaceId{unit_id_, *disk, stat.next_space++};
+        entry.id = SpaceId{unit_id_, DiskName(*disk), stat.next_space++};
         entry.service = request->service;
         entry.offset = stat.allocated;
         entry.length = request->size;
@@ -626,16 +724,19 @@ void Master::RegisterHandlers() {
           stat.owner_service = request->service;
         }
         allocations_[entry.id] = entry;
+        AddAllocToIndexes(entry);
 
         // Persist synchronously (§IV-A: "stored persistently in the Master
         // synchronously"), then expose on the disk's current host.
-        PersistAllocation(entry, [this, entry, reply](Status status) {
+        PersistAllocation(entry, [this, entry, disk = *disk,
+                                  reply](Status status) {
           if (!status.ok()) {
+            RemoveAllocFromIndexes(entry);
             allocations_.erase(entry.id);
             reply(status);
             return;
           }
-          const int host = disks_[entry.id.disk].host;
+          const int host = disks_[disk].host;
           ExposeEntry(entry, host, [this, entry, host,
                                     reply](Status expose_status) {
             if (!expose_status.ok()) {
@@ -667,7 +768,8 @@ void Master::RegisterHandlers() {
           return;
         }
         auto response = std::make_shared<LookupResponse>();
-        const int host = disks_[it->second.id.disk].host;
+        const int disk = FindDisk(it->second.id.disk);
+        const int host = disk < 0 ? -1 : disks_[disk].host;
         response->available = it->second.available && host >= 0 &&
                               HostAlive(host);
         if (host >= 0) response->host = HostEndpointId(host);
@@ -695,13 +797,15 @@ void Master::RegisterHandlers() {
           return;
         }
         const AllocEntry entry = it->second;
+        RemoveAllocFromIndexes(entry);
         allocations_.erase(it);
-        disks_[entry.id.disk].allocated -= entry.length;
+        const int disk = FindDisk(entry.id.disk);
+        if (disk >= 0) disks_[disk].allocated -= entry.length;
         subscribers_.erase(entry.id);
         // Remove persistence and the exposure (best effort).
         const std::string path = "/ustore/alloc" + entry.id.ToString();
         meta_->Delete(path, consensus::kAnyVersion, [](Status) {});
-        const int host = disks_[entry.id.disk].host;
+        const int host = disk < 0 ? -1 : disks_[disk].host;
         if (host >= 0) {
           auto unexpose = std::make_shared<UnexposeRequest>();
           unexpose->id = entry.id;
@@ -728,13 +832,14 @@ void Master::RegisterHandlers() {
           return;
         }
         auto* request = static_cast<DiskPowerRequest*>(msg.get());
-        auto it = disks_.find(request->disk);
-        if (it == disks_.end()) {
+        const int disk = FindDisk(request->disk);
+        if (disk < 0) {
           reply(NotFoundError("no disk " + request->disk));
           return;
         }
+        const DiskStat& stat = disks_[disk];
         // §IV-F: services may only manage disks allocated to them.
-        if (it->second.owner_service != request->service) {
+        if (stat.owner_service != request->service) {
           reply(FailedPreconditionError(
               "disk " + request->disk + " is not owned by service " +
               request->service));
@@ -743,14 +848,14 @@ void Master::RegisterHandlers() {
         switch (request->action) {
           case DiskPowerAction::kSpinUp:
           case DiskPowerAction::kSpinDown: {
-            if (it->second.host < 0) {
+            if (stat.host < 0) {
               reply(UnavailableError("disk currently detached"));
               return;
             }
             auto spin = std::make_shared<SpinRequest>();
             spin->disk = request->disk;
             spin->spin_up = request->action == DiskPowerAction::kSpinUp;
-            endpoint_->Call(HostEndpointId(it->second.host), spin,
+            endpoint_->Call(HostEndpointId(stat.host), spin,
                             options_.endpoint_rpc_timeout,
                             [reply](Result<net::MessagePtr> result) {
                               reply(std::move(result));
@@ -791,8 +896,95 @@ void Master::Restart() {
   RegisterHandlers();
   hosts_.clear();
   allocations_.clear();
-  for (auto& [name, stat] : disks_) stat = DiskStat{};
+  host_disks_.clear();
+  for (DiskStat& stat : disks_) stat = DiskStat{};
   Start();
+}
+
+// --- Introspection -------------------------------------------------------------
+
+std::string Master::DumpAllocations() const {
+  std::string out;
+  for (const auto& [space_id, entry] : allocations_) {
+    out += space_id.ToString();
+    out += " service=" + entry.service;
+    out += " offset=" + std::to_string(entry.offset);
+    out += " length=" + std::to_string(entry.length);
+    out += entry.available ? " available" : " unavailable";
+    out += " exposed_host=" + std::to_string(entry.exposed_host);
+    out += "\n";
+  }
+  return out;
+}
+
+bool Master::CheckIndexesForTest(std::string* why) const {
+  auto fail = [why](const std::string& message) {
+    if (why != nullptr) *why = message;
+    return false;
+  };
+  // Interning tables agree.
+  if (disks_.size() != disk_names_.size() ||
+      disks_.size() != disk_index_.size()) {
+    return fail("interning tables disagree on disk count");
+  }
+  for (const auto& [name, handle] : disk_index_) {
+    if (handle < 0 || handle >= static_cast<int>(disk_names_.size()) ||
+        disk_names_[handle] != name) {
+      return fail("intern handle mismatch for " + name);
+    }
+  }
+  // Every allocation is indexed on its disk.
+  for (const auto& [space_id, entry] : allocations_) {
+    const int d = FindDisk(space_id.disk);
+    if (d < 0) return fail("allocation on uninterned disk " + space_id.disk);
+    if (!disks_[d].spaces.contains(space_id.space)) {
+      return fail("allocation " + space_id.ToString() +
+                  " missing from disk index");
+    }
+  }
+  for (int d = 0; d < static_cast<int>(disks_.size()); ++d) {
+    const DiskStat& stat = disks_[d];
+    // Every indexed space is a live allocation, and the per-disk
+    // exposed-host counts and allocated-bytes floor match a full scan.
+    std::map<int, int> exposed;
+    Bytes total = 0;
+    for (std::uint64_t space : stat.spaces) {
+      auto it = allocations_.find(SpaceId{unit_id_, DiskName(d), space});
+      if (it == allocations_.end()) {
+        return fail("stale space " + std::to_string(space) + " on disk " +
+                    DiskName(d));
+      }
+      if (it->second.exposed_host >= 0) ++exposed[it->second.exposed_host];
+      total += it->second.length;
+    }
+    if (exposed != stat.exposed_counts) {
+      return fail("exposed-host counts wrong on disk " + DiskName(d));
+    }
+    // `allocated` is a bump allocator: it only shrinks on release, so it
+    // bounds (but need not equal) the live total.
+    if (stat.allocated < total) {
+      return fail("allocated bytes below live total on disk " +
+                  DiskName(d));
+    }
+    // host->disks bucket membership matches stat.host.
+    const bool indexed =
+        stat.host >= 0 && host_disks_.contains(stat.host) &&
+        host_disks_.at(stat.host).contains(d);
+    if ((stat.host >= 0) != indexed) {
+      return fail("host index disagrees for disk " + DiskName(d));
+    }
+  }
+  // No foreign entries in host buckets.
+  for (const auto& [host, bucket] : host_disks_) {
+    for (int d : bucket) {
+      if (d < 0 || d >= static_cast<int>(disks_.size()) ||
+          disks_[d].host != host) {
+        return fail("host bucket " + std::to_string(host) +
+                    " holds stray disk handle");
+      }
+    }
+  }
+  return true;
 }
 
 }  // namespace ustore::core

@@ -20,6 +20,12 @@
 // declared crashed; its disks are moved to the least-loaded live host via
 // a Controller scheduling command, re-exposed on the adopting host, and
 // subscribed clients are notified.
+//
+// Hot-path scaling (fleet targets, DESIGN.md §8): disk names are interned
+// into dense integer handles at first sight, and two reverse indexes —
+// disk->allocated spaces and host->attached disks, plus a per-disk count
+// of allocations by exposing host — keep heartbeat processing, failover
+// collection and re-exposure independent of the total allocation count.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +34,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -76,6 +83,16 @@ class Master {
   std::size_t allocation_count() const { return allocations_.size(); }
   int failovers_completed() const { return failovers_completed_; }
 
+  // Canonical one-line-per-space rendering of StorAlloc (sorted by id) —
+  // the fleet harness compares these across runs for determinism checks.
+  std::string DumpAllocations() const;
+
+  // Verifies the reverse indexes (disk->spaces, host->disks, per-disk
+  // exposed-host counts, per-disk allocated bytes) against a full scan of
+  // allocations_/disks_. Returns false and describes the first mismatch in
+  // `why` (if non-null). Test-only: O(disks + allocations).
+  bool CheckIndexesForTest(std::string* why = nullptr) const;
+
  private:
   struct AllocEntry {
     SpaceId id;
@@ -95,11 +112,23 @@ class Master {
   struct DiskStat {
     int host = -1;  // current attachment, -1 unknown/detached
     bool failed = false;
+    // Listed in the owning host's latest full heartbeat. Delta heartbeats
+    // (HeartbeatMsg::full == false) implicitly refresh last_seen for
+    // present disks only, so a disk that dropped off the USB tree still
+    // ages out via disk_missing_timeout.
+    bool present = false;
     hw::DiskState state = hw::DiskState::kIdle;
     std::string owner_service;  // first service allocated here (rule 1)
     Bytes allocated = 0;
     std::uint64_t next_space = 1;
     sim::Time last_seen = -1;  // last heartbeat listing this disk
+    // Reverse index: space numbers allocated on this disk (SpaceId =
+    // {unit_id_, name, space}). Ordered for deterministic re-expose order.
+    std::set<std::uint64_t> spaces;
+    // Count of allocations by exposing host (entries only while > 0).
+    // Answers "is anything on this disk exposed on a host other than h?"
+    // in O(1) on the heartbeat hot path.
+    std::map<int, int> exposed_counts;
   };
 
   void RegisterHandlers();
@@ -109,13 +138,32 @@ class Master {
   void LoadAllocations(std::function<void(Status)> done);
   void MonitorTick();
   void HandleHostFailure(int host_index);
-  void HandleDiskFailure(const std::string& disk);
+  void HandleDiskFailure(int disk);
   // Closes the failover trace span for `host_index` with an outcome attr.
   void EndFailoverSpan(int host_index, const std::string& outcome);
 
+  // --- Disk interning + reverse-index maintenance ------------------------------
+  // Get-or-create the dense handle for a disk name (wiring disks are
+  // interned at construction; unknown names from heartbeats or persisted
+  // allocations are added on first sight).
+  int InternDisk(const std::string& name);
+  int FindDisk(const std::string& name) const;  // -1 when unknown
+  const std::string& DiskName(int disk) const { return disk_names_[disk]; }
+  // Moves the disk between host_disks_ buckets and updates stat.host.
+  void SetDiskHost(int disk, int host);
+  // Re-points entry.exposed_host, keeping the disk's exposed_counts exact.
+  void SetAllocExposedHost(AllocEntry& entry, int host);
+  void AddAllocToIndexes(const AllocEntry& entry);
+  void RemoveAllocFromIndexes(const AllocEntry& entry);
+  // Any allocation on `disk` currently exposed on a host other than
+  // `host_index`? O(#distinct exposing hosts), i.e. O(1).
+  bool DiskExposedElsewhere(const DiskStat& stat, int host_index) const;
+  // Marks every space on `disk` unavailable (failover/disk failure).
+  void MarkDiskSpacesUnavailable(int disk);
+
   // Allocation machinery.
-  Result<std::string> PickDisk(const std::string& service, Bytes size,
-                               int locality_host);
+  Result<int> PickDisk(const std::string& service, Bytes size,
+                       int locality_host);
   void PersistAllocation(const AllocEntry& entry,
                          std::function<void(Status)> done);
 
@@ -123,7 +171,7 @@ class Master {
   net::NodeId ActiveControllerId() const;
   void SendSchedule(std::vector<DiskHostPair> moves,
                     std::function<void(Status)> done);
-  void ReExposeDisk(const std::string& disk, int new_host,
+  void ReExposeDisk(int disk, int new_host,
                     std::function<void(Status)> done);
   void NotifySubscribers(const SpaceId& id, const net::NodeId& new_host);
   void ExposeEntry(const AllocEntry& entry, int host_index,
@@ -146,9 +194,14 @@ class Master {
   bool active_ = false;
   bool started_ = false;
 
-  // SysStat (in-memory, rebuilt from heartbeats).
+  // SysStat (in-memory, rebuilt from heartbeats). Disks are stored densely
+  // by interned handle; host_disks_ is the host->disks reverse index
+  // (sorted, so failover move order stays deterministic).
   std::map<int, HostStat> hosts_;
-  std::map<std::string, DiskStat> disks_;
+  std::vector<DiskStat> disks_;
+  std::vector<std::string> disk_names_;
+  std::unordered_map<std::string, int> disk_index_;
+  std::map<int, std::set<int>> host_disks_;
   // Which controlling hosts have been told to take over the control plane.
   int active_controller_ = 0;
 
@@ -162,7 +215,7 @@ class Master {
   int failovers_completed_ = 0;
   std::set<int> failovers_in_progress_;
   std::map<int, obs::SpanId> failover_spans_;
-  std::set<std::string> re_expose_in_progress_;
+  std::set<int> re_expose_in_progress_;  // disk handles
 };
 
 }  // namespace ustore::core

@@ -48,11 +48,19 @@ struct DiskStatusEntry {
   bool recognized = false;
   hw::DiskState state = hw::DiskState::kIdle;
   bool failed = false;
+
+  friend bool operator==(const DiskStatusEntry&,
+                         const DiskStatusEntry&) = default;
 };
 
+// EndPoint heartbeats are delta-encoded: `disks` is populated (and `full`
+// set) only when the disk list changed since the last beat or every k-th
+// beat as a refresh; in between, a beat is just a liveness ping and the
+// Master keeps attributing the previously reported disks to the host.
 struct HeartbeatMsg : net::Message {
   int host_index = -1;
   net::NodeId host;
+  bool full = true;
   std::vector<DiskStatusEntry> disks;
 };
 

@@ -40,9 +40,23 @@ void IscsiTarget::Expose(const LunSpec& spec,
                             " disappeared during target setup"));
       return;
     }
-    luns_[spec.lun_id] = spec;
+    luns_[spec.lun_id] = LunState{spec, nullptr};
     done(Status::Ok());
   });
+}
+
+hw::Disk* IscsiTarget::ResolveDisk(LunState& lun) {
+  if (lun.cached_disk == nullptr) {
+    ++resolver_calls_;
+    lun.cached_disk = disk_resolver_(lun.spec.disk_name);
+  }
+  return lun.cached_disk;
+}
+
+void IscsiTarget::InvalidateDisk(const std::string& disk_name) {
+  for (auto& [lun_id, lun] : luns_) {
+    if (lun.spec.disk_name == disk_name) lun.cached_disk = nullptr;
+  }
 }
 
 Status IscsiTarget::Unexpose(const std::string& lun_id) {
@@ -71,7 +85,7 @@ void IscsiTarget::RegisterHandlers() {
           return;
         }
         auto response = std::make_shared<LoginResponse>();
-        response->capacity = it->second.length;
+        response->capacity = it->second.spec.length;
         reply(net::MessagePtr(std::move(response)));
       });
 
@@ -84,13 +98,15 @@ void IscsiTarget::RegisterHandlers() {
           reply(NotFoundError("no such lun: " + io->lun_id));
           return;
         }
-        const LunSpec& lun = it->second;
+        const LunSpec& lun = it->second.spec;
         if (io->offset < 0 || io->length <= 0 ||
             io->offset + io->length > lun.length) {
           reply(InvalidArgumentError("io outside lun extent"));
           return;
         }
-        hw::Disk* disk = disk_resolver_(lun.disk_name);
+        // Per-op hot path: the backing disk is cached on the LUN after the
+        // first op and only re-resolved after an InvalidateDisk (detach).
+        hw::Disk* disk = ResolveDisk(it->second);
         if (disk == nullptr) {
           reply(UnavailableError("disk " + lun.disk_name +
                                  " not attached to this host"));

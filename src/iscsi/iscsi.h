@@ -86,19 +86,40 @@ class IscsiTarget {
   Status Unexpose(const std::string& lun_id);
   void UnexposeAll();
 
+  // Drops the cached hw::Disk* of every LUN backed by `disk_name`. Must be
+  // called when the disk leaves this host (USB detach, move to another
+  // host); the next I/O then goes back through the resolver and fails with
+  // Unavailable instead of quietly writing to a disk that is gone.
+  void InvalidateDisk(const std::string& disk_name);
+
   bool IsExposed(const std::string& lun_id) const {
     return luns_.contains(lun_id);
   }
   std::size_t exposed_count() const { return luns_.size(); }
 
+  // Test hook: how many I/O ops resolved the backing disk from cache vs.
+  // through the resolver callback.
+  std::uint64_t resolver_calls() const { return resolver_calls_; }
+
  private:
+  // Per-LUN state: the spec plus the resolved backing disk. hw::Disk
+  // objects are owned by the FabricManager and live for the whole
+  // experiment, so the pointer itself never dangles; it is dropped on
+  // detach because "still attached here" is what the resolver checks.
+  struct LunState {
+    LunSpec spec;
+    hw::Disk* cached_disk = nullptr;
+  };
+
   void RegisterHandlers();
+  hw::Disk* ResolveDisk(LunState& lun);
 
   sim::Simulator* sim_;
   net::RpcEndpoint* endpoint_;
   std::function<hw::Disk*(const std::string&)> disk_resolver_;
   Options options_;
-  std::map<std::string, LunSpec> luns_;
+  std::map<std::string, LunState> luns_;
+  std::uint64_t resolver_calls_ = 0;
 };
 
 // --- Initiator -------------------------------------------------------------------

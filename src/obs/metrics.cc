@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdio>
 
@@ -72,19 +73,7 @@ std::vector<double> CountBuckets() {
   return {1, 2, 3, 4, 5, 8, 10, 15, 20, 30, 50, 100};
 }
 
-MetricsRegistry::MetricsRegistry() {
-  // Satellite of the registry: every emitted log line bumps a per-level
-  // counter, so tests can assert "no errors logged" without capturing the
-  // sink.
-  Logger::Instance().set_write_observer([this](LogLevel level) {
-    switch (level) {
-      case LogLevel::kDebug: Increment("log.debugs"); break;
-      case LogLevel::kInfo: Increment("log.infos"); break;
-      case LogLevel::kWarning: Increment("log.warnings"); break;
-      case LogLevel::kError: Increment("log.errors"); break;
-    }
-  });
-}
+MetricsRegistry::MetricsRegistry() = default;
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
   return counters_[name];
@@ -143,9 +132,73 @@ void MetricsRegistry::Clear() {
   ++generation_;  // invalidates cached metric handles
 }
 
+namespace internal {
+thread_local std::uint64_t obs_epoch = 0;
+}  // namespace internal
+
+namespace {
+
+// Per-thread overrides installed by ScopedObsBinding. Null means "use the
+// process-wide default". Plain thread_local pointers: each fleet worker
+// only ever touches its own slot.
+thread_local MetricsRegistry* tls_metrics = nullptr;
+thread_local TraceBuffer* tls_tracer = nullptr;
+
+// Source of process-unique nonzero epochs, one per installed binding. A
+// nested binding that restores its parent restores the parent's epoch too,
+// so an epoch value always maps to one registry for its whole lifetime.
+std::atomic<std::uint64_t> next_obs_epoch{1};
+
+// Every emitted log line bumps a per-level counter on the *current*
+// registry (so unit-local registries see their own log traffic), installed
+// once on the process-wide logger. The magic-static initialization is
+// forced from main-thread singleton construction before any fleet worker
+// starts (Fleet::Run touches Metrics() first).
+void InstallLogObserverOnce() {
+  static const bool installed = [] {
+    Logger::Instance().set_write_observer([](LogLevel level) {
+      switch (level) {
+        case LogLevel::kDebug: Metrics().Increment("log.debugs"); break;
+        case LogLevel::kInfo: Metrics().Increment("log.infos"); break;
+        case LogLevel::kWarning: Metrics().Increment("log.warnings"); break;
+        case LogLevel::kError: Metrics().Increment("log.errors"); break;
+      }
+    });
+    return true;
+  }();
+  (void)installed;
+}
+
+}  // namespace
+
 MetricsRegistry& Metrics() {
+  InstallLogObserverOnce();
+  if (tls_metrics != nullptr) return *tls_metrics;
   static MetricsRegistry registry;
   return registry;
+}
+
+TraceBuffer& Tracer() {
+  if (tls_tracer != nullptr) return *tls_tracer;
+  static TraceBuffer buffer;
+  return buffer;
+}
+
+ScopedObsBinding::ScopedObsBinding(MetricsRegistry* metrics,
+                                   TraceBuffer* tracer)
+    : prev_metrics_(tls_metrics),
+      prev_tracer_(tls_tracer),
+      prev_epoch_(internal::obs_epoch) {
+  tls_metrics = metrics;
+  tls_tracer = tracer;
+  internal::obs_epoch =
+      next_obs_epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedObsBinding::~ScopedObsBinding() {
+  tls_metrics = prev_metrics_;
+  tls_tracer = prev_tracer_;
+  internal::obs_epoch = prev_epoch_;
 }
 
 void BindSimulator(sim::Simulator* sim) {

@@ -15,7 +15,13 @@
 // a singleton (`obs::Metrics()`) so instrumentation points anywhere in the
 // stack need no plumbing; experiments call `Reset()` between runs and
 // `BindSimulator()` so snapshots carry simulated — not wall-clock — time.
-// Everything is single-threaded, like the simulator it observes.
+//
+// Parallel fleet runs (core::Fleet) redirect the singletons per thread: a
+// ScopedObsBinding installed on a worker thread makes obs::Metrics() and
+// obs::Tracer() resolve to unit-local instances for the binding's lifetime,
+// so N deploy-unit simulations can run concurrently without sharing (or
+// locking) any observability state. Within one binding everything remains
+// single-threaded, like the simulator it observes.
 #pragma once
 
 #include <cstdint>
@@ -177,22 +183,63 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
-// The process-wide registry every instrumentation point writes to.
+// The registry every instrumentation point on this thread writes to: the
+// thread's ScopedObsBinding target if one is installed, the process-wide
+// default otherwise.
 MetricsRegistry& Metrics();
 
+namespace internal {
+// Identifies the current thread's binding state. 0 on every thread with no
+// ScopedObsBinding (all map to the one process-default registry); each
+// installed binding gets a process-unique nonzero value, restored on
+// destruction. Cached metric handles key on this so their fast path is a
+// thread-local compare instead of an out-of-line Metrics() call: a matching
+// epoch proves the handle's cached registry is still the thread-current one
+// (and still alive — a live nonzero epoch implies a live binding).
+extern thread_local std::uint64_t obs_epoch;
+}  // namespace internal
+
+class TraceBuffer;
+
+// Redirects obs::Metrics() and obs::Tracer() on the *current thread* to the
+// given instances for this object's lifetime (restoring the previous
+// binding on destruction; bindings nest). This is what gives every fleet
+// unit its own isolated metric/trace space when units run on a thread pool:
+// existing instrumentation points keep calling the singleton accessors and
+// transparently land in the unit-local registries.
+class ScopedObsBinding {
+ public:
+  ScopedObsBinding(MetricsRegistry* metrics, TraceBuffer* tracer);
+  ~ScopedObsBinding();
+  ScopedObsBinding(const ScopedObsBinding&) = delete;
+  ScopedObsBinding& operator=(const ScopedObsBinding&) = delete;
+
+ private:
+  MetricsRegistry* prev_metrics_;
+  TraceBuffer* prev_tracer_;
+  std::uint64_t prev_epoch_;
+};
+
 // Cached handles to named metrics for hot paths: the string-keyed map walk
-// happens once, then each use is a generation compare plus a pointer
-// dereference. Handles transparently re-resolve after Metrics().Clear(), so
-// they are safe to keep in long-lived objects across experiment resets.
+// happens once, then each use is two compares (binding epoch, registry
+// generation) plus a pointer dereference — no out-of-line call. Handles
+// transparently re-resolve after Metrics().Clear() and across
+// ScopedObsBinding changes, so they are safe to keep in long-lived objects
+// across experiment resets. The epoch check must short-circuit before the
+// generation load: only a matching epoch guarantees registry_ is alive.
 class CounterHandle {
  public:
   explicit CounterHandle(std::string name) : name_(std::move(name)) {}
   Counter& get() {
-    MetricsRegistry& registry = Metrics();
-    if (cached_ == nullptr || generation_ != registry.generation()) {
-      cached_ = &registry.GetCounter(name_);
-      generation_ = registry.generation();
+    if (cached_ != nullptr && epoch_ == internal::obs_epoch &&
+        generation_ == registry_->generation()) {
+      return *cached_;
     }
+    MetricsRegistry& registry = Metrics();
+    cached_ = &registry.GetCounter(name_);
+    registry_ = &registry;
+    generation_ = registry.generation();
+    epoch_ = internal::obs_epoch;
     return *cached_;
   }
   void Increment(std::uint64_t by = 1) { get().Increment(by); }
@@ -200,26 +247,37 @@ class CounterHandle {
  private:
   std::string name_;
   Counter* cached_ = nullptr;
+  MetricsRegistry* registry_ = nullptr;
   std::uint64_t generation_ = 0;
+  std::uint64_t epoch_ = 0;
 };
 
 class GaugeHandle {
  public:
   explicit GaugeHandle(std::string name) : name_(std::move(name)) {}
   Gauge& get() {
-    MetricsRegistry& registry = Metrics();
-    if (cached_ == nullptr || generation_ != registry.generation()) {
-      cached_ = &registry.GetGauge(name_);
-      generation_ = registry.generation();
+    if (cached_ != nullptr && epoch_ == internal::obs_epoch &&
+        generation_ == registry_->generation()) {
+      return *cached_;
     }
+    MetricsRegistry& registry = Metrics();
+    cached_ = &registry.GetGauge(name_);
+    registry_ = &registry;
+    generation_ = registry.generation();
+    epoch_ = internal::obs_epoch;
     return *cached_;
   }
-  void Set(double value) { get().Set(value, Metrics().now()); }
+  void Set(double value) {
+    Gauge& gauge = get();
+    gauge.Set(value, registry_->now());
+  }
 
  private:
   std::string name_;
   Gauge* cached_ = nullptr;
+  MetricsRegistry* registry_ = nullptr;
   std::uint64_t generation_ = 0;
+  std::uint64_t epoch_ = 0;
 };
 
 class HistogramHandle {
@@ -228,11 +286,15 @@ class HistogramHandle {
                            std::vector<double> bounds = LatencyBucketsUs())
       : name_(std::move(name)), bounds_(std::move(bounds)) {}
   Histogram& get() {
-    MetricsRegistry& registry = Metrics();
-    if (cached_ == nullptr || generation_ != registry.generation()) {
-      cached_ = &registry.GetHistogram(name_, bounds_);
-      generation_ = registry.generation();
+    if (cached_ != nullptr && epoch_ == internal::obs_epoch &&
+        generation_ == registry_->generation()) {
+      return *cached_;
     }
+    MetricsRegistry& registry = Metrics();
+    cached_ = &registry.GetHistogram(name_, bounds_);
+    registry_ = &registry;
+    generation_ = registry.generation();
+    epoch_ = internal::obs_epoch;
     return *cached_;
   }
   void Observe(double value) { get().Record(value); }
@@ -241,11 +303,15 @@ class HistogramHandle {
   std::string name_;
   std::vector<double> bounds_;
   Histogram* cached_ = nullptr;
+  MetricsRegistry* registry_ = nullptr;
   std::uint64_t generation_ = 0;
+  std::uint64_t epoch_ = 0;
 };
 
 // Points the registry's and trace buffer's clocks at `sim` (call once per
-// experiment, right after constructing the simulator). Passing nullptr
+// experiment, right after constructing the simulator). Acts on the
+// thread-current instances, so a Cluster constructed under a
+// ScopedObsBinding clocks its own unit-local registries. Passing nullptr
 // restores the zero clock.
 void BindSimulator(sim::Simulator* sim);
 

@@ -67,10 +67,9 @@ void TraceBuffer::Clear() {
   dropped_ = 0;
 }
 
-TraceBuffer& Tracer() {
-  static TraceBuffer buffer;
-  return buffer;
-}
+// Tracer() is defined in metrics.cc next to Metrics(): both singleton
+// accessors share the thread-local override slots that ScopedObsBinding
+// installs for parallel fleet units.
 
 std::string FormatTimeline(const TraceBuffer& buffer) {
   std::vector<const TraceSpan*> spans;

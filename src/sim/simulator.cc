@@ -67,6 +67,7 @@ bool Simulator::Step() {
   now_ = top.time;
   EventFn fn = std::move(s.fn);
   FreeSlot(top.slot);  // the callback may reuse the slot for new events
+  ++events_processed_;
   fn();
   return true;
 }

@@ -64,6 +64,10 @@ class Simulator {
   // Exact count of live queued events.
   std::size_t pending_events() const { return heap_.size(); }
 
+  // Total events fired since construction — the scale-out benchmarks divide
+  // this by wall time to report simulation throughput.
+  std::uint64_t events_processed() const { return events_processed_; }
+
   // Routes USTORE_LOG prefixes through this simulator's clock.
   void InstallLogTimeSource();
 
@@ -98,6 +102,7 @@ class Simulator {
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 1;
+  std::uint64_t events_processed_ = 0;
   std::vector<Slot> slots_;  // slab; index = EventId slot part
   std::vector<std::uint32_t> free_slots_;
   std::vector<HeapEntry> heap_;  // binary min-heap

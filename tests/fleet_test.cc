@@ -1,0 +1,152 @@
+// core::Fleet determinism and per-thread observability scoping.
+//
+// The fleet contract (DESIGN.md §8): the merged report is a pure function
+// of (fleet seed, unit count, workload) — the thread count must not leak
+// into any reported value. These tests run the same fleet serially and on
+// a pool and require bit-identical merged JSON, and separately pin the
+// ScopedObsBinding mechanics the fleet relies on for isolation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fleet.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ustore::core {
+namespace {
+
+// A small deterministic workload: mount two volumes, mix archival writes
+// with cold reads, all randomness from the unit context's stream.
+void SmallWorkload(UnitContext& ctx) {
+  Cluster& cluster = *ctx.cluster;
+  auto client =
+      cluster.MakeClient("fleet-client-u" + std::to_string(ctx.unit_id));
+  std::vector<ClientLib::Volume*> volumes;
+  for (int i = 0; i < 2; ++i) {
+    client->AllocateAndMount("fleet-svc", GiB(1),
+                             [&](Result<ClientLib::Volume*> r) {
+                               if (r.ok()) volumes.push_back(*r);
+                             });
+  }
+  cluster.RunFor(sim::Seconds(10));
+  ASSERT_FALSE(volumes.empty());
+  std::uint64_t tag = 1;
+  for (int op = 0; op < 12; ++op) {
+    ClientLib::Volume* volume =
+        volumes[ctx.rng->NextBelow(volumes.size())];
+    if (ctx.rng->NextBool(0.4)) {
+      volume->Write(MiB(ctx.rng->NextBelow(512)), MiB(1), false, tag++,
+                    [](Status) {});
+    } else {
+      volume->Read(MiB(ctx.rng->NextBelow(512)), KiB(128), true,
+                   [](Result<std::uint64_t>) {});
+    }
+    cluster.RunFor(sim::MillisD(250));
+  }
+  cluster.RunFor(sim::Seconds(2));
+}
+
+TEST(FleetUnitSeedTest, DistinctAndStable) {
+  std::set<std::uint64_t> seeds;
+  for (int unit = 0; unit < 128; ++unit) {
+    seeds.insert(FleetUnitSeed(42, unit));
+  }
+  EXPECT_EQ(seeds.size(), 128u) << "unit seeds collided";
+  EXPECT_EQ(FleetUnitSeed(42, 0), FleetUnitSeed(42, 0));
+  EXPECT_NE(FleetUnitSeed(42, 0), FleetUnitSeed(43, 0));
+}
+
+TEST(FleetTest, MergedReportIsIdenticalAcrossThreadCounts) {
+  FleetOptions options;
+  options.units = 3;
+  options.seed = 2026;
+
+  options.threads = 1;
+  const FleetReport serial = Fleet(options).Run(SmallWorkload);
+  options.threads = 8;
+  const FleetReport threaded = Fleet(options).Run(SmallWorkload);
+
+  ASSERT_EQ(serial.units.size(), 3u);
+  ASSERT_EQ(threaded.units.size(), 3u);
+  for (int unit = 0; unit < 3; ++unit) {
+    const UnitReport& a = serial.units[static_cast<std::size_t>(unit)];
+    const UnitReport& b = threaded.units[static_cast<std::size_t>(unit)];
+    EXPECT_EQ(a.error, "") << "unit " << unit;
+    EXPECT_EQ(a.seed, b.seed) << "unit " << unit;
+    EXPECT_EQ(a.sim_end, b.sim_end) << "unit " << unit;
+    EXPECT_EQ(a.events_processed, b.events_processed) << "unit " << unit;
+    EXPECT_EQ(a.trace_completed, b.trace_completed) << "unit " << unit;
+    EXPECT_EQ(a.allocations, b.allocations) << "unit " << unit;
+    EXPECT_EQ(a.metrics.counters, b.metrics.counters) << "unit " << unit;
+  }
+  EXPECT_EQ(serial.MergedCounters(), threaded.MergedCounters());
+  // The full contract: canonical rendering is bit-identical.
+  EXPECT_EQ(serial.ToJson(), threaded.ToJson());
+  // And the workload actually did something worth comparing.
+  EXPECT_GT(serial.total_events, 0u);
+  const auto merged = serial.MergedCounters();
+  EXPECT_GT(merged.at("iscsi.target.reads"), 0u);
+}
+
+TEST(FleetTest, UnitsGetIndependentSeedsAndDisjointMetrics) {
+  FleetOptions options;
+  options.units = 2;
+  options.threads = 2;
+  options.seed = 7;
+  const FleetReport report = Fleet(options).Run(SmallWorkload);
+  ASSERT_EQ(report.units.size(), 2u);
+  EXPECT_NE(report.units[0].seed, report.units[1].seed);
+  // Both units ran a full cluster + workload in isolated registries.
+  for (const UnitReport& unit : report.units) {
+    EXPECT_EQ(unit.error, "");
+    EXPECT_GT(unit.events_processed, 0u);
+    EXPECT_GT(unit.metrics.counters.at("master.heartbeats_received"), 0u);
+    EXPECT_FALSE(unit.allocations.empty());
+  }
+}
+
+TEST(ScopedObsBindingTest, RedirectsAndRestoresPerThread) {
+  obs::Metrics().Clear();
+  obs::CounterHandle handle("binding.test");
+  handle.Increment();  // lands in the global registry
+  {
+    obs::MetricsRegistry local;
+    obs::TraceBuffer local_trace;
+    obs::ScopedObsBinding binding(&local, &local_trace);
+    // Cached handles re-resolve against the thread-current registry.
+    handle.Increment();
+    handle.Increment();
+    EXPECT_EQ(local.GetCounter("binding.test").value(), 2u);
+    EXPECT_EQ(&obs::Tracer(), &local_trace);
+    obs::Tracer().Record("test", "span", 0, 1);
+    EXPECT_EQ(local_trace.completed().size(), 1u);
+  }
+  // Restored: the global registry is untouched by the bound increments.
+  handle.Increment();
+  EXPECT_EQ(obs::Metrics().GetCounter("binding.test").value(), 2u);
+}
+
+TEST(ScopedObsBindingTest, ThreadsDoNotShareBindings) {
+  obs::MetricsRegistry main_local;
+  obs::TraceBuffer main_trace;
+  obs::ScopedObsBinding binding(&main_local, &main_trace);
+  obs::Metrics().Increment("shared.name");
+
+  obs::MetricsRegistry* seen_on_thread = nullptr;
+  std::thread worker([&] {
+    // A fresh thread has no binding: it sees the process-wide default,
+    // not this test's thread-local registry.
+    seen_on_thread = &obs::Metrics();
+  });
+  worker.join();
+  EXPECT_NE(seen_on_thread, &main_local);
+  EXPECT_EQ(main_local.GetCounter("shared.name").value(), 1u);
+}
+
+}  // namespace
+}  // namespace ustore::core
