@@ -173,7 +173,8 @@ void ClientLib::SubscribeMoves(const SpaceId& id) {
 ClientLib::Volume::Volume(ClientLib* owner, AllocatedSpace space)
     : owner_(owner),
       space_(std::move(space)),
-      initiator_(owner->sim_, owner->endpoint_.get()) {
+      initiator_(owner->sim_, owner->endpoint_.get()),
+      remount_timer_(owner->sim_) {
   // NOP-ping liveness: a dead target host triggers remount immediately,
   // without waiting for an I/O to time out.
   initiator_.set_connection_lost_listener([this](const Status&) {
@@ -223,45 +224,47 @@ void ClientLib::Volume::StartRemount(sim::Time deadline) {
   obs::Metrics().Increment("client.remounts");
   USTORE_LOG(Info) << owner_->id() << ": volume " << space_.id.ToString()
                    << " unreachable; remounting";
+  PollRemount(deadline);
+}
 
-  // Poll the Master's directory until the space is available again, then
-  // log in to the (possibly new) host.
-  auto poll = std::make_shared<std::function<void()>>();
-  *poll = [this, deadline, poll] {
-    if (owner_->sim_->now() >= deadline) {
-      USTORE_LOG(Warning) << owner_->id() << ": remount deadline exceeded";
-      remounting_ = false;
+// Polls the Master's directory until the space is available again, then logs
+// in to the (possibly new) host. Retries re-arm remount_timer_ in place
+// (Timer::Arm reschedules the pending event) instead of allocating a fresh
+// self-capturing closure per poll round.
+void ClientLib::Volume::PollRemount(sim::Time deadline) {
+  if (owner_->sim_->now() >= deadline) {
+    USTORE_LOG(Warning) << owner_->id() << ": remount deadline exceeded";
+    remounting_ = false;
+    return;
+  }
+  owner_->Lookup(space_.id, [this, deadline](Result<LookupResponse> result) {
+    if (result.ok() && result->available) {
+      space_.host = result->host;
+      initiator_.Disconnect();
+      initiator_.Connect(
+          space_.host, space_.id.ToString(),
+          [this, deadline](Result<Bytes> connect_result) {
+            if (!connect_result.ok()) {
+              remount_timer_.StartOneShot(owner_->options_.remount_poll,
+                                          [this, deadline] {
+                                            PollRemount(deadline);
+                                          });
+              return;
+            }
+            FinishMount([this](Status) {
+              USTORE_LOG(Info)
+                  << owner_->id() << ": volume " << space_.id.ToString()
+                  << " remounted on " << space_.host;
+              if (owner_->on_volume_moved_) {
+                owner_->on_volume_moved_(space_.id);
+              }
+            });
+          });
       return;
     }
-    owner_->Lookup(space_.id, [this, deadline,
-                               poll](Result<LookupResponse> result) {
-      if (result.ok() && result->available) {
-        space_.host = result->host;
-        initiator_.Disconnect();
-        initiator_.Connect(
-            space_.host, space_.id.ToString(),
-            [this, deadline, poll](Result<Bytes> connect_result) {
-              if (!connect_result.ok()) {
-                owner_->sim_->Schedule(owner_->options_.remount_poll,
-                                       [poll] { (*poll)(); });
-                return;
-              }
-              FinishMount([this](Status) {
-                USTORE_LOG(Info)
-                    << owner_->id() << ": volume " << space_.id.ToString()
-                    << " remounted on " << space_.host;
-                if (owner_->on_volume_moved_) {
-                  owner_->on_volume_moved_(space_.id);
-                }
-              });
-            });
-        return;
-      }
-      owner_->sim_->Schedule(owner_->options_.remount_poll,
-                             [poll] { (*poll)(); });
-    });
-  };
-  (*poll)();
+    remount_timer_.StartOneShot(owner_->options_.remount_poll,
+                                [this, deadline] { PollRemount(deadline); });
+  });
 }
 
 void ClientLib::Volume::Read(
@@ -314,6 +317,79 @@ void ClientLib::Volume::Write(Bytes offset, Bytes length, bool random,
                      if (!status.ok()) OnIoError(status);
                      done(status);
                    });
+}
+
+void ClientLib::Volume::SubmitBatch(std::span<const IoOp> ops,
+                                    BatchCallback done) {
+  if (!mounted_) {
+    done(UnavailableError("volume not mounted (failover in progress)"), {});
+    return;
+  }
+  if (ops.empty()) {
+    done(Status::Ok(), {});
+    return;
+  }
+  std::uint64_t reads = 0;
+  for (const IoOp& op : ops) {
+    if (op.is_read) ++reads;
+  }
+  const std::uint64_t writes = ops.size() - reads;
+  obs::Metrics().Increment("client.reads", reads);
+  obs::Metrics().Increment("client.writes", writes);
+  obs::Metrics().Observe("client.io.batch_size",
+                         static_cast<double>(ops.size()), obs::CountBuckets());
+  const obs::SpanId span = obs::Tracer().Begin("client", "submit_batch");
+  obs::Tracer().Annotate(span, "space", space_.id.ToString());
+  obs::Tracer().Annotate(span, "ops", std::to_string(ops.size()));
+  const sim::Time started = owner_->sim_->now();
+
+  // The continuation crosses the RPC layer, whose callbacks must be
+  // copyable (std::function); the move-only SmallFn rides in a shared_ptr
+  // — one allocation per batch, amortized over its ops.
+  struct BatchCall {
+    BatchCallback done;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+  };
+  auto call = std::make_shared<BatchCall>();
+  call->done = std::move(done);
+  call->reads = reads;
+  call->writes = writes;
+  initiator_.SubmitBatch(
+      ops, [this, span, started,
+            call](Result<std::vector<iscsi::BatchOpResult>> result) {
+        // Each op's client-visible latency IS the batch round trip, so
+        // every member lands as its own histogram sample.
+        const double latency_us =
+            sim::ToMicros(owner_->sim_->now() - started);
+        for (std::uint64_t i = 0; i < call->reads; ++i) {
+          obs::Metrics().Observe("client.read.latency_us", latency_us);
+        }
+        for (std::uint64_t i = 0; i < call->writes; ++i) {
+          obs::Metrics().Observe("client.write.latency_us", latency_us);
+        }
+        obs::Tracer().Annotate(span, "outcome",
+                               result.ok() ? "ok" : "error");
+        obs::Tracer().End(span);
+        if (!result.ok()) {
+          OnIoError(result.status());
+          call->done(result.status(), {});
+          return;
+        }
+        // Op-level failures (e.g. the disk losing power mid-batch) surface
+        // through the per-op codes; an unavailable member triggers the
+        // same remount logic as a failed serial I/O.
+        for (const iscsi::BatchOpResult& op : *result) {
+          if (op.code == StatusCode::kUnavailable ||
+              op.code == StatusCode::kNotFound) {
+            OnIoError(Status(op.code, "batched io member failed"));
+            break;
+          }
+        }
+        call->done(Status::Ok(),
+                   std::span<const IoOpResult>(result->data(),
+                                               result->size()));
+      });
 }
 
 }  // namespace ustore::core

@@ -13,6 +13,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "core/types.h"
 #include "iscsi/iscsi.h"
 #include "net/rpc.h"
+#include "sim/event_fn.h"
 #include "sim/simulator.h"
 
 namespace ustore::core {
@@ -54,6 +56,17 @@ class ClientLib {
     void Write(Bytes offset, Bytes length, bool random, std::uint64_t tag,
                std::function<void(Status)> done);
 
+    // Batched block I/O (DESIGN.md §9): the whole vector travels as one
+    // iSCSI command PDU and drains as one NCQ batch at the disk. `done`
+    // fires once with the overall status and per-op results in submission
+    // order; each op still lands in the per-op latency histograms. The ops
+    // span is copied before SubmitBatch returns.
+    using IoOp = iscsi::IoOp;
+    using IoOpResult = iscsi::BatchOpResult;
+    using BatchCallback =
+        sim::SmallFn<void(Status, std::span<const IoOpResult>)>;
+    void SubmitBatch(std::span<const IoOp> ops, BatchCallback done);
+
     int remount_count() const { return remount_count_; }
     sim::Time last_remounted_at() const { return last_remounted_at_; }
 
@@ -62,6 +75,7 @@ class ClientLib {
     void Mount(std::function<void(Status)> done);
     void OnIoError(const Status& status);
     void StartRemount(sim::Time deadline);
+    void PollRemount(sim::Time deadline);
     void FinishMount(std::function<void(Status)> done);
 
     ClientLib* owner_;
@@ -71,6 +85,10 @@ class ClientLib {
     bool remounting_ = false;
     int remount_count_ = 0;
     sim::Time last_remounted_at_ = -1;
+    // Drives the directory-poll loop during a remount; a Timer member (vs.
+    // a self-capturing scheduled closure) so the pending poll dies with the
+    // Volume and re-arming reuses one event slot.
+    sim::Timer remount_timer_;
   };
 
   ClientLib(sim::Simulator* sim, net::Network* network, net::NodeId id,

@@ -171,19 +171,25 @@ void Master::BootstrapMetaPaths(std::function<void(Status)> done) {
   const std::vector<std::string> paths = {
       "/ustore", "/ustore/master", "/ustore/hosts", "/ustore/alloc",
       "/ustore/alloc/u" + std::to_string(unit_id_)};
+  // The stored step holds only a weak ref to itself; the strong ref lives
+  // in the in-flight Create callback, so the last completion frees the
+  // chain (a self-capturing shared function would be a strong cycle and
+  // leak).
   auto create_next = std::make_shared<std::function<void(std::size_t)>>();
+  std::weak_ptr<std::function<void(std::size_t)>> weak_next = create_next;
   *create_next = [this, paths, done = std::move(done),
-                  create_next](std::size_t i) {
+                  weak_next](std::size_t i) {
     if (i >= paths.size()) {
       done(Status::Ok());
       return;
     }
-    meta_->Create(paths[i], "", false, [i, create_next](Status status) {
+    auto self = weak_next.lock();
+    meta_->Create(paths[i], "", false, [i, self](Status status) {
       if (!status.ok() && status.code() != StatusCode::kAlreadyExists) {
         // Bootstrap failures are retried by the next election attempt.
         USTORE_LOG(Warning) << "bootstrap create failed: " << status;
       }
-      (*create_next)(i + 1);
+      (*self)(i + 1);
     });
   };
   (*create_next)(0);
@@ -414,9 +420,12 @@ void Master::HandleHostFailure(int failed_host) {
     return;
   }
 
+  // Weak self-capture, as in BootstrapMetaPaths: the pending SendSchedule
+  // callback owns the chain, so it is freed once a candidate is accepted.
   auto try_candidate = std::make_shared<std::function<void(std::size_t)>>();
+  std::weak_ptr<std::function<void(std::size_t)>> weak_try = try_candidate;
   *try_candidate = [this, failed_host, stranded, candidates,
-                    try_candidate](std::size_t index) {
+                    weak_try](std::size_t index) {
     if (index >= candidates.size()) {
       USTORE_LOG(Error) << id() << ": every failover target for host "
                         << failed_host << " was rejected";
@@ -432,8 +441,9 @@ void Master::HandleHostFailure(int failed_host) {
     const obs::SpanId schedule_span =
         obs::Tracer().Begin("master", "failover.schedule");
     obs::Tracer().Annotate(schedule_span, "target", std::to_string(target));
+    auto self = weak_try.lock();
     SendSchedule(moves, [this, failed_host, stranded, target, index,
-                         schedule_span, try_candidate](Status status) {
+                         schedule_span, self](Status status) {
       obs::Tracer().Annotate(schedule_span, "status",
                              status.ok() ? "ok" : status.ToString());
       obs::Tracer().End(schedule_span);
@@ -443,7 +453,7 @@ void Master::HandleHostFailure(int failed_host) {
         USTORE_LOG(Warning) << id() << ": target host " << target
                             << " rejected (" << status
                             << "); re-scheduling";
-        (*try_candidate)(index + 1);
+        (*self)(index + 1);
         return;
       }
       if (!status.ok()) {

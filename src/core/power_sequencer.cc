@@ -31,8 +31,12 @@ void PowerSequencer::PowerOnAll(std::function<void(Status)> done) {
           ? 0
           : hw::DiskParams{}.spin_up_time + options_.settle;
 
+  // Weak self-capture: each scheduled wave holds the only strong ref, so
+  // the chain is freed after the final wave instead of leaking as a
+  // shared_ptr cycle.
   auto wave = std::make_shared<std::function<void(std::size_t)>>();
-  *wave = [this, disks, wave_interval, wave,
+  std::weak_ptr<std::function<void(std::size_t)>> weak_wave = wave;
+  *wave = [this, disks, wave_interval, weak_wave,
            done = std::move(done)](std::size_t next) {
     if (next >= disks.size()) {
       // Allow the last wave to finish spinning before reporting.
@@ -64,8 +68,9 @@ void PowerSequencer::PowerOnAll(std::function<void(Status)> done) {
       }
       TrackPeak();
     });
+    auto self = weak_wave.lock();
     sim_->Schedule(wave_interval,
-                   [wave, end]() mutable { (*wave)(end); });
+                   [self, end]() mutable { (*self)(end); });
   };
   (*wave)(0);
 }

@@ -3,10 +3,19 @@
 #include <cassert>
 #include <utility>
 
-#include "common/logging.h"
-#include "obs/metrics.h"
-
 namespace ustore::hw {
+
+namespace {
+
+// Coalescing condition for the steady-state fast-forward: identical
+// direction/size/pattern means every follow-up request in the stretch costs
+// the same switch-free service time.
+bool SameShape(const IoRequest& a, const IoRequest& b) {
+  return a.direction == b.direction && a.size == b.size &&
+         a.pattern == b.pattern;
+}
+
+}  // namespace
 
 std::string_view DiskStateName(DiskState state) {
   switch (state) {
@@ -20,13 +29,23 @@ std::string_view DiskStateName(DiskState state) {
 }
 
 Disk::Disk(sim::Simulator* sim, std::string name, DiskModel model,
-           bool start_powered)
+           bool start_powered, DiskQueueOptions queue_options)
     : sim_(sim),
       name_(std::move(name)),
       model_(std::move(model)),
+      queue_options_(queue_options),
       state_(start_powered ? DiskState::kIdle : DiskState::kPoweredOff),
       spin_timer_(sim),
-      idle_timer_(sim) {
+      idle_timer_(sim),
+      service_time_us_("disk.op.service_time_us"),
+      queue_depth_hist_("disk.queue.depth", obs::CountBuckets()),
+      batch_size_hist_("disk.batch.size", obs::CountBuckets()),
+      op_count_("disk.op.count"),
+      op_read_bytes_("disk.op.read_bytes"),
+      op_write_bytes_("disk.op.write_bytes"),
+      op_rejected_("disk.op.rejected") {
+  if (queue_options_.queue_capacity == 0) queue_options_.queue_capacity = 1;
+  if (queue_options_.max_batch == 0) queue_options_.max_batch = 1;
   obs::Metrics().SetGauge("disk." + name_ + ".state",
                           static_cast<double>(state_));
 }
@@ -36,6 +55,22 @@ void Disk::EnterState(DiskState next) {
   state_ = next;
   obs::Metrics().SetGauge("disk." + name_ + ".state",
                           static_cast<double>(next));
+}
+
+void Disk::RingPush(Pending pending) {
+  // Lazy allocation: a fleet has far more disks than active spindles.
+  if (ring_.empty()) ring_.resize(queue_options_.queue_capacity);
+  assert(ring_count_ < ring_.size());
+  ring_[(ring_head_ + ring_count_) % ring_.size()] = std::move(pending);
+  ++ring_count_;
+}
+
+Disk::Pending Disk::RingPop() {
+  assert(ring_count_ > 0);
+  Pending out = std::move(ring_[ring_head_]);
+  ring_head_ = (ring_head_ + 1) % ring_.size();
+  --ring_count_;
+  return out;
 }
 
 void Disk::SubmitIo(const IoRequest& request, IoCallback callback) {
@@ -48,7 +83,11 @@ void Disk::SubmitIo(const IoRequest& request, IoCallback callback) {
     callback(UnavailableError(name_ + ": disk powered off"));
     return;
   }
-  idle_timer_.Stop();
+  if (RingFull(1)) {
+    op_rejected_.Increment();
+    callback(ResourceExhaustedError(name_ + ": request queue full"));
+    return;
+  }
   Pending pending{request, std::move(callback)};
   pending.span = obs::Tracer().Begin("disk:" + name_, "io");
   obs::Tracer().Annotate(pending.span, "dir",
@@ -56,7 +95,7 @@ void Disk::SubmitIo(const IoRequest& request, IoCallback callback) {
                                                                  : "write");
   obs::Tracer().Annotate(pending.span, "size",
                          std::to_string(request.size));
-  queue_.push_back(std::move(pending));
+  RingPush(std::move(pending));
   if (state_ == DiskState::kSpunDown) {
     SpinUp();  // implicit spin-up on access
     return;    // queue drains once the platter is ready
@@ -64,46 +103,193 @@ void Disk::SubmitIo(const IoRequest& request, IoCallback callback) {
   MaybeStartNext();
 }
 
+void Disk::SubmitBatch(std::span<const IoRequest> requests,
+                       BatchCallback done) {
+  assert(done);
+  if (requests.empty()) {
+    done(std::span<const IoCompletion>());
+    return;
+  }
+  auto reject = [&](const Status& status) {
+    std::vector<IoCompletion> results(requests.size());
+    const sim::Time now = sim_->now();
+    for (IoCompletion& completion : results) {
+      completion.status = status;
+      completion.completed_at = now;
+    }
+    done(std::span<const IoCompletion>(results));
+  };
+  if (failed_) {
+    reject(UnavailableError(name_ + ": disk failed"));
+    return;
+  }
+  if (state_ == DiskState::kPoweredOff) {
+    reject(UnavailableError(name_ + ": disk powered off"));
+    return;
+  }
+  // Atomic admission: either the whole batch fits in the ring or nothing
+  // is queued (partial admission would deliver an unpredictable mix of
+  // served and rejected members).
+  if (RingFull(requests.size())) {
+    op_rejected_.Increment(requests.size());
+    reject(ResourceExhaustedError(name_ + ": request queue full"));
+    return;
+  }
+
+  const std::uint32_t id = next_batch_id_++;
+  BatchState& batch = batches_[id];
+  batch.done = std::move(done);
+  batch.results.resize(requests.size());
+  batch.remaining = requests.size();
+  batch.span = obs::Tracer().Begin("disk:" + name_, "io_batch");
+  obs::Tracer().Annotate(batch.span, "ops",
+                         std::to_string(requests.size()));
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    RingPush(Pending{requests[i], IoCallback(), id,
+                     static_cast<std::uint32_t>(i)});
+  }
+  if (state_ == DiskState::kSpunDown) {
+    SpinUp();
+    return;
+  }
+  MaybeStartNext();
+}
+
 void Disk::MaybeStartNext() {
-  if (busy_ || queue_.empty()) return;
+  if (draining_ || ring_count_ == 0) return;
   if (state_ != DiskState::kIdle && state_ != DiskState::kActive) return;
 
-  busy_ = true;
+  draining_ = true;
+  failed_at_ = -1;
   EnterState(DiskState::kActive);
-  Pending pending = std::move(queue_.front());
-  queue_.pop_front();
 
-  const sim::Duration service =
-      model_.ServiceTime(pending.request, last_direction_);
-  last_direction_ = pending.request.direction;
-  obs::Metrics().Observe("disk.op.service_time_us", sim::ToMicros(service));
+  // NCQ-style admission. A serial request drains alone — one simulator
+  // event per request, which is the timing baseline batched submission must
+  // reproduce. Batch members admit as a contiguous run of the same batch,
+  // capped at max_batch, under a single simulator event.
+  std::size_t run = 1;
+  const std::uint32_t batch = RingFront().batch;
+  if (batch != 0) {
+    while (run < queue_options_.max_batch && run < ring_count_) {
+      const Pending& next = ring_[(ring_head_ + run) % ring_.size()];
+      if (next.batch != batch) break;
+      ++run;
+    }
+    batch_size_hist_.Observe(static_cast<double>(run));
+  }
+  queue_depth_hist_.Observe(static_cast<double>(ring_count_));
 
-  sim_->Schedule(service, [this, pending = std::move(pending)]() mutable {
-    busy_ = false;
-    if (failed_ || state_ == DiskState::kPoweredOff) {
-      obs::Tracer().Annotate(pending.span, "error", "lost-power");
-      obs::Tracer().End(pending.span);
-      pending.callback(UnavailableError(name_ + ": lost power mid-io"));
-      return;
+  inflight_.clear();
+  inflight_.reserve(run);
+  for (std::size_t i = 0; i < run; ++i) {
+    inflight_.push_back(Inflight{RingPop()});
+  }
+
+  // Completion times chain exactly as one-at-a-time stepping would: each
+  // request's service time depends on the previous request's direction.
+  // A homogeneous stretch (same direction/size/pattern) fast-forwards
+  // closed-form — t_k = t_first + (k - first) * s is exact in integer
+  // nanoseconds, and the steady-state s equals the switch-free
+  // ServiceTime by construction (WorkloadSpec math; see DiskModel).
+  sim::Time t = sim_->now();
+  std::size_t i = 0;
+  while (i < run) {
+    const IoRequest& request = inflight_[i].pending.request;
+    const sim::Duration first_service =
+        model_.ServiceTime(request, last_direction_);
+    last_direction_ = request.direction;
+    t += first_service;
+    inflight_[i].completes_at = t;
+    service_time_us_.Observe(sim::ToMicros(first_service));
+
+    std::size_t j = i + 1;
+    while (j < run && SameShape(inflight_[j].pending.request, request)) ++j;
+    if (j > i + 1) {
+      const sim::Duration steady = model_.SteadyStateServiceTime(
+          request, static_cast<std::uint64_t>(j - i - 1));
+      const sim::Time base = inflight_[i].completes_at;
+      const double steady_us = sim::ToMicros(steady);
+      for (std::size_t k = i + 1; k < j; ++k) {
+        inflight_[k].completes_at =
+            base + static_cast<sim::Duration>(k - i) * steady;
+        service_time_us_.Observe(steady_us);
+      }
+      t = inflight_[j - 1].completes_at;
     }
-    ++ios_completed_;
-    obs::Metrics().Increment("disk.op.count");
-    if (pending.request.direction == IoDirection::kRead) {
-      bytes_read_ += pending.request.size;
-      obs::Metrics().Increment("disk.op.read_bytes", pending.request.size);
-    } else {
-      bytes_written_ += pending.request.size;
-      obs::Metrics().Increment("disk.op.write_bytes", pending.request.size);
+    i = j;
+  }
+
+  // One event per drained window; re-arming for the next window happens in
+  // FinishDrain without any Cancel/Schedule churn.
+  sim_->Schedule(t - sim_->now(), [this] { FinishDrain(); });
+}
+
+void Disk::FinishDrain() {
+  draining_ = false;
+  // Move the window out: completion callbacks may re-enter SubmitIo /
+  // SubmitBatch (and even start the next drain) while we deliver.
+  std::vector<Inflight> window = std::move(inflight_);
+  inflight_.clear();
+
+  for (Inflight& entry : window) {
+    Pending& pending = entry.pending;
+    // A request whose platter time predates the failure instant had
+    // physically completed; only later members of the window are lost.
+    Status status = Status::Ok();
+    if (failed_at_ >= 0 && entry.completes_at > failed_at_) {
+      status = UnavailableError(name_ + ": lost power mid-io");
     }
+    if (status.ok()) {
+      ++ios_completed_;
+      op_count_.Increment();
+      if (pending.request.direction == IoDirection::kRead) {
+        bytes_read_ += pending.request.size;
+        op_read_bytes_.Increment(
+            static_cast<std::uint64_t>(pending.request.size));
+      } else {
+        bytes_written_ += pending.request.size;
+        op_write_bytes_.Increment(
+            static_cast<std::uint64_t>(pending.request.size));
+      }
+    }
+    Deliver(pending, IoCompletion{std::move(status), entry.completes_at});
+  }
+
+  if (draining_) return;  // a completion callback already started the next window
+  if (failed_ ||
+      (state_ != DiskState::kActive && state_ != DiskState::kIdle)) {
+    // Power/fail transitions own the queue until the disk is healthy again
+    // (FailAll already cleared it, or FinishSpinUp will restart the drain).
+    return;
+  }
+  if (ring_count_ > 0) {
+    MaybeStartNext();
+  } else {
     EnterState(DiskState::kIdle);
-    obs::Tracer().End(pending.span);
-    pending.callback(Status::Ok());
-    if (queue_.empty()) {
-      ArmIdleTimer();
-    } else {
-      MaybeStartNext();
+    ArmIdleTimer();
+  }
+}
+
+void Disk::Deliver(Pending& pending, IoCompletion completion) {
+  if (pending.batch == 0) {
+    if (!completion.status.ok()) {
+      obs::Tracer().Annotate(pending.span, "error",
+                             completion.status.ToString());
     }
-  });
+    obs::Tracer().End(pending.span);
+    pending.callback(completion.status);
+    return;
+  }
+  auto it = batches_.find(pending.batch);
+  assert(it != batches_.end());
+  BatchState& batch = it->second;
+  batch.results[pending.batch_index] = std::move(completion);
+  if (--batch.remaining == 0) {
+    BatchState finished = std::move(batch);
+    batches_.erase(it);
+    obs::Tracer().End(finished.span);
+    finished.done(std::span<const IoCompletion>(finished.results));
+  }
 }
 
 void Disk::SpinUp() {
@@ -131,7 +317,7 @@ void Disk::FinishSpinUp() {
   obs::Tracer().End(spin_span_);
   spin_span_ = obs::kInvalidSpan;
   EnterState(DiskState::kIdle);
-  if (queue_.empty()) {
+  if (ring_count_ == 0 && !draining_) {
     ArmIdleTimer();
   } else {
     MaybeStartNext();
@@ -156,7 +342,9 @@ void Disk::PowerOff() {
   if (state_ == DiskState::kPoweredOff) return;
   spin_timer_.Stop();
   idle_timer_.Stop();
-  busy_ = false;
+  // The in-flight window (if any) resolves at its scheduled drain event;
+  // members past this instant fail there with "lost power mid-io".
+  if (draining_ && failed_at_ < 0) failed_at_ = sim_->now();
   EnterState(DiskState::kPoweredOff);
   FailAll(UnavailableError(name_ + ": powered off"));
 }
@@ -166,7 +354,7 @@ void Disk::Fail() {
   failed_ = true;
   spin_timer_.Stop();
   idle_timer_.Stop();
-  busy_ = false;
+  if (draining_ && failed_at_ < 0) failed_at_ = sim_->now();
   FailAll(UnavailableError(name_ + ": disk failed"));
 }
 
@@ -176,25 +364,30 @@ void Disk::Repair() {
 }
 
 void Disk::FailAll(const Status& status) {
-  auto queue = std::move(queue_);
-  queue_.clear();
-  for (auto& pending : queue) {
-    obs::Tracer().Annotate(pending.span, "error", status.ToString());
-    obs::Tracer().End(pending.span);
-    pending.callback(status);
+  const sim::Time now = sim_->now();
+  while (ring_count_ > 0) {
+    Pending pending = RingPop();
+    Deliver(pending, IoCompletion{status, now});
   }
 }
 
 void Disk::SetIdleSpinDown(sim::Duration idle_timeout) {
   configured_idle_timeout_ = idle_timeout;
   idle_timeout_ = idle_timeout;
-  if (state_ == DiskState::kIdle && !busy_ && queue_.empty()) ArmIdleTimer();
+  if (state_ == DiskState::kIdle && !draining_ && ring_count_ == 0) {
+    ArmIdleTimer();
+  }
 }
 
 void Disk::ArmIdleTimer() {
   if (idle_timeout_ <= 0) return;
+  // Timer::Arm reschedules a still-pending event in place, so back-to-back
+  // I/O bursts cost no Cancel/Schedule churn; the guard makes a stale
+  // firing during a later burst harmless.
   idle_timer_.StartOneShot(idle_timeout_, [this] {
-    if (state_ == DiskState::kIdle && !busy_ && queue_.empty()) SpinDown();
+    if (state_ == DiskState::kIdle && !draining_ && ring_count_ == 0) {
+      SpinDown();
+    }
   });
 }
 

@@ -90,6 +90,21 @@ sim::Duration DiskModel::ServiceTime(const IoRequest& request,
   return t;
 }
 
+sim::Duration DiskModel::SteadyStateServiceTime(
+    const IoRequest& request, std::uint64_t stream_count) const {
+  assert(request.size > 0);
+  // Same arithmetic as ServiceTime() with previous_direction ==
+  // request.direction, so the returned duration is bit-identical to what
+  // per-request stepping would accumulate.
+  sim::Duration t =
+      Overhead(request.direction) + Transfer(request.direction, request.size);
+  if (request.pattern == AccessPattern::kRandom) {
+    t += Positioning(request.direction, request.size);
+  }
+  obs::Metrics().Increment("disk.model.service_time_calls", stream_count);
+  return t;
+}
+
 sim::Duration DiskModel::ExpectedMixPenalty(const WorkloadSpec& spec) const {
   const double p = std::clamp(spec.read_fraction, 0.0, 1.0);
   // Probability that two consecutive i.i.d. requests differ in direction.

@@ -121,6 +121,16 @@ class DiskModel {
   sim::Duration ServiceTime(const IoRequest& request,
                             IoDirection previous_direction) const;
 
+  // Steady-state per-request service time for a homogeneous stream: the
+  // exact value ServiceTime() returns when the previous request had the
+  // same direction (no switch penalty), computed once for a run of
+  // `stream_count` identical requests. The model-evaluation counters are
+  // advanced by the full run length, so a closed-form batch drain leaves
+  // the same metric trail as stepping request-by-request. For a pure
+  // read/write WorkloadSpec, Evaluate().iops == 1e9 / SteadyStateServiceTime.
+  sim::Duration SteadyStateServiceTime(const IoRequest& request,
+                                       std::uint64_t stream_count) const;
+
   // Steady-state rates for a single-worker queue-depth-1 stream.
   struct Throughput {
     Iops iops = 0;

@@ -155,6 +155,95 @@ void IscsiTarget::RegisterHandlers() {
           });
         });
       });
+
+  endpoint_->RegisterHandler<BatchIoRequest>(
+      [this](const net::NodeId&, net::MessagePtr msg,
+             std::function<void(Result<net::MessagePtr>)> reply) {
+        auto* batch = static_cast<BatchIoRequest*>(msg.get());
+        auto it = luns_.find(batch->lun_id);
+        if (it == luns_.end()) {
+          reply(NotFoundError("no such lun: " + batch->lun_id));
+          return;
+        }
+        if (batch->ops.empty()) {
+          reply(InvalidArgumentError("empty io batch"));
+          return;
+        }
+        const LunSpec& lun = it->second.spec;
+        // Validation is atomic: one op outside the extent rejects the whole
+        // batch before anything reaches the disk.
+        std::uint64_t reads = 0;
+        for (const IoOp& op : batch->ops) {
+          if (op.offset < 0 || op.length <= 0 ||
+              op.offset + op.length > lun.length) {
+            reply(InvalidArgumentError("io outside lun extent"));
+            return;
+          }
+          if (op.is_read) ++reads;
+        }
+        hw::Disk* disk = ResolveDisk(it->second);
+        if (disk == nullptr) {
+          reply(UnavailableError("disk " + lun.disk_name +
+                                 " not attached to this host"));
+          return;
+        }
+
+        obs::Metrics().Increment("iscsi.target.reads", reads);
+        obs::Metrics().Increment("iscsi.target.writes",
+                                 batch->ops.size() - reads);
+        obs::Metrics().Increment("iscsi.target.batches");
+        const obs::SpanId span = obs::Tracer().Begin("iscsi:" + endpoint_->id(),
+                                                     "target_batch");
+        obs::Tracer().Annotate(span, "lun", batch->lun_id);
+        obs::Tracer().Annotate(span, "ops",
+                               std::to_string(batch->ops.size()));
+
+        const Bytes lun_offset = lun.offset;
+        // One command-processing overhead for the whole vector — the target
+        // parses a single PDU, not ops.size() of them. The wire ops stay
+        // alive through `msg`.
+        sim_->Schedule(options_.per_op_overhead, [disk, msg, lun_offset, span,
+                                                  reply] {
+          auto* batch = static_cast<BatchIoRequest*>(msg.get());
+          std::vector<hw::IoRequest> requests(batch->ops.size());
+          for (std::size_t i = 0; i < batch->ops.size(); ++i) {
+            const IoOp& op = batch->ops[i];
+            requests[i].size = op.length;
+            requests[i].direction =
+                op.is_read ? hw::IoDirection::kRead : hw::IoDirection::kWrite;
+            requests[i].pattern = op.random ? hw::AccessPattern::kRandom
+                                            : hw::AccessPattern::kSequential;
+          }
+          disk->SubmitBatch(
+              requests,
+              [disk, msg, lun_offset, span,
+               reply](std::span<const hw::IoCompletion> completions) {
+                auto* batch = static_cast<BatchIoRequest*>(msg.get());
+                auto response = std::make_shared<BatchIoResponse>();
+                response->results.resize(completions.size());
+                bool all_ok = true;
+                for (std::size_t i = 0; i < completions.size(); ++i) {
+                  const IoOp& op = batch->ops[i];
+                  BatchOpResult& out = response->results[i];
+                  out.code = completions[i].status.code();
+                  if (!completions[i].status.ok()) {
+                    all_ok = false;
+                    continue;
+                  }
+                  if (op.is_read) {
+                    out.tag = disk->ReadFingerprint(lun_offset + op.offset);
+                    response->payload += op.length;
+                  } else if (op.tag != 0) {
+                    disk->WriteFingerprint(lun_offset + op.offset, op.tag);
+                  }
+                }
+                obs::Tracer().Annotate(span, "outcome",
+                                       all_ok ? "ok" : "partial");
+                obs::Tracer().End(span);
+                reply(net::MessagePtr(std::move(response)));
+              });
+        });
+      });
 }
 
 IscsiInitiator::IscsiInitiator(sim::Simulator* sim,
@@ -265,6 +354,37 @@ void IscsiInitiator::Write(Bytes offset, Bytes length, bool random,
                   [done = std::move(done)](Result<net::MessagePtr> result) {
                     done(result.status());
                   });
+}
+
+void IscsiInitiator::SubmitBatch(
+    std::span<const IoOp> ops,
+    std::function<void(Result<std::vector<BatchOpResult>>)> done) {
+  if (!connected_) {
+    done(FailedPreconditionError("not connected"));
+    return;
+  }
+  if (ops.empty()) {
+    done(std::vector<BatchOpResult>{});
+    return;
+  }
+  auto request = std::make_shared<BatchIoRequest>();
+  request->lun_id = lun_id_;
+  request->ops.assign(ops.begin(), ops.end());
+  const std::size_t expected = ops.size();
+  endpoint_->Call(
+      target_, request, options_.rpc_timeout,
+      [done = std::move(done), expected](Result<net::MessagePtr> result) {
+        if (!result.ok()) {
+          done(result.status());
+          return;
+        }
+        auto* batch = dynamic_cast<BatchIoResponse*>(result->get());
+        if (batch == nullptr || batch->results.size() != expected) {
+          done(InternalError("unexpected batch io response"));
+          return;
+        }
+        done(std::move(batch->results));
+      });
 }
 
 }  // namespace ustore::iscsi

@@ -14,7 +14,9 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "common/units.h"
@@ -55,6 +57,45 @@ struct IoResponse : net::Message {
   std::uint64_t tag = 0;  // fingerprint read back
   Bytes payload = 0;      // read data size, for bandwidth accounting
   Bytes wire_size() const override { return 128 + payload; }
+};
+
+// One member of a batched submission (DESIGN.md §9). Mirrors the fields of
+// IoRequest minus the LUN id, which is shared by the whole batch.
+struct IoOp {
+  Bytes offset = 0;  // within the LUN
+  Bytes length = 0;
+  bool is_read = true;
+  bool random = false;    // access-pattern hint for the disk model
+  std::uint64_t tag = 0;  // fingerprint (writes) / 0
+};
+
+// Per-op outcome of a batch. The whole batch shares one RPC round trip, so
+// transport-level failures surface as the Call's status; op-level failures
+// (e.g. the disk losing power mid-batch) surface here.
+struct BatchOpResult {
+  StatusCode code = StatusCode::kOk;
+  std::uint64_t tag = 0;  // fingerprint read back (reads)
+};
+
+// A whole vector of I/O ops in one command PDU: one network round trip, one
+// target command-processing overhead, and one NCQ batch at the disk.
+struct BatchIoRequest : net::Message {
+  std::string lun_id;
+  std::vector<IoOp> ops;
+  Bytes wire_size() const override {
+    Bytes total = 128 + 32 * static_cast<Bytes>(ops.size());
+    for (const IoOp& op : ops) {
+      if (!op.is_read) total += op.length;  // writes carry data out
+    }
+    return total;
+  }
+};
+struct BatchIoResponse : net::Message {
+  std::vector<BatchOpResult> results;  // submission order
+  Bytes payload = 0;  // summed read data, for bandwidth accounting
+  Bytes wire_size() const override {
+    return 128 + 16 * static_cast<Bytes>(results.size()) + payload;
+  }
 };
 
 // Liveness probe (iSCSI NOP-Out/NOP-In): lets the initiator detect a dead
@@ -161,6 +202,14 @@ class IscsiInitiator {
             std::function<void(Result<std::uint64_t>)> done);
   void Write(Bytes offset, Bytes length, bool random, std::uint64_t tag,
              std::function<void(Status)> done);
+
+  // Submits a whole vector of ops as one command PDU; `done` fires once
+  // with per-op results in submission order. Validation is atomic on the
+  // target: one bad op rejects the entire batch. `ops` is copied into the
+  // request before this returns, so the span may point at caller stack
+  // storage.
+  void SubmitBatch(std::span<const IoOp> ops,
+                   std::function<void(Result<std::vector<BatchOpResult>>)> done);
 
  private:
   void SendPing();

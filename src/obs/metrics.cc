@@ -116,6 +116,7 @@ MetricsSnapshot MetricsRegistry::Snapshot(bool reset) {
     state.max = histogram->max();
     state.p50 = histogram->Quantile(0.50);
     state.p90 = histogram->Quantile(0.90);
+    state.p95 = histogram->Quantile(0.95);
     state.p99 = histogram->Quantile(0.99);
     state.bounds = histogram->bounds();
     state.bucket_counts = histogram->bucket_counts();
@@ -281,6 +282,7 @@ std::string DumpJson(const MetricsSnapshot& snapshot) {
     out += ", \"max\": " + JsonNumber(h.max);
     out += ", \"p50\": " + JsonNumber(h.p50);
     out += ", \"p90\": " + JsonNumber(h.p90);
+    out += ", \"p95\": " + JsonNumber(h.p95);
     out += ", \"p99\": " + JsonNumber(h.p99);
     out += ", \"buckets\": [";
     for (std::size_t b = 0; b < h.bucket_counts.size(); ++b) {

@@ -126,7 +126,7 @@ struct MetricsSnapshot {
   struct HistogramState {
     std::uint64_t count = 0;
     double sum = 0, min = 0, max = 0;
-    double p50 = 0, p90 = 0, p99 = 0;
+    double p50 = 0, p90 = 0, p95 = 0, p99 = 0;
     std::vector<double> bounds;
     std::vector<std::uint64_t> bucket_counts;
   };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <span>
+#include <vector>
 
 namespace ustore::services {
 
@@ -76,15 +78,29 @@ void ColdStorageStudy::Populate(int index,
     done(Status::Ok());
     return;
   }
-  volume_->Write(ObjectOffset(index), options_.object_size, false,
-                 0xC01D + index,
-                 [this, index, done = std::move(done)](Status status) mutable {
-                   if (!status.ok()) {
-                     done(status);
-                     return;
-                   }
-                   Populate(index + 1, std::move(done));
-                 });
+  // Ingest rides the batched data plane (DESIGN.md §9): each chunk of
+  // sequential writes travels as one command PDU and drains as one NCQ
+  // batch, instead of one RPC round trip per object.
+  constexpr int kPopulateBatch = 16;
+  const int count = std::min(kPopulateBatch, options_.object_count - index);
+  std::vector<core::ClientLib::Volume::IoOp> ops(count);
+  for (int i = 0; i < count; ++i) {
+    ops[i].offset = ObjectOffset(index + i);
+    ops[i].length = options_.object_size;
+    ops[i].is_read = false;
+    ops[i].random = false;
+    ops[i].tag = 0xC01D + static_cast<std::uint64_t>(index + i);
+  }
+  volume_->SubmitBatch(
+      ops, [this, index, count, done = std::move(done)](
+               Status status,
+               std::span<const core::ClientLib::Volume::IoOpResult>) mutable {
+        if (!status.ok()) {
+          done(status);
+          return;
+        }
+        Populate(index + count, std::move(done));
+      });
 }
 
 void ColdStorageStudy::ScheduleNextRead(sim::Time end_at) {

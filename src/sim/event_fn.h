@@ -1,11 +1,17 @@
-// Small-buffer-optimized event callback.
+// Small-buffer-optimized move-only callable.
 //
 // Every Schedule() stores one closure; with std::function the typical
 // capture set (a this-pointer plus a couple of ids, or a NodeId string)
 // overflows the 16-byte libstdc++ inline buffer and costs a heap
-// allocation per event. EventFn keeps closures up to kInlineSize bytes
-// inline in the event slot, falling back to the heap only for genuinely
+// allocation per event. SmallFn keeps closures up to kInlineSize bytes
+// inline in the owning slot, falling back to the heap only for genuinely
 // large captures. Move-only, like the event queue that owns it.
+//
+// SmallFn is signature-generic so the same storage scheme serves both the
+// simulator's event slots (EventFn = SmallFn<void()>) and the data-plane
+// batch completion callbacks (hw::Disk::BatchCallback), which carry a
+// result span and would otherwise pay a std::function allocation per
+// submitted batch.
 #pragma once
 
 #include <cstddef>
@@ -15,18 +21,22 @@
 
 namespace ustore::sim {
 
-class EventFn {
+template <typename Sig>
+class SmallFn;
+
+template <typename R, typename... Args>
+class SmallFn<R(Args...)> {
  public:
   // Fits three pointers plus a 32-byte SSO string — the dominant closure
   // shapes in the RPC and hardware layers.
   static constexpr std::size_t kInlineSize = 48;
 
-  EventFn() = default;
+  SmallFn() = default;
 
   template <typename F>
-    requires(!std::is_same_v<std::decay_t<F>, EventFn> &&
-             std::is_invocable_r_v<void, std::decay_t<F>&>)
-  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    requires(!std::is_same_v<std::decay_t<F>, SmallFn> &&
+             std::is_invocable_r_v<R, std::decay_t<F>&, Args...>)
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
     using D = std::decay_t<F>;
     if constexpr (sizeof(D) <= kInlineSize &&
                   alignof(D) <= alignof(std::max_align_t) &&
@@ -39,25 +49,27 @@ class EventFn {
     }
   }
 
-  EventFn(EventFn&& other) noexcept { MoveFrom(other); }
-  EventFn& operator=(EventFn&& other) noexcept {
+  SmallFn(SmallFn&& other) noexcept { MoveFrom(other); }
+  SmallFn& operator=(SmallFn&& other) noexcept {
     if (this != &other) {
       Destroy();
       MoveFrom(other);
     }
     return *this;
   }
-  EventFn(const EventFn&) = delete;
-  EventFn& operator=(const EventFn&) = delete;
-  ~EventFn() { Destroy(); }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { Destroy(); }
 
   explicit operator bool() const { return ops_ != nullptr; }
-  void operator()() { ops_->invoke(storage_); }
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
   void reset() { Destroy(); }
 
  private:
   struct Ops {
-    void (*invoke)(void*);
+    R (*invoke)(void*, Args&&...);
     // Move-constructs into `to` and destroys `from`.
     void (*relocate)(void* from, void* to);
     void (*destroy)(void*);
@@ -65,7 +77,9 @@ class EventFn {
 
   template <typename D>
   static constexpr Ops kInlineOps = {
-      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* p, Args&&... args) -> R {
+        return (*static_cast<D*>(p))(std::forward<Args>(args)...);
+      },
       [](void* from, void* to) {
         D* f = static_cast<D*>(from);
         ::new (to) D(std::move(*f));
@@ -76,7 +90,9 @@ class EventFn {
 
   template <typename D>
   static constexpr Ops kHeapOps = {
-      [](void* p) { (**static_cast<D**>(p))(); },
+      [](void* p, Args&&... args) -> R {
+        return (**static_cast<D**>(p))(std::forward<Args>(args)...);
+      },
       [](void* from, void* to) { ::new (to) D*(*static_cast<D**>(from)); },
       [](void* p) { delete *static_cast<D**>(p); },
   };
@@ -87,7 +103,7 @@ class EventFn {
       ops_ = nullptr;
     }
   }
-  void MoveFrom(EventFn& other) {
+  void MoveFrom(SmallFn& other) {
     ops_ = other.ops_;
     if (ops_ != nullptr) {
       ops_->relocate(other.storage_, storage_);
@@ -98,5 +114,8 @@ class EventFn {
   alignas(std::max_align_t) unsigned char storage_[kInlineSize];
   const Ops* ops_ = nullptr;
 };
+
+// The simulator's event closure type (the original SmallFn client).
+using EventFn = SmallFn<void()>;
 
 }  // namespace ustore::sim

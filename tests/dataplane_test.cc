@@ -1,0 +1,377 @@
+// Data-plane fast-path tests (DESIGN.md §9).
+//
+// The load-bearing property is *timing equivalence*: batched NCQ admission
+// and closed-form steady-state fast-forward are pure event-count
+// optimizations, so per-request completion timestamps — and the metric
+// trail the disk leaves behind — must be bit-identical to one-at-a-time
+// submission. The randomized test here enforces that over mixed request
+// shapes and arbitrary serial/batched interleavings.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "core/cluster.h"
+#include "hw/disk.h"
+#include "hw/disk_model.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+
+namespace ustore {
+namespace {
+
+using hw::AccessPattern;
+using hw::Disk;
+using hw::DiskModel;
+using hw::DiskParams;
+using hw::DiskQueueOptions;
+using hw::IoCompletion;
+using hw::IoDirection;
+using hw::IoRequest;
+
+IoRequest RandomRequest(std::mt19937& rng) {
+  static const Bytes kSizes[] = {KiB(4), KiB(128), MiB(1), MiB(4)};
+  IoRequest req;
+  req.size = kSizes[rng() % 4];
+  req.direction = rng() % 2 == 0 ? IoDirection::kRead : IoDirection::kWrite;
+  req.pattern =
+      rng() % 2 == 0 ? AccessPattern::kSequential : AccessPattern::kRandom;
+  return req;
+}
+
+struct RunOutcome {
+  std::vector<sim::Time> completed_at;
+  obs::MetricsSnapshot metrics;
+};
+
+// Submits `requests` to a fresh disk on a fresh simulator, partitioned into
+// runs by `plan`: plan[i] > 0 submits the next plan[i] requests as one
+// batch, plan[i] < 0 submits the next -plan[i] one at a time. An empty
+// plan means all-serial (the timing baseline).
+RunOutcome RunPlan(const std::vector<IoRequest>& requests,
+               const std::vector<int>& plan) {
+  obs::Metrics().Clear();
+  sim::Simulator sim;
+  obs::BindSimulator(&sim);
+  {
+    Disk disk(&sim, "eq", DiskModel(DiskParams{}, hw::UsbBridgeInterface()));
+    RunOutcome out;
+    out.completed_at.assign(requests.size(), -1);
+
+    std::size_t next = 0;
+    auto submit_serial = [&](std::size_t count) {
+      for (std::size_t i = 0; i < count; ++i, ++next) {
+        const std::size_t slot = next;
+        disk.SubmitIo(requests[slot], [&, slot](Status status) {
+          EXPECT_TRUE(status.ok()) << status.ToString();
+          out.completed_at[slot] = sim.now();
+        });
+      }
+    };
+    auto submit_batch = [&](std::size_t count) {
+      const std::size_t base = next;
+      disk.SubmitBatch(
+          std::span<const IoRequest>(&requests[base], count),
+          [&, base](std::span<const IoCompletion> completions) {
+            for (std::size_t j = 0; j < completions.size(); ++j) {
+              EXPECT_TRUE(completions[j].status.ok())
+                  << completions[j].status.ToString();
+              out.completed_at[base + j] = completions[j].completed_at;
+            }
+          });
+      next += count;
+    };
+    if (plan.empty()) {
+      submit_serial(requests.size());
+    } else {
+      for (int run : plan) {
+        run > 0 ? submit_batch(static_cast<std::size_t>(run))
+                : submit_serial(static_cast<std::size_t>(-run));
+      }
+    }
+    EXPECT_EQ(next, requests.size());
+    sim.Run();
+    out.metrics = obs::Metrics().Snapshot();
+    obs::BindSimulator(nullptr);
+    return out;
+  }
+}
+
+void ExpectSameHistogram(const obs::MetricsSnapshot& a,
+                         const obs::MetricsSnapshot& b,
+                         const std::string& name) {
+  auto ia = a.histograms.find(name);
+  auto ib = b.histograms.find(name);
+  ASSERT_NE(ia, a.histograms.end()) << name;
+  ASSERT_NE(ib, b.histograms.end()) << name;
+  EXPECT_EQ(ia->second.count, ib->second.count) << name;
+  EXPECT_EQ(ia->second.sum, ib->second.sum) << name;
+  EXPECT_EQ(ia->second.min, ib->second.min) << name;
+  EXPECT_EQ(ia->second.max, ib->second.max) << name;
+  EXPECT_EQ(ia->second.bucket_counts, ib->second.bucket_counts) << name;
+}
+
+TEST(DataPlaneEquivalence, BatchedCompletionTimesMatchSerialBitForBit) {
+  for (std::uint32_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    std::mt19937 rng(seed);
+
+    std::vector<IoRequest> requests(60);
+    for (IoRequest& req : requests) req = RandomRequest(rng);
+
+    // Partition into random serial/batched runs. Batches of up to 40
+    // exercise the max_batch=32 window split as well.
+    std::vector<int> plan;
+    for (std::size_t left = requests.size(); left > 0;) {
+      std::size_t run = 1 + rng() % std::min<std::size_t>(left, 40);
+      plan.push_back(rng() % 2 == 0 ? static_cast<int>(run)
+                                    : -static_cast<int>(run));
+      left -= run;
+    }
+
+    const RunOutcome serial = RunPlan(requests, {});
+    const RunOutcome mixed = RunPlan(requests, plan);
+
+    // The tentpole assertion: identical per-request completion timestamps.
+    EXPECT_EQ(serial.completed_at, mixed.completed_at);
+
+    // Identical observable metric trail: every counter (including the
+    // DiskModel evaluation counters), the state gauge with its full sample
+    // trail, and the per-op service-time histogram. Only the
+    // admission-shape histograms (disk.queue.depth, disk.batch.size) may
+    // differ — they describe *how* requests were handed over, which is
+    // exactly what batching changes.
+    EXPECT_EQ(serial.metrics.counters, mixed.metrics.counters);
+    ASSERT_EQ(serial.metrics.gauges.size(), mixed.metrics.gauges.size());
+    for (const auto& [name, gauge] : serial.metrics.gauges) {
+      auto it = mixed.metrics.gauges.find(name);
+      ASSERT_NE(it, mixed.metrics.gauges.end()) << name;
+      EXPECT_EQ(gauge.value, it->second.value) << name;
+      ASSERT_EQ(gauge.samples.size(), it->second.samples.size()) << name;
+      for (std::size_t i = 0; i < gauge.samples.size(); ++i) {
+        EXPECT_EQ(gauge.samples[i].at, it->second.samples[i].at) << name;
+        EXPECT_EQ(gauge.samples[i].value, it->second.samples[i].value)
+            << name;
+      }
+    }
+    ExpectSameHistogram(serial.metrics, mixed.metrics,
+                        "disk.op.service_time_us");
+  }
+}
+
+TEST(DataPlaneBackpressure, OversizedBatchIsRejectedAtomically) {
+  sim::Simulator sim;
+  Disk disk(&sim, "bp", DiskModel(DiskParams{}, hw::SataInterface()),
+            /*start_powered=*/true,
+            DiskQueueOptions{.queue_capacity = 4, .max_batch = 2});
+
+  std::vector<IoRequest> batch(
+      5, IoRequest{KiB(4), IoDirection::kRead, AccessPattern::kSequential});
+  bool rejected = false;
+  disk.SubmitBatch(batch, [&](std::span<const IoCompletion> completions) {
+    rejected = true;
+    ASSERT_EQ(completions.size(), 5u);
+    for (const IoCompletion& c : completions) {
+      EXPECT_EQ(c.status.code(), StatusCode::kResourceExhausted);
+      EXPECT_EQ(c.completed_at, sim.now());
+    }
+  });
+  // Rejection is synchronous and atomic: nothing was queued.
+  EXPECT_TRUE(rejected);
+  EXPECT_EQ(disk.queue_depth(), 0u);
+
+  // A batch that fits is accepted and completes in full.
+  batch.resize(4);
+  std::size_t completed = 0;
+  disk.SubmitBatch(batch, [&](std::span<const IoCompletion> completions) {
+    for (const IoCompletion& c : completions) {
+      EXPECT_TRUE(c.status.ok());
+      ++completed;
+    }
+  });
+  sim.Run();
+  EXPECT_EQ(completed, 4u);
+  EXPECT_EQ(disk.ios_completed(), 4u);
+}
+
+TEST(DataPlaneBackpressure, SerialOverflowFailsOnlyTheExcessRequest) {
+  sim::Simulator sim;
+  Disk disk(&sim, "bp", DiskModel(DiskParams{}, hw::SataInterface()),
+            /*start_powered=*/true,
+            DiskQueueOptions{.queue_capacity = 2, .max_batch = 2});
+
+  // The first submission moves straight into the drain window; the next
+  // two fill the ring; the fourth must bounce.
+  int ok = 0;
+  int exhausted = 0;
+  for (int i = 0; i < 4; ++i) {
+    disk.SubmitIo({KiB(4), IoDirection::kRead, AccessPattern::kSequential},
+                  [&](Status status) {
+                    status.ok() ? ++ok : ++exhausted;
+                    if (!status.ok()) {
+                      EXPECT_EQ(status.code(),
+                                StatusCode::kResourceExhausted);
+                    }
+                  });
+  }
+  EXPECT_EQ(exhausted, 1);
+  sim.Run();
+  EXPECT_EQ(ok, 3);
+}
+
+TEST(DataPlaneFastForward, SteadyStateMatchesWorkloadSpecMath) {
+  const DiskModel model(DiskParams{}, hw::SataInterface());
+  const IoRequest req{MiB(1), IoDirection::kWrite, AccessPattern::kSequential};
+
+  // SteadyStateServiceTime is definitionally the switch-free ServiceTime,
+  // and the closed-form WorkloadSpec throughput is its reciprocal.
+  const sim::Duration steady = model.SteadyStateServiceTime(req, 0);
+  EXPECT_EQ(steady, model.ServiceTime(req, IoDirection::kWrite));
+  const auto throughput = model.Evaluate(
+      hw::WorkloadSpec{MiB(1), 0.0, AccessPattern::kSequential});
+  EXPECT_DOUBLE_EQ(throughput.iops, 1e9 / static_cast<double>(steady));
+
+  // A homogeneous batch drains at exactly that cadence: t_i = t_1 + i*s.
+  sim::Simulator sim;
+  Disk disk(&sim, "ff", DiskModel(DiskParams{}, hw::SataInterface()));
+  std::vector<IoRequest> batch(16, req);
+  std::vector<sim::Time> completions;
+  disk.SubmitBatch(batch, [&](std::span<const IoCompletion> done) {
+    for (const IoCompletion& c : done) {
+      EXPECT_TRUE(c.status.ok());
+      completions.push_back(c.completed_at);
+    }
+  });
+  sim.Run();
+  ASSERT_EQ(completions.size(), 16u);
+  for (std::size_t i = 2; i < completions.size(); ++i) {
+    EXPECT_EQ(completions[i] - completions[i - 1], steady) << i;
+  }
+}
+
+TEST(DataPlaneFailure, PowerOffMidBatchFailsOnlyNotYetCompletedMembers) {
+  sim::Simulator sim;
+  Disk disk(&sim, "pf", DiskModel(DiskParams{}, hw::SataInterface()));
+
+  // Six identical 4MiB reads take ~22.7ms each; power off at 50ms, i.e.
+  // after the second completion and before the third.
+  std::vector<IoRequest> batch(
+      6, IoRequest{MiB(4), IoDirection::kRead, AccessPattern::kSequential});
+  std::vector<IoCompletion> results;
+  disk.SubmitBatch(batch, [&](std::span<const IoCompletion> done) {
+    results.assign(done.begin(), done.end());
+  });
+  const sim::Time power_off_at = sim::Millis(50);
+  sim.ScheduleAt(power_off_at, [&] { disk.PowerOff(); });
+  sim.Run();
+
+  ASSERT_EQ(results.size(), 6u);
+  int succeeded = 0;
+  for (const IoCompletion& c : results) {
+    if (c.status.ok()) {
+      // Anything that had physically completed before the power cut stays
+      // completed.
+      EXPECT_LE(c.completed_at, power_off_at);
+      ++succeeded;
+    } else {
+      EXPECT_EQ(c.status.code(), StatusCode::kUnavailable);
+      EXPECT_GT(c.completed_at, power_off_at);
+    }
+  }
+  EXPECT_EQ(succeeded, 2);
+  EXPECT_EQ(disk.ios_completed(), 2u);
+}
+
+TEST(DataPlaneFailure, BatchToSpunDownDiskTriggersOneImplicitSpinUp) {
+  sim::Simulator sim;
+  Disk disk(&sim, "su", DiskModel(DiskParams{}, hw::SataInterface()));
+  disk.SpinDown();
+  sim.Run();
+  ASSERT_EQ(disk.state(), hw::DiskState::kSpunDown);
+  const int cycles_before = disk.spin_cycles();
+
+  std::vector<IoRequest> batch(
+      4, IoRequest{KiB(4), IoDirection::kRead, AccessPattern::kSequential});
+  std::size_t completed = 0;
+  disk.SubmitBatch(batch, [&](std::span<const IoCompletion> done) {
+    for (const IoCompletion& c : done) {
+      EXPECT_TRUE(c.status.ok());
+      ++completed;
+    }
+  });
+  sim.Run();
+  EXPECT_EQ(completed, 4u);
+  EXPECT_EQ(disk.spin_cycles(), cycles_before + 1);
+}
+
+// End to end: client batch -> one RPC -> iSCSI target -> NCQ disk batch ->
+// fingerprints round-trip back to the client.
+TEST(DataPlaneEndToEnd, BatchedWritesReadBackThroughWholeStack) {
+  core::Cluster cluster;
+  cluster.Start();
+  auto client = cluster.MakeClient("dp-client");
+  core::ClientLib::Volume* volume = nullptr;
+  client->AllocateAndMount("dp-svc", GiB(2),
+                           [&](Result<core::ClientLib::Volume*> result) {
+                             ASSERT_TRUE(result.ok()) << result.status();
+                             volume = *result;
+                           });
+  cluster.RunFor(sim::Seconds(10));
+  ASSERT_NE(volume, nullptr);
+
+  using IoOp = core::ClientLib::Volume::IoOp;
+  using IoOpResult = core::ClientLib::Volume::IoOpResult;
+  constexpr int kOps = 8;
+  std::vector<IoOp> writes(kOps);
+  for (int i = 0; i < kOps; ++i) {
+    writes[i] = IoOp{.offset = MiB(1) * i, .length = MiB(1),
+                     .is_read = false, .random = false,
+                     .tag = 0xD00D + static_cast<std::uint64_t>(i)};
+  }
+  bool wrote = false;
+  volume->SubmitBatch(writes, [&](Status status,
+                                  std::span<const IoOpResult> results) {
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    ASSERT_EQ(results.size(), static_cast<std::size_t>(kOps));
+    for (const IoOpResult& r : results) {
+      EXPECT_EQ(r.code, StatusCode::kOk);
+    }
+    wrote = true;
+  });
+  cluster.RunFor(sim::Seconds(5));
+  ASSERT_TRUE(wrote);
+
+  std::vector<IoOp> reads(kOps);
+  for (int i = 0; i < kOps; ++i) {
+    reads[i] = IoOp{.offset = MiB(1) * i, .length = MiB(1),
+                    .is_read = true, .random = false, .tag = 0};
+  }
+  bool read = false;
+  volume->SubmitBatch(reads, [&](Status status,
+                                 std::span<const IoOpResult> results) {
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    ASSERT_EQ(results.size(), static_cast<std::size_t>(kOps));
+    for (int i = 0; i < kOps; ++i) {
+      EXPECT_EQ(results[i].code, StatusCode::kOk);
+      EXPECT_EQ(results[i].tag, 0xD00D + static_cast<std::uint64_t>(i));
+    }
+    read = true;
+  });
+  cluster.RunFor(sim::Seconds(5));
+  ASSERT_TRUE(read);
+
+  // Per-op completions landed individually in the latency histograms, and
+  // both batch-size observations (client + disk) recorded 8-op batches.
+  const obs::MetricsSnapshot snapshot = obs::Metrics().Snapshot();
+  auto reads_hist = snapshot.histograms.find("client.read.latency_us");
+  ASSERT_NE(reads_hist, snapshot.histograms.end());
+  EXPECT_GE(reads_hist->second.count, static_cast<std::uint64_t>(kOps));
+  auto batch_hist = snapshot.histograms.find("client.io.batch_size");
+  ASSERT_NE(batch_hist, snapshot.histograms.end());
+  EXPECT_EQ(batch_hist->second.max, static_cast<double>(kOps));
+}
+
+}  // namespace
+}  // namespace ustore
