@@ -83,4 +83,13 @@ double Rng::NextNormal(double mean, double stddev) {
 
 Rng Rng::Fork() { return Rng(NextU64()); }
 
+std::uint64_t SeedFromId(const std::string& id) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : id) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 }  // namespace ustore

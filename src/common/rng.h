@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace ustore {
 
@@ -42,5 +43,11 @@ class Rng {
  private:
   std::uint64_t s_[4];
 };
+
+// Stable 64-bit seed derived from a string id (FNV-1a). Components that
+// need per-instance jitter (retry backoff, probe scheduling) derive their
+// stream from their own node id, so distinct instances desynchronize while
+// every run stays reproducible.
+std::uint64_t SeedFromId(const std::string& id);
 
 }  // namespace ustore

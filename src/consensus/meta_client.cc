@@ -22,6 +22,9 @@ MetaClient::MetaClient(sim::Simulator* sim, net::Network* network,
       options_(std::move(options)),
       endpoint_(std::make_unique<net::RpcEndpoint>(sim, network,
                                                    std::move(id))),
+      retry_rng_(options_.retry_jitter_seed != 0 ? options_.retry_jitter_seed
+                                                 : SeedFromId(endpoint_->id())),
+      retries_("meta_client.retries"),
       keepalive_timer_(sim) {
   assert(!options_.servers.empty());
   RegisterWatchHandler();
@@ -47,11 +50,11 @@ void MetaClient::Dispatch(std::shared_ptr<MetaRequest> request,
     callback(UnavailableError("metadata store unreachable"));
     return;
   }
-  const net::NodeId server =
-      options_.servers[current_server_ % options_.servers.size()];
+  const int server_index = current_server_ % static_cast<int>(options_.servers.size());
+  const net::NodeId server = options_.servers[server_index];
   endpoint_->Call(
       server, request, options_.rpc_timeout,
-      [this, request, callback = std::move(callback),
+      [this, request, callback = std::move(callback), server_index,
        attempt](Result<net::MessagePtr> result) mutable {
         if (!result.ok()) {
           if (result.status().code() == StatusCode::kUnavailable) {
@@ -59,23 +62,28 @@ void MetaClient::Dispatch(std::shared_ptr<MetaRequest> request,
             if (hint >= 0 &&
                 hint < static_cast<int>(options_.servers.size())) {
               current_server_ = hint;
-            } else {
+            } else if (current_server_ == server_index) {
+              // Advance only past the server that just failed: concurrent
+              // dispatches each rotating the shared cursor would otherwise
+              // cancel out (or skip a live server).
               current_server_ =
-                  (current_server_ + 1) %
+                  (server_index + 1) %
                   static_cast<int>(options_.servers.size());
             }
           } else if (result.status().code() ==
                      StatusCode::kDeadlineExceeded) {
-            current_server_ = (current_server_ + 1) %
-                              static_cast<int>(options_.servers.size());
+            if (current_server_ == server_index) {
+              current_server_ = (server_index + 1) %
+                                static_cast<int>(options_.servers.size());
+            }
           } else {
             callback(result.status());
             return;
           }
-          // Small backoff, then retry on the (new) target.
-          sim_->Schedule(sim::MillisD(100), [this, request,
-                                            callback = std::move(callback),
-                                            attempt]() mutable {
+          retries_.Increment();
+          sim_->Schedule(RetryDelay(attempt), [this, request,
+                                              callback = std::move(callback),
+                                              attempt]() mutable {
             Dispatch(std::move(request), std::move(callback), attempt + 1);
           });
           return;
@@ -88,6 +96,22 @@ void MetaClient::Dispatch(std::shared_ptr<MetaRequest> request,
         }
         callback(std::move(response));
       });
+}
+
+sim::Duration MetaClient::RetryDelay(int attempt) {
+  sim::Duration backoff = options_.retry_backoff_base;
+  if (backoff <= 0) backoff = 1;
+  for (int i = 0; i < attempt && backoff < options_.retry_backoff_cap; ++i) {
+    backoff *= 2;
+  }
+  if (backoff > options_.retry_backoff_cap) {
+    backoff = options_.retry_backoff_cap;
+  }
+  // Equal jitter: [backoff/2, backoff]. Enough spread to break lockstep
+  // waves, while the floor keeps the leader from being probed too hot.
+  const sim::Duration half = backoff / 2;
+  return half + static_cast<sim::Duration>(
+                    retry_rng_.NextBelow(static_cast<std::uint64_t>(half) + 1));
 }
 
 void MetaClient::Start(StatusCallback on_ready) {

@@ -14,8 +14,10 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "consensus/meta_service.h"
 #include "net/rpc.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace ustore::consensus {
@@ -29,6 +31,14 @@ class MetaClient {
     std::uint64_t session_ttl_ms = 6000;
     int max_attempts = 40;  // per operation, across servers (covers the
                             // initial leader-election window)
+    // Retry backoff: capped exponential, with per-client deterministic
+    // jitter drawn in [backoff/2, backoff] — a fleet of clients hitting
+    // leader churn must not retry in lockstep against the new leader.
+    sim::Duration retry_backoff_base = sim::MillisD(25);
+    sim::Duration retry_backoff_cap = sim::MillisD(800);
+    // Jitter stream seed; 0 derives one from the client id so distinct
+    // clients desynchronize while every run stays reproducible.
+    std::uint64_t retry_jitter_seed = 0;
   };
 
   using StatusCallback = std::function<void(Status)>;
@@ -88,6 +98,9 @@ class MetaClient {
   // Sends a request, following leader hints and retrying across servers.
   void Dispatch(std::shared_ptr<MetaRequest> request,
                 ResponseCallback callback, int attempt = 0);
+  // Backoff before retry `attempt`: capped exponential plus jitter from
+  // the client's own deterministic stream.
+  sim::Duration RetryDelay(int attempt);
   void RegisterWatchHandler();
   void SendKeepAlive();
   void EstablishSession(StatusCallback on_ready);
@@ -95,6 +108,8 @@ class MetaClient {
   sim::Simulator* sim_;
   Options options_;
   std::unique_ptr<net::RpcEndpoint> endpoint_;
+  Rng retry_rng_;
+  obs::CounterHandle retries_;
   int current_server_ = 0;
   std::uint64_t session_ = 0;
   sim::Timer keepalive_timer_;

@@ -13,7 +13,9 @@ ClientLib::ClientLib(sim::Simulator* sim, net::Network* network,
     : sim_(sim),
       options_(std::move(options)),
       endpoint_(std::make_unique<net::RpcEndpoint>(sim, network,
-                                                   std::move(id))) {
+                                                   std::move(id))),
+      retry_rng_(options_.retry_jitter_seed != 0 ? options_.retry_jitter_seed
+                                                 : SeedFromId(endpoint_->id())) {
   assert(!options_.masters.empty());
   endpoint_->RegisterNotifyHandler<SpaceMovedMsg>(
       [this](const net::NodeId&, net::MessagePtr msg) {
@@ -39,18 +41,25 @@ void ClientLib::CallMaster(net::MessagePtr request,
     done(UnavailableError("no active master reachable"));
     return;
   }
-  const net::NodeId master =
-      options_.masters[current_master_ % options_.masters.size()];
+  const int master_index =
+      current_master_ % static_cast<int>(options_.masters.size());
+  const net::NodeId master = options_.masters[master_index];
   endpoint_->Call(
       master, request, options_.rpc_timeout,
-      [this, request, done = std::move(done),
+      [this, request, done = std::move(done), master_index,
        attempt](Result<net::MessagePtr> result) mutable {
         const StatusCode code = result.status().code();
         if (!result.ok() && (code == StatusCode::kUnavailable ||
                              code == StatusCode::kDeadlineExceeded)) {
-          current_master_ = (current_master_ + 1) %
-                            static_cast<int>(options_.masters.size());
-          sim_->Schedule(sim::MillisD(100),
+          // Advance only past the master that just failed. Concurrent calls
+          // each rotating the shared cursor blindly would cancel out and
+          // pin every retry to the same standby.
+          if (current_master_ == master_index) {
+            current_master_ = (master_index + 1) %
+                              static_cast<int>(options_.masters.size());
+          }
+          obs::Metrics().Increment("client.master_retries");
+          sim_->Schedule(RetryDelay(attempt),
                          [this, request, done = std::move(done),
                           attempt]() mutable {
                            CallMaster(std::move(request), std::move(done),
@@ -60,6 +69,20 @@ void ClientLib::CallMaster(net::MessagePtr request,
         }
         done(std::move(result));
       });
+}
+
+sim::Duration ClientLib::RetryDelay(int attempt) {
+  sim::Duration backoff = options_.retry_backoff_base;
+  if (backoff <= 0) backoff = 1;
+  for (int i = 0; i < attempt && backoff < options_.retry_backoff_cap; ++i) {
+    backoff *= 2;
+  }
+  if (backoff > options_.retry_backoff_cap) {
+    backoff = options_.retry_backoff_cap;
+  }
+  const sim::Duration half = backoff / 2;
+  return half + static_cast<sim::Duration>(
+                    retry_rng_.NextBelow(static_cast<std::uint64_t>(half) + 1));
 }
 
 void ClientLib::AllocateAndMount(

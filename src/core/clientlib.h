@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/status.h"
 #include "core/types.h"
 #include "iscsi/iscsi.h"
@@ -34,6 +35,12 @@ struct ClientLibOptions {
   sim::Duration mount_delay = sim::MillisD(1200);  // fs/device mount work
   int locality_host = -1;  // passed to the Master as the locality hint
   int max_master_attempts = 6;
+  // Master-retry backoff: capped exponential with per-client jitter in
+  // [backoff/2, backoff], so a crowd of clients spooked by the same
+  // failover does not hammer the new master in lockstep.
+  sim::Duration retry_backoff_base = sim::MillisD(100);
+  sim::Duration retry_backoff_cap = sim::MillisD(800);
+  std::uint64_t retry_jitter_seed = 0;  // 0 derives one from the client id
 };
 
 class ClientLib {
@@ -139,11 +146,14 @@ class ClientLib {
   void CallMaster(net::MessagePtr request,
                   std::function<void(Result<net::MessagePtr>)> done,
                   int attempt = 0);
+  // Backoff before master retry `attempt` (see ClientLibOptions).
+  sim::Duration RetryDelay(int attempt);
   void SubscribeMoves(const SpaceId& id);
 
   sim::Simulator* sim_;
   ClientLibOptions options_;
   std::unique_ptr<net::RpcEndpoint> endpoint_;
+  Rng retry_rng_;
   int current_master_ = 0;
   std::map<SpaceId, std::unique_ptr<Volume>> volumes_;
   std::function<void(const SpaceId&)> on_volume_moved_;

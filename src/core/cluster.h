@@ -57,6 +57,9 @@ class Cluster {
   fabric::FabricManager& fabric() { return *fabric_; }
 
   int host_count() const { return static_cast<int>(endpoints_.size()); }
+  int master_count() const { return static_cast<int>(masters_.size()); }
+  int meta_count() const { return static_cast<int>(meta_.size()); }
+  int controller_count() const { return static_cast<int>(controllers_.size()); }
   Master* master(int i) { return masters_.at(i).get(); }
   Master* active_master();
   EndPoint* endpoint(int host) { return endpoints_.at(host).get(); }

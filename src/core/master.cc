@@ -663,6 +663,7 @@ void Master::RegisterHandlers() {
           disk.present = true;
           disk.state = entry.state;
           disk.last_seen = now;
+          bool back_after_repair = false;
           if (entry.failed && !disk.failed) HandleDiskFailure(d);
           if (!entry.failed && disk.failed) {
             // The unit came back (repaired/replaced); spaces become
@@ -670,13 +671,19 @@ void Master::RegisterHandlers() {
             USTORE_LOG(Info) << id() << ": disk " << entry.name
                              << " is back after repair";
             disk.failed = false;
+            back_after_repair = true;
           }
           // A disk that surfaced on a host other than the one exposing its
           // LUNs was moved (deliberate rebalance or a failover we did not
           // initiate): re-expose its spaces there. The per-disk
           // exposed-host counts answer this in O(1) — no allocation scan.
+          // A disk back after repair re-exposes unconditionally: its spaces
+          // were marked unavailable on failure, and when it resurfaces on
+          // the host that already held its LUNs there is no "elsewhere"
+          // signal — the expose round trip is what flips them back.
           if (!active_) continue;
-          if (DiskExposedElsewhere(disk, heartbeat->host_index) &&
+          if ((back_after_repair ||
+               DiskExposedElsewhere(disk, heartbeat->host_index)) &&
               !re_expose_in_progress_.contains(d)) {
             re_expose_in_progress_.insert(d);
             ReExposeDisk(d, heartbeat->host_index, [this, d](Status) {

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace ustore::fabric {
 
@@ -257,6 +258,7 @@ void FabricManager::RestartHost(int host) {
 
 Status FabricManager::FailUnit(const std::string& node_name) {
   USTORE_ASSIGN_OR_RETURN(NodeIndex node, fabric_.topology.Find(node_name));
+  obs::Metrics().Increment("fabric.unit.failed");
   for (NodeIndex member : fabric_.topology.FailureUnitOf(node)) {
     fabric_.topology.SetFailed(member, true);
     if (hw::Disk* d = disk(member); d != nullptr) d->Fail();
@@ -267,6 +269,7 @@ Status FabricManager::FailUnit(const std::string& node_name) {
 
 Status FabricManager::RepairUnit(const std::string& node_name) {
   USTORE_ASSIGN_OR_RETURN(NodeIndex node, fabric_.topology.Find(node_name));
+  obs::Metrics().Increment("fabric.unit.repaired");
   for (NodeIndex member : fabric_.topology.FailureUnitOf(node)) {
     fabric_.topology.SetFailed(member, false);
     if (hw::Disk* d = disk(member); d != nullptr) {

@@ -227,16 +227,21 @@ void Disk::MaybeStartNext() {
 void Disk::FinishDrain() {
   draining_ = false;
   // Move the window out: completion callbacks may re-enter SubmitIo /
-  // SubmitBatch (and even start the next drain) while we deliver.
+  // SubmitBatch (and even start the next drain) while we deliver. The
+  // failure instant is snapshotted for the same reason — a re-entrant
+  // MaybeStartNext resets failed_at_, which must not change how the
+  // remaining members of *this* window are classified.
   std::vector<Inflight> window = std::move(inflight_);
   inflight_.clear();
+  const sim::Time failed_at = failed_at_;
+  failed_at_ = -1;
 
   for (Inflight& entry : window) {
     Pending& pending = entry.pending;
     // A request whose platter time predates the failure instant had
     // physically completed; only later members of the window are lost.
     Status status = Status::Ok();
-    if (failed_at_ >= 0 && entry.completes_at > failed_at_) {
+    if (failed_at >= 0 && entry.completes_at > failed_at) {
       status = UnavailableError(name_ + ": lost power mid-io");
     }
     if (status.ok()) {
@@ -365,8 +370,13 @@ void Disk::Repair() {
 
 void Disk::FailAll(const Status& status) {
   const sim::Time now = sim_->now();
-  while (ring_count_ > 0) {
-    Pending pending = RingPop();
+  // Empty the ring before delivering anything: a failure callback may
+  // legitimately resubmit (e.g. after re-powering the disk), and a request
+  // accepted by SubmitIo must not be swallowed by this sweep.
+  std::vector<Pending> doomed;
+  doomed.reserve(ring_count_);
+  while (ring_count_ > 0) doomed.push_back(RingPop());
+  for (Pending& pending : doomed) {
     Deliver(pending, IoCompletion{status, now});
   }
 }

@@ -182,7 +182,9 @@ class Disk {
   // True while a drain event is pending. It is not cleared by Fail() or
   // PowerOff(): like a real platter losing power mid-command, the in-flight
   // window resolves at its scheduled completion time (requests that had
-  // already physically completed succeed, later ones fail).
+  // already physically completed succeed, later ones fail). FinishDrain
+  // snapshots and clears failed_at_ on entry, so completion callbacks that
+  // restart the queue cannot change how the rest of the window is judged.
   bool draining_ = false;
   sim::Time failed_at_ = -1;  // failure instant while a drain was in flight
   IoDirection last_direction_ = IoDirection::kRead;

@@ -275,6 +275,7 @@ void IscsiInitiator::Connect(const net::NodeId& target,
         lun_id_ = lun_id;
         capacity_ = login->capacity;
         ping_failures_ = 0;
+        ++session_generation_;
         ping_timer_.StartPeriodic(options_.ping_period,
                                   [this] { SendPing(); });
         done(capacity_);
@@ -282,10 +283,18 @@ void IscsiInitiator::Connect(const net::NodeId& target,
 }
 
 void IscsiInitiator::SendPing() {
+  // A NOP can outlive its session: the response (or timeout) may land
+  // after a disconnect + reconnect, where acting on it would corrupt the
+  // *new* session's failure count — a stale success masks real missed
+  // pings, a stale timeout disconnects a healthy session. Capture the
+  // generation and drop anything that no longer matches.
+  const std::uint64_t generation = session_generation_;
   endpoint_->Call(target_, std::make_shared<NopRequest>(),
                   options_.ping_timeout,
-                  [this](Result<net::MessagePtr> result) {
-                    if (!connected_) return;
+                  [this, generation](Result<net::MessagePtr> result) {
+                    if (!connected_ || generation != session_generation_) {
+                      return;
+                    }
                     if (result.ok()) {
                       ping_failures_ = 0;
                       return;
@@ -307,6 +316,7 @@ void IscsiInitiator::Disconnect() {
   lun_id_.clear();
   capacity_ = 0;
   ping_failures_ = 0;
+  ++session_generation_;
 }
 
 void IscsiInitiator::Read(Bytes offset, Bytes length, bool random,

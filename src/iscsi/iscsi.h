@@ -197,6 +197,11 @@ class IscsiInitiator {
     on_connection_lost_ = std::move(listener);
   }
 
+  // Monotonic session counter, bumped on every Connect/Disconnect. Test
+  // hook for the ping/reconnect race.
+  std::uint64_t session_generation() const { return session_generation_; }
+  int ping_failures() const { return ping_failures_; }
+
   // Reads return the stored fingerprint tag; writes store one.
   void Read(Bytes offset, Bytes length, bool random,
             std::function<void(Result<std::uint64_t>)> done);
@@ -223,6 +228,10 @@ class IscsiInitiator {
   Bytes capacity_ = 0;
   sim::Timer ping_timer_;
   int ping_failures_ = 0;
+  // Ping state is keyed by session generation: a NOP response belonging to
+  // a previous session (e.g. racing a disconnect + reconnect) must neither
+  // reset nor advance the current session's failure count.
+  std::uint64_t session_generation_ = 0;
   std::function<void(Status)> on_connection_lost_;
 };
 

@@ -49,7 +49,7 @@ void Network::Send(const NodeId& from, const NodeId& to, MessagePtr msg) {
   sim::Time& free_at = link_free_at_[{from, to}];
   const sim::Time start = std::max(free_at, sim_->now());
   free_at = start + tx_time;
-  const sim::Time deliver_at = free_at + link.latency;
+  const sim::Time deliver_at = free_at + link.latency + ExtraDelay(from, to);
 
   sim_->ScheduleAt(deliver_at, [this, from, to, msg = std::move(msg), size] {
     // Re-check state at delivery time: the receiver may have crashed (or a
@@ -98,6 +98,22 @@ void Network::SetPartitioned(const NodeId& a, const NodeId& b,
                              bool partitioned) {
   partitioned_[{a, b}] = partitioned;
   partitioned_[{b, a}] = partitioned;
+}
+
+void Network::SetExtraDelay(const NodeId& a, const NodeId& b,
+                            sim::Duration extra) {
+  if (extra <= 0) {
+    extra_delay_.erase({a, b});
+    extra_delay_.erase({b, a});
+    return;
+  }
+  extra_delay_[{a, b}] = extra;
+  extra_delay_[{b, a}] = extra;
+}
+
+sim::Duration Network::ExtraDelay(const NodeId& from, const NodeId& to) const {
+  auto it = extra_delay_.find({from, to});
+  return it != extra_delay_.end() ? it->second : 0;
 }
 
 }  // namespace ustore::net

@@ -65,6 +65,11 @@ class Network {
   void SetNodeDown(const NodeId& id, bool down);
   bool IsNodeDown(const NodeId& id) const { return down_.contains(id); }
   void SetPartitioned(const NodeId& a, const NodeId& b, bool partitioned);
+  // Adds `extra` one-way latency to every message between a and b (both
+  // directions) on top of the link's modelled latency — a congested or
+  // degraded path rather than a dead one. Zero clears the injection.
+  void SetExtraDelay(const NodeId& a, const NodeId& b, sim::Duration extra);
+  sim::Duration ExtraDelay(const NodeId& from, const NodeId& to) const;
 
   // --- Introspection -------------------------------------------------------
   std::uint64_t messages_sent() const { return messages_sent_; }
@@ -86,6 +91,7 @@ class Network {
   std::map<DirectedLink, LinkParams> links_;
   std::map<DirectedLink, sim::Time> link_free_at_;
   std::map<DirectedLink, bool> partitioned_;
+  std::map<DirectedLink, sim::Duration> extra_delay_;
   std::unordered_map<NodeId, bool> down_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_delivered_ = 0;

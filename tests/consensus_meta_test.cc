@@ -10,6 +10,7 @@
 #include "consensus/meta_client.h"
 #include "consensus/meta_service.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace ustore::consensus {
@@ -212,6 +213,34 @@ TEST_F(MetaClusterTest, ClientFollowsLeaderFailover) {
   services_[old_leader]->Restart();
   sim_.RunFor(sim::Seconds(8));
   EXPECT_TRUE(services_[old_leader]->tree().Exists("/a"));
+}
+
+TEST_F(MetaClusterTest, KilledLeaderMidWriteRetriesWithBackoffAndSucceeds) {
+  // Kill the leader and issue a write in the same instant: the request hits
+  // a dead (or not-yet-elected) server, the client backs off with jitter,
+  // rotates, and lands on the new leader — and the retries are visible on
+  // the meta_client.retries counter.
+  ASSERT_TRUE(CreateSync(*client_, "/pre", "x").ok());
+  const std::uint64_t retries_before =
+      obs::Metrics().GetCounter("meta_client.retries").value();
+
+  const int leader = LeaderIndex();
+  ASSERT_GE(leader, 0);
+  services_[leader]->Stop();
+  Status status = InternalError("pending");
+  client_->Create("/after-failover", "v", false,
+                  [&](Status s) { status = s; });
+  sim_.RunFor(sim::Seconds(20));
+  EXPECT_TRUE(status.ok()) << status;
+  EXPECT_GT(obs::Metrics().GetCounter("meta_client.retries").value(),
+            retries_before);
+
+  bool found = false;
+  client_->Get("/after-failover", [&](Result<Znode> r) {
+    found = r.ok() && r->data == "v";
+  });
+  sim_.RunFor(sim::Seconds(2));
+  EXPECT_TRUE(found);
 }
 
 TEST_F(MetaClusterTest, MasterElectionPattern) {

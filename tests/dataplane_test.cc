@@ -284,6 +284,80 @@ TEST(DataPlaneFailure, PowerOffMidBatchFailsOnlyNotYetCompletedMembers) {
   EXPECT_EQ(disk.ios_completed(), 2u);
 }
 
+TEST(DataPlaneFailure, FailMidBatchClassifiesByFailureInstantAndRingReusable) {
+  sim::Simulator sim;
+  Disk disk(&sim, "fb", DiskModel(DiskParams{}, hw::SataInterface()));
+
+  // Same shape as the power-cut test, but through Fail() — a hardware
+  // fault while the window drains — and with the completion callback
+  // re-entering the disk (Repair + resubmit), which must neither change
+  // how the window was classified nor fire the batch callback twice.
+  std::vector<IoRequest> batch(
+      6, IoRequest{MiB(4), IoDirection::kRead, AccessPattern::kSequential});
+  std::vector<IoCompletion> results;
+  int batch_callbacks = 0;
+  int resubmit_completions = 0;
+  disk.SubmitBatch(batch, [&](std::span<const IoCompletion> done) {
+    ++batch_callbacks;
+    results.assign(done.begin(), done.end());
+    disk.Repair();
+    disk.SubmitIo({KiB(4), IoDirection::kWrite, AccessPattern::kRandom},
+                  [&](Status status) {
+                    EXPECT_TRUE(status.ok()) << status.ToString();
+                    ++resubmit_completions;
+                  });
+  });
+  const sim::Time fail_at = sim::Millis(50);
+  sim.ScheduleAt(fail_at, [&] { disk.Fail(); });
+  sim.Run();
+
+  EXPECT_EQ(batch_callbacks, 1);
+  ASSERT_EQ(results.size(), 6u);
+  int succeeded = 0;
+  for (const IoCompletion& c : results) {
+    if (c.status.ok()) {
+      EXPECT_LE(c.completed_at, fail_at);
+      ++succeeded;
+    } else {
+      EXPECT_EQ(c.status.code(), StatusCode::kUnavailable);
+      EXPECT_GT(c.completed_at, fail_at);
+    }
+  }
+  EXPECT_EQ(succeeded, 2);
+  EXPECT_EQ(resubmit_completions, 1);
+  EXPECT_EQ(disk.queue_depth(), 0u);  // the ring did not leak
+}
+
+TEST(DataPlaneFailure, ResubmitFromFailureCallbackSurvivesTheFailSweep) {
+  sim::Simulator sim;
+  Disk disk(&sim, "fs", DiskModel(DiskParams{}, hw::SataInterface()));
+
+  // a drains immediately; b and c queue behind it in the ring. Fail()
+  // sweeps the ring, and b's failure callback repairs the disk and
+  // resubmits — the sweep must still fail c (queued before the repair)
+  // but must not swallow the fresh request.
+  const IoRequest read{MiB(4), IoDirection::kRead, AccessPattern::kSequential};
+  Status a = InternalError("pending");
+  Status b = a, c = a, d = a;
+  disk.SubmitIo(read, [&](Status status) { a = status; });
+  disk.SubmitIo(read, [&](Status status) {
+    b = status;
+    disk.Repair();
+    disk.SubmitIo(read, [&](Status status2) { d = status2; });
+  });
+  disk.SubmitIo(read, [&](Status status) { c = status; });
+  sim.ScheduleAt(sim::Millis(10), [&] { disk.Fail(); });
+  sim.Run();
+
+  EXPECT_EQ(b.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(c.code(), StatusCode::kUnavailable);
+  // a was on the platter past the failure instant: lost mid-io.
+  EXPECT_EQ(a.code(), StatusCode::kUnavailable);
+  // d was accepted after the repair and completes normally.
+  EXPECT_TRUE(d.ok()) << d.ToString();
+  EXPECT_EQ(disk.queue_depth(), 0u);
+}
+
 TEST(DataPlaneFailure, BatchToSpunDownDiskTriggersOneImplicitSpinUp) {
   sim::Simulator sim;
   Disk disk(&sim, "su", DiskModel(DiskParams{}, hw::SataInterface()));

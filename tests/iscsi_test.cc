@@ -231,5 +231,45 @@ TEST_F(IscsiTest, LargeTransfersPayNetworkTime) {
   EXPECT_LT(ms, 120.0);
 }
 
+TEST_F(IscsiTest, TargetFlapDuringPingDoesNotPoisonTheNewSession) {
+  // A NOP ping can outlive its session: issue one that will time out,
+  // then disconnect + reconnect (a target flap) while it is in flight.
+  // The stale timeout must be dropped on the session-generation check —
+  // with ping_failures_to_disconnect=1 it would otherwise tear down the
+  // healthy new session the moment it lands.
+  ASSERT_TRUE(ExposeSync({"/lun", "disk-0", 0, GiB(1)}).ok());
+  net::RpcEndpoint endpoint(&sim_, &network_, "client-1");
+  IscsiInitiatorOptions options;
+  options.ping_failures_to_disconnect = 1;
+  IscsiInitiator initiator(&sim_, &endpoint, options);
+  bool lost = false;
+  initiator.set_connection_lost_listener([&](Status) { lost = true; });
+
+  Result<Bytes> connected = InternalError("pending");
+  initiator.Connect("host-0", "/lun", [&](Result<Bytes> r) { connected = r; });
+  sim_.RunFor(sim::Seconds(1));
+  ASSERT_TRUE(connected.ok()) << connected.status();
+  const std::uint64_t first_session = initiator.session_generation();
+
+  // Drop the path so the next periodic NOP times out, and let one launch.
+  network_.SetPartitioned("host-0", "client-1", true);
+  sim_.RunFor(sim::MillisD(600));
+
+  // Flap while that NOP is still in flight.
+  initiator.Disconnect();
+  network_.SetPartitioned("host-0", "client-1", false);
+  connected = InternalError("pending");
+  initiator.Connect("host-0", "/lun", [&](Result<Bytes> r) { connected = r; });
+  sim_.RunFor(sim::MillisD(200));
+  ASSERT_TRUE(connected.ok()) << connected.status();
+  EXPECT_EQ(initiator.session_generation(), first_session + 2);
+
+  // The stale ping's timeout lands here; the new session must ride it out.
+  sim_.RunFor(sim::Seconds(2));
+  EXPECT_TRUE(initiator.connected());
+  EXPECT_FALSE(lost);
+  EXPECT_EQ(initiator.ping_failures(), 0);
+}
+
 }  // namespace
 }  // namespace ustore::iscsi

@@ -156,6 +156,41 @@ TEST_F(DfsFixture, ReadsFailOverToReplicasWithoutInterruption) {
   EXPECT_GT(read.replica_failovers, 0);
 }
 
+TEST(DfsClientTest, WriteRetryExhaustionReportsAccountingAndFiresOnce) {
+  // A replica that never answers: the write retries write_max_retries
+  // times (stalled accumulating one retry delay per attempt), then fails
+  // exactly once with the final error. Standalone sim — the NameNode
+  // places the only replica on a DataNode id nobody registered, so every
+  // block write times out.
+  sim::Simulator sim;
+  net::Network network(&sim, Rng(17));
+  DfsOptions options;
+  options.replication = 1;
+  options.write_max_retries = 3;
+  options.write_retry_delay = sim::MillisD(100);
+  options.rpc_timeout = sim::MillisD(500);
+  NameNode namenode(&sim, &network, "dfs-nn", {"dfs-dn-ghost"}, options);
+  DfsClient client(&sim, &network, "dfs-client", "dfs-nn", options);
+
+  int completions = 0;
+  DfsClient::WriteReport report;
+  report.status = InternalError("pending");
+  client.WriteFile("/doomed", 1, 9000, [&](DfsClient::WriteReport r) {
+    ++completions;
+    report = r;
+  });
+  sim.RunFor(sim::Seconds(30));
+
+  EXPECT_EQ(completions, 1);
+  EXPECT_FALSE(report.status.ok());
+  EXPECT_EQ(report.status.code(), StatusCode::kDeadlineExceeded);
+  // Initial attempt + write_max_retries retries, each a transient error;
+  // only the retried attempts wait out the delay.
+  EXPECT_EQ(report.transient_errors, options.write_max_retries + 1);
+  EXPECT_EQ(report.stalled,
+            options.write_max_retries * options.write_retry_delay);
+}
+
 // --- Archiver -------------------------------------------------------------------
 
 class ArchiverFixture : public ::testing::Test {
