@@ -8,10 +8,13 @@
 // latency of cold reads; never spinning down keeps p99 in tens of
 // milliseconds at ~6 W per disk, 24/7.
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 
 #include "bench_util.h"
 #include "core/cluster.h"
+#include "obs/trace.h"
 #include "services/workloads.h"
 
 namespace {
@@ -19,7 +22,8 @@ namespace {
 using namespace ustore;
 
 services::ColdStudyReport RunStudy(sim::Duration idle_spin_down,
-                                   double mean_interarrival_s) {
+                                   double mean_interarrival_s,
+                                   const std::string& trace_json_path = {}) {
   core::ClusterOptions options;
   options.seed = 77;
   core::Cluster cluster(options);
@@ -41,6 +45,12 @@ services::ColdStudyReport RunStudy(sim::Duration idle_spin_down,
   workload.object_count = 100;
   services::ColdStorageStudy study(&cluster.sim(), volume, disk, workload,
                                    Rng(5));
+  if (!trace_json_path.empty()) {
+    // Drop the setup spans and widen the ring so liveness-ping RPC spans
+    // cannot evict the cold-read trees over four simulated hours.
+    obs::Tracer().set_capacity(1 << 16);
+    obs::Tracer().Clear();
+  }
   services::ColdStudyReport report;
   bool finished = false;
   study.Run(sim::Seconds(4 * 3600), [&](services::ColdStudyReport r) {
@@ -49,12 +59,36 @@ services::ColdStudyReport RunStudy(sim::Duration idle_spin_down,
   });
   cluster.RunFor(sim::Seconds(5 * 3600));
   if (!finished) report.status = InternalError("study never finished");
+  if (!trace_json_path.empty() && report.status.ok()) {
+    const std::string json =
+        obs::DumpTraceJson(obs::Tracer().CompletedInOrder());
+    std::FILE* f = std::fopen(trace_json_path.c_str(), "w");
+    if (f == nullptr) {
+      report.status = InternalError("cannot write " + trace_json_path);
+    } else {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+    }
+  }
   return report;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace-json FILE: export the aggressive ("1 min") policy's span
+  // forest for offline causal/phase analysis — feed it to
+  // `tools/trace_inspect FILE --verify` or `... FILE` for the per-request
+  // phase flame summary (EXPERIMENTS.md, cold-read phase breakdown).
+  std::string trace_json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-json") == 0 && i + 1 < argc) {
+      trace_json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_cold_workload [--trace-json FILE]\n");
+      return 2;
+    }
+  }
   bench::PrintHeader(
       "Cold workload: idle spin-down timeout vs latency and power\n"
       "(4 simulated hours, ~1 read / 10 min, Zipf popularity)");
@@ -72,7 +106,10 @@ int main() {
       {"1 min", sim::Seconds(60)},
   };
   for (const Policy& policy : policies) {
-    auto report = RunStudy(policy.timeout, 600);
+    const bool trace_this = !trace_json_path.empty() &&
+                            policy.timeout == sim::Seconds(60);
+    auto report =
+        RunStudy(policy.timeout, 600, trace_this ? trace_json_path : "");
     if (!report.status.ok()) {
       bench::PrintRow({policy.name, report.status.ToString()}, 12);
       continue;

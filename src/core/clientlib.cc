@@ -14,6 +14,9 @@ ClientLib::ClientLib(sim::Simulator* sim, net::Network* network,
       options_(std::move(options)),
       endpoint_(std::make_unique<net::RpcEndpoint>(sim, network,
                                                    std::move(id))),
+      read_phases_("client.read"),
+      write_phases_("client.write"),
+      batch_phases_("client.batch"),
       retry_rng_(options_.retry_jitter_seed != 0 ? options_.retry_jitter_seed
                                                  : SeedFromId(endpoint_->id())) {
   assert(!options_.masters.empty());
@@ -36,7 +39,7 @@ ClientLib::~ClientLib() = default;
 
 void ClientLib::CallMaster(net::MessagePtr request,
                            std::function<void(Result<net::MessagePtr>)> done,
-                           int attempt) {
+                           int attempt, obs::TraceContext ctx) {
   if (attempt >= options_.max_master_attempts) {
     done(UnavailableError("no active master reachable"));
     return;
@@ -46,8 +49,8 @@ void ClientLib::CallMaster(net::MessagePtr request,
   const net::NodeId master = options_.masters[master_index];
   endpoint_->Call(
       master, request, options_.rpc_timeout,
-      [this, request, done = std::move(done), master_index,
-       attempt](Result<net::MessagePtr> result) mutable {
+      [this, request, done = std::move(done), master_index, attempt,
+       ctx](Result<net::MessagePtr> result) mutable {
         const StatusCode code = result.status().code();
         if (!result.ok() && (code == StatusCode::kUnavailable ||
                              code == StatusCode::kDeadlineExceeded)) {
@@ -59,16 +62,21 @@ void ClientLib::CallMaster(net::MessagePtr request,
                               static_cast<int>(options_.masters.size());
           }
           obs::Metrics().Increment("client.master_retries");
-          sim_->Schedule(RetryDelay(attempt),
-                         [this, request, done = std::move(done),
-                          attempt]() mutable {
-                           CallMaster(std::move(request), std::move(done),
-                                      attempt + 1);
-                         });
+          const sim::Duration delay = RetryDelay(attempt);
+          sim_->Schedule(delay, [this, request, done = std::move(done),
+                                 attempt, delay, ctx]() mutable {
+            // The wait itself becomes a span in the request tree, so the
+            // analyzer can attribute it to the retry_backoff phase.
+            obs::Tracer().Record("client", "retry_backoff",
+                                 sim_->now() - delay, sim_->now(), {}, ctx);
+            CallMaster(std::move(request), std::move(done), attempt + 1,
+                       ctx);
+          });
           return;
         }
         done(std::move(result));
-      });
+      },
+      ctx);
 }
 
 sim::Duration ClientLib::RetryDelay(int attempt) {
@@ -95,25 +103,32 @@ void ClientLib::AllocateAndMountOnDisk(
     const std::string& service, Bytes size, const std::string& disk,
     std::function<void(Result<Volume*>)> done) {
   obs::Metrics().Increment("client.allocations_requested");
+  const obs::SpanId span = obs::Tracer().Begin("client", "allocate");
+  obs::Tracer().Annotate(span, "service", service);
   auto request = std::make_shared<AllocateRequest>();
   request->service = service;
   request->size = size;
   request->client = id();
   request->locality_host = options_.locality_host;
   request->disk_hint = disk;
-  CallMaster(request, [this, done = std::move(done)](
-                          Result<net::MessagePtr> result) {
-    if (!result.ok()) {
-      done(result.status());
-      return;
-    }
-    auto* response = dynamic_cast<AllocateResponse*>(result->get());
-    if (response == nullptr) {
-      done(InternalError("unexpected allocate response"));
-      return;
-    }
-    Mount(response->space, std::move(done));
-  });
+  CallMaster(
+      request,
+      [this, span, done = std::move(done)](Result<net::MessagePtr> result) {
+        obs::Tracer().Annotate(span, "outcome",
+                               result.ok() ? "ok" : "error");
+        obs::Tracer().End(span);
+        if (!result.ok()) {
+          done(result.status());
+          return;
+        }
+        auto* response = dynamic_cast<AllocateResponse*>(result->get());
+        if (response == nullptr) {
+          done(InternalError("unexpected allocate response"));
+          return;
+        }
+        Mount(response->space, std::move(done));
+      },
+      0, obs::Tracer().ContextFor(span));
 }
 
 void ClientLib::Mount(const AllocatedSpace& space,
@@ -196,6 +211,7 @@ void ClientLib::SubscribeMoves(const SpaceId& id) {
 ClientLib::Volume::Volume(ClientLib* owner, AllocatedSpace space)
     : owner_(owner),
       space_(std::move(space)),
+      space_name_(space_.id.ToString()),
       initiator_(owner->sim_, owner->endpoint_.get()),
       remount_timer_(owner->sim_) {
   // NOP-ping liveness: a dead target host triggers remount immediately,
@@ -298,22 +314,24 @@ void ClientLib::Volume::Read(
     return;
   }
   obs::Metrics().Increment("client.reads");
-  const obs::SpanId span = obs::Tracer().Begin("client", "read");
-  obs::Tracer().Annotate(span, "space", space_.id.ToString());
-  obs::Tracer().Annotate(span, "bytes", std::to_string(length));
+  const obs::SpanId span = obs::Tracer().Begin(
+      "client", "read", {}, {{"space", space_name_}, {"bytes", length}});
   const sim::Time started = owner_->sim_->now();
-  initiator_.Read(offset, length, random,
-                  [this, span, started, done = std::move(done)](
-                      Result<std::uint64_t> result) {
-                    obs::Metrics().Observe(
-                        "client.read.latency_us",
-                        sim::ToMicros(owner_->sim_->now() - started));
-                    obs::Tracer().Annotate(span, "outcome",
-                                           result.ok() ? "ok" : "error");
-                    obs::Tracer().End(span);
-                    if (!result.ok()) OnIoError(result.status());
-                    done(std::move(result));
-                  });
+  initiator_.Read(
+      offset, length, random,
+      [this, span, started, done = std::move(done)](
+          Result<std::uint64_t> result, const obs::IoPhases& phases) {
+        const sim::Duration e2e = owner_->sim_->now() - started;
+        obs::Metrics().Observe("client.read.latency_us", sim::ToMicros(e2e));
+        // Phase attribution only makes sense for requests that reached the
+        // disk; error paths report zeroed phases.
+        if (result.ok()) owner_->read_phases_.Record(phases, 0, e2e);
+        obs::Tracer().EndWith(span,
+                              {{"outcome", result.ok() ? "ok" : "error"}});
+        if (!result.ok()) OnIoError(result.status());
+        done(std::move(result));
+      },
+      obs::Tracer().ContextFor(span));
 }
 
 void ClientLib::Volume::Write(Bytes offset, Bytes length, bool random,
@@ -324,22 +342,22 @@ void ClientLib::Volume::Write(Bytes offset, Bytes length, bool random,
     return;
   }
   obs::Metrics().Increment("client.writes");
-  const obs::SpanId span = obs::Tracer().Begin("client", "write");
-  obs::Tracer().Annotate(span, "space", space_.id.ToString());
-  obs::Tracer().Annotate(span, "bytes", std::to_string(length));
+  const obs::SpanId span = obs::Tracer().Begin(
+      "client", "write", {}, {{"space", space_name_}, {"bytes", length}});
   const sim::Time started = owner_->sim_->now();
-  initiator_.Write(offset, length, random, tag,
-                   [this, span, started,
-                    done = std::move(done)](Status status) {
-                     obs::Metrics().Observe(
-                         "client.write.latency_us",
-                         sim::ToMicros(owner_->sim_->now() - started));
-                     obs::Tracer().Annotate(span, "outcome",
-                                            status.ok() ? "ok" : "error");
-                     obs::Tracer().End(span);
-                     if (!status.ok()) OnIoError(status);
-                     done(status);
-                   });
+  initiator_.Write(
+      offset, length, random, tag,
+      [this, span, started, done = std::move(done)](
+          Status status, const obs::IoPhases& phases) {
+        const sim::Duration e2e = owner_->sim_->now() - started;
+        obs::Metrics().Observe("client.write.latency_us", sim::ToMicros(e2e));
+        if (status.ok()) owner_->write_phases_.Record(phases, 0, e2e);
+        obs::Tracer().EndWith(span,
+                              {{"outcome", status.ok() ? "ok" : "error"}});
+        if (!status.ok()) OnIoError(status);
+        done(status);
+      },
+      obs::Tracer().ContextFor(span));
 }
 
 void ClientLib::Volume::SubmitBatch(std::span<const IoOp> ops,
@@ -361,9 +379,9 @@ void ClientLib::Volume::SubmitBatch(std::span<const IoOp> ops,
   obs::Metrics().Increment("client.writes", writes);
   obs::Metrics().Observe("client.io.batch_size",
                          static_cast<double>(ops.size()), obs::CountBuckets());
-  const obs::SpanId span = obs::Tracer().Begin("client", "submit_batch");
-  obs::Tracer().Annotate(span, "space", space_.id.ToString());
-  obs::Tracer().Annotate(span, "ops", std::to_string(ops.size()));
+  const obs::SpanId span = obs::Tracer().Begin(
+      "client", "submit_batch", {},
+      {{"space", space_name_}, {"ops", ops.size()}});
   const sim::Time started = owner_->sim_->now();
 
   // The continuation crosses the RPC layer, whose callbacks must be
@@ -379,21 +397,25 @@ void ClientLib::Volume::SubmitBatch(std::span<const IoOp> ops,
   call->reads = reads;
   call->writes = writes;
   initiator_.SubmitBatch(
-      ops, [this, span, started,
-            call](Result<std::vector<iscsi::BatchOpResult>> result) {
+      ops,
+      [this, span, started, call](
+          Result<std::vector<iscsi::BatchOpResult>> result,
+          const obs::IoPhases& phases) {
         // Each op's client-visible latency IS the batch round trip, so
         // every member lands as its own histogram sample.
-        const double latency_us =
-            sim::ToMicros(owner_->sim_->now() - started);
+        const sim::Duration e2e = owner_->sim_->now() - started;
+        const double latency_us = sim::ToMicros(e2e);
         for (std::uint64_t i = 0; i < call->reads; ++i) {
           obs::Metrics().Observe("client.read.latency_us", latency_us);
         }
         for (std::uint64_t i = 0; i < call->writes; ++i) {
           obs::Metrics().Observe("client.write.latency_us", latency_us);
         }
-        obs::Tracer().Annotate(span, "outcome",
-                               result.ok() ? "ok" : "error");
-        obs::Tracer().End(span);
+        // One phase sample per batch (client.batch.phase.*_us): the batch
+        // shares one round trip, so per-op phase samples would be copies.
+        if (result.ok()) owner_->batch_phases_.Record(phases, 0, e2e);
+        obs::Tracer().EndWith(span,
+                              {{"outcome", result.ok() ? "ok" : "error"}});
         if (!result.ok()) {
           OnIoError(result.status());
           call->done(result.status(), {});
@@ -412,7 +434,8 @@ void ClientLib::Volume::SubmitBatch(std::span<const IoOp> ops,
         call->done(Status::Ok(),
                    std::span<const IoOpResult>(result->data(),
                                                result->size()));
-      });
+      },
+      obs::Tracer().ContextFor(span));
 }
 
 }  // namespace ustore::core

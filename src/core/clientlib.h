@@ -22,6 +22,7 @@
 #include "core/types.h"
 #include "iscsi/iscsi.h"
 #include "net/rpc.h"
+#include "obs/phase.h"
 #include "sim/event_fn.h"
 #include "sim/simulator.h"
 
@@ -87,6 +88,7 @@ class ClientLib {
 
     ClientLib* owner_;
     AllocatedSpace space_;
+    std::string space_name_;  // space_.id.ToString(), cached off the I/O path
     iscsi::IscsiInitiator initiator_;
     bool mounted_ = false;
     bool remounting_ = false;
@@ -143,9 +145,11 @@ class ClientLib {
   friend class Volume;
 
   // Sends a request to the active master (round-robin on unavailability).
+  // `ctx` parents the master RPC (and any retry_backoff spans) under the
+  // caller's request span.
   void CallMaster(net::MessagePtr request,
                   std::function<void(Result<net::MessagePtr>)> done,
-                  int attempt = 0);
+                  int attempt = 0, obs::TraceContext ctx = {});
   // Backoff before master retry `attempt` (see ClientLibOptions).
   sim::Duration RetryDelay(int attempt);
   void SubscribeMoves(const SpaceId& id);
@@ -153,6 +157,12 @@ class ClientLib {
   sim::Simulator* sim_;
   ClientLibOptions options_;
   std::unique_ptr<net::RpcEndpoint> endpoint_;
+  // Critical-path latency attribution: every successful data-path request
+  // decomposes its end-to-end latency into client.<op>.phase.*_us
+  // histograms (DESIGN.md §11). Shared by all volumes of this client.
+  obs::PhaseRecorder read_phases_;
+  obs::PhaseRecorder write_phases_;
+  obs::PhaseRecorder batch_phases_;
   Rng retry_rng_;
   int current_master_ = 0;
   std::map<SpaceId, std::unique_ptr<Volume>> volumes_;

@@ -73,7 +73,8 @@ void Controller::RegisterHandlers() {
              std::function<void(Result<net::MessagePtr>)> reply) {
         auto* request = static_cast<ScheduleRequest*>(msg.get());
         obs::Metrics().Increment("controller.commands_received");
-        queue_.push_back(Command{request->moves, std::move(reply)});
+        queue_.push_back(Command{request->moves, std::move(reply),
+                                 endpoint_->inbound_context()});
         MaybeExecuteNext();
       });
 }
@@ -200,7 +201,7 @@ void Controller::MaybeExecuteNext() {
 }
 
 void Controller::Execute(Command command) {
-  command.span = obs::Tracer().Begin(id(), "execute");
+  command.span = obs::Tracer().Begin(id(), "execute", command.ctx);
   obs::Tracer().Annotate(command.span, "moves",
                          std::to_string(command.moves.size()));
   // Step 2: determine the switches to turn.

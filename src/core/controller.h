@@ -72,6 +72,10 @@ class Controller {
   struct Command {
     std::vector<DiskHostPair> moves;
     std::function<void(Result<net::MessagePtr>)> reply;
+    // Sender's trace context, captured at enqueue time (the command may
+    // execute long after its RPC dispatch returns); the execute span joins
+    // the scheduler's causal tree through it.
+    obs::TraceContext ctx;
     obs::SpanId span = obs::kInvalidSpan;  // execute -> verify/rollback trace
   };
 

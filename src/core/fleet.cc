@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/health.h"
 #include "obs/trace.h"
 
 namespace ustore::core {
@@ -78,12 +79,31 @@ void RunUnit(const FleetOptions& options, int unit_id,
     Cluster cluster(std::move(cluster_options));
     cluster.Start();
 
+    // Per-unit SLO engine: tumbling windows on the unit's own sim clock
+    // against the unit-local registry, so the resulting report depends only
+    // on (fleet seed, unit id) — never on which worker thread ran it.
+    obs::HealthMonitor health(options.health_window > 0
+                                  ? options.health_window
+                                  : sim::Seconds(10),
+                              obs::DefaultSloRules());
+    sim::Timer health_timer(&cluster.sim());
+    if (options.health_window > 0) {
+      health_timer.StartPeriodic(options.health_window, [&] {
+        health.Tick(metrics, cluster.sim().now());
+      });
+    }
+
     // The workload's own random stream: derived from the unit seed but
     // independent of the streams the cluster forked internally.
     Rng rng(SplitMix(report.seed ^ 0xF1EE7u));
     UnitContext context{unit_id, report.seed, &cluster, &rng};
     workload(context);
 
+    if (options.health_window > 0) {
+      health_timer.Stop();
+      health.Finalize(metrics, cluster.sim().now());
+      report.health_json = health.ReportJson();
+    }
     report.sim_end = cluster.sim().now();
     report.events_processed = cluster.sim().events_processed();
     if (Master* master = cluster.active_master(); master != nullptr) {
@@ -95,8 +115,9 @@ void RunUnit(const FleetOptions& options, int unit_id,
   } catch (...) {
     report.error = "unknown exception";
   }
-  report.trace_completed = tracer.completed().size() + tracer.dropped();
+  report.trace_completed = tracer.completed_count() + tracer.dropped();
   report.trace_dropped = tracer.dropped();
+  report.trace_digest = obs::TraceDigest(tracer);
   report.metrics = metrics.Snapshot();
 }
 
@@ -166,12 +187,16 @@ std::string FleetReport::ToJson() const {
     out += ", \"events\": " + std::to_string(unit.events_processed);
     out += ", \"trace_completed\": " + std::to_string(unit.trace_completed);
     out += ", \"trace_dropped\": " + std::to_string(unit.trace_dropped);
+    out += ", \"trace_digest\": " + std::to_string(unit.trace_digest);
     out += ", \"allocation_count\": " +
            std::to_string(unit.allocation_count);
     out += ",\n     \"error\": ";
     AppendJsonString(out, unit.error);
     out += ",\n     \"allocations\": ";
     AppendJsonString(out, unit.allocations);
+    // health_json is already canonical JSON — embedded raw, not re-quoted.
+    out += ",\n     \"health\": ";
+    out += unit.health_json.empty() ? "null" : unit.health_json;
     out += ",\n     \"counters\": {";
     bool first = true;
     for (const auto& [name, value] : unit.metrics.counters) {

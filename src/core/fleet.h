@@ -39,6 +39,10 @@ struct FleetOptions {
   // [1, units]. The merged report does not depend on this value.
   int threads = 1;
   std::uint64_t seed = 42;
+  // Tumbling-window cadence of the per-unit health monitor
+  // (obs::DefaultSloRules()); 0 disables health monitoring. Driven by each
+  // unit's own sim clock, so the reports are thread-count independent.
+  sim::Duration health_window = sim::Seconds(10);
   // Per-unit template; `unit_id` and `seed` are overwritten per unit.
   ClusterOptions cluster;
 };
@@ -60,8 +64,14 @@ struct UnitReport {
   std::uint64_t events_processed = 0;    // simulator events fired
   std::uint64_t trace_completed = 0;
   std::uint64_t trace_dropped = 0;
+  // FNV-1a fingerprint of the unit's trace buffer (obs::TraceDigest):
+  // asserting it across thread counts asserts the whole causal forest.
+  std::uint64_t trace_digest = 0;
   std::size_t allocation_count = 0;
   std::string allocations;  // Master::DumpAllocations() of the active master
+  // obs::HealthMonitor::ReportJson() for this unit; empty if health
+  // monitoring was disabled or the workload threw.
+  std::string health_json;
   obs::MetricsSnapshot metrics;
   std::string error;  // nonempty if the workload body threw
 };

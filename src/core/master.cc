@@ -438,8 +438,9 @@ void Master::HandleHostFailure(int failed_host) {
     for (int disk : stranded) {
       moves.push_back(DiskHostPair{DiskName(disk), target});
     }
-    const obs::SpanId schedule_span =
-        obs::Tracer().Begin("master", "failover.schedule");
+    const obs::SpanId schedule_span = obs::Tracer().Begin(
+        "master", "failover.schedule",
+        obs::Tracer().ContextFor(failover_spans_[failed_host]));
     obs::Tracer().Annotate(schedule_span, "target", std::to_string(target));
     auto self = weak_try.lock();
     SendSchedule(moves, [this, failed_host, stranded, target, index,
@@ -462,8 +463,9 @@ void Master::HandleHostFailure(int failed_host) {
         EndFailoverSpan(failed_host, "schedule-failed");
         return;
       }
-      const obs::SpanId expose_span =
-          obs::Tracer().Begin("master", "failover.re_expose");
+      const obs::SpanId expose_span = obs::Tracer().Begin(
+          "master", "failover.re_expose",
+          obs::Tracer().ContextFor(failover_spans_[failed_host]));
       auto remaining =
           std::make_shared<int>(static_cast<int>(stranded.size()));
       for (int disk : stranded) {
@@ -485,7 +487,7 @@ void Master::HandleHostFailure(int failed_host) {
                        }
                      });
       }
-    });
+    }, obs::Tracer().ContextFor(schedule_span));
   };
   (*try_candidate)(0);
 }
@@ -503,14 +505,16 @@ void Master::HandleDiskFailure(int disk) {
 }
 
 void Master::SendSchedule(std::vector<DiskHostPair> moves,
-                          std::function<void(Status)> done) {
+                          std::function<void(Status)> done,
+                          obs::TraceContext ctx) {
   auto request = std::make_shared<ScheduleRequest>();
   request->moves = std::move(moves);
-  endpoint_->Call(ActiveControllerId(), request,
-                  options_.controller_rpc_timeout,
-                  [done = std::move(done)](Result<net::MessagePtr> result) {
-                    done(result.status());
-                  });
+  endpoint_->Call(
+      ActiveControllerId(), request, options_.controller_rpc_timeout,
+      [done = std::move(done)](Result<net::MessagePtr> result) {
+        done(result.status());
+      },
+      ctx);
 }
 
 void Master::ExposeEntry(const AllocEntry& entry, int host_index,

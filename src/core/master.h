@@ -169,8 +169,11 @@ class Master {
 
   // Failover machinery.
   net::NodeId ActiveControllerId() const;
+  // `ctx` parents the controller RPC (and the controller's execute span)
+  // under the failover's schedule span.
   void SendSchedule(std::vector<DiskHostPair> moves,
-                    std::function<void(Status)> done);
+                    std::function<void(Status)> done,
+                    obs::TraceContext ctx = {});
   void ReExposeDisk(int disk, int new_host,
                     std::function<void(Status)> done);
   void NotifySubscribers(const SpaceId& id, const net::NodeId& new_host);

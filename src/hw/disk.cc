@@ -32,6 +32,7 @@ Disk::Disk(sim::Simulator* sim, std::string name, DiskModel model,
            bool start_powered, DiskQueueOptions queue_options)
     : sim_(sim),
       name_(std::move(name)),
+      trace_component_("disk:" + name_),
       model_(std::move(model)),
       queue_options_(queue_options),
       state_(start_powered ? DiskState::kIdle : DiskState::kPoweredOff),
@@ -75,36 +76,50 @@ Disk::Pending Disk::RingPop() {
 
 void Disk::SubmitIo(const IoRequest& request, IoCallback callback) {
   assert(callback);
+  SubmitIo(
+      request,
+      [callback = std::move(callback)](const IoCompletion& completion) {
+        callback(completion.status);
+      },
+      {});
+}
+
+void Disk::SubmitIo(const IoRequest& request, IoCallbackEx callback,
+                    obs::TraceContext ctx) {
+  assert(callback);
   if (failed_) {
-    callback(UnavailableError(name_ + ": disk failed"));
+    callback(IoCompletion{UnavailableError(name_ + ": disk failed"),
+                          sim_->now()});
     return;
   }
   if (state_ == DiskState::kPoweredOff) {
-    callback(UnavailableError(name_ + ": disk powered off"));
+    callback(IoCompletion{UnavailableError(name_ + ": disk powered off"),
+                          sim_->now()});
     return;
   }
   if (RingFull(1)) {
     op_rejected_.Increment();
-    callback(ResourceExhaustedError(name_ + ": request queue full"));
+    callback(IoCompletion{
+        ResourceExhaustedError(name_ + ": request queue full"), sim_->now()});
     return;
   }
   Pending pending{request, std::move(callback)};
-  pending.span = obs::Tracer().Begin("disk:" + name_, "io");
-  obs::Tracer().Annotate(pending.span, "dir",
-                         request.direction == IoDirection::kRead ? "read"
-                                                                 : "write");
-  obs::Tracer().Annotate(pending.span, "size",
-                         std::to_string(request.size));
+  pending.submitted_at = sim_->now();
+  pending.span = obs::Tracer().Begin(
+      trace_component_, "io", ctx,
+      {{"dir", request.direction == IoDirection::kRead ? "read" : "write"},
+       {"size", request.size}});
+  const obs::SpanId span = pending.span;
   RingPush(std::move(pending));
   if (state_ == DiskState::kSpunDown) {
-    SpinUp();  // implicit spin-up on access
-    return;    // queue drains once the platter is ready
+    SpinUp(obs::Tracer().ContextFor(span));  // implicit spin-up on access
+    return;  // queue drains once the platter is ready
   }
   MaybeStartNext();
 }
 
 void Disk::SubmitBatch(std::span<const IoRequest> requests,
-                       BatchCallback done) {
+                       BatchCallback done, obs::TraceContext ctx) {
   assert(done);
   if (requests.empty()) {
     done(std::span<const IoCompletion>());
@@ -141,15 +156,17 @@ void Disk::SubmitBatch(std::span<const IoRequest> requests,
   batch.done = std::move(done);
   batch.results.resize(requests.size());
   batch.remaining = requests.size();
-  batch.span = obs::Tracer().Begin("disk:" + name_, "io_batch");
-  obs::Tracer().Annotate(batch.span, "ops",
-                         std::to_string(requests.size()));
+  batch.span = obs::Tracer().Begin(trace_component_, "io_batch", ctx,
+                                   {{"ops", requests.size()}});
+  const sim::Time submitted_at = sim_->now();
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    RingPush(Pending{requests[i], IoCallback(), id,
-                     static_cast<std::uint32_t>(i)});
+    Pending pending{requests[i], IoCallbackEx(), id,
+                    static_cast<std::uint32_t>(i)};
+    pending.submitted_at = submitted_at;
+    RingPush(std::move(pending));
   }
   if (state_ == DiskState::kSpunDown) {
-    SpinUp();
+    SpinUp(obs::Tracer().ContextFor(batch.span));
     return;
   }
   MaybeStartNext();
@@ -184,6 +201,10 @@ void Disk::MaybeStartNext() {
   for (std::size_t i = 0; i < run; ++i) {
     inflight_.push_back(Inflight{RingPop()});
   }
+  // The first request drained after an implicit spin-up owns the whole
+  // spin-up wait (it is what the requester actually waited for).
+  inflight_.front().spin = pending_window_spin_;
+  pending_window_spin_ = 0;
 
   // Completion times chain exactly as one-at-a-time stepping would: each
   // request's service time depends on the previous request's direction.
@@ -200,6 +221,7 @@ void Disk::MaybeStartNext() {
     last_direction_ = request.direction;
     t += first_service;
     inflight_[i].completes_at = t;
+    inflight_[i].service = first_service;
     service_time_us_.Observe(sim::ToMicros(first_service));
 
     std::size_t j = i + 1;
@@ -212,6 +234,7 @@ void Disk::MaybeStartNext() {
       for (std::size_t k = i + 1; k < j; ++k) {
         inflight_[k].completes_at =
             base + static_cast<sim::Duration>(k - i) * steady;
+        inflight_[k].service = steady;
         service_time_us_.Observe(steady_us);
       }
       t = inflight_[j - 1].completes_at;
@@ -257,7 +280,8 @@ void Disk::FinishDrain() {
             static_cast<std::uint64_t>(pending.request.size));
       }
     }
-    Deliver(pending, IoCompletion{std::move(status), entry.completes_at});
+    Deliver(pending, IoCompletion{std::move(status), entry.completes_at,
+                                  entry.service, entry.spin});
   }
 
   if (draining_) return;  // a completion callback already started the next window
@@ -276,28 +300,60 @@ void Disk::FinishDrain() {
 }
 
 void Disk::Deliver(Pending& pending, IoCompletion completion) {
+  obs::TraceBuffer& tracer = obs::Tracer();
   if (pending.batch == 0) {
-    if (!completion.status.ok()) {
-      obs::Tracer().Annotate(pending.span, "error",
-                             completion.status.ToString());
+    if (pending.span > obs::kUnsampledSpan) {
+      if (completion.status.ok()) {
+        tracer.EndAtWith(pending.span, completion.completed_at,
+                         {{"service_ns", completion.service_ns}});
+      } else {
+        tracer.EndAtWith(pending.span, completion.completed_at,
+                         {{"service_ns", completion.service_ns},
+                          {"error", completion.status.ToString()}});
+      }
     }
-    obs::Tracer().End(pending.span);
-    pending.callback(completion.status);
+    pending.callback(completion);
     return;
   }
   auto it = batches_.find(pending.batch);
   assert(it != batches_.end());
   BatchState& batch = it->second;
+  // Batching must not delete per-op observability: each member gets an
+  // `io` child span under the batch's `io_batch` span, with exactly the
+  // serial path's attributes and its true platter interval
+  // [submitted_at, completed_at] — the drain event that delivers several
+  // members at once is invisible in the trace.
+  // Real span ids are always > kUnsampledSpan, so one compare skips the
+  // whole per-op emission for unsampled (or untraced) batches.
+  if (batch.span > obs::kUnsampledSpan && tracer.enabled()) {
+    const obs::TraceContext ctx = tracer.ContextFor(batch.span);
+    const std::string_view dir =
+        pending.request.direction == IoDirection::kRead ? "read" : "write";
+    if (completion.status.ok()) {
+      tracer.Emit(trace_component_, "io", pending.submitted_at,
+                  completion.completed_at, ctx,
+                  {{"dir", dir},
+                   {"size", pending.request.size},
+                   {"service_ns", completion.service_ns}});
+    } else {
+      tracer.Emit(trace_component_, "io", pending.submitted_at,
+                  completion.completed_at, ctx,
+                  {{"dir", dir},
+                   {"size", pending.request.size},
+                   {"service_ns", completion.service_ns},
+                   {"error", completion.status.ToString()}});
+    }
+  }
   batch.results[pending.batch_index] = std::move(completion);
   if (--batch.remaining == 0) {
     BatchState finished = std::move(batch);
     batches_.erase(it);
-    obs::Tracer().End(finished.span);
+    tracer.End(finished.span);
     finished.done(std::span<const IoCompletion>(finished.results));
   }
 }
 
-void Disk::SpinUp() {
+void Disk::SpinUp(obs::TraceContext ctx) {
   if (failed_ || state_ == DiskState::kPoweredOff) return;
   if (state_ != DiskState::kSpunDown) return;
 
@@ -308,9 +364,10 @@ void Disk::SpinUp() {
                                             64 * configured_idle_timeout_);
   }
   last_spin_up_at_ = sim_->now();
+  spin_started_at_ = sim_->now();
   ++spin_cycles_;
   obs::Metrics().Increment("disk.spin_up.count");
-  spin_span_ = obs::Tracer().Begin("disk:" + name_, "spin_up");
+  spin_span_ = obs::Tracer().Begin(trace_component_, "spin_up", ctx);
 
   EnterState(DiskState::kSpinningUp);
   spin_timer_.StartOneShot(model_.disk().spin_up_time,
@@ -321,8 +378,13 @@ void Disk::FinishSpinUp() {
   if (state_ != DiskState::kSpinningUp) return;
   obs::Tracer().End(spin_span_);
   spin_span_ = obs::kInvalidSpan;
+  // Charge the spin-up wait to the next drained window's first request
+  // (phase attribution; see MaybeStartNext).
+  pending_window_spin_ = sim_->now() - spin_started_at_;
   EnterState(DiskState::kIdle);
   if (ring_count_ == 0 && !draining_) {
+    // No one was waiting: the spin-up belongs to no request.
+    pending_window_spin_ = 0;
     ArmIdleTimer();
   } else {
     MaybeStartNext();

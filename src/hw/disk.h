@@ -54,9 +54,17 @@ inline constexpr Bytes kFingerprintBlock = KiB(4);
 // delivered together at the end of the batch's drain event, so
 // `completed_at` — not the delivery time — is the per-request timestamp;
 // it is bit-identical to what one-at-a-time submission produces.
+//
+// `service_ns` is the platter time the model charged this request, and
+// `spin_ns` the spin-up wait attributed to it (the first request drained
+// after an implicit spin-up carries the whole spin); both feed critical-path
+// phase attribution (obs/phase.h): queue_wait falls out as
+// (completed_at - submit) - spin_ns - service_ns.
 struct IoCompletion {
   Status status;
   sim::Time completed_at = 0;
+  sim::Duration service_ns = 0;
+  sim::Duration spin_ns = 0;
 };
 
 struct DiskQueueOptions {
@@ -71,6 +79,8 @@ struct DiskQueueOptions {
 class Disk {
  public:
   using IoCallback = std::function<void(Status)>;
+  // Full-completion callback: timing attribution in addition to status.
+  using IoCallbackEx = std::function<void(const IoCompletion&)>;
   // Batch completions arrive in submission order, in one callback. SmallFn
   // storage keeps the typical capture (owner pointer + a couple of ids)
   // allocation-free.
@@ -91,18 +101,27 @@ class Disk {
   // request to a powered-off or failed disk fails immediately; a request
   // that does not fit in the ring fails with kResourceExhausted.
   void SubmitIo(const IoRequest& request, IoCallback callback);
+  // Same, with the full completion record and the submitter's trace
+  // context: the request's `io` span (and any implicit `spin_up`) parents
+  // under the caller's span. No default for `ctx` — it would make the two
+  // overloads ambiguous for callers passing lambdas.
+  void SubmitIo(const IoRequest& request, IoCallbackEx callback,
+                obs::TraceContext ctx);
 
   // Queues a whole vector of requests as one NCQ batch; `done` fires once,
   // after the last member completes, with per-request statuses and exact
   // completion timestamps. Admission is atomic: if the batch does not fit
   // in the ring, every member fails with kResourceExhausted (and nothing
   // is queued). `requests` may be freed as soon as this returns.
-  void SubmitBatch(std::span<const IoRequest> requests, BatchCallback done);
+  void SubmitBatch(std::span<const IoRequest> requests, BatchCallback done,
+                   obs::TraceContext ctx = {});
 
   std::size_t queue_depth() const { return ring_count_ + inflight_.size(); }
 
   // --- Spin/power management (§IV-F) --------------------------------------
-  void SpinUp();
+  // `ctx` (from an implicit access spin-up) parents the `spin_up` span
+  // under the triggering request's span.
+  void SpinUp(obs::TraceContext ctx = {});
   void SpinDown();
   void PowerOn();
   void PowerOff();  // in-flight and queued I/O fails with kUnavailable
@@ -135,10 +154,11 @@ class Disk {
  private:
   struct Pending {
     IoRequest request;
-    IoCallback callback;            // serial submissions only
+    IoCallbackEx callback;          // serial submissions only
     std::uint32_t batch = 0;        // 0 = serial; else key into batches_
     std::uint32_t batch_index = 0;  // slot in BatchState::results
     obs::SpanId span = obs::kInvalidSpan;  // submit -> completion (serial)
+    sim::Time submitted_at = 0;  // per-op batch spans start here
   };
   struct BatchState {
     BatchCallback done;
@@ -149,6 +169,8 @@ class Disk {
   struct Inflight {
     Pending pending;
     sim::Time completes_at = 0;
+    sim::Duration service = 0;  // platter time charged by the model
+    sim::Duration spin = 0;     // spin-up wait attributed to this request
   };
 
   // Ring helpers (lazily allocated on first submission: most disks in a
@@ -175,6 +197,7 @@ class Disk {
 
   sim::Simulator* sim_;
   std::string name_;
+  std::string trace_component_;  // "disk:<name>", cached off the hot path
   DiskModel model_;
   DiskQueueOptions queue_options_;
   DiskState state_;
@@ -202,6 +225,10 @@ class Disk {
   sim::Duration configured_idle_timeout_ = 0;
   sim::Time last_spin_up_at_ = -1;
   obs::SpanId spin_span_ = obs::kInvalidSpan;
+  sim::Time spin_started_at_ = 0;
+  // Spin-up wait not yet charged to a request; the next admitted window's
+  // first member carries it (FinishSpinUp -> MaybeStartNext handoff).
+  sim::Duration pending_window_spin_ = 0;
   int spin_cycles_ = 0;
   std::uint64_t ios_completed_ = 0;
   Bytes bytes_read_ = 0;

@@ -15,6 +15,7 @@ IscsiTarget::IscsiTarget(
     Options options)
     : sim_(sim),
       endpoint_(endpoint),
+      trace_component_("iscsi:" + endpoint->id()),
       disk_resolver_(std::move(disk_resolver)),
       options_(options) {
   assert(disk_resolver_);
@@ -126,33 +127,56 @@ void IscsiTarget::RegisterHandlers() {
 
         obs::Metrics().Increment(is_read ? "iscsi.target.reads"
                                          : "iscsi.target.writes");
-        const obs::SpanId span = obs::Tracer().Begin("iscsi:" + endpoint_->id(),
-                                                     is_read ? "target_read"
-                                                             : "target_write");
-        obs::Tracer().Annotate(span, "lun", io->lun_id);
-        obs::Tracer().Annotate(span, "disk", lun.disk_name);
+        // Adopt the caller's trace context off the RPC envelope; the
+        // target span (and through it the disk's io/spin_up spans) joins
+        // the client request's causal tree.
+        const obs::SpanId span = obs::Tracer().Begin(
+            trace_component_, is_read ? "target_read" : "target_write",
+            endpoint_->inbound_context(),
+            {{"lun", io->lun_id}, {"disk", lun.disk_name}});
+        const sim::Time handled_at = sim_->now();
 
         sim_->Schedule(options_.per_op_overhead, [this, disk, request,
-                                                  disk_offset, is_read,
-                                                  length, tag, span, reply] {
-          disk->SubmitIo(request, [disk, disk_offset, is_read, length, tag,
-                                   span, reply](Status status) {
-            obs::Tracer().Annotate(span, "outcome",
-                                   status.ok() ? "ok" : status.ToString());
-            obs::Tracer().End(span);
-            if (!status.ok()) {
-              reply(status);
-              return;
-            }
-            auto response = std::make_shared<IoResponse>();
-            if (is_read) {
-              response->tag = disk->ReadFingerprint(disk_offset);
-              response->payload = length;
-            } else if (tag != 0) {
-              disk->WriteFingerprint(disk_offset, tag);
-            }
-            reply(net::MessagePtr(std::move(response)));
-          });
+                                                  disk_offset, is_read, length,
+                                                  tag, span, handled_at,
+                                                  reply] {
+          const sim::Time submitted_at = sim_->now();
+          sim::Simulator* sim = sim_;
+          disk->SubmitIo(
+              request,
+              [sim, disk, disk_offset, is_read, length, tag, span, handled_at,
+               submitted_at, reply](const hw::IoCompletion& completion) {
+                const Status& status = completion.status;
+                obs::Tracer().EndWith(
+                    span,
+                    {{"outcome", status.ok() ? "ok" : status.ToString()}});
+                if (!status.ok()) {
+                  reply(status);
+                  return;
+                }
+                auto response = std::make_shared<IoResponse>();
+                if (is_read) {
+                  response->tag = disk->ReadFingerprint(disk_offset);
+                  response->payload = length;
+                } else if (tag != 0) {
+                  disk->WriteFingerprint(disk_offset, tag);
+                }
+                // queue_wait is the exact complement of spin + service
+                // within the platter interval, and fabric the complement
+                // of the disk phases within the target's handling time —
+                // so the reported phases sum to the target's total.
+                obs::IoPhases& phases = response->phases;
+                phases.spin_up = completion.spin_ns;
+                phases.disk_service = completion.service_ns;
+                phases.queue_wait = std::max<sim::Duration>(
+                    0, (completion.completed_at - submitted_at) -
+                           completion.spin_ns - completion.service_ns);
+                phases.fabric = std::max<sim::Duration>(
+                    0, (sim->now() - handled_at) - phases.queue_wait -
+                           phases.spin_up - phases.disk_service);
+                reply(net::MessagePtr(std::move(response)));
+              },
+              obs::Tracer().ContextFor(span));
         });
       });
 
@@ -192,18 +216,18 @@ void IscsiTarget::RegisterHandlers() {
         obs::Metrics().Increment("iscsi.target.writes",
                                  batch->ops.size() - reads);
         obs::Metrics().Increment("iscsi.target.batches");
-        const obs::SpanId span = obs::Tracer().Begin("iscsi:" + endpoint_->id(),
-                                                     "target_batch");
-        obs::Tracer().Annotate(span, "lun", batch->lun_id);
-        obs::Tracer().Annotate(span, "ops",
-                               std::to_string(batch->ops.size()));
+        const obs::SpanId span = obs::Tracer().Begin(
+            trace_component_, "target_batch", endpoint_->inbound_context(),
+            {{"lun", batch->lun_id}, {"ops", batch->ops.size()}});
+        const sim::Time handled_at = sim_->now();
 
         const Bytes lun_offset = lun.offset;
+        sim::Simulator* sim = sim_;
         // One command-processing overhead for the whole vector — the target
         // parses a single PDU, not ops.size() of them. The wire ops stay
         // alive through `msg`.
-        sim_->Schedule(options_.per_op_overhead, [disk, msg, lun_offset, span,
-                                                  reply] {
+        sim_->Schedule(options_.per_op_overhead, [sim, disk, msg, lun_offset,
+                                                  span, handled_at, reply] {
           auto* batch = static_cast<BatchIoRequest*>(msg.get());
           std::vector<hw::IoRequest> requests(batch->ops.size());
           for (std::size_t i = 0; i < batch->ops.size(); ++i) {
@@ -214,18 +238,25 @@ void IscsiTarget::RegisterHandlers() {
             requests[i].pattern = op.random ? hw::AccessPattern::kRandom
                                             : hw::AccessPattern::kSequential;
           }
+          const sim::Time submitted_at = sim->now();
           disk->SubmitBatch(
               requests,
-              [disk, msg, lun_offset, span,
+              [sim, disk, msg, lun_offset, span, handled_at, submitted_at,
                reply](std::span<const hw::IoCompletion> completions) {
                 auto* batch = static_cast<BatchIoRequest*>(msg.get());
                 auto response = std::make_shared<BatchIoResponse>();
                 response->results.resize(completions.size());
                 bool all_ok = true;
+                obs::IoPhases& phases = response->phases;
+                sim::Time last_completed = submitted_at;
                 for (std::size_t i = 0; i < completions.size(); ++i) {
                   const IoOp& op = batch->ops[i];
                   BatchOpResult& out = response->results[i];
                   out.code = completions[i].status.code();
+                  phases.spin_up += completions[i].spin_ns;
+                  phases.disk_service += completions[i].service_ns;
+                  last_completed =
+                      std::max(last_completed, completions[i].completed_at);
                   if (!completions[i].status.ok()) {
                     all_ok = false;
                     continue;
@@ -237,11 +268,21 @@ void IscsiTarget::RegisterHandlers() {
                     disk->WriteFingerprint(lun_offset + op.offset, op.tag);
                   }
                 }
-                obs::Tracer().Annotate(span, "outcome",
-                                       all_ok ? "ok" : "partial");
-                obs::Tracer().End(span);
+                // Aggregate queue_wait as the complement over the whole
+                // platter interval: inter-window drain gaps count as
+                // queueing. fabric completes the partition of the
+                // target's total handling time.
+                phases.queue_wait = std::max<sim::Duration>(
+                    0, (last_completed - submitted_at) - phases.spin_up -
+                           phases.disk_service);
+                phases.fabric = std::max<sim::Duration>(
+                    0, (sim->now() - handled_at) - phases.queue_wait -
+                           phases.spin_up - phases.disk_service);
+                obs::Tracer().EndWith(span,
+                                      {{"outcome", all_ok ? "ok" : "partial"}});
                 reply(net::MessagePtr(std::move(response)));
-              });
+              },
+              obs::Tracer().ContextFor(span));
         });
       });
 }
@@ -319,10 +360,12 @@ void IscsiInitiator::Disconnect() {
   ++session_generation_;
 }
 
-void IscsiInitiator::Read(Bytes offset, Bytes length, bool random,
-                          std::function<void(Result<std::uint64_t>)> done) {
+void IscsiInitiator::Read(
+    Bytes offset, Bytes length, bool random,
+    std::function<void(Result<std::uint64_t>, const obs::IoPhases&)> done,
+    obs::TraceContext ctx) {
   if (!connected_) {
-    done(FailedPreconditionError("not connected"));
+    done(FailedPreconditionError("not connected"), obs::IoPhases{});
     return;
   }
   auto request = std::make_shared<IoRequest>();
@@ -331,26 +374,30 @@ void IscsiInitiator::Read(Bytes offset, Bytes length, bool random,
   request->length = length;
   request->is_read = true;
   request->random = random;
-  endpoint_->Call(target_, request, options_.rpc_timeout,
-                  [done = std::move(done)](Result<net::MessagePtr> result) {
-                    if (!result.ok()) {
-                      done(result.status());
-                      return;
-                    }
-                    auto* io = dynamic_cast<IoResponse*>(result->get());
-                    if (io == nullptr) {
-                      done(InternalError("unexpected io response"));
-                      return;
-                    }
-                    done(io->tag);
-                  });
+  endpoint_->Call(
+      target_, request, options_.rpc_timeout,
+      [done = std::move(done)](Result<net::MessagePtr> result) {
+        if (!result.ok()) {
+          done(result.status(), obs::IoPhases{});
+          return;
+        }
+        auto* io = dynamic_cast<IoResponse*>(result->get());
+        if (io == nullptr) {
+          done(InternalError("unexpected io response"), obs::IoPhases{});
+          return;
+        }
+        done(io->tag, io->phases);
+      },
+      ctx);
 }
 
 void IscsiInitiator::Write(Bytes offset, Bytes length, bool random,
                            std::uint64_t tag,
-                           std::function<void(Status)> done) {
+                           std::function<void(Status, const obs::IoPhases&)>
+                               done,
+                           obs::TraceContext ctx) {
   if (!connected_) {
-    done(FailedPreconditionError("not connected"));
+    done(FailedPreconditionError("not connected"), obs::IoPhases{});
     return;
   }
   auto request = std::make_shared<IoRequest>();
@@ -360,21 +407,31 @@ void IscsiInitiator::Write(Bytes offset, Bytes length, bool random,
   request->is_read = false;
   request->random = random;
   request->tag = tag;
-  endpoint_->Call(target_, request, options_.rpc_timeout,
-                  [done = std::move(done)](Result<net::MessagePtr> result) {
-                    done(result.status());
-                  });
+  endpoint_->Call(
+      target_, request, options_.rpc_timeout,
+      [done = std::move(done)](Result<net::MessagePtr> result) {
+        if (!result.ok()) {
+          done(result.status(), obs::IoPhases{});
+          return;
+        }
+        auto* io = dynamic_cast<IoResponse*>(result->get());
+        done(Status::Ok(), io != nullptr ? io->phases : obs::IoPhases{});
+      },
+      ctx);
 }
 
 void IscsiInitiator::SubmitBatch(
     std::span<const IoOp> ops,
-    std::function<void(Result<std::vector<BatchOpResult>>)> done) {
+    std::function<void(Result<std::vector<BatchOpResult>>,
+                       const obs::IoPhases&)>
+        done,
+    obs::TraceContext ctx) {
   if (!connected_) {
-    done(FailedPreconditionError("not connected"));
+    done(FailedPreconditionError("not connected"), obs::IoPhases{});
     return;
   }
   if (ops.empty()) {
-    done(std::vector<BatchOpResult>{});
+    done(std::vector<BatchOpResult>{}, obs::IoPhases{});
     return;
   }
   auto request = std::make_shared<BatchIoRequest>();
@@ -385,16 +442,18 @@ void IscsiInitiator::SubmitBatch(
       target_, request, options_.rpc_timeout,
       [done = std::move(done), expected](Result<net::MessagePtr> result) {
         if (!result.ok()) {
-          done(result.status());
+          done(result.status(), obs::IoPhases{});
           return;
         }
         auto* batch = dynamic_cast<BatchIoResponse*>(result->get());
         if (batch == nullptr || batch->results.size() != expected) {
-          done(InternalError("unexpected batch io response"));
+          done(InternalError("unexpected batch io response"),
+               obs::IoPhases{});
           return;
         }
-        done(std::move(batch->results));
-      });
+        done(std::move(batch->results), batch->phases);
+      },
+      ctx);
 }
 
 }  // namespace ustore::iscsi

@@ -22,6 +22,7 @@
 #include "common/units.h"
 #include "hw/disk.h"
 #include "net/rpc.h"
+#include "obs/phase.h"
 #include "sim/simulator.h"
 
 namespace ustore::iscsi {
@@ -56,6 +57,10 @@ struct IoRequest : net::Message {
 struct IoResponse : net::Message {
   std::uint64_t tag = 0;  // fingerprint read back
   Bytes payload = 0;      // read data size, for bandwidth accounting
+  // Where the target's time went (queue/spin/service/fabric), measured
+  // against the disk completion record; the client derives the rpc phase
+  // as the complement against its observed end-to-end latency.
+  obs::IoPhases phases;
   Bytes wire_size() const override { return 128 + payload; }
 };
 
@@ -93,6 +98,10 @@ struct BatchIoRequest : net::Message {
 struct BatchIoResponse : net::Message {
   std::vector<BatchOpResult> results;  // submission order
   Bytes payload = 0;  // summed read data, for bandwidth accounting
+  // Summed over the batch's ops; queue_wait is the exact complement of
+  // spin + summed service against the batch's platter interval, so
+  // inter-op drain gaps are attributed to queueing, not lost.
+  obs::IoPhases phases;
   Bytes wire_size() const override {
     return 128 + 16 * static_cast<Bytes>(results.size()) + payload;
   }
@@ -157,6 +166,7 @@ class IscsiTarget {
 
   sim::Simulator* sim_;
   net::RpcEndpoint* endpoint_;
+  std::string trace_component_;  // "iscsi:<endpoint id>", cached
   std::function<hw::Disk*(const std::string&)> disk_resolver_;
   Options options_;
   std::map<std::string, LunState> luns_;
@@ -202,11 +212,17 @@ class IscsiInitiator {
   std::uint64_t session_generation() const { return session_generation_; }
   int ping_failures() const { return ping_failures_; }
 
-  // Reads return the stored fingerprint tag; writes store one.
+  // Reads return the stored fingerprint tag; writes store one. `done`
+  // also receives the target-reported phase timings (zeroed on transport
+  // errors); `ctx` parents the session's `rpc` span under the caller's
+  // request span.
   void Read(Bytes offset, Bytes length, bool random,
-            std::function<void(Result<std::uint64_t>)> done);
+            std::function<void(Result<std::uint64_t>, const obs::IoPhases&)>
+                done,
+            obs::TraceContext ctx = {});
   void Write(Bytes offset, Bytes length, bool random, std::uint64_t tag,
-             std::function<void(Status)> done);
+             std::function<void(Status, const obs::IoPhases&)> done,
+             obs::TraceContext ctx = {});
 
   // Submits a whole vector of ops as one command PDU; `done` fires once
   // with per-op results in submission order. Validation is atomic on the
@@ -214,7 +230,38 @@ class IscsiInitiator {
   // request before this returns, so the span may point at caller stack
   // storage.
   void SubmitBatch(std::span<const IoOp> ops,
-                   std::function<void(Result<std::vector<BatchOpResult>>)> done);
+                   std::function<void(Result<std::vector<BatchOpResult>>,
+                                      const obs::IoPhases&)>
+                       done,
+                   obs::TraceContext ctx = {});
+
+  // Phase-blind conveniences for callers that only care about the result.
+  void Read(Bytes offset, Bytes length, bool random,
+            std::function<void(Result<std::uint64_t>)> done,
+            obs::TraceContext ctx = {}) {
+    Read(offset, length, random,
+         [done = std::move(done)](Result<std::uint64_t> r,
+                                  const obs::IoPhases&) { done(std::move(r)); },
+         ctx);
+  }
+  void Write(Bytes offset, Bytes length, bool random, std::uint64_t tag,
+             std::function<void(Status)> done, obs::TraceContext ctx = {}) {
+    Write(offset, length, random, tag,
+          [done = std::move(done)](Status s, const obs::IoPhases&) {
+            done(std::move(s));
+          },
+          ctx);
+  }
+  void SubmitBatch(std::span<const IoOp> ops,
+                   std::function<void(Result<std::vector<BatchOpResult>>)> done,
+                   obs::TraceContext ctx = {}) {
+    SubmitBatch(ops,
+                [done = std::move(done)](Result<std::vector<BatchOpResult>> r,
+                                         const obs::IoPhases&) {
+                  done(std::move(r));
+                },
+                ctx);
+  }
 
  private:
   void SendPing();

@@ -19,7 +19,8 @@ RpcEndpoint::~RpcEndpoint() {
 }
 
 void RpcEndpoint::Call(const NodeId& to, MessagePtr request,
-                       sim::Duration timeout, ResponseCallback callback) {
+                       sim::Duration timeout, ResponseCallback callback,
+                       obs::TraceContext ctx) {
   assert(request && callback);
   if (shut_down_) return;
   auto wrapper = std::make_shared<RpcRequest>();
@@ -40,9 +41,13 @@ void RpcEndpoint::Call(const NodeId& to, MessagePtr request,
   PendingCall call{std::move(callback), timeout_event, sim_->now(),
                    obs::kInvalidSpan};
   obs::Metrics().Increment("rpc.calls");
-  call.span = obs::Tracer().Begin("rpc", "call");
-  obs::Tracer().Annotate(call.span, "from", id_);
-  obs::Tracer().Annotate(call.span, "to", to);
+  call.span =
+      obs::Tracer().Begin("rpc", "call", ctx, {{"from", id_}, {"to", to}});
+  // The callee's spans parent under this call's span; with tracing
+  // disabled the caller's context is forwarded untouched.
+  wrapper->trace = call.span != obs::kInvalidSpan
+                       ? obs::Tracer().ContextFor(call.span)
+                       : ctx;
   pending_[rpc_id] = std::move(call);
   network_->Send(id_, to, std::move(wrapper));
 }
@@ -54,8 +59,7 @@ void RpcEndpoint::FinishCall(PendingCall& call, const char* outcome) {
     obs::Metrics().Observe("rpc.latency_us",
                            sim::ToMicros(sim_->now() - call.started));
   }
-  obs::Tracer().Annotate(call.span, "outcome", outcome);
-  obs::Tracer().End(call.span);
+  obs::Tracer().EndWith(call.span, {{"outcome", outcome}});
   call.span = obs::kInvalidSpan;
 }
 
@@ -133,7 +137,13 @@ void RpcEndpoint::DispatchRequest(const NodeId& from,
     reply(InvalidArgumentError(id_ + ": no handler for request type"));
     return;
   }
+  // Expose the caller's context for the synchronous part of the handler
+  // (handlers that defer capture it at entry), then restore: dispatch can
+  // nest when a handler replies to a local endpoint inline.
+  const obs::TraceContext saved = inbound_context_;
+  inbound_context_ = request.trace;
   it->second(from, request.payload, std::move(reply));
+  inbound_context_ = saved;
 }
 
 }  // namespace ustore::net

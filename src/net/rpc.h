@@ -24,6 +24,10 @@ namespace ustore::net {
 struct RpcRequest : Message {
   std::uint64_t rpc_id = 0;
   MessagePtr payload;
+  // Caller's causal position (W3C-traceparent-style): the callee's spans
+  // become children of the caller's `rpc` span. Riding the envelope means
+  // every payload type propagates context without knowing about tracing.
+  obs::TraceContext trace;
   Bytes wire_size() const override { return 64 + payload->wire_size(); }
 };
 
@@ -67,9 +71,15 @@ class RpcEndpoint : public Node {
   }
 
   // Issues a request; `callback` fires with the response payload, or with
-  // kDeadlineExceeded if no response arrives within `timeout`.
+  // kDeadlineExceeded if no response arrives within `timeout`. The `ctx`
+  // overload parents the call's `rpc` span under the caller's span and
+  // forwards the context to the callee on the request envelope.
   void Call(const NodeId& to, MessagePtr request, sim::Duration timeout,
-            ResponseCallback callback);
+            ResponseCallback callback) {
+    Call(to, std::move(request), timeout, std::move(callback), {});
+  }
+  void Call(const NodeId& to, MessagePtr request, sim::Duration timeout,
+            ResponseCallback callback, obs::TraceContext ctx);
 
   // One-way message (no response correlation).
   void Notify(const NodeId& to, MessagePtr msg);
@@ -85,6 +95,11 @@ class RpcEndpoint : public Node {
   void Reopen();
 
   void HandleMessage(const NodeId& from, const MessagePtr& msg) override;
+
+  // The trace context of the request currently being dispatched — valid
+  // only during the synchronous part of a handler invocation. A handler
+  // that defers work must capture it at entry.
+  const obs::TraceContext& inbound_context() const { return inbound_context_; }
 
  private:
   struct PendingCall {
@@ -102,6 +117,7 @@ class RpcEndpoint : public Node {
   sim::Simulator* sim_;
   Network* network_;
   NodeId id_;
+  obs::TraceContext inbound_context_;
   bool shut_down_ = false;
   std::uint64_t next_rpc_id_ = 1;
   std::unordered_map<std::type_index, Handler> handlers_;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "common/logging.h"
 #include "obs/trace.h"
@@ -31,7 +33,10 @@ void Histogram::Record(double value) {
 }
 
 double Histogram::Quantile(double q) const {
-  if (count_ == 0) return 0;
+  // NaN, not 0: an empty histogram has no quantiles, and 0 is
+  // indistinguishable from a real measured zero. Consumers render this as
+  // JSON null / a "-" cell.
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(count_);
   std::uint64_t cumulative = 0;
@@ -81,6 +86,12 @@ Counter& MetricsRegistry::GetCounter(const std::string& name) {
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
   return gauges_[name];
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return GetHistogram(name, LatencyBucketsUs());
 }
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
@@ -205,11 +216,15 @@ ScopedObsBinding::~ScopedObsBinding() {
 void BindSimulator(sim::Simulator* sim) {
   if (sim == nullptr) {
     Metrics().set_time_source(nullptr);
-    Tracer().set_time_source(nullptr);
+    Tracer().set_time_source(nullptr, nullptr);
     return;
   }
   Metrics().set_time_source([sim] { return sim->now(); });
-  Tracer().set_time_source([sim] { return sim->now(); });
+  // The tracer clock is a raw function pointer + arg (no std::function on
+  // the span hot path).
+  Tracer().set_time_source(
+      [](void* arg) { return static_cast<sim::Simulator*>(arg)->now(); },
+      sim);
 }
 
 namespace {
@@ -231,6 +246,9 @@ std::string JsonEscape(const std::string& s) {
 }
 
 std::string JsonNumber(double v) {
+  // NaN (absent quantile of an empty histogram) is not valid JSON: emit
+  // null so parsers see "no value" rather than a bogus number.
+  if (std::isnan(v)) return "null";
   char buf[64];
   // %.17g round-trips doubles but is noisy; %.6g is plenty for metrics.
   std::snprintf(buf, sizeof(buf), "%.6g", v);

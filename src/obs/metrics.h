@@ -140,11 +140,14 @@ class MetricsRegistry {
   MetricsRegistry();
 
   // Get-or-create by name. Histogram bounds are fixed at first creation;
-  // later callers get the existing instance regardless of `bounds`.
+  // later callers get the existing instance regardless of `bounds`. The
+  // bounds-less overload only materializes the default LatencyBucketsUs()
+  // vector on a miss, so steady-state lookups never heap-allocate.
   Counter& GetCounter(const std::string& name);
   Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
   Histogram& GetHistogram(const std::string& name,
-                          std::vector<double> bounds = LatencyBucketsUs());
+                          std::vector<double> bounds);
 
   // Convenience mirroring the common instrumentation one-liners.
   void Increment(const std::string& name, std::uint64_t by = 1) {
@@ -153,8 +156,11 @@ class MetricsRegistry {
   void SetGauge(const std::string& name, double value) {
     GetGauge(name).Set(value, now());
   }
+  void Observe(const std::string& name, double value) {
+    GetHistogram(name).Record(value);
+  }
   void Observe(const std::string& name, double value,
-               std::vector<double> bounds = LatencyBucketsUs()) {
+               std::vector<double> bounds) {
     GetHistogram(name, std::move(bounds)).Record(value);
   }
 

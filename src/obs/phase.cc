@@ -1,0 +1,176 @@
+#include "obs/phase.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ustore::obs {
+
+namespace {
+
+double ToUs(sim::Duration ns) { return static_cast<double>(ns) / 1000.0; }
+
+sim::Duration ServiceNsAttr(const TraceSpan& span) {
+  for (const auto& [key, value] : span.attrs) {
+    if (key == "service_ns") {
+      sim::Duration parsed = 0;
+      std::from_chars(value.data(), value.data() + value.size(), parsed);
+      return parsed;
+    }
+  }
+  return 0;
+}
+
+bool StartsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+PhaseRecorder::PhaseRecorder(const std::string& prefix)
+    : queue_wait_(prefix + ".phase.queue_wait_us"),
+      spin_up_(prefix + ".phase.spin_up_us"),
+      fabric_transfer_(prefix + ".phase.fabric_transfer_us"),
+      disk_service_(prefix + ".phase.disk_service_us"),
+      rpc_(prefix + ".phase.rpc_us"),
+      retry_backoff_(prefix + ".phase.retry_backoff_us") {}
+
+void PhaseRecorder::Record(const IoPhases& io, sim::Duration retry_backoff,
+                           sim::Duration e2e) {
+  // rpc is the exact complement, so the six phases partition e2e. It can
+  // only go negative if the target's report disagrees with the client's
+  // clock (it never does in simulation); clamp defensively anyway.
+  const sim::Duration rpc =
+      std::max<sim::Duration>(0, e2e - io.Sum() - retry_backoff);
+  queue_wait_.Observe(ToUs(io.queue_wait));
+  spin_up_.Observe(ToUs(io.spin_up));
+  fabric_transfer_.Observe(ToUs(io.fabric));
+  disk_service_.Observe(ToUs(io.disk_service));
+  rpc_.Observe(ToUs(rpc));
+  retry_backoff_.Observe(ToUs(retry_backoff));
+}
+
+PhaseBreakdown AnalyzeRequestTree(const std::vector<TraceSpan>& spans,
+                                  SpanId root) {
+  PhaseBreakdown breakdown;
+
+  std::unordered_map<SpanId, const TraceSpan*> by_id;
+  by_id.reserve(spans.size());
+  for (const TraceSpan& span : spans) by_id.emplace(span.id, &span);
+  const auto root_it = by_id.find(root);
+  if (root_it == by_id.end()) return breakdown;
+
+  std::unordered_map<SpanId, std::vector<const TraceSpan*>> children;
+  for (const TraceSpan& span : spans) {
+    if (span.parent != kInvalidSpan && by_id.count(span.parent) != 0) {
+      children[span.parent].push_back(&span);
+    }
+  }
+
+  breakdown.e2e = root_it->second->duration();
+
+  // Pass 1: collect the spans reachable from `root`, remembering every
+  // spin_up interval. A batch's spin_up span is a *sibling* of the per-op
+  // spans it delayed (the ops exist only as ids at spin time), so pass 2
+  // must subtract spin intervals from io spans that merely overlap them;
+  // interval-union arithmetic dedups the serial case where the spin span
+  // is an actual child.
+  std::vector<const TraceSpan*> reachable;
+  std::vector<std::pair<sim::Time, sim::Time>> spin_intervals;
+  {
+    std::vector<const TraceSpan*> stack{root_it->second};
+    std::unordered_set<SpanId> visited;
+    while (!stack.empty()) {
+      const TraceSpan& span = *stack.back();
+      stack.pop_back();
+      if (!visited.insert(span.id).second) continue;  // corrupt-parent guard
+      reachable.push_back(&span);
+      if (span.name == "spin_up" && span.end > span.start) {
+        spin_intervals.emplace_back(span.start, span.end);
+      }
+      auto kids = children.find(span.id);
+      if (kids == children.end()) continue;
+      for (const TraceSpan* child : kids->second) stack.push_back(child);
+    }
+  }
+
+  // Pass 2: exclusive time per span = duration minus the union of child
+  // intervals clipped to it (children can overlap — batched NCQ members
+  // all start at submission time).
+  std::vector<std::pair<sim::Time, sim::Time>> intervals;
+  for (const TraceSpan* span_ptr : reachable) {
+    const TraceSpan& span = *span_ptr;
+    intervals.clear();
+    auto kids = children.find(span.id);
+    if (kids != children.end()) {
+      for (const TraceSpan* child : kids->second) {
+        const sim::Time lo = std::max(child->start, span.start);
+        const sim::Time hi = std::min(child->end, span.end);
+        if (hi > lo) intervals.emplace_back(lo, hi);
+      }
+    }
+    if (StartsWith(span.component, "disk:") && span.name == "io") {
+      for (const auto& [spin_lo, spin_hi] : spin_intervals) {
+        const sim::Time lo = std::max(spin_lo, span.start);
+        const sim::Time hi = std::min(spin_hi, span.end);
+        if (hi > lo) intervals.emplace_back(lo, hi);
+      }
+    }
+    std::sort(intervals.begin(), intervals.end());
+    sim::Duration covered = 0;
+    sim::Time cursor = span.start;
+    for (const auto& [lo, hi] : intervals) {
+      const sim::Time from = std::max(lo, cursor);
+      if (hi > from) covered += hi - from;
+      cursor = std::max(cursor, hi);
+    }
+    sim::Duration exclusive =
+        std::max<sim::Duration>(0, span.duration() - covered);
+
+    if (StartsWith(span.component, "disk:")) {
+      if (span.name == "io") {
+        const sim::Duration service =
+            std::min(exclusive, ServiceNsAttr(span));
+        breakdown.disk_service += service;
+        breakdown.queue_wait += exclusive - service;
+      } else if (span.name == "spin_up") {
+        breakdown.spin_up += exclusive;
+      } else {
+        // io_batch shells are fully covered by their per-op children;
+        // any residue is queue time not owned by a specific op.
+        breakdown.queue_wait += exclusive;
+      }
+    } else if (span.name == "retry_backoff") {
+      breakdown.retry_backoff += exclusive;
+    } else if (span.component == "rpc") {
+      breakdown.rpc += exclusive;
+    } else if (StartsWith(span.component, "iscsi:")) {
+      breakdown.fabric_transfer += exclusive;
+    } else {
+      breakdown.other += exclusive;  // incl. the root span's own slack
+    }
+  }
+  return breakdown;
+}
+
+std::vector<SpanId> TraceRoots(const std::vector<TraceSpan>& spans) {
+  std::unordered_set<SpanId> present;
+  present.reserve(spans.size());
+  for (const TraceSpan& span : spans) present.insert(span.id);
+
+  std::vector<std::pair<sim::Time, SpanId>> roots;
+  for (const TraceSpan& span : spans) {
+    if (span.parent == kInvalidSpan || present.count(span.parent) == 0) {
+      roots.emplace_back(span.start, span.id);
+    }
+  }
+  std::sort(roots.begin(), roots.end());
+  std::vector<SpanId> out;
+  out.reserve(roots.size());
+  for (const auto& [start, id] : roots) out.push_back(id);
+  return out;
+}
+
+}  // namespace ustore::obs

@@ -1,0 +1,119 @@
+// Critical-path latency attribution: where did a request's time go?
+//
+// The paper's headline numbers (Fig. 5/6, Table II) are end-to-end
+// latencies; this module decomposes them into the phases that actually
+// spend the time:
+//
+//   queue_wait      — request sat in a disk NCQ behind other work
+//   spin_up         — waiting for a spun-down archival disk's platters
+//   fabric_transfer — USB-fabric / iSCSI target per-op processing
+//   disk_service    — platters actually seeking/transferring
+//   rpc             — RPC envelope + network transit + client overhead
+//   retry_backoff   — client-side backoff between master retries
+//
+// Two independent implementations of the same taxonomy:
+//
+//   * Online (IoPhases + PhaseRecorder): the iSCSI target measures
+//     queue/spin/service per I/O from disk completions and ships an
+//     IoPhases block back on the response; the ClientLib derives rpc as
+//     the exact complement of the reported phases against the observed
+//     end-to-end time, so the six per-phase histograms
+//     (`<prefix>.phase.*_us`) always sum to the e2e latency. This path is
+//     pure metrics — it works with tracing disabled and costs nothing on
+//     the trace hot path.
+//
+//   * Offline (AnalyzeRequestTree): walks a causal span tree from
+//     obs::TraceBuffer and attributes each span's exclusive time (its
+//     duration minus the union of its children's intervals) to a phase by
+//     component/name. Used by tools/trace_inspect and the tests that
+//     cross-check the two implementations against each other.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/time.h"
+
+namespace ustore::obs {
+
+// Per-I/O phase timings measured by the iSCSI target and carried on the
+// wire back to the client (batch responses carry the sum over their ops).
+struct IoPhases {
+  sim::Duration queue_wait = 0;
+  sim::Duration spin_up = 0;
+  sim::Duration disk_service = 0;
+  sim::Duration fabric = 0;
+
+  IoPhases& operator+=(const IoPhases& other) {
+    queue_wait += other.queue_wait;
+    spin_up += other.spin_up;
+    disk_service += other.disk_service;
+    fabric += other.fabric;
+    return *this;
+  }
+  sim::Duration Sum() const {
+    return queue_wait + spin_up + disk_service + fabric;
+  }
+};
+
+// A full end-to-end decomposition. `other` only appears in offline tree
+// analysis (root-span slack); the online recorder folds everything not
+// reported by the target into `rpc` by construction.
+struct PhaseBreakdown {
+  sim::Duration queue_wait = 0;
+  sim::Duration spin_up = 0;
+  sim::Duration fabric_transfer = 0;
+  sim::Duration disk_service = 0;
+  sim::Duration rpc = 0;
+  sim::Duration retry_backoff = 0;
+  sim::Duration other = 0;
+  sim::Duration e2e = 0;
+
+  sim::Duration Sum() const {
+    return queue_wait + spin_up + fabric_transfer + disk_service + rpc +
+           retry_backoff + other;
+  }
+};
+
+// Feeds the six `<prefix>.phase.*_us` histograms (e.g. prefix
+// "client.read" -> client.read.phase.queue_wait_us, ...). Handles are
+// cached, so a long-lived recorder costs one map walk total.
+class PhaseRecorder {
+ public:
+  explicit PhaseRecorder(const std::string& prefix);
+
+  // `e2e` is the client-observed end-to-end latency; rpc is recorded as
+  // e2e minus everything the target reported (and minus retry backoff),
+  // so the six phases sum to e2e exactly.
+  void Record(const IoPhases& io, sim::Duration retry_backoff,
+              sim::Duration e2e);
+
+ private:
+  HistogramHandle queue_wait_;
+  HistogramHandle spin_up_;
+  HistogramHandle fabric_transfer_;
+  HistogramHandle disk_service_;
+  HistogramHandle rpc_;
+  HistogramHandle retry_backoff_;
+};
+
+// Offline attribution over a causal span tree. Walks the tree rooted at
+// `root` (children = spans whose parent chains to it), computes each
+// span's exclusive time (duration minus the union of its children's
+// intervals, clipped to the span), and attributes it by component/name:
+// disk "io"/"io_batch" exclusive time splits into disk_service (the
+// span's service_ns attr) and queue_wait (the rest); "spin_up" spans are
+// spin_up; "rpc" spans rpc; "iscsi:*" target spans fabric_transfer;
+// client "retry_backoff" spans retry_backoff; anything else (including
+// the root's own slack) lands in `other`. For non-overlapping trees
+// (any serial request) the phases sum to the root's duration exactly.
+PhaseBreakdown AnalyzeRequestTree(const std::vector<TraceSpan>& spans,
+                                  SpanId root);
+
+// The root span ids present in `spans` (parent absent or 0), in start
+// order — the entry points trace_inspect iterates over.
+std::vector<SpanId> TraceRoots(const std::vector<TraceSpan>& spans);
+
+}  // namespace ustore::obs

@@ -261,7 +261,10 @@ std::string ChaosReport::ToJson() const {
     if (i > 0) out << ",";
     out << "\"" << violations[i] << "\"";
   }
-  out << "]}";
+  out << "],\"health\":";
+  // health_json is already canonical JSON — embedded raw, not re-quoted.
+  out << (health_json.empty() ? "null" : health_json);
+  out << "}";
   return out.str();
 }
 
@@ -271,6 +274,9 @@ ChaosEngine::ChaosEngine(core::Cluster* cluster, Options options)
     : cluster_(cluster),
       options_(options),
       rng_(1),
+      health_(options.health_window > 0 ? options.health_window
+                                        : sim::Seconds(10),
+              obs::DefaultSloRules()),
       probe_timer_(&cluster->sim()) {
   assert(cluster_ != nullptr);
 }
@@ -359,6 +365,10 @@ const ChaosReport& ChaosEngine::RunToCompletion(sim::Duration limit) {
       report_.faults.push_back(window.record);
     }
     open_windows_.clear();
+  }
+  if (options_.health_window > 0) {
+    health_.Finalize(obs::Metrics(), cluster_->sim().now());
+    report_.health_json = health_.ReportJson();
   }
   return report_;
 }
@@ -489,6 +499,14 @@ void ChaosEngine::ProbeTick() {
   }
   CheckMasterInvariants("sweep");
   EvaluateRecovery();
+  // Advance the SLO engine to every window boundary the sweep has passed:
+  // window edges stay fixed multiples of health_window regardless of the
+  // probe cadence, which keeps the alert stream seed-deterministic.
+  if (options_.health_window > 0) {
+    while (now >= health_.next_close()) {
+      health_.Tick(obs::Metrics(), health_.next_close());
+    }
+  }
   if (finished()) probe_timer_.Stop();
 }
 

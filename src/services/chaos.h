@@ -31,6 +31,7 @@
 #include "common/rng.h"
 #include "common/units.h"
 #include "core/cluster.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
@@ -131,6 +132,10 @@ struct ChaosReport {
   int invariant_violations = 0;
   std::vector<std::string> violations;  // bounded; sim-time stamps only
   std::vector<FaultRecord> faults;
+  // obs::HealthMonitor::ReportJson() over the run: which SLO rules the
+  // injected faults actually tripped. Filled by RunToCompletion; empty if
+  // health monitoring was disabled.
+  std::string health_json;
 
   // Nearest-rank percentile over completed recoveries; -1 when none.
   sim::Duration RecoveryPercentile(double q) const;
@@ -152,6 +157,10 @@ struct ChaosOptions {
   sim::Duration tolerated_deadline = sim::Seconds(30);
   sim::Duration repair_deadline = sim::Seconds(20);
   std::size_t max_recorded_violations = 32;
+  // Tumbling-window cadence of the SLO health monitor
+  // (obs::DefaultSloRules()) running alongside the invariant checker;
+  // 0 disables it.
+  sim::Duration health_window = sim::Seconds(10);
 };
 
 class ChaosEngine {
@@ -225,6 +234,10 @@ class ChaosEngine {
   core::Cluster* cluster_;
   Options options_;
   Rng rng_;
+  // Declarative SLO engine over the run's own telemetry: windows close on
+  // fixed sim-time boundaries (advanced from the probe sweep), so the
+  // alert stream is bit-identical for a fixed seed.
+  obs::HealthMonitor health_;
   ChaosPlan plan_;
   std::size_t ops_applied_ = 0;
   bool armed_ = false;

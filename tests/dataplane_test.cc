@@ -8,15 +8,19 @@
 // shapes and arbitrary serial/batched interleavings.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <random>
+#include <set>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/cluster.h"
 #include "hw/disk.h"
 #include "hw/disk_model.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace ustore {
@@ -44,6 +48,7 @@ IoRequest RandomRequest(std::mt19937& rng) {
 struct RunOutcome {
   std::vector<sim::Time> completed_at;
   obs::MetricsSnapshot metrics;
+  std::vector<obs::TraceSpan> spans;
 };
 
 // Submits `requests` to a fresh disk on a fresh simulator, partitioned into
@@ -52,7 +57,9 @@ struct RunOutcome {
 // plan means all-serial (the timing baseline).
 RunOutcome RunPlan(const std::vector<IoRequest>& requests,
                const std::vector<int>& plan) {
-  obs::Metrics().Clear();
+  obs::MetricsRegistry metrics;
+  obs::TraceBuffer trace(1 << 14);
+  obs::ScopedObsBinding binding(&metrics, &trace);
   sim::Simulator sim;
   obs::BindSimulator(&sim);
   {
@@ -94,9 +101,27 @@ RunOutcome RunPlan(const std::vector<IoRequest>& requests,
     EXPECT_EQ(next, requests.size());
     sim.Run();
     out.metrics = obs::Metrics().Snapshot();
+    out.spans = trace.CompletedInOrder();
     obs::BindSimulator(nullptr);
     return out;
   }
+}
+
+// The per-op `io` spans of a run, flattened into comparable keys: the
+// component, timestamps and full attribute list — everything except the
+// span/parent ids, which legitimately differ between serial roots and
+// batch children.
+std::vector<std::string> IoSpanKeys(const std::vector<obs::TraceSpan>& spans) {
+  std::vector<std::string> keys;
+  for (const obs::TraceSpan& span : spans) {
+    if (span.name != "io") continue;
+    std::string key = span.component + "|" + std::to_string(span.start) +
+                      ".." + std::to_string(span.end);
+    for (const auto& [k, v] : span.attrs) key += "|" + k + "=" + v;
+    keys.push_back(std::move(key));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
 }
 
 void ExpectSameHistogram(const obs::MetricsSnapshot& a,
@@ -158,7 +183,109 @@ TEST(DataPlaneEquivalence, BatchedCompletionTimesMatchSerialBitForBit) {
     }
     ExpectSameHistogram(serial.metrics, mixed.metrics,
                         "disk.op.service_time_us");
+
+    // Batching must not delete per-op trace observability either: every
+    // request leaves one `io` span with the same component, platter
+    // interval and attributes (dir/size/service_ns) as the serial run —
+    // only the span ids and the parent edge (batch members hang under an
+    // `io_batch` span) may differ.
+    EXPECT_EQ(IoSpanKeys(serial.spans), IoSpanKeys(mixed.spans));
+    std::set<obs::SpanId> batch_spans;
+    for (const obs::TraceSpan& span : mixed.spans) {
+      if (span.name == "io_batch") batch_spans.insert(span.id);
+    }
+    for (const obs::TraceSpan& span : serial.spans) {
+      EXPECT_NE(span.name, "io_batch");
+      if (span.name == "io") {
+        EXPECT_EQ(span.parent, obs::kInvalidSpan);  // serial ops are roots
+        EXPECT_EQ(span.trace_id, span.id);
+      }
+    }
+    for (const obs::TraceSpan& span : mixed.spans) {
+      if (span.name != "io" || span.parent == obs::kInvalidSpan) continue;
+      // A batch member's parent is its batch's span, and it inherits the
+      // batch's tree id.
+      EXPECT_TRUE(batch_spans.count(span.parent) > 0)
+          << "io span parented under a non-batch span";
+      EXPECT_EQ(span.trace_id, span.parent);
+    }
   }
+}
+
+// The six client.read.phase.*_us histograms are an exact partition of
+// client.read.latency_us — including for a cold read that pays a full
+// platter spin-up.
+TEST(DataPlaneEndToEnd, PhaseHistogramsPartitionEndToEndLatency) {
+  obs::Metrics().Clear();
+  core::Cluster cluster;
+  cluster.Start();
+  auto client = cluster.MakeClient("phase-client");
+  core::ClientLib::Volume* volume = nullptr;
+  client->AllocateAndMount("phase-svc", GiB(2),
+                           [&](Result<core::ClientLib::Volume*> result) {
+                             ASSERT_TRUE(result.ok()) << result.status();
+                             volume = *result;
+                           });
+  cluster.RunFor(sim::Seconds(10));
+  ASSERT_NE(volume, nullptr);
+
+  bool wrote = false;
+  volume->Write(0, MiB(1), false, 0xCAFE, [&](Status status) {
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    wrote = true;
+  });
+  cluster.RunFor(sim::Seconds(5));
+  ASSERT_TRUE(wrote);
+
+  // Warm read, then spin the platter down and read again: the cold read's
+  // e2e includes the ~7.5 s spin-up, which must land in the spin_up phase
+  // (not inflate rpc or queue_wait).
+  int reads = 0;
+  volume->Read(0, KiB(128), false, [&](Result<std::uint64_t> r) {
+    ASSERT_TRUE(r.ok()) << r.status();
+    ++reads;
+  });
+  cluster.RunFor(sim::Seconds(5));
+  ASSERT_EQ(reads, 1);
+
+  hw::Disk* disk = cluster.fabric().disk(volume->id().disk);
+  ASSERT_NE(disk, nullptr);
+  disk->SpinDown();
+  ASSERT_EQ(disk->state(), hw::DiskState::kSpunDown);
+  volume->Read(0, KiB(128), false, [&](Result<std::uint64_t> r) {
+    ASSERT_TRUE(r.ok()) << r.status();
+    ++reads;
+  });
+  cluster.RunFor(sim::Seconds(30));
+  ASSERT_EQ(reads, 2);
+
+  const obs::MetricsSnapshot snapshot = obs::Metrics().Snapshot();
+  const auto hist = [&](const std::string& name)
+      -> const obs::MetricsSnapshot::HistogramState& {
+    auto it = snapshot.histograms.find(name);
+    EXPECT_NE(it, snapshot.histograms.end()) << name;
+    return it->second;
+  };
+  const auto& latency = hist("client.read.latency_us");
+  EXPECT_EQ(latency.count, 2u);
+
+  const char* kPhases[] = {"queue_wait", "spin_up", "fabric_transfer",
+                           "disk_service", "rpc", "retry_backoff"};
+  double phase_sum = 0;
+  for (const char* phase : kPhases) {
+    const auto& h =
+        hist("client.read.phase." + std::string(phase) + "_us");
+    // One sample per successful read in every phase histogram.
+    EXPECT_EQ(h.count, latency.count) << phase;
+    phase_sum += h.sum;
+  }
+  // The partition property: phases sum to e2e (double rounding only).
+  EXPECT_NEAR(phase_sum, latency.sum, 1e-3);
+  // The cold read's spin-up is visible where it belongs: a full platter
+  // start is seconds, not microseconds.
+  EXPECT_GT(hist("client.read.phase.spin_up_us").sum, 1e6);
+  EXPECT_GT(hist("client.read.phase.disk_service_us").sum, 0.0);
+  EXPECT_GT(hist("client.read.phase.rpc_us").sum, 0.0);
 }
 
 TEST(DataPlaneBackpressure, OversizedBatchIsRejectedAtomically) {

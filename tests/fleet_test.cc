@@ -81,6 +81,12 @@ TEST(FleetTest, MergedReportIsIdenticalAcrossThreadCounts) {
     EXPECT_EQ(a.sim_end, b.sim_end) << "unit " << unit;
     EXPECT_EQ(a.events_processed, b.events_processed) << "unit " << unit;
     EXPECT_EQ(a.trace_completed, b.trace_completed) << "unit " << unit;
+    // The whole causal forest, fingerprinted: identical spans, ids, attrs
+    // and timestamps regardless of which worker thread ran the unit.
+    EXPECT_EQ(a.trace_digest, b.trace_digest) << "unit " << unit;
+    // And the SLO engine's full report (windows, rules, alert stream).
+    EXPECT_FALSE(a.health_json.empty()) << "unit " << unit;
+    EXPECT_EQ(a.health_json, b.health_json) << "unit " << unit;
     EXPECT_EQ(a.allocations, b.allocations) << "unit " << unit;
     EXPECT_EQ(a.metrics.counters, b.metrics.counters) << "unit " << unit;
   }
@@ -124,7 +130,7 @@ TEST(ScopedObsBindingTest, RedirectsAndRestoresPerThread) {
     EXPECT_EQ(local.GetCounter("binding.test").value(), 2u);
     EXPECT_EQ(&obs::Tracer(), &local_trace);
     obs::Tracer().Record("test", "span", 0, 1);
-    EXPECT_EQ(local_trace.completed().size(), 1u);
+    EXPECT_EQ(local_trace.completed_count(), 1u);
   }
   // Restored: the global registry is untouched by the bound increments.
   handle.Increment();

@@ -1,9 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "common/logging.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/phase.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
 
@@ -111,8 +118,8 @@ TEST_F(ObsTest, TraceSpanLifecycle) {
   sim.Schedule(sim::Seconds(2), [&] { Tracer().End(span); });
   sim.Run();
 
-  ASSERT_EQ(Tracer().completed().size(), 1u);
-  const TraceSpan& done = Tracer().completed().front();
+  ASSERT_EQ(Tracer().completed_count(), 1u);
+  const TraceSpan done = Tracer().CompletedInOrder().front();
   EXPECT_EQ(done.component, "unit");
   EXPECT_EQ(done.name, "op");
   EXPECT_EQ(done.start, sim::Seconds(1));
@@ -128,11 +135,12 @@ TEST_F(ObsTest, TraceBufferEvictsOldestWhenFull) {
   for (int i = 0; i < 10; ++i) {
     buffer.Record("unit", "op" + std::to_string(i), i, i + 1);
   }
-  EXPECT_EQ(buffer.completed().size(), 4u);
+  EXPECT_EQ(buffer.completed_count(), 4u);
   EXPECT_EQ(buffer.dropped(), 6u);
   // The survivors are the newest four.
-  EXPECT_EQ(buffer.completed().front().name, "op6");
-  EXPECT_EQ(buffer.completed().back().name, "op9");
+  const std::vector<TraceSpan> spans = buffer.CompletedInOrder();
+  EXPECT_EQ(spans.front().name, "op6");
+  EXPECT_EQ(spans.back().name, "op9");
 }
 
 TEST_F(ObsTest, TimelineIsSortedBySimTime) {
@@ -196,6 +204,301 @@ TEST_F(ObsTest, DumpJsonContainsEveryKind) {
   EXPECT_NE(json.find("\"gauges\""), std::string::npos);
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
   EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST_F(ObsTest, EmptyHistogramQuantileIsNaN) {
+  Histogram h({10, 20, 50});
+  EXPECT_TRUE(std::isnan(h.Quantile(0.5)));
+  EXPECT_TRUE(std::isnan(h.Quantile(0.99)));
+  h.Record(15.0);
+  EXPECT_FALSE(std::isnan(h.Quantile(0.5)));
+  // NaN quantiles must still render as valid JSON.
+  Metrics().GetHistogram("test.empty_hist");
+  const std::string json = DumpJson();
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_NE(json.find("null"), std::string::npos);
+}
+
+TEST_F(ObsTest, TraceContextPropagation) {
+  TraceBuffer buffer;
+  const SpanId root = buffer.Begin("client", "read");
+  const TraceContext ctx = buffer.ContextFor(root);
+  EXPECT_TRUE(ctx.active());
+  EXPECT_EQ(ctx.trace_id, root);
+  EXPECT_EQ(ctx.parent, root);
+
+  const SpanId child = buffer.Begin("rpc", "call", ctx);
+  const TraceContext child_ctx = buffer.ContextFor(child);
+  EXPECT_EQ(child_ctx.trace_id, root);  // same tree
+  EXPECT_EQ(child_ctx.parent, child);
+
+  const SpanId grandchild = buffer.Begin("disk:d0", "io", child_ctx);
+  buffer.End(grandchild);
+  buffer.End(child);
+  buffer.End(root);
+
+  const std::vector<TraceSpan> spans = buffer.CompletedInOrder();
+  ASSERT_EQ(spans.size(), 3u);
+  for (const TraceSpan& span : spans) EXPECT_EQ(span.trace_id, root);
+  EXPECT_EQ(spans[0].parent, child);       // grandchild completed first
+  EXPECT_EQ(spans[1].parent, root);
+  EXPECT_EQ(spans[2].parent, kInvalidSpan);
+}
+
+TEST_F(ObsTest, DisabledTracerDropsEverything) {
+  TraceBuffer buffer;
+  buffer.set_enabled(false);
+  EXPECT_EQ(buffer.Begin("unit", "op"), kInvalidSpan);
+  buffer.Record("unit", "op", 1, 2);
+  EXPECT_EQ(buffer.completed_count(), 0u);
+  EXPECT_FALSE(buffer.ContextFor(kInvalidSpan).active());
+  buffer.set_enabled(true);
+  const SpanId span = buffer.Begin("unit", "op");
+  EXPECT_NE(span, kInvalidSpan);
+  buffer.End(span);
+  EXPECT_EQ(buffer.completed_count(), 1u);
+}
+
+TEST_F(ObsTest, HeadSamplingKeepsWholeTreesDeterministically) {
+  // 1-in-4 sampling: roots 0, 4, 8, ... are recorded with ALL their
+  // descendants; the other trees vanish entirely — head sampling never
+  // produces a partial tree, and a repeat run samples the same roots.
+  for (int run = 0; run < 2; ++run) {
+    TraceBuffer buffer;
+    buffer.set_sample_every(4);
+    std::vector<SpanId> roots;
+    for (int i = 0; i < 8; ++i) {
+      const SpanId root = buffer.Begin("client", "read");
+      const SpanId child = buffer.Begin("rpc", "call", buffer.ContextFor(root));
+      const SpanId leaf =
+          buffer.Begin("disk:d0", "io", buffer.ContextFor(child));
+      if (i % 4 == 0) {
+        EXPECT_GT(root, kUnsampledSpan) << "root " << i;
+        EXPECT_GT(leaf, kUnsampledSpan) << "root " << i;
+      } else {
+        EXPECT_EQ(root, kUnsampledSpan) << "root " << i;
+        // The suppressed root's context still marks the tree, so the
+        // descendants are suppressed too instead of becoming new roots.
+        EXPECT_EQ(child, kUnsampledSpan) << "root " << i;
+        EXPECT_EQ(leaf, kUnsampledSpan) << "root " << i;
+      }
+      buffer.End(leaf);
+      buffer.End(child);
+      buffer.End(root);
+      if (root != kUnsampledSpan) roots.push_back(root);
+    }
+    ASSERT_EQ(roots.size(), 2u);
+    const std::vector<TraceSpan> spans = buffer.CompletedInOrder();
+    ASSERT_EQ(spans.size(), 6u);  // 2 sampled trees x 3 spans
+    for (const TraceSpan& span : spans) {
+      EXPECT_TRUE(span.trace_id == roots[0] || span.trace_id == roots[1]);
+    }
+    // Operations on the sentinel are harmless no-ops.
+    buffer.Annotate(kUnsampledSpan, "k", "v");
+    buffer.End(kUnsampledSpan);
+    EXPECT_EQ(buffer.completed_count(), 6u);
+  }
+}
+
+TEST_F(ObsTest, EmitWritesClosedSpanStraightToRing) {
+  TraceBuffer buffer(2);
+  const SpanId parent = buffer.Begin("disk:d0", "io_batch");
+  const SpanId first =
+      buffer.Emit("disk:d0", "io", 10, 25, buffer.ContextFor(parent),
+                  {{"dir", "read"}, {"size", 4096}, {"service_ns", 15}});
+  EXPECT_GT(first, kUnsampledSpan);
+  EXPECT_EQ(buffer.open_count(), 1u);  // only the parent; Emit skips the slab
+  ASSERT_EQ(buffer.completed_count(), 1u);
+  const TraceSpan got = buffer.CompletedInOrder()[0];
+  EXPECT_EQ(got.trace_id, parent);
+  EXPECT_EQ(got.parent, parent);
+  EXPECT_EQ(got.start, 10);
+  EXPECT_EQ(got.end, 25);
+  ASSERT_EQ(got.attrs.size(), 3u);
+  EXPECT_EQ(got.attrs[0].second, "read");
+  EXPECT_EQ(got.attrs[1], (std::pair<std::string, std::string>{"size", "4096"}));
+  EXPECT_EQ(got.attrs[2].second, "15");
+
+  // Recycling: fill past capacity and check eviction accounting + that the
+  // recycled slot's attrs are fully overwritten (fewer attrs than evicted).
+  buffer.Emit("disk:d0", "io", 30, 40, buffer.ContextFor(parent),
+              {{"dir", "write"}, {"size", 8192}, {"service_ns", 7}});
+  const SpanId third =
+      buffer.Emit("disk:d0", "io", 50, 60, buffer.ContextFor(parent), {});
+  EXPECT_EQ(buffer.dropped(), 1u);
+  const std::vector<TraceSpan> spans = buffer.CompletedInOrder();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[1].id, third);
+  EXPECT_TRUE(spans[1].attrs.empty());
+}
+
+// Extracts every `"key": value` integer field from a JSON dump.
+std::vector<std::uint64_t> JsonIds(const std::string& json, const char* key) {
+  std::vector<std::uint64_t> out;
+  const std::string needle = std::string("\"") + key + "\": ";
+  std::size_t pos = 0;
+  while ((pos = json.find(needle, pos)) != std::string::npos) {
+    pos += needle.size();
+    out.push_back(std::strtoull(json.c_str() + pos, nullptr, 10));
+  }
+  return out;
+}
+
+TEST_F(ObsTest, EvictionLeavesExportedForestValid) {
+  // Chains of parent->child spans where eviction removes parents: every
+  // surviving span whose parent was evicted must be re-rooted (parent 0) in
+  // the export, never left dangling.
+  TraceBuffer buffer(/*capacity=*/6);
+  for (int tree = 0; tree < 5; ++tree) {
+    const sim::Time base = tree * 10;
+    const SpanId root = buffer.StartAt("client", "read", base);
+    const SpanId mid =
+        buffer.StartAt("rpc", "call", base + 1, buffer.ContextFor(root));
+    const SpanId leaf =
+        buffer.StartAt("disk:d0", "io", base + 2, buffer.ContextFor(mid));
+    buffer.EndAt(leaf, base + 3);
+    buffer.EndAt(mid, base + 4);
+    buffer.EndAt(root, base + 5);
+  }
+  EXPECT_EQ(buffer.completed_count(), 6u);
+  EXPECT_EQ(buffer.dropped(), 9u);
+
+  const std::string json = DumpTraceJson(buffer);
+  const std::vector<std::uint64_t> ids = JsonIds(json, "id");
+  const std::vector<std::uint64_t> parents = JsonIds(json, "parent");
+  ASSERT_EQ(ids.size(), 6u);
+  ASSERT_EQ(parents.size(), 6u);
+  for (std::uint64_t parent : parents) {
+    if (parent == 0) continue;
+    EXPECT_NE(std::find(ids.begin(), ids.end(), parent), ids.end())
+        << "dangling parent id " << parent << " in export";
+  }
+  // At least one span was actually re-rooted by eviction (the oldest
+  // surviving tree lost its root).
+  EXPECT_NE(std::count(parents.begin(), parents.end(), 0u), 0);
+}
+
+TEST_F(ObsTest, RoundTripExportIsStable) {
+  TraceBuffer buffer;
+  const SpanId root = buffer.Begin("client", "read");
+  buffer.Annotate(root, "bytes", "4096");
+  const SpanId child = buffer.Begin("rpc", "call", buffer.ContextFor(root));
+  buffer.End(child);
+  buffer.End(root);
+  const std::string once = DumpTraceJson(buffer);
+  // Serializing the snapshot through the vector overload must be
+  // byte-identical — trace_inspect --verify depends on this.
+  const std::string twice = DumpTraceJson(buffer.CompletedInOrder());
+  EXPECT_EQ(once, twice);
+  EXPECT_EQ(TraceDigest(buffer), TraceDigest(buffer));
+
+  const std::string chrome = DumpChromeTraceJson(buffer);
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST_F(ObsTest, AnalyzeRequestTreeAttributesPhases) {
+  // Hand-built serial cold-read tree:
+  //   client.read   [0, 100]
+  //     rpc.call    [5, 95]
+  //       iscsi     [10, 90]
+  //         disk io [20, 80] service_ns=25
+  //           spin  [20, 50]
+  std::vector<TraceSpan> spans;
+  TraceSpan root{1, 1, 0, "client", "read", 0, 100, {}};
+  TraceSpan rpc{2, 1, 1, "rpc", "call", 5, 95, {}};
+  TraceSpan target{3, 1, 2, "iscsi:host-0", "target_read", 10, 90, {}};
+  TraceSpan io{4, 1, 3, "disk:d0", "io", 20, 80, {{"service_ns", "25"}}};
+  TraceSpan spin{5, 1, 4, "disk:d0", "spin_up", 20, 50, {}};
+  spans = {root, rpc, target, io, spin};
+
+  const PhaseBreakdown b = AnalyzeRequestTree(spans, 1);
+  EXPECT_EQ(b.e2e, 100);
+  EXPECT_EQ(b.spin_up, 30);       // [20,50]
+  EXPECT_EQ(b.disk_service, 25);  // attr, inside io's exclusive 30ns
+  EXPECT_EQ(b.queue_wait, 5);     // io exclusive (30) - service (25)
+  EXPECT_EQ(b.rpc, 10);           // [5,95] minus [10,90]
+  EXPECT_EQ(b.fabric_transfer, 20);  // [10,90] minus [20,80]
+  EXPECT_EQ(b.retry_backoff, 0);
+  EXPECT_EQ(b.other, 10);         // root slack [0,5)+(95,100]
+  // The taxonomy partitions the root span exactly.
+  EXPECT_EQ(b.Sum(), b.e2e);
+
+  EXPECT_EQ(TraceRoots(spans).size(), 1u);
+  EXPECT_EQ(TraceRoots(spans).front(), 1u);
+}
+
+TEST_F(ObsTest, WindowedAggregatorDeltasAndQuantiles) {
+  sim::Simulator sim;
+  BindSimulator(&sim);
+  MetricsRegistry registry;
+  registry.set_time_source([] { return sim::Time(0); });
+  WindowedAggregator agg;
+
+  registry.Increment("ops", 10);
+  registry.Observe("lat_us", 5.0, {10.0, 100.0});
+  registry.Observe("lat_us", 50.0, {10.0, 100.0});
+  auto w1 = agg.CloseWindow(registry, sim::Seconds(1));
+  EXPECT_EQ(w1.counter_deltas.at("ops"), 10u);
+  EXPECT_EQ(w1.histograms.at("lat_us").count, 2u);
+  EXPECT_FALSE(std::isnan(w1.histograms.at("lat_us").Quantile(0.5)));
+
+  // Second window: only 3 more ops, no histogram samples -> NaN quantile.
+  registry.Increment("ops", 3);
+  auto w2 = agg.CloseWindow(registry, sim::Seconds(2));
+  EXPECT_EQ(w2.counter_deltas.at("ops"), 3u);
+  EXPECT_EQ(w2.histograms.at("lat_us").count, 0u);
+  EXPECT_TRUE(std::isnan(w2.histograms.at("lat_us").Quantile(0.99)));
+  BindSimulator(nullptr);
+}
+
+TEST_F(ObsTest, HealthMonitorFiresAndResolvesDeterministically) {
+  auto run = [] {
+    MetricsRegistry registry;
+    registry.set_time_source([] { return sim::Time(0); });
+    std::vector<SloRule> rules(1);
+    rules[0].name = "retry-rate";
+    rules[0].metric = "client.master_retries";
+    rules[0].signal = SloRule::Signal::kCounterRate;
+    rules[0].threshold = 5.0;  // per second
+    rules[0].for_windows = 2;
+    HealthMonitor monitor(sim::Seconds(1), std::move(rules));
+
+    // Two breaching windows -> fired; one clean window -> resolved.
+    registry.Increment("client.master_retries", 10);
+    monitor.Tick(registry, sim::Seconds(1));
+    EXPECT_TRUE(monitor.alerts().empty());
+    registry.Increment("client.master_retries", 10);
+    monitor.Tick(registry, sim::Seconds(2));
+    monitor.Tick(registry, sim::Seconds(3));
+    return monitor.ReportJson();
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_EQ(first, second);  // bit-identical across repeated runs
+  EXPECT_NE(first.find("\"kind\": \"fired\""), std::string::npos);
+  EXPECT_NE(first.find("\"kind\": \"resolved\""), std::string::npos);
+  EXPECT_NE(first.find("retry-rate"), std::string::npos);
+}
+
+TEST_F(ObsTest, HealthMonitorFinalizeFlushesPartialWindow) {
+  MetricsRegistry registry;
+  registry.set_time_source([] { return sim::Time(0); });
+  std::vector<SloRule> rules(1);
+  rules[0].name = "op-count";
+  rules[0].metric = "ops";
+  rules[0].signal = SloRule::Signal::kCounterDelta;
+  rules[0].threshold = 5.0;
+  HealthMonitor monitor(sim::Seconds(10), std::move(rules));
+
+  registry.Increment("ops", 20);
+  monitor.Finalize(registry, sim::Seconds(3));  // partial window flush
+  EXPECT_EQ(monitor.windows_evaluated(), 1);
+  ASSERT_EQ(monitor.alerts().size(), 1u);
+  EXPECT_TRUE(monitor.alerts().front().fired);
+  // Finalize is idempotent at the same instant.
+  monitor.Finalize(registry, sim::Seconds(3));
+  EXPECT_EQ(monitor.windows_evaluated(), 1);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 //
 //   $ ./tools/metrics_inspect           # table + timeline
 //   $ ./tools/metrics_inspect --json    # raw obs::DumpJson() / DumpTraceJson()
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <span>
@@ -41,12 +42,21 @@ void PrintRegistry(const obs::MetricsSnapshot& snapshot) {
   std::printf("\n== Histograms ==\n");
   std::printf("  %-40s %10s %12s %12s %12s %12s\n", "name", "count", "mean",
               "p50", "p95", "p99");
+  // An empty histogram has no mean or quantiles (NaN, see
+  // obs::Histogram::Quantile): render "-" rather than a bogus number.
+  const auto cell = [](double v) -> std::string {
+    if (std::isnan(v)) return "-";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return buf;
+  };
   for (const auto& [name, histogram] : snapshot.histograms) {
     const double mean =
-        histogram.count == 0 ? 0 : histogram.sum / histogram.count;
-    std::printf("  %-40s %10llu %12.3f %12.3f %12.3f %12.3f\n", name.c_str(),
-                static_cast<unsigned long long>(histogram.count), mean,
-                histogram.p50, histogram.p95, histogram.p99);
+        histogram.count == 0 ? std::nan("") : histogram.sum / histogram.count;
+    std::printf("  %-40s %10llu %12s %12s %12s %12s\n", name.c_str(),
+                static_cast<unsigned long long>(histogram.count),
+                cell(mean).c_str(), cell(histogram.p50).c_str(),
+                cell(histogram.p95).c_str(), cell(histogram.p99).c_str());
   }
 }
 

@@ -1,0 +1,475 @@
+// trace_inspect: reconstruct and check causal request trees from the
+// observability layer (DESIGN.md §11).
+//
+// With no file argument it drives a small end-to-end scenario (cluster
+// bring-up, write + verified read, one batched submission, then a *cold*
+// read against a spun-down disk) and inspects the in-process trace buffer.
+// Given a file, it parses an obs::DumpTraceJson dump (e.g. from
+// `bench_cold_workload --trace-json`).
+//
+//   $ ./tools/trace_inspect                  # scenario: trees + phase summary
+//   $ ./tools/trace_inspect trace.json       # same, from a dump
+//   $ ./tools/trace_inspect --chrome         # Chrome-trace-event JSON (Perfetto)
+//   $ ./tools/trace_inspect --json           # canonical DumpTraceJson
+//   $ ./tools/trace_inspect trace.json --verify
+//
+// --verify round-trips the forest through the canonical exporter and
+// checks the structural invariants the tracing layer promises:
+//   * parse -> re-serialize is byte-identical (file mode);
+//   * no span's parent id dangles;
+//   * every child span lies within its parent's interval;
+//   * each tree's phase breakdown (AnalyzeRequestTree) sums exactly to
+//     the root span's duration.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <span>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cluster.h"
+#include "obs/metrics.h"
+#include "obs/phase.h"
+#include "obs/trace.h"
+
+using namespace ustore;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal parser for the DumpTraceJson format: an array of flat span
+// objects with integer ids/timestamps and a string->string attrs object.
+
+struct Parser {
+  const char* p;
+  const char* end;
+  std::string error;
+
+  explicit Parser(const std::string& text)
+      : p(text.data()), end(text.data() + text.size()) {}
+
+  void Skip() {
+    while (p < end && (*p == ' ' || *p == '\n' || *p == '\t' || *p == '\r')) {
+      ++p;
+    }
+  }
+  bool Consume(char c) {
+    Skip();
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    error = std::string("expected '") + c + "'";
+    return false;
+  }
+  bool Peek(char c) {
+    Skip();
+    return p < end && *p == c;
+  }
+  bool String(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (p < end && *p != '"') {
+      if (*p == '\\' && p + 1 < end) ++p;
+      *out += *p++;
+    }
+    return Consume('"');
+  }
+  bool Int(std::int64_t* out) {
+    Skip();
+    bool negative = false;
+    if (p < end && *p == '-') {
+      negative = true;
+      ++p;
+    }
+    if (p >= end || *p < '0' || *p > '9') {
+      error = "expected integer";
+      return false;
+    }
+    std::uint64_t value = 0;
+    while (p < end && *p >= '0' && *p <= '9') {
+      value = value * 10 + static_cast<std::uint64_t>(*p++ - '0');
+    }
+    *out = negative ? -static_cast<std::int64_t>(value)
+                    : static_cast<std::int64_t>(value);
+    return true;
+  }
+};
+
+bool ParseSpan(Parser& in, obs::TraceSpan* span) {
+  if (!in.Consume('{')) return false;
+  while (!in.Peek('}')) {
+    std::string key;
+    if (!in.String(&key) || !in.Consume(':')) return false;
+    if (key == "attrs") {
+      if (!in.Consume('{')) return false;
+      while (!in.Peek('}')) {
+        std::string k, v;
+        if (!in.String(&k) || !in.Consume(':') || !in.String(&v)) return false;
+        span->attrs.emplace_back(std::move(k), std::move(v));
+        if (!in.Peek('}') && !in.Consume(',')) return false;
+      }
+      if (!in.Consume('}')) return false;
+    } else if (key == "component") {
+      if (!in.String(&span->component)) return false;
+    } else if (key == "name") {
+      if (!in.String(&span->name)) return false;
+    } else {
+      std::int64_t value = 0;
+      if (!in.Int(&value)) return false;
+      if (key == "id") span->id = static_cast<obs::SpanId>(value);
+      else if (key == "trace_id") span->trace_id = static_cast<std::uint64_t>(value);
+      else if (key == "parent") span->parent = static_cast<obs::SpanId>(value);
+      else if (key == "start_ns") span->start = value;
+      else if (key == "end_ns") span->end = value;
+      else {
+        in.error = "unknown span field: " + key;
+        return false;
+      }
+    }
+    if (!in.Peek('}') && !in.Consume(',')) return false;
+  }
+  return in.Consume('}');
+}
+
+bool ParseTraceJson(const std::string& text, std::vector<obs::TraceSpan>* spans,
+                    std::string* error) {
+  Parser in(text);
+  if (!in.Consume('[')) {
+    *error = in.error;
+    return false;
+  }
+  while (!in.Peek(']')) {
+    obs::TraceSpan span;
+    if (!ParseSpan(in, &span)) {
+      *error = in.error.empty() ? "bad span object" : in.error;
+      return false;
+    }
+    spans->push_back(std::move(span));
+    if (!in.Peek(']') && !in.Consume(',')) {
+      *error = in.error;
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Tree rendering and the per-phase flame summary.
+
+struct Forest {
+  std::vector<obs::TraceSpan> spans;
+  std::map<obs::SpanId, std::size_t> by_id;
+  std::map<obs::SpanId, std::vector<std::size_t>> children;  // by parent
+
+  explicit Forest(std::vector<obs::TraceSpan> s) : spans(std::move(s)) {
+    for (std::size_t i = 0; i < spans.size(); ++i) by_id[spans[i].id] = i;
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      if (spans[i].parent != obs::kInvalidSpan &&
+          by_id.count(spans[i].parent) != 0) {
+        children[spans[i].parent].push_back(i);
+      }
+    }
+    for (auto& [parent, kids] : children) {
+      std::sort(kids.begin(), kids.end(), [&](std::size_t a, std::size_t b) {
+        return spans[a].start != spans[b].start
+                   ? spans[a].start < spans[b].start
+                   : spans[a].id < spans[b].id;
+      });
+    }
+  }
+};
+
+void PrintSubtree(const Forest& forest, std::size_t index, int depth) {
+  const obs::TraceSpan& span = forest.spans[index];
+  std::printf("  %*s%-14s %-18s [%11.6fs .. %11.6fs] %10.3fms", depth * 2, "",
+              span.name.c_str(), span.component.c_str(),
+              sim::ToSeconds(span.start), sim::ToSeconds(span.end),
+              sim::ToMillis(span.duration()));
+  for (const auto& [key, value] : span.attrs) {
+    std::printf(" %s=%s", key.c_str(), value.c_str());
+  }
+  std::printf("\n");
+  auto it = forest.children.find(span.id);
+  if (it == forest.children.end()) return;
+  for (std::size_t child : it->second) PrintSubtree(forest, child, depth + 1);
+}
+
+struct PhaseRow {
+  const char* name;
+  sim::Duration obs::PhaseBreakdown::* field;
+};
+
+constexpr PhaseRow kPhaseRows[] = {
+    {"queue_wait", &obs::PhaseBreakdown::queue_wait},
+    {"spin_up", &obs::PhaseBreakdown::spin_up},
+    {"fabric_transfer", &obs::PhaseBreakdown::fabric_transfer},
+    {"disk_service", &obs::PhaseBreakdown::disk_service},
+    {"rpc", &obs::PhaseBreakdown::rpc},
+    {"retry_backoff", &obs::PhaseBreakdown::retry_backoff},
+    {"other", &obs::PhaseBreakdown::other},
+};
+
+void PrintPhaseSummary(const std::vector<obs::PhaseBreakdown>& breakdowns) {
+  obs::PhaseBreakdown total;
+  for (const obs::PhaseBreakdown& b : breakdowns) {
+    for (const PhaseRow& row : kPhaseRows) total.*row.field += b.*row.field;
+    total.e2e += b.e2e;
+  }
+  std::printf("\n== Critical-path flame summary (%zu request trees) ==\n",
+              breakdowns.size());
+  std::printf("  %-18s %14s %8s\n", "phase", "total ms", "share");
+  for (const PhaseRow& row : kPhaseRows) {
+    const sim::Duration value = total.*row.field;
+    const double share =
+        total.e2e > 0
+            ? 100.0 * static_cast<double>(value) / static_cast<double>(total.e2e)
+            : 0.0;
+    std::printf("  %-18s %14.3f %7.1f%%\n", row.name, sim::ToMillis(value),
+                share);
+  }
+  std::printf("  %-18s %14.3f %7s\n", "e2e", sim::ToMillis(total.e2e), "");
+}
+
+// ---------------------------------------------------------------------------
+// --verify: the structural invariants of an exported forest.
+
+int Verify(const Forest& forest, const std::string* original_text) {
+  int failures = 0;
+  const auto fail = [&](const std::string& what) {
+    std::fprintf(stderr, "VERIFY FAIL: %s\n", what.c_str());
+    ++failures;
+  };
+
+  // Round trip: re-serializing the parsed spans reproduces the canonical
+  // form byte for byte (so any tool downstream of the exporter can rely
+  // on the exact format).
+  const std::string reserialized = obs::DumpTraceJson(forest.spans);
+  if (original_text != nullptr) {
+    std::string trimmed = *original_text;
+    while (!trimmed.empty() &&
+           (trimmed.back() == '\n' || trimmed.back() == ' ' ||
+            trimmed.back() == '\r')) {
+      trimmed.pop_back();
+    }
+    if (trimmed != reserialized) {
+      fail("parse -> re-serialize is not byte-identical to the input");
+    }
+  }
+
+  std::set<obs::SpanId> ids;
+  for (const obs::TraceSpan& span : forest.spans) ids.insert(span.id);
+  for (const obs::TraceSpan& span : forest.spans) {
+    if (span.parent != obs::kInvalidSpan && ids.count(span.parent) == 0) {
+      fail("span " + std::to_string(span.id) + " has dangling parent " +
+           std::to_string(span.parent));
+    }
+    if (span.end < span.start) {
+      fail("span " + std::to_string(span.id) + " ends before it starts");
+    }
+  }
+  // Causality: a child's interval lies within its parent's.
+  for (const obs::TraceSpan& span : forest.spans) {
+    auto it = forest.by_id.find(span.parent);
+    if (it == forest.by_id.end()) continue;
+    const obs::TraceSpan& parent = forest.spans[it->second];
+    if (span.start < parent.start || span.end > parent.end) {
+      fail("span " + std::to_string(span.id) + " [" +
+           std::to_string(span.start) + ".." + std::to_string(span.end) +
+           "] escapes parent " + std::to_string(parent.id) + " [" +
+           std::to_string(parent.start) + ".." + std::to_string(parent.end) +
+           "]");
+    }
+  }
+  // Attribution: a serial tree's phases partition the root's duration
+  // exactly. Trees with overlapping sibling spans (batched NCQ members
+  // share the drain window) legitimately attribute more wall time than
+  // the root spans — there the breakdown must only cover the root.
+  // Everything is partitioned by trace_id up front so a big forest (a
+  // bench_cold_workload dump has tens of thousands of liveness-ping
+  // trees) verifies in linear time, not trees x spans.
+  std::unordered_map<obs::SpanId, bool> overlap_by_trace;
+  for (const auto& [parent, kids] : forest.children) {
+    const auto it = forest.by_id.find(parent);
+    if (it == forest.by_id.end()) continue;
+    bool overlap = false;
+    for (std::size_t i = 0; i + 1 < kids.size() && !overlap; ++i) {
+      // kids are sorted by start: overlap <=> next starts before prev ends.
+      overlap = forest.spans[kids[i + 1]].start < forest.spans[kids[i]].end;
+    }
+    if (overlap) overlap_by_trace[forest.spans[it->second].trace_id] = true;
+  }
+  std::unordered_map<obs::SpanId, std::vector<obs::TraceSpan>> by_trace;
+  for (const obs::TraceSpan& span : forest.spans) {
+    by_trace[span.trace_id].push_back(span);
+  }
+  for (obs::SpanId root : obs::TraceRoots(forest.spans)) {
+    const bool serial = overlap_by_trace.count(root) == 0;
+    const auto tree_it =
+        by_trace.find(forest.spans[forest.by_id.at(root)].trace_id);
+    const obs::PhaseBreakdown breakdown =
+        obs::AnalyzeRequestTree(tree_it->second, root);
+    if (serial ? breakdown.Sum() != breakdown.e2e
+               : breakdown.Sum() < breakdown.e2e) {
+      fail("tree " + std::to_string(root) + ": phase sum " +
+           std::to_string(breakdown.Sum()) + "ns vs e2e " +
+           std::to_string(breakdown.e2e) + "ns (" +
+           (serial ? "serial" : "batched") + ")");
+    }
+  }
+  if (failures == 0) {
+    std::printf("verify OK: %zu spans, %zu trees\n", forest.spans.size(),
+                obs::TraceRoots(forest.spans).size());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// The built-in scenario: the metrics_inspect request mix plus a cold read.
+
+bool RunScenario() {
+  static core::Cluster cluster;  // outlives the trace buffer's time source
+  cluster.Start();
+  auto client = cluster.MakeClient("inspect-client");
+  static std::unique_ptr<core::ClientLib> owned_client = std::move(client);
+  core::ClientLib::Volume* volume = nullptr;
+  owned_client->AllocateAndMount("inspect-svc", GiB(100),
+                                 [&](Result<core::ClientLib::Volume*> result) {
+                                   if (result.ok()) volume = *result;
+                                 });
+  cluster.RunFor(sim::Seconds(10));
+  if (volume == nullptr) {
+    std::fprintf(stderr, "allocation failed\n");
+    return false;
+  }
+
+  // Keep only request lifecycles: drop the bring-up spans.
+  obs::Tracer().Clear();
+
+  bool ok = false;
+  volume->Write(0, MiB(4), /*random=*/false, /*tag=*/0xC0FFEE,
+                [&](Status status) {
+                  if (!status.ok()) return;
+                  volume->Read(0, MiB(4), false,
+                               [&](Result<std::uint64_t> tag) {
+                                 ok = tag.ok() && *tag == 0xC0FFEE;
+                               });
+                });
+  cluster.RunFor(sim::Seconds(5));
+  if (!ok) {
+    std::fprintf(stderr, "write+read round trip failed\n");
+    return false;
+  }
+
+  using IoOp = core::ClientLib::Volume::IoOp;
+  using IoOpResult = core::ClientLib::Volume::IoOpResult;
+  std::vector<IoOp> ops(4);
+  for (int i = 0; i < 4; ++i) {
+    ops[i] = IoOp{.offset = MiB(4) * (i + 1), .length = MiB(1),
+                  .is_read = false, .random = false,
+                  .tag = 0xBA7C0 + static_cast<std::uint64_t>(i)};
+  }
+  bool batch_ok = false;
+  volume->SubmitBatch(ops, [&](Status status,
+                               std::span<const IoOpResult> results) {
+    batch_ok = status.ok() && results.size() == 4;
+  });
+  cluster.RunFor(sim::Seconds(5));
+  if (!batch_ok) {
+    std::fprintf(stderr, "batched submission failed\n");
+    return false;
+  }
+
+  // The archival case the phase taxonomy exists for: spin the platter down
+  // and read cold — the ~7.5 s spin-up dominates the tree.
+  hw::Disk* disk = cluster.fabric().disk(volume->id().disk);
+  if (disk != nullptr) disk->SpinDown();
+  bool cold_ok = false;
+  volume->Read(0, KiB(128), true,
+               [&](Result<std::uint64_t> tag) { cold_ok = tag.ok(); });
+  cluster.RunFor(sim::Seconds(30));
+  if (!cold_ok) {
+    std::fprintf(stderr, "cold read failed\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool chrome = false, json = false, verify = false;
+  std::string file;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--chrome") == 0) chrome = true;
+    else if (std::strcmp(argv[i], "--json") == 0) json = true;
+    else if (std::strcmp(argv[i], "--verify") == 0) verify = true;
+    else if (argv[i][0] != '-') file = argv[i];
+    else {
+      std::fprintf(stderr,
+                   "usage: trace_inspect [FILE] [--chrome|--json] [--verify]\n");
+      return 2;
+    }
+  }
+
+  std::vector<obs::TraceSpan> spans;
+  std::string text;
+  const bool from_file = !file.empty();
+  if (from_file) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", file.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+    std::string error;
+    if (!ParseTraceJson(text, &spans, &error)) {
+      std::fprintf(stderr, "%s: parse error: %s\n", file.c_str(),
+                   error.c_str());
+      return 1;
+    }
+  } else {
+    if (!RunScenario()) return 1;
+    spans = obs::Tracer().CompletedInOrder();
+    text = obs::DumpTraceJson(spans);
+  }
+
+  if (chrome) {
+    std::printf("%s\n", obs::DumpChromeTraceJson(spans).c_str());
+    return 0;
+  }
+  if (json) {
+    std::printf("%s\n", obs::DumpTraceJson(spans).c_str());
+    return 0;
+  }
+
+  Forest forest(std::move(spans));
+  if (verify) return Verify(forest, from_file ? &text : nullptr);
+
+  const std::vector<obs::SpanId> roots = obs::TraceRoots(forest.spans);
+  std::printf("== Causal request trees (%zu spans, %zu trees) ==\n",
+              forest.spans.size(), roots.size());
+  // Partition once so per-tree analysis stays linear in the forest size
+  // (a bench_cold_workload dump holds tens of thousands of trees).
+  std::unordered_map<obs::SpanId, std::vector<obs::TraceSpan>> by_trace;
+  for (const obs::TraceSpan& span : forest.spans) {
+    by_trace[span.trace_id].push_back(span);
+  }
+  std::vector<obs::PhaseBreakdown> breakdowns;
+  for (obs::SpanId root : roots) {
+    auto it = forest.by_id.find(root);
+    if (it == forest.by_id.end()) continue;
+    std::printf("\ntrace %llu:\n", static_cast<unsigned long long>(root));
+    PrintSubtree(forest, it->second, 0);
+    breakdowns.push_back(obs::AnalyzeRequestTree(
+        by_trace[forest.spans[it->second].trace_id], root));
+  }
+  PrintPhaseSummary(breakdowns);
+  return 0;
+}
