@@ -175,6 +175,27 @@ void BM_TimerRearm(benchmark::State& state) {
 }
 BENCHMARK(BM_TimerRearm);
 
+void BM_TimerPeriodicFire(benchmark::State& state) {
+  // Steady-state periodic firing — heartbeats, report ticks, idle-disk
+  // clocks. Each iteration drives the timer through 1024 periods. The
+  // RearmCurrent fast path makes this closure-construction-free: every
+  // firing re-queues its own EventFn storage, which the rearm_hits
+  // counter proves (one hit per firing, or the run is flagged).
+  sim::Simulator sim;
+  sim::Timer timer(&sim);
+  std::uint64_t fired = 0;
+  timer.StartPeriodic(sim::Millis(1), [&fired] { ++fired; });
+  for (auto _ : state) {
+    sim.Run(1024);
+  }
+  timer.Stop();
+  if (sim.rearm_hits() != sim.events_processed()) {
+    state.SkipWithError("periodic firings constructed fresh closures");
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_TimerPeriodicFire);
+
 void BM_ActivePathResolution(benchmark::State& state) {
   // Path walks on an unchanged topology — what the bandwidth solver and
   // FabricManager attachment recompute do between fabric mutations.

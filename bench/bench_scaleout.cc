@@ -19,6 +19,7 @@
 // Output: a human table on stdout and, with --json, a google-benchmark
 // compatible JSON document (one "iteration" entry per unit count whose
 // real_time is ns/event).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +29,7 @@
 
 #include "bench_util.h"
 #include "core/fleet.h"
+#include "core/sharded_unit.h"
 
 namespace {
 
@@ -41,7 +43,27 @@ struct Args {
   std::string json_path;
   bool check_determinism = false;
   std::uint64_t seed = 42;
+  // Intra-unit sharded sweep (DESIGN.md §12): when non-empty, one deploy
+  // unit of this many disks runs on the sharded engine at each
+  // `unit_threads` count (the first entry is the speedup baseline, so keep
+  // it at 1). --check-determinism additionally runs the single-queue
+  // oracle per configuration and compares reports byte for byte.
+  std::vector<int> disks_per_unit;
+  std::vector<int> unit_threads = {1, 2, 4, 8};
+  int unit_shards = 8;
+  int unit_groups = 64;
+  bool skip_fleet = false;  // --no-fleet: sharded sweep only
 };
+
+std::vector<int> ParseIntList(const char* value) {
+  std::vector<int> out;
+  for (const char* p = value; *p != '\0';) {
+    out.push_back(std::atoi(p));
+    while (*p != '\0' && *p != ',') ++p;
+    if (*p == ',') ++p;
+  }
+  return out;
+}
 
 bool ParseArgs(int argc, char** argv, Args& args) {
   auto next_value = [&](int& i) -> const char* {
@@ -53,12 +75,26 @@ bool ParseArgs(int argc, char** argv, Args& args) {
     if (std::strcmp(arg, "--units") == 0) {
       const char* value = next_value(i);
       if (value == nullptr) return false;
-      args.unit_counts.clear();
-      for (const char* p = value; *p != '\0';) {
-        args.unit_counts.push_back(std::atoi(p));
-        while (*p != '\0' && *p != ',') ++p;
-        if (*p == ',') ++p;
-      }
+      args.unit_counts = ParseIntList(value);
+    } else if (std::strcmp(arg, "--disks-per-unit") == 0) {
+      const char* value = next_value(i);
+      if (value == nullptr) return false;
+      args.disks_per_unit = ParseIntList(value);
+    } else if (std::strcmp(arg, "--unit-threads") == 0) {
+      const char* value = next_value(i);
+      if (value == nullptr) return false;
+      args.unit_threads = ParseIntList(value);
+      if (args.unit_threads.empty()) return false;
+    } else if (std::strcmp(arg, "--unit-shards") == 0) {
+      const char* value = next_value(i);
+      if (value == nullptr) return false;
+      args.unit_shards = std::atoi(value);
+    } else if (std::strcmp(arg, "--unit-groups") == 0) {
+      const char* value = next_value(i);
+      if (value == nullptr) return false;
+      args.unit_groups = std::atoi(value);
+    } else if (std::strcmp(arg, "--no-fleet") == 0) {
+      args.skip_fleet = true;
     } else if (std::strcmp(arg, "--threads") == 0) {
       const char* value = next_value(i);
       if (value == nullptr) return false;
@@ -176,6 +212,62 @@ RunResult RunFleet(const Args& args, int units, int threads) {
   return result;
 }
 
+// --- Intra-unit sharded sweep (DESIGN.md §12) -------------------------------
+
+struct ShardedResult {
+  core::ShardedUnitReport report;
+  double wall_seconds = 0;
+  double events_per_second = 0;
+  double sim_per_wall = 0;
+  double ns_per_event = 0;
+};
+
+core::ShardedUnitOptions ShardedOptionsFor(const Args& args, int disks,
+                                           int threads, bool use_sharded) {
+  core::ShardedUnitOptions options;
+  options.groups = args.unit_groups;
+  options.disks_per_group = std::max(1, disks / args.unit_groups);
+  options.shards = use_sharded ? args.unit_shards : 1;
+  options.threads = threads;
+  options.seed = args.seed;
+  options.duration = static_cast<sim::Duration>(args.sim_seconds * 1e9);
+  // Denser bursts than the model's default: the sweep wants enough events
+  // per wall-second for stable timing, and a fault rate that keeps the
+  // spin/fail paths on the profile.
+  options.burst_period = sim::Millis(5);
+  options.burst_ops = 32;
+  options.fault_probability = 0.01;
+  return options;
+}
+
+ShardedResult RunSharded(const Args& args, int disks, int threads,
+                         bool use_sharded) {
+  const core::ShardedUnitOptions options =
+      ShardedOptionsFor(args, disks, threads, use_sharded);
+  ShardedResult result;
+  const auto start = std::chrono::steady_clock::now();
+  result.report = core::RunShardedUnit(options, use_sharded);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const double events = static_cast<double>(result.report.events_processed);
+  const double wall = result.wall_seconds;
+  result.events_per_second = wall > 0 ? events / wall : 0;
+  result.sim_per_wall = wall > 0 ? args.sim_seconds / wall : 0;
+  result.ns_per_event = events > 0 ? wall * 1e9 / events : 0;
+  return result;
+}
+
+ShardedResult BestOf(const Args& args, int disks, int threads,
+                     bool use_sharded) {
+  ShardedResult best = RunSharded(args, disks, threads, use_sharded);
+  for (int repeat = 1; repeat < args.repeats; ++repeat) {
+    ShardedResult again = RunSharded(args, disks, threads, use_sharded);
+    if (again.wall_seconds < best.wall_seconds) best = std::move(again);
+  }
+  return best;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -185,7 +277,10 @@ int main(int argc, char** argv) {
         stderr,
         "usage: bench_scaleout [--units 1,4,16,64] [--threads N]\n"
         "                      [--sim-seconds S] [--repeats N] [--seed S]\n"
-        "                      [--json PATH] [--check-determinism]\n");
+        "                      [--json PATH] [--check-determinism]\n"
+        "                      [--disks-per-unit 1000,...] [--no-fleet]\n"
+        "                      [--unit-threads 1,2,4,8] [--unit-shards N]\n"
+        "                      [--unit-groups N]\n");
     return 2;
   }
   int threads = args.threads;
@@ -194,6 +289,10 @@ int main(int argc, char** argv) {
     if (threads <= 0) threads = 1;
   }
 
+  bool determinism_ok = true;
+  std::vector<std::string> entries;
+
+  if (!args.skip_fleet) {
   bench::PrintHeader(
       "Fleet scale-out: independent deploy units on a worker pool\n"
       "(" +
@@ -209,11 +308,6 @@ int main(int argc, char** argv) {
   }
   bench::PrintRow(header, 12);
 
-  bool determinism_ok = true;
-  std::string json = "{\n  \"context\": {\"threads\": " +
-                     std::to_string(threads) + ", \"sim_seconds\": " +
-                     bench::Fmt(args.sim_seconds, 3) + "},\n"
-                     "  \"benchmarks\": [\n";
   for (std::size_t i = 0; i < args.unit_counts.size(); ++i) {
     const int units = args.unit_counts[i];
     // Best-of-N: fleet runs are deterministic, so every repeat produces
@@ -255,19 +349,90 @@ int main(int argc, char** argv) {
     }
     bench::PrintRow(row, 12);
 
-    json += "    {\"name\": \"scaleout/units:" + std::to_string(units) +
+    entries.push_back(
+        "    {\"name\": \"scaleout/units:" + std::to_string(units) +
+        "\", \"run_type\": \"iteration\", \"iterations\": " +
+        std::to_string(args.repeats) +
+        ", \"real_time\": " + bench::Fmt(threaded.ns_per_event, 1) +
+        ", \"cpu_time\": " + bench::Fmt(threaded.ns_per_event, 1) +
+        ", \"time_unit\": \"ns\", \"events\": " +
+        std::to_string(threaded.report.total_events) +
+        ", \"events_per_second\": " +
+        bench::Fmt(threaded.events_per_second, 1) +
+        ", \"sim_seconds_per_wall_second\": " +
+        bench::Fmt(threaded.sim_per_wall, 2) + "}");
+  }
+  }  // !args.skip_fleet
+
+  if (!args.disks_per_unit.empty()) {
+    bench::PrintHeader(
+        "Intra-unit sharding: one deploy unit on the sharded event engine\n"
+        "(" +
+        bench::Fmt(args.sim_seconds, 0) + " simulated seconds, " +
+        std::to_string(args.unit_groups) + " groups, shards=" +
+        std::to_string(args.unit_shards) +
+        ", speedup vs the first --unit-threads entry)");
+    std::vector<std::string> header = {"disks",   "threads", "events",
+                                       "Mev/s",   "sim-s/s", "ns/event",
+                                       "speedup"};
+    if (args.check_determinism) header.push_back("identical");
+    bench::PrintRow(header, 12);
+
+    for (const int disks : args.disks_per_unit) {
+      std::string oracle_json;
+      if (args.check_determinism) {
+        oracle_json =
+            RunSharded(args, disks, 1, /*use_sharded=*/false).report.ToJson();
+      }
+      double baseline_wall = 0;
+      for (std::size_t t = 0; t < args.unit_threads.size(); ++t) {
+        const int unit_threads = args.unit_threads[t];
+        const ShardedResult best =
+            BestOf(args, disks, unit_threads, /*use_sharded=*/true);
+        if (t == 0) baseline_wall = best.wall_seconds;
+        const double speedup =
+            best.wall_seconds > 0 ? baseline_wall / best.wall_seconds : 0;
+
+        std::vector<std::string> row = {
+            std::to_string(disks),
+            std::to_string(unit_threads),
+            std::to_string(best.report.events_processed),
+            bench::Fmt(best.events_per_second / 1e6, 2),
+            bench::Fmt(best.sim_per_wall, 1),
+            bench::Fmt(best.ns_per_event, 1),
+            bench::Fmt(speedup, 2) + "x"};
+        bool identical = true;
+        if (args.check_determinism) {
+          identical = best.report.ToJson() == oracle_json;
+          determinism_ok = determinism_ok && identical;
+          row.push_back(identical ? "yes" : "NO");
+        }
+        bench::PrintRow(row, 12);
+
+        entries.push_back(
+            "    {\"name\": \"scaleout/sharded/disks:" +
+            std::to_string(disks) +
+            "/threads:" + std::to_string(unit_threads) +
             "\", \"run_type\": \"iteration\", \"iterations\": " +
             std::to_string(args.repeats) +
-            ", \"real_time\": " +
-            bench::Fmt(threaded.ns_per_event, 1) +
-            ", \"cpu_time\": " + bench::Fmt(threaded.ns_per_event, 1) +
+            ", \"real_time\": " + bench::Fmt(best.ns_per_event, 1) +
+            ", \"cpu_time\": " + bench::Fmt(best.ns_per_event, 1) +
             ", \"time_unit\": \"ns\", \"events\": " +
-            std::to_string(threaded.report.total_events) +
+            std::to_string(best.report.events_processed) +
             ", \"events_per_second\": " +
-            bench::Fmt(threaded.events_per_second, 1) +
-            ", \"sim_seconds_per_wall_second\": " +
-            bench::Fmt(threaded.sim_per_wall, 2) + "}";
-    json += i + 1 < args.unit_counts.size() ? ",\n" : "\n";
+            bench::Fmt(best.events_per_second, 1) +
+            ", \"speedup_vs_baseline\": " + bench::Fmt(speedup, 3) + "}");
+      }
+    }
+  }
+
+  std::string json = "{\n  \"context\": {\"threads\": " +
+                     std::to_string(threads) + ", \"sim_seconds\": " +
+                     bench::Fmt(args.sim_seconds, 3) + "},\n"
+                     "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    json += entries[i];
+    json += i + 1 < entries.size() ? ",\n" : "\n";
   }
   json += "  ]\n}\n";
 

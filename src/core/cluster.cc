@@ -137,4 +137,13 @@ void Cluster::RestartHost(int host) {
   }
 }
 
+fabric::ShardPlan Cluster::BuildShardPlan(int shards) const {
+  fabric::ShardPlanOptions options;
+  options.shards = shards;
+  // The cross-shard floor is one control-plane RPC plus a USB hop; take
+  // the RPC half from the unit's actual network configuration.
+  options.rpc_floor = network_->default_link().latency;
+  return fabric::BuildShardPlan(fabric_->topology(), options);
+}
+
 }  // namespace ustore::core

@@ -17,6 +17,7 @@
 #include "core/endpoint.h"
 #include "core/master.h"
 #include "fabric/fabric_manager.h"
+#include "fabric/shard_plan.h"
 #include "net/network.h"
 #include "sim/simulator.h"
 
@@ -80,6 +81,12 @@ class Cluster {
 
   // Convenience: run the simulation for a duration.
   void RunFor(sim::Duration d) { sim_.RunFor(d); }
+
+  // Partition of this unit's *current* fabric into simulation shards
+  // (root subtrees + conservative lookahead; DESIGN.md §12). Reflects the
+  // live switch/failure state, so a failed-over disk lands in the group
+  // of the subtree it is attached to right now.
+  fabric::ShardPlan BuildShardPlan(int shards) const;
 
  private:
   ClusterOptions options_;

@@ -1,0 +1,440 @@
+#include "core/sharded_unit.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "core/fleet.h"
+#include "obs/metrics.h"
+
+namespace ustore::core {
+
+namespace {
+
+constexpr int kSubHubFanIn = 15;  // xHCI-style 15-device hub limit
+
+// Canonical double rendering for the deterministic report JSON.
+void AppendDouble(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+void AppendU64(std::string* out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+std::uint64_t Fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Per-group and master state.
+
+struct ShardedUnit::Group {
+  Group(int index, int shard, std::uint64_t seed,
+        const hw::DiskModel* model, const ShardedUnitOptions& options)
+      : index(index),
+        shard(shard),
+        rng(seed),
+        trace(options.trace_capacity),
+        disks(model, options.disks_per_group, options.idle_timeout),
+        component("group:" + std::to_string(index)) {
+    shape.size = options.request_size;
+    shape.direction = hw::IoDirection::kRead;
+    shape.pattern = hw::AccessPattern::kSequential;
+  }
+
+  int index;
+  int shard;
+  Rng rng;
+  obs::MetricsRegistry metrics;
+  obs::TraceBuffer trace;
+  hw::DiskStateArray disks;
+  std::string component;
+  hw::IoRequest shape;
+  ShardedUnitGroupReport stats;
+  bool stopped = false;
+};
+
+// The unit master's view of its endpoints. Deliveries only assign into
+// the sender's own slot, so two same-timestamp deliveries from different
+// groups commute — the one ordering freedom the engines have (sharded.h).
+struct ShardedUnit::MasterState {
+  explicit MasterState(int groups)
+      : ops_seen(groups, 0), reports_seen(groups, 0), directed_at(groups, 0) {}
+  std::vector<std::uint64_t> ops_seen;
+  std::vector<std::uint64_t> reports_seen;
+  std::vector<std::uint64_t> directed_at;
+  std::uint64_t ticks = 0;
+  std::uint64_t directives = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Construction.
+
+ShardedUnit::ShardedUnit(ShardedUnitOptions options)
+    : options_(std::move(options)),
+      disk_model_(hw::DiskParams{}, hw::UsbBridgeInterface()) {
+  assert(options_.groups >= 1);
+  assert(options_.disks_per_group >= 1);
+  assert(options_.burst_ops >= 1);
+
+  // One root subtree per group: host port -> root hub -> sub-hubs -> disks.
+  for (int g = 0; g < options_.groups; ++g) {
+    const std::string prefix = "g" + std::to_string(g);
+    const fabric::NodeIndex port = topology_.AddHostPort(prefix + ":p0");
+    const fabric::NodeIndex root = topology_.AddHub(prefix + ":h0", port);
+    fabric::NodeIndex sub = fabric::kInvalidNode;
+    for (int d = 0; d < options_.disks_per_group; ++d) {
+      if (d % kSubHubFanIn == 0) {
+        sub = topology_.AddHub(
+            prefix + ":h" + std::to_string(1 + d / kSubHubFanIn), root);
+      }
+      topology_.AddDisk(prefix + ":d" + std::to_string(d), sub);
+    }
+  }
+
+  fabric::ShardPlanOptions plan_options;
+  plan_options.shards = options_.shards;
+  plan_ = fabric::BuildShardPlan(topology_, plan_options);
+  assert(plan_.groups() == options_.groups &&
+         "one root subtree per group, by construction");
+
+  groups_.reserve(options_.groups);
+  for (int g = 0; g < options_.groups; ++g) {
+    groups_.push_back(std::make_unique<Group>(
+        g, plan_.group_shard[g], FleetUnitSeed(options_.seed, g),
+        &disk_model_, options_));
+  }
+  master_ = std::make_unique<MasterState>(options_.groups);
+}
+
+ShardedUnit::~ShardedUnit() = default;
+
+// ---------------------------------------------------------------------------
+// Scheduling helper: shard-local events stay on even nanoseconds so they
+// never tie with cross-shard deliveries (odd by engine contract).
+
+void ShardedUnit::ScheduleLocal(int shard, sim::Time not_before,
+                                sim::EventFn fn) {
+  const sim::Time now = engine_->now(shard);
+  sim::Time t = std::max(not_before, now);
+  if (t & 1) ++t;
+  engine_->Schedule(shard, t - now, std::move(fn));
+}
+
+// ---------------------------------------------------------------------------
+// Model events.
+
+void ShardedUnit::BurstEvent(int g) {
+  Group& grp = *groups_[g];
+  const sim::Time now = engine_->now(grp.shard);
+  if (grp.stopped || now >= options_.duration) {
+    grp.stopped = true;
+    return;
+  }
+
+  if (options_.fault_probability > 0 &&
+      grp.rng.NextBool(options_.fault_probability)) {
+    const int victim = static_cast<int>(
+        grp.rng.NextBelow(static_cast<std::uint64_t>(grp.disks.count())));
+    if (grp.disks.failed(victim)) {
+      grp.disks.Repair(victim);
+    } else {
+      grp.disks.Fail(victim);
+    }
+    ++grp.stats.faults;
+    grp.metrics.Increment("unit.fault.toggles");
+  }
+
+  const int disk = static_cast<int>(
+      grp.rng.NextBelow(static_cast<std::uint64_t>(grp.disks.count())));
+  const std::uint64_t ops = options_.burst_ops;
+  // DiskModel instruments its service-time math through the obs::Metrics()
+  // singleton. Bind the group's own registry for the call so those counters
+  // are thread-confined (worker threads must not share the process-default
+  // registry) and land in the group snapshot on both engines identically.
+  const hw::DiskStateArray::BatchOutcome out = [&] {
+    obs::ScopedObsBinding bind(&grp.metrics, &grp.trace);
+    return grp.disks.SubmitBatch(disk, grp.shape, ops, now);
+  }();
+  ++grp.stats.bursts;
+  if (out.accepted) {
+    grp.metrics.Increment("unit.io.ops", ops);
+    grp.metrics.Observe("unit.io.batch_span_us",
+                        sim::ToMicros(out.last_completion - now));
+    if (out.spin_wait > 0) grp.metrics.Increment("unit.spin.implicit");
+    grp.trace.Emit(grp.component, "burst", now, out.last_completion, {},
+                   {{"disk", disk}, {"ops", ops}});
+    const sim::Time drain_time = out.last_completion;
+    ScheduleLocal(grp.shard, drain_time, [this, g, disk, drain_time, ops] {
+      DrainEvent(g, disk, drain_time, ops);
+    });
+  } else {
+    grp.metrics.Increment("unit.io.rejected", ops);
+  }
+
+  const sim::Duration gap = std::max<sim::Duration>(
+      static_cast<sim::Duration>(grp.rng.NextExponential(
+          static_cast<double>(options_.burst_period))),
+      1);
+  if (now + gap < options_.duration) {
+    ScheduleLocal(grp.shard, now + gap, [this, g] { BurstEvent(g); });
+  }
+}
+
+void ShardedUnit::DrainEvent(int g, int disk, sim::Time drain_time,
+                             std::uint64_t ops) {
+  Group& grp = *groups_[g];
+  ++grp.stats.drains;
+  grp.metrics.Increment("unit.io.drained", ops);
+  // The platter finished at drain_time exactly; the event itself may fire
+  // up to 1ns later (even-parity rounding), which the state math ignores.
+  const sim::Time idle_deadline = grp.disks.FinishDrain(disk, drain_time);
+  grp.metrics.SetGauge("unit.power_w", grp.disks.TotalPower());
+  if (idle_deadline >= 0) {
+    ScheduleLocal(grp.shard, idle_deadline, [this, g, disk, idle_deadline] {
+      Group& grp2 = *groups_[g];
+      if (grp2.disks.MaybeSpinDown(disk, idle_deadline)) {
+        ++grp2.stats.spin_downs;
+        grp2.metrics.Increment("unit.spin.down");
+        grp2.metrics.SetGauge("unit.power_w", grp2.disks.TotalPower());
+      }
+    });
+  }
+}
+
+void ShardedUnit::ReportEvent(int g) {
+  Group& grp = *groups_[g];
+  const sim::Time now = engine_->now(grp.shard);
+  if (now >= options_.duration) return;
+  ++grp.stats.reports_sent;
+  grp.metrics.Increment("unit.report.sent");
+  const std::uint64_t total = grp.disks.total_ios();
+  // Per-source slot assignment only: commutative under same-timestamp
+  // delivery reordering, as the engine contract requires.
+  engine_->Post(grp.shard, groups_[0]->shard, 0, [this, g, total] {
+    master_->ops_seen[g] = total;
+    ++master_->reports_seen[g];
+  });
+  ScheduleLocal(grp.shard, now + options_.report_period,
+                [this, g] { ReportEvent(g); });
+}
+
+void ShardedUnit::MasterTickEvent() {
+  Group& home = *groups_[0];
+  const sim::Time now = engine_->now(home.shard);
+  ++master_->ticks;
+  home.metrics.Increment("unit.master.ticks");
+  if (options_.directive_every_ops > 0) {
+    for (int g = 0; g < options_.groups; ++g) {
+      while (master_->ops_seen[g] >=
+             master_->directed_at[g] + options_.directive_every_ops) {
+        master_->directed_at[g] += options_.directive_every_ops;
+        ++master_->directives;
+        engine_->Post(home.shard, groups_[g]->shard, 0, [this, g] {
+          Group& grp = *groups_[g];
+          grp.shape.direction =
+              grp.shape.direction == hw::IoDirection::kRead
+                  ? hw::IoDirection::kWrite
+                  : hw::IoDirection::kRead;
+          ++grp.stats.directives;
+          grp.metrics.Increment("unit.directive.received");
+        });
+      }
+    }
+  }
+  if (now + options_.master_tick < options_.duration) {
+    ScheduleLocal(home.shard, now + options_.master_tick,
+                  [this] { MasterTickEvent(); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Run + report.
+
+ShardedUnitReport ShardedUnit::Run(sim::UnitEngine& engine) {
+  assert(!ran_ && "a ShardedUnit runs exactly once");
+  assert(engine.shards() == plan_.shards);
+  ran_ = true;
+  engine_ = &engine;
+
+  for (auto& grp : groups_) {
+    // Metric stamps come from the owning shard's clock; on the oracle,
+    // now(shard) is the global clock — identical at every instant a
+    // group's event runs, which is all that is ever observed.
+    const int shard = grp->shard;
+    grp->metrics.set_time_source(
+        [&engine, shard] { return engine.now(shard); });
+  }
+
+  for (int g = 0; g < options_.groups; ++g) {
+    ScheduleLocal(groups_[g]->shard, options_.burst_period,
+                  [this, g] { BurstEvent(g); });
+    ScheduleLocal(groups_[g]->shard, options_.report_period,
+                  [this, g] { ReportEvent(g); });
+  }
+  ScheduleLocal(groups_[0]->shard, options_.master_tick,
+                [this] { MasterTickEvent(); });
+
+  engine.Run(UINT64_MAX);
+
+  ShardedUnitReport report = BuildReport();
+  report.events_processed = engine.events_processed();
+  engine_ = nullptr;
+  return report;
+}
+
+ShardedUnitReport ShardedUnit::BuildReport() {
+  ShardedUnitReport report;
+  report.groups = options_.groups;
+  report.shards = plan_.shards;
+  report.seed = options_.seed;
+  report.master_ticks = master_->ticks;
+  report.master_directives = master_->directives;
+
+  std::vector<obs::MetricsSnapshot> parts;
+  parts.reserve(groups_.size());
+  for (auto& grp : groups_) {
+    // Drop the engine clock before snapshotting: the snapshot stamp must
+    // not depend on which engine (or shard count) ran the unit.
+    grp->metrics.set_time_source({});
+    ShardedUnitGroupReport out = grp->stats;
+    out.ops = grp->disks.total_ios();
+    out.bytes_read = static_cast<std::uint64_t>(grp->disks.total_bytes_read());
+    out.bytes_written =
+        static_cast<std::uint64_t>(grp->disks.total_bytes_written());
+    out.spin_cycles = grp->disks.total_spin_cycles();
+    out.trace_digest = obs::TraceDigest(grp->trace);
+    out.metrics = grp->metrics.Snapshot();
+    parts.push_back(out.metrics);
+    report.per_group.push_back(std::move(out));
+  }
+  report.merged = obs::MergeSnapshots(parts);
+  return report;
+}
+
+namespace {
+
+void AppendSnapshot(std::string* out, const obs::MetricsSnapshot& snapshot) {
+  out->append("{\"counters\":{");
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out->push_back(',');
+    first = false;
+    out->append("\"").append(name).append("\":");
+    AppendU64(out, value);
+  }
+  out->append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, gauge] : snapshot.gauges) {
+    if (!first) out->push_back(',');
+    first = false;
+    out->append("\"").append(name).append("\":");
+    AppendDouble(out, gauge.value);
+  }
+  out->append("},\"histograms\":{");
+  first = true;
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    if (!first) out->push_back(',');
+    first = false;
+    out->append("\"").append(name).append("\":{\"count\":");
+    AppendU64(out, histogram.count);
+    out->append(",\"sum\":");
+    AppendDouble(out, histogram.sum);
+    out->append(",\"min\":");
+    AppendDouble(out, histogram.min);
+    out->append(",\"max\":");
+    AppendDouble(out, histogram.max);
+    out->append("}");
+  }
+  out->append("}}");
+}
+
+}  // namespace
+
+std::string ShardedUnitReport::ToJson() const {
+  // Deliberately omits the shard count, thread count and any engine
+  // statistic: the rendering must be bit-identical across engines.
+  std::string out;
+  out.reserve(4096);
+  out.append("{\"groups\":");
+  AppendU64(&out, static_cast<std::uint64_t>(groups));
+  out.append(",\"seed\":");
+  AppendU64(&out, seed);
+  out.append(",\"events\":");
+  AppendU64(&out, events_processed);
+  out.append(",\"master\":{\"ticks\":");
+  AppendU64(&out, master_ticks);
+  out.append(",\"directives\":");
+  AppendU64(&out, master_directives);
+  out.append("},\"per_group\":[");
+  for (std::size_t g = 0; g < per_group.size(); ++g) {
+    const ShardedUnitGroupReport& grp = per_group[g];
+    if (g > 0) out.push_back(',');
+    out.append("{\"bursts\":");
+    AppendU64(&out, grp.bursts);
+    out.append(",\"drains\":");
+    AppendU64(&out, grp.drains);
+    out.append(",\"ops\":");
+    AppendU64(&out, grp.ops);
+    out.append(",\"bytes_read\":");
+    AppendU64(&out, grp.bytes_read);
+    out.append(",\"bytes_written\":");
+    AppendU64(&out, grp.bytes_written);
+    out.append(",\"spin_cycles\":");
+    AppendU64(&out, grp.spin_cycles);
+    out.append(",\"spin_downs\":");
+    AppendU64(&out, grp.spin_downs);
+    out.append(",\"faults\":");
+    AppendU64(&out, grp.faults);
+    out.append(",\"reports\":");
+    AppendU64(&out, grp.reports_sent);
+    out.append(",\"directives\":");
+    AppendU64(&out, grp.directives);
+    out.append(",\"trace_digest\":");
+    AppendU64(&out, grp.trace_digest);
+    out.append(",\"metrics\":");
+    AppendSnapshot(&out, grp.metrics);
+    out.append("}");
+  }
+  out.append("],\"merged\":");
+  AppendSnapshot(&out, merged);
+  out.append("}");
+  return out;
+}
+
+std::uint64_t ShardedUnitReport::Digest() const { return Fnv1a(ToJson()); }
+
+ShardedUnitReport RunShardedUnit(const ShardedUnitOptions& options,
+                                 bool use_sharded) {
+  ShardedUnit unit(options);
+  const sim::Duration lookahead =
+      options.lookahead > 0 ? options.lookahead : unit.plan().lookahead;
+  if (use_sharded) {
+    sim::ShardedEngine::Options engine_options;
+    engine_options.shards = unit.plan().shards;
+    engine_options.threads = options.threads;
+    engine_options.lookahead = lookahead;
+    sim::ShardedEngine engine(engine_options);
+    return unit.Run(engine);
+  }
+  sim::Simulator sim;
+  sim::SingleQueueEngine engine(&sim, unit.plan().shards, lookahead);
+  return unit.Run(engine);
+}
+
+}  // namespace ustore::core

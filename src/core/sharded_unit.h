@@ -1,0 +1,165 @@
+// Intra-unit parallel deploy-unit model on the sharded event engine
+// (DESIGN.md §12).
+//
+// One deploy unit — a fabric of G root-hub subtrees, each with its own
+// disk population — simulated over sim::UnitEngine, so the same model runs
+// on the single-queue oracle and on ShardedEngine at any shard/thread
+// count with bit-identical results.
+//
+// Structure (all state is keyed by *logical group*, never by shard):
+//
+//   * fabric::BuildShardPlan partitions the unit's topology into G groups
+//     (root subtrees) and assigns groups to shards; the group structure is
+//     fixed by the topology, so changing the shard count changes only
+//     which queue runs a group, never what the group does.
+//   * Each group owns a hw::DiskStateArray (SoA hot disk state), an Rng
+//     seeded FleetUnitSeed(seed, group), a MetricsRegistry and a
+//     TraceBuffer — nothing is shared between groups except cross-shard
+//     messages.
+//   * Group workloads run as shard-local events at even nanoseconds; the
+//     engine delivers cross-shard posts at odd nanoseconds (sharded.h),
+//     so a delivery never ties with local work.
+//   * Group 0 hosts the unit master. Endpoint groups Post progress
+//     reports to it; the master only updates per-source slots from
+//     deliveries (commutative under same-timestamp reordering) and reacts
+//     from its own periodic tick, Posting workload directives back.
+//
+// The report renders per-group state in group order plus an
+// obs::MergeSnapshots roll-up, making ToJson()/Digest() a pure function
+// of (options, seed) — the determinism fuzz test asserts equality across
+// the oracle and every sharded configuration.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "fabric/shard_plan.h"
+#include "fabric/topology.h"
+#include "hw/disk_model.h"
+#include "hw/disk_soa.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/sharded.h"
+
+namespace ustore::core {
+
+struct ShardedUnitOptions {
+  // Model shape: G logical groups of `disks_per_group` disks each. The
+  // topology is one host port + root hub per group with disks fanned out
+  // under sub-hubs (hub fan-in 15, the xHCI-style limit).
+  int groups = 8;
+  int disks_per_group = 16;
+
+  // Engine shape. Behaviour must not depend on these — only speed.
+  int shards = 1;
+  int threads = 1;
+  // 0 = take the ShardPlan's derived lookahead (rpc floor + usb hop).
+  sim::Duration lookahead = 0;
+
+  std::uint64_t seed = 42;
+
+  // Workload horizon and knobs. Bursts are NCQ batches of identical
+  // requests against an rng-chosen disk; inter-burst gaps are exponential
+  // with mean `burst_period`.
+  sim::Duration duration = sim::Seconds(5);
+  sim::Duration burst_period = sim::Millis(40);
+  std::uint64_t burst_ops = 32;
+  Bytes request_size = KiB(512);
+
+  // Endpoint -> master progress cadence and master tick.
+  sim::Duration report_period = sim::Millis(100);
+  sim::Duration master_tick = sim::Millis(200);
+  // Master flips a group's read/write direction each time the group
+  // reports this many further ops (0 disables directives).
+  std::uint64_t directive_every_ops = 2048;
+
+  // Disk power policy and chaos-style fault injection (per burst:
+  // probability of toggling a random disk failed/repaired).
+  sim::Duration idle_timeout = sim::Millis(500);
+  double fault_probability = 0.0;
+
+  std::size_t trace_capacity = 1024;  // per group
+};
+
+struct ShardedUnitGroupReport {
+  std::uint64_t bursts = 0;
+  std::uint64_t drains = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t spin_cycles = 0;
+  std::uint64_t spin_downs = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t reports_sent = 0;
+  std::uint64_t directives = 0;  // received from the master
+  std::uint64_t trace_digest = 0;
+  obs::MetricsSnapshot metrics;
+};
+
+struct ShardedUnitReport {
+  int groups = 0;
+  int shards = 0;
+  std::uint64_t seed = 0;
+  // Identical across engines and shard counts: every Schedule/Post is
+  // exactly one event on either engine.
+  std::uint64_t events_processed = 0;
+  std::vector<ShardedUnitGroupReport> per_group;  // indexed by group
+  obs::MetricsSnapshot merged;  // obs::MergeSnapshots over the groups
+  // Master-side totals (per-source slots summed in group order).
+  std::uint64_t master_ticks = 0;
+  std::uint64_t master_directives = 0;
+
+  // Canonical deterministic rendering — no engine statistics, no wall
+  // clock: a pure function of (options, seed).
+  std::string ToJson() const;
+  // FNV-1a over ToJson(); what the determinism tests compare.
+  std::uint64_t Digest() const;
+};
+
+// The unit model, bound to one engine run. Construct, then Run() exactly
+// once; the report is also kept on the object for inspection.
+class ShardedUnit {
+ public:
+  explicit ShardedUnit(ShardedUnitOptions options);
+  ~ShardedUnit();
+  ShardedUnit(const ShardedUnit&) = delete;
+  ShardedUnit& operator=(const ShardedUnit&) = delete;
+
+  const fabric::ShardPlan& plan() const { return plan_; }
+  const fabric::Topology& topology() const { return topology_; }
+
+  // Seeds every group's workload into `engine` and drains it. The engine
+  // must have plan().shards shards (SingleQueueEngine may emulate them).
+  ShardedUnitReport Run(sim::UnitEngine& engine);
+
+ private:
+  struct Group;
+  struct MasterState;
+
+  void ScheduleLocal(int shard, sim::Time not_before, sim::EventFn fn);
+  void BurstEvent(int g);
+  void DrainEvent(int g, int disk, sim::Time drain_time, std::uint64_t ops);
+  void ReportEvent(int g);
+  void MasterTickEvent();
+  ShardedUnitReport BuildReport();
+
+  ShardedUnitOptions options_;
+  hw::DiskModel disk_model_;
+  fabric::Topology topology_;
+  fabric::ShardPlan plan_;
+  std::vector<std::unique_ptr<Group>> groups_;
+  std::unique_ptr<MasterState> master_;
+  sim::UnitEngine* engine_ = nullptr;  // only during Run()
+  bool ran_ = false;
+};
+
+// Convenience: build the unit, pick the engine, run, report. With
+// `use_sharded` false the engine is a SingleQueueEngine over one
+// sim::Simulator — the bit-exactness oracle.
+ShardedUnitReport RunShardedUnit(const ShardedUnitOptions& options,
+                                 bool use_sharded);
+
+}  // namespace ustore::core

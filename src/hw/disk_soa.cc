@@ -1,0 +1,143 @@
+#include "hw/disk_soa.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ustore::hw {
+
+DiskStateArray::DiskStateArray(const DiskModel* model, int count,
+                               sim::Duration idle_timeout)
+    : model_(model), idle_timeout_(idle_timeout) {
+  assert(model_ != nullptr);
+  assert(count >= 0);
+  state_.assign(count, DiskState::kIdle);
+  last_direction_.assign(count, IoDirection::kRead);
+  failed_.assign(count, 0);
+  drain_until_.assign(count, 0);
+  idle_deadline_.assign(count, -1);
+  pending_batches_.assign(count, 0);
+  ios_.assign(count, 0);
+  bytes_read_.assign(count, 0);
+  bytes_written_.assign(count, 0);
+  spin_cycles_.assign(count, 0);
+  state_counts_[static_cast<int>(DiskState::kIdle)] = count;
+}
+
+void DiskStateArray::EnterState(int disk, DiskState next) {
+  if (state_[disk] == next) return;
+  --state_counts_[static_cast<int>(state_[disk])];
+  ++state_counts_[static_cast<int>(next)];
+  state_[disk] = next;
+}
+
+DiskStateArray::BatchOutcome DiskStateArray::SubmitBatch(
+    int disk, const IoRequest& shape, std::uint64_t ops, sim::Time now) {
+  assert(disk >= 0 && disk < count());
+  assert(ops >= 1);
+  BatchOutcome out;
+  if (failed_[disk] != 0 || state_[disk] == DiskState::kPoweredOff) {
+    return out;  // rejected, like hw::Disk failing the submission
+  }
+
+  sim::Time start = now;
+  if (pending_batches_[disk] > 0) {
+    // Chain behind the queued drain, exactly where hw::Disk's ring would
+    // start the next window (FinishDrain -> MaybeStartNext at drain end).
+    start = std::max(start, drain_until_[disk]);
+  } else if (state_[disk] == DiskState::kSpunDown) {
+    // Implicit spin-up on access; the whole wait is charged to this
+    // batch's first request (hw::Disk's pending_window_spin_ handoff).
+    out.spin_wait = model_->disk().spin_up_time;
+    start += out.spin_wait;
+    ++spin_cycles_[disk];
+    ++total_spin_cycles_;
+  }
+
+  out.accepted = true;
+  out.first_service = model_->ServiceTime(shape, last_direction_[disk]);
+  out.first_completion = start + out.first_service;
+  if (ops > 1) {
+    out.steady_service = model_->SteadyStateServiceTime(shape, ops - 1);
+    out.last_completion =
+        out.first_completion +
+        static_cast<sim::Duration>(ops - 1) * out.steady_service;
+  } else {
+    out.last_completion = out.first_completion;
+  }
+
+  last_direction_[disk] = shape.direction;
+  drain_until_[disk] = out.last_completion;
+  ++pending_batches_[disk];
+  idle_deadline_[disk] = -1;
+  EnterState(disk, DiskState::kActive);
+
+  ios_[disk] += ops;
+  total_ios_ += ops;
+  const Bytes bytes = static_cast<Bytes>(ops) * shape.size;
+  if (shape.direction == IoDirection::kRead) {
+    bytes_read_[disk] += bytes;
+    total_bytes_read_ += bytes;
+  } else {
+    bytes_written_[disk] += bytes;
+    total_bytes_written_ += bytes;
+  }
+  return out;
+}
+
+sim::Time DiskStateArray::FinishDrain(int disk, sim::Time now) {
+  assert(disk >= 0 && disk < count());
+  if (pending_batches_[disk] > 0) --pending_batches_[disk];
+  if (failed_[disk] != 0 || state_[disk] == DiskState::kPoweredOff) {
+    return -1;
+  }
+  if (pending_batches_[disk] > 0 || now < drain_until_[disk]) {
+    return -1;  // a later batch still owns the spindle
+  }
+  EnterState(disk, DiskState::kIdle);
+  if (idle_timeout_ <= 0) return -1;
+  idle_deadline_[disk] = now + idle_timeout_;
+  return idle_deadline_[disk];
+}
+
+bool DiskStateArray::MaybeSpinDown(int disk, sim::Time now) {
+  assert(disk >= 0 && disk < count());
+  if (failed_[disk] != 0 || state_[disk] != DiskState::kIdle) return false;
+  if (idle_deadline_[disk] < 0 || now < idle_deadline_[disk]) return false;
+  if (pending_batches_[disk] > 0) return false;
+  idle_deadline_[disk] = -1;
+  EnterState(disk, DiskState::kSpunDown);
+  return true;
+}
+
+void DiskStateArray::Fail(int disk) {
+  assert(disk >= 0 && disk < count());
+  if (failed_[disk] != 0) return;
+  failed_[disk] = 1;
+  // In-flight windows are moot: stale drain events see pending == 0.
+  pending_batches_[disk] = 0;
+  drain_until_[disk] = 0;
+  idle_deadline_[disk] = -1;
+}
+
+void DiskStateArray::Repair(int disk) {
+  assert(disk >= 0 && disk < count());
+  if (failed_[disk] == 0) return;
+  failed_[disk] = 0;
+  if (state_[disk] != DiskState::kPoweredOff) {
+    EnterState(disk, DiskState::kSpunDown);
+  }
+}
+
+Watts DiskStateArray::TotalPower() const {
+  const DiskParams& d = model_->disk();
+  const InterfaceParams& i = model_->iface();
+  const auto n = [this](DiskState s) {
+    return static_cast<double>(state_counts_[static_cast<int>(s)]);
+  };
+  return n(DiskState::kSpinningUp) * (d.power_spin_up_surge + i.power_active) +
+         n(DiskState::kSpunDown) * (d.power_spun_down + i.power_spun_down) +
+         n(DiskState::kIdle) * (d.power_idle + i.power_idle) +
+         n(DiskState::kActive) * (d.power_active + i.power_active);
+}
+
+}  // namespace ustore::hw

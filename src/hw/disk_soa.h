@@ -1,0 +1,113 @@
+// Struct-of-arrays hot state for a shard's disk population (DESIGN.md §12).
+//
+// hw::Disk carries everything one spindle can do — request ring, per-op
+// callbacks, trace spans, integrity store. At 100k disks per unit the
+// sharded engine's steady-state path only touches a handful of scalars per
+// disk (spin state, last direction, drain cursor, counters), so this class
+// keeps exactly that hot state in parallel arrays: a batch submission or a
+// fast-forward sweep walks contiguous memory instead of hopping across
+// 100k heap-allocated Disk objects.
+//
+// Timing is bit-exact with hw::Disk for the NCQ closed-form drain of a
+// same-shape batch (the data-plane fast path of DESIGN.md §9): the first
+// request pays ServiceTime(shape, previous direction), every follow-up
+// pays SteadyStateServiceTime, spin-up inserts the full spin_up_time in
+// front of the window and is charged to the batch's first request. The
+// equivalence test (sharded_unit_test) drives a real hw::Disk and this
+// array with identical submissions and asserts identical completion
+// schedules. Divergences from hw::Disk, by design: no per-request ring or
+// callbacks (completions are a closed-form schedule the caller turns into
+// one event), and the idle spin-down timeout is fixed (no §IV-F adaptive
+// doubling).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "hw/disk.h"
+#include "hw/disk_model.h"
+#include "sim/time.h"
+
+namespace ustore::hw {
+
+class DiskStateArray {
+ public:
+  struct BatchOutcome {
+    bool accepted = false;            // false: disk failed or powered off
+    sim::Time first_completion = 0;   // first request's platter completion
+    sim::Time last_completion = 0;    // the drain event time
+    sim::Duration first_service = 0;  // ServiceTime of the leading request
+    sim::Duration steady_service = 0; // per-op time of the rest (0 if ops=1)
+    sim::Duration spin_wait = 0;      // spin-up charged to this batch
+  };
+
+  // `model` is borrowed and shared by every disk in the array.
+  DiskStateArray(const DiskModel* model, int count,
+                 sim::Duration idle_timeout);
+
+  int count() const { return static_cast<int>(state_.size()); }
+  DiskState state(int disk) const { return state_[disk]; }
+  int queue_depth(int disk) const { return pending_batches_[disk]; }
+
+  // Admits `ops` identical `shape` requests as one NCQ batch at time `now`
+  // and returns the closed-form completion schedule (request k of the
+  // accepted batch completes at first_completion + k * steady_service).
+  // The caller schedules one drain event at last_completion and calls
+  // FinishDrain from it. A busy disk chains the batch behind the current
+  // drain, exactly like requests waiting in hw::Disk's ring.
+  BatchOutcome SubmitBatch(int disk, const IoRequest& shape,
+                           std::uint64_t ops, sim::Time now);
+
+  // Drain event for one batch fired. Returns the idle-spin-down deadline
+  // the caller should arm a local event for, or -1 when no timer is due
+  // (more batches queued, spin-down disabled, or the disk is gone).
+  sim::Time FinishDrain(int disk, sim::Time now);
+
+  // Idle timer fired: spins down iff the disk is still idle and no newer
+  // activity moved the deadline. Returns true if it spun down.
+  bool MaybeSpinDown(int disk, sim::Time now);
+
+  void Fail(int disk);
+  void Repair(int disk);  // back to spun-down, like hw::Disk::Repair
+  bool failed(int disk) const { return failed_[disk] != 0; }
+
+  // --- Aggregates (the SoA payoff: straight array sweeps) -------------------
+  std::uint64_t total_ios() const { return total_ios_; }
+  Bytes total_bytes_read() const { return total_bytes_read_; }
+  Bytes total_bytes_written() const { return total_bytes_written_; }
+  std::uint64_t total_spin_cycles() const { return total_spin_cycles_; }
+  int CountInState(DiskState state) const {
+    return state_counts_[static_cast<int>(state)];
+  }
+  // Current power draw summed over the array, from the per-state counts.
+  Watts TotalPower() const;
+
+ private:
+  void EnterState(int disk, DiskState next);
+
+  const DiskModel* model_;
+  sim::Duration idle_timeout_;
+
+  // Hot per-disk state, index = disk. Parallel arrays, no padding waste.
+  std::vector<DiskState> state_;
+  std::vector<IoDirection> last_direction_;
+  std::vector<std::uint8_t> failed_;
+  std::vector<sim::Time> drain_until_;     // end of the queued drain chain
+  std::vector<sim::Time> idle_deadline_;   // spin-down due time; -1 = none
+  std::vector<std::int32_t> pending_batches_;
+
+  // Cold-ish per-disk counters (still arrays: report sweeps stay linear).
+  std::vector<std::uint64_t> ios_;
+  std::vector<std::uint64_t> bytes_read_;
+  std::vector<std::uint64_t> bytes_written_;
+  std::vector<std::uint32_t> spin_cycles_;
+
+  int state_counts_[5] = {0, 0, 0, 0, 0};
+  std::uint64_t total_ios_ = 0;
+  Bytes total_bytes_read_ = 0;
+  Bytes total_bytes_written_ = 0;
+  std::uint64_t total_spin_cycles_ = 0;
+};
+
+}  // namespace ustore::hw

@@ -54,6 +54,7 @@ class Network {
   bool IsRegistered(const NodeId& id) const { return nodes_.contains(id); }
 
   void set_default_link(LinkParams params) { default_link_ = params; }
+  const LinkParams& default_link() const { return default_link_; }
   // Sets parameters for both directions between a and b.
   void SetLink(const NodeId& a, const NodeId& b, LinkParams params);
 

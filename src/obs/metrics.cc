@@ -137,6 +137,82 @@ MetricsSnapshot MetricsRegistry::Snapshot(bool reset) {
   return snapshot;
 }
 
+namespace {
+
+// Histogram::Quantile over a merged HistogramState (same interpolation,
+// but driven by the merged bucket counts instead of a live Histogram).
+double StateQuantile(const MetricsSnapshot::HistogramState& h, double q) {
+  if (h.count == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(h.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < h.bucket_counts.size(); ++b) {
+    if (h.bucket_counts[b] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += h.bucket_counts[b];
+    if (static_cast<double>(cumulative) < target) continue;
+    const double lower = b == 0 ? std::max(0.0, h.min) : h.bounds[b - 1];
+    const double upper = b < h.bounds.size() ? h.bounds[b] : h.max;
+    const double fraction =
+        (target - before) / static_cast<double>(h.bucket_counts[b]);
+    return std::clamp(lower + fraction * (upper - lower), h.min, h.max);
+  }
+  return h.max;
+}
+
+}  // namespace
+
+MetricsSnapshot MergeSnapshots(const std::vector<MetricsSnapshot>& parts) {
+  MetricsSnapshot merged;
+  // Gauge tie-break bookkeeping: the newest sample stamp seen per name.
+  std::map<std::string, sim::Time> gauge_at;
+  for (const MetricsSnapshot& part : parts) {
+    merged.at = std::max(merged.at, part.at);
+    for (const auto& [name, value] : part.counters) {
+      merged.counters[name] += value;
+    }
+    for (const auto& [name, gauge] : part.gauges) {
+      const sim::Time newest =
+          gauge.samples.empty() ? 0 : gauge.samples.back().at;
+      auto [it, inserted] = merged.gauges.try_emplace(name);
+      auto [at_it, at_inserted] = gauge_at.try_emplace(name, newest);
+      if (inserted || (!at_inserted && newest > at_it->second)) {
+        it->second.value = gauge.value;
+        at_it->second = newest;
+      }
+      it->second.samples.insert(it->second.samples.end(),
+                                gauge.samples.begin(), gauge.samples.end());
+    }
+    for (const auto& [name, histogram] : part.histograms) {
+      auto [it, inserted] = merged.histograms.try_emplace(name, histogram);
+      if (inserted) continue;
+      MetricsSnapshot::HistogramState& into = it->second;
+      if (histogram.count == 0) continue;
+      if (into.count == 0) {
+        into.min = histogram.min;
+        into.max = histogram.max;
+      } else {
+        into.min = std::min(into.min, histogram.min);
+        into.max = std::max(into.max, histogram.max);
+      }
+      into.count += histogram.count;
+      into.sum += histogram.sum;
+      if (into.bounds == histogram.bounds) {
+        for (std::size_t b = 0; b < into.bucket_counts.size(); ++b) {
+          into.bucket_counts[b] += histogram.bucket_counts[b];
+        }
+      }
+    }
+  }
+  for (auto& [name, histogram] : merged.histograms) {
+    histogram.p50 = StateQuantile(histogram, 0.50);
+    histogram.p90 = StateQuantile(histogram, 0.90);
+    histogram.p95 = StateQuantile(histogram, 0.95);
+    histogram.p99 = StateQuantile(histogram, 0.99);
+  }
+  return merged;
+}
+
 void MetricsRegistry::Clear() {
   counters_.clear();
   gauges_.clear();

@@ -133,6 +133,17 @@ struct MetricsSnapshot {
   std::map<std::string, HistogramState> histograms;
 };
 
+// Deterministic merge of per-shard/per-group snapshots (DESIGN.md §12):
+// counters sum; histograms with matching bounds merge bucket-wise, with
+// quantiles re-estimated from the merged buckets (mismatched bounds keep
+// the first part's buckets and only fold in count/sum/min/max); a gauge
+// takes the value of the part with the newest sample for it — earlier part
+// wins ties — and the sample trails concatenate in part order. `at` is the
+// max across parts. The result is a pure function of the parts vector, so
+// merging per-group registries in group order yields bit-identical output
+// at any shard count.
+MetricsSnapshot MergeSnapshots(const std::vector<MetricsSnapshot>& parts);
+
 class MetricsRegistry {
  public:
   using TimeSource = std::function<sim::Time()>;

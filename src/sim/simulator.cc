@@ -13,6 +13,13 @@ EventId Simulator::Schedule(Duration delay, EventFn fn) {
 
 EventId Simulator::ScheduleAt(Time t, EventFn fn) {
   assert(fn);
+  const std::uint32_t slot = AllocQueued(t);
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  return MakeId(slot, s.gen);
+}
+
+std::uint32_t Simulator::AllocQueued(Time t) {
   std::uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -22,11 +29,21 @@ EventId Simulator::ScheduleAt(Time t, EventFn fn) {
     slots_.emplace_back();
   }
   Slot& s = slots_[slot];
-  s.fn = std::move(fn);
   s.heap_pos = static_cast<std::int32_t>(heap_.size());
   heap_.push_back(HeapEntry{std::max(t, now_), next_seq_++, slot});
   SiftUp(heap_.size() - 1);
-  return MakeId(slot, s.gen);
+  return slot;
+}
+
+EventId Simulator::RearmCurrent(Duration delay) {
+  assert(firing_ && "RearmCurrent is only valid inside an event callback");
+  assert(rearm_slot_ == kNoRearm && "one re-arm per firing");
+  const std::uint32_t slot =
+      AllocQueued(now_ + std::max<Duration>(delay, 0));
+  rearm_slot_ = slot;
+  rearm_gen_ = slots_[slot].gen;
+  ++rearm_hits_;
+  return MakeId(slot, rearm_gen_);
 }
 
 Simulator::Slot* Simulator::Resolve(EventId id) {
@@ -64,11 +81,29 @@ bool Simulator::Step() {
   RemoveFromHeap(0);
   Slot& s = slots_[top.slot];
   assert(top.time >= now_);
+  // A slot whose callback has not been installed yet can only mean a
+  // re-entrant Step() from inside the callback that pre-allocated it via
+  // RearmCurrent; the loop is single-threaded, so this cannot happen in a
+  // well-formed program.
+  assert(s.fn && "event fired before its callback was installed");
   now_ = top.time;
   EventFn fn = std::move(s.fn);
   FreeSlot(top.slot);  // the callback may reuse the slot for new events
   ++events_processed_;
+  firing_ = true;
+  rearm_slot_ = kNoRearm;
   fn();
+  firing_ = false;
+  if (rearm_slot_ != kNoRearm) {
+    // The callback asked to fire again: move its own storage back into the
+    // pre-allocated slot — unless a Cancel() mid-callback already freed it
+    // (generation mismatch), in which case the callback dies here.
+    Slot& rs = slots_[rearm_slot_];
+    if (rs.gen == rearm_gen_ && rs.heap_pos >= 0) {
+      rs.fn = std::move(fn);
+    }
+    rearm_slot_ = kNoRearm;
+  }
   return true;
 }
 
@@ -159,9 +194,18 @@ void Timer::Arm(Duration delay) {
 
 void Timer::OnFire() {
   if (period_ > 0) {
-    // Re-arm before invoking so the callback may Stop() the timer.
-    event_ = sim_->Schedule(period_, [this] { OnFire(); });
-    fn_();
+    // Re-arm before invoking so the callback may Stop() the timer. The
+    // firing trampoline's own storage is re-queued (RearmCurrent), so a
+    // periodic timer constructs exactly one EventFn in its lifetime. The
+    // closure is moved out for the call — a callback that Start*()s this
+    // timer again assigns fn_, and assigning over the closure currently
+    // executing would destroy it mid-flight — and moved back only when
+    // the callback neither restarted (fn_ set) nor stopped (event_
+    // cleared) the timer. Moves, not copies: still zero churn.
+    event_ = sim_->RearmCurrent(period_);
+    auto fn = std::move(fn_);
+    fn();
+    if (!fn_ && event_ != kInvalidEventId) fn_ = std::move(fn);
   } else {
     event_ = kInvalidEventId;
     auto fn = std::move(fn_);

@@ -51,6 +51,20 @@ class Simulator {
   // already fired or was cancelled.
   bool Reschedule(EventId id, Duration delay);
 
+  // Re-arms the event that is currently firing: callable only from inside
+  // an event callback, it re-queues the *same* EventFn storage `delay`
+  // from now — no new closure is constructed and a heap-backed callback
+  // keeps its allocation. The time and tie-break sequence are fixed at the
+  // call (as if freshly scheduled here); the callback object itself moves
+  // back into the slot after it returns. Cancelling the returned id before
+  // the callback returns suppresses the re-arm. This is how periodic
+  // sim::Timers fire without per-firing EventFn churn.
+  EventId RearmCurrent(Duration delay);
+
+  // Number of successful RearmCurrent re-arms — the Timer churn regression
+  // check in sim_test/bench_micro pins the zero-churn periodic path on it.
+  std::uint64_t rearm_hits() const { return rearm_hits_; }
+
   // Executes the next pending event; returns false if the queue is empty.
   bool Step();
 
@@ -100,9 +114,21 @@ class Simulator {
   void RemoveFromHeap(std::size_t pos);
   void FreeSlot(std::uint32_t slot);
 
+  // Allocates a slot + heap entry at absolute time `t` with the callback
+  // left empty; the caller installs (or abandons) the EventFn afterwards.
+  std::uint32_t AllocQueued(Time t);
+
   Time now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t events_processed_ = 0;
+  std::uint64_t rearm_hits_ = 0;
+  // RearmCurrent() handshake: the slot pre-allocated during the currently
+  // firing callback (kNoRearm when none), checked by generation after the
+  // callback returns in case it was cancelled mid-flight.
+  static constexpr std::uint32_t kNoRearm = UINT32_MAX;
+  std::uint32_t rearm_slot_ = kNoRearm;
+  std::uint32_t rearm_gen_ = 0;
+  bool firing_ = false;
   std::vector<Slot> slots_;  // slab; index = EventId slot part
   std::vector<std::uint32_t> free_slots_;
   std::vector<HeapEntry> heap_;  // binary min-heap
@@ -111,7 +137,9 @@ class Simulator {
 // A restartable one-shot/periodic timer bound to a simulator. Used for
 // heartbeats, command timeouts and idle-disk spin-down clocks. Restarting
 // a timer with a pending firing re-arms the existing event in place
-// (Simulator::Reschedule) instead of cancelling and rescheduling.
+// (Simulator::Reschedule) instead of cancelling and rescheduling, and a
+// periodic firing re-queues its own EventFn storage (Simulator::
+// RearmCurrent) instead of constructing a fresh closure per period.
 class Timer {
  public:
   explicit Timer(Simulator* sim) : sim_(sim) {}

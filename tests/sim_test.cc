@@ -297,6 +297,77 @@ TEST(TimerTest, StopPreventsFiring) {
   EXPECT_FALSE(fired);
 }
 
+TEST(SimulatorTest, RearmCurrentReusesCallbackStorage) {
+  // A self-rearming event keeps firing out of the same slot: the callback
+  // object (heap-backed here — the capture exceeds EventFn's inline
+  // buffer) moves back into place after each firing instead of being
+  // reconstructed.
+  Simulator sim;
+  std::array<std::uint64_t, 32> big{};
+  big.fill(1);
+  int fired = 0;
+  sim.Schedule(Seconds(1), [&sim, &fired, big] {
+    fired += static_cast<int>(big[0]);
+    if (fired < 4) sim.RearmCurrent(Seconds(1));
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(sim.rearm_hits(), 3u);
+  EXPECT_EQ(sim.events_processed(), 4u);
+  EXPECT_EQ(sim.now(), Seconds(4));
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, CancelDuringCallbackSuppressesRearm) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(Seconds(1), [&] {
+    ++fired;
+    const EventId id = sim.RearmCurrent(Seconds(1));
+    sim.Cancel(id);  // cancelled before the callback returns: no re-queue
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.rearm_hits(), 1u);  // the re-arm itself did succeed
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(TimerTest, PeriodicRearmsWithoutChurn) {
+  // The churn regression check: every periodic firing must go through
+  // RearmCurrent (zero per-period closure construction), including the
+  // final one whose callback calls Stop() — Stop cancels the already
+  // re-armed event.
+  Simulator sim;
+  Timer timer(&sim);
+  int fired = 0;
+  timer.StartPeriodic(Seconds(1), [&] {
+    if (++fired == 5) timer.Stop();
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.rearm_hits(), 5u);
+  EXPECT_FALSE(timer.active());
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(TimerTest, RestartInsideCallbackOverridesRearm) {
+  // A callback that restarts its own timer (heartbeat backoff pattern)
+  // must win over the implicit periodic re-arm.
+  Simulator sim;
+  Timer timer(&sim);
+  std::vector<Time> fires;
+  timer.StartPeriodic(Seconds(1), [&] {
+    fires.push_back(sim.now());
+    if (fires.size() == 1) {
+      timer.StartOneShot(Seconds(10), [&] { fires.push_back(sim.now()); });
+    }
+  });
+  sim.Run();
+  ASSERT_EQ(fires.size(), 2u);
+  EXPECT_EQ(fires[0], Seconds(1));
+  EXPECT_EQ(fires[1], Seconds(11));
+}
+
 TEST(TimerTest, DestructorCancels) {
   Simulator sim;
   bool fired = false;
