@@ -19,6 +19,7 @@
 // Output: a human table on stdout and, with --json, a google-benchmark
 // compatible JSON document (one "iteration" entry per unit count whose
 // real_time is ns/event).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +29,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "core/cluster_sharded.h"
 #include "core/fleet.h"
 #include "core/sharded_unit.h"
 
@@ -53,6 +55,16 @@ struct Args {
   int unit_shards = 8;
   int unit_groups = 64;
   bool skip_fleet = false;  // --no-fleet: sharded sweep only
+  // --real-cluster: also run the REAL core::Cluster (Master, meta quorum,
+  // EndPoints, live fabric) on the sharded engine at each disks_per_unit
+  // size (DESIGN.md §13), scaling one prototype deploy unit via
+  // leaf_hubs_per_group.
+  bool real_cluster = false;
+  // --expect-speedup X: exit non-zero unless some multi-thread row reaches
+  // X times the threads=1 baseline. Auto-skipped (with a note) when the
+  // machine has a single hardware thread — the contract there is only that
+  // determinism holds, not that threads help.
+  double expect_speedup = 0;
 };
 
 std::vector<int> ParseIntList(const char* value) {
@@ -95,6 +107,12 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       args.unit_groups = std::atoi(value);
     } else if (std::strcmp(arg, "--no-fleet") == 0) {
       args.skip_fleet = true;
+    } else if (std::strcmp(arg, "--real-cluster") == 0) {
+      args.real_cluster = true;
+    } else if (std::strcmp(arg, "--expect-speedup") == 0) {
+      const char* value = next_value(i);
+      if (value == nullptr) return false;
+      args.expect_speedup = std::atof(value);
     } else if (std::strcmp(arg, "--threads") == 0) {
       const char* value = next_value(i);
       if (value == nullptr) return false;
@@ -268,6 +286,89 @@ ShardedResult BestOf(const Args& args, int disks, int threads,
   return best;
 }
 
+// --- The real Cluster on the sharded engine (DESIGN.md §13) -----------------
+
+struct RealClusterResult {
+  core::ShardedClusterReport report;
+  double wall_seconds = 0;       // data-plane run only (Start() excluded)
+  double start_seconds = 0;      // Cluster build + Start + handoff
+  double events_per_second = 0;
+  double ns_per_event = 0;
+};
+
+core::ShardedClusterOptions RealClusterOptionsFor(const Args& args, int disks,
+                                                  int threads,
+                                                  bool use_sharded) {
+  core::ShardedClusterOptions options;
+  options.cluster.seed = args.seed;
+  // One prototype deploy unit scaled by repeating the leaf-hub tier: 8
+  // hosts / 8 root subtrees regardless of size, so the shard plan is
+  // identical across the sweep and only the per-group population grows.
+  options.cluster.fabric.groups = 8;
+  options.cluster.fabric.disks_per_leaf = 4;
+  options.cluster.fabric.leaf_hubs_per_group =
+      std::max(1, disks / (8 * 4));
+  options.shards = use_sharded ? args.unit_shards : 1;
+  options.threads = threads;
+  options.duration = static_cast<sim::Duration>(args.sim_seconds * 1e9);
+  // Steady-state drain profile (the §IV-B workload): dense vectorized
+  // sweeps over wide spin-group ranges, idle spin-down on, no chaos.
+  options.burst_period = sim::Millis(5);
+  options.burst_ops = 32;
+  options.request_size = KiB(512);
+  options.sweep_width = 256;
+  options.idle_timeout = sim::Millis(100);
+  options.fault_probability = 0.0;
+  // Directive cadence scaled with population so the control plane stays a
+  // constant *fraction* of traffic instead of growing with disk count.
+  options.directive_every_ops =
+      static_cast<std::uint64_t>(std::max(disks, 1)) * 64;
+  return options;
+}
+
+RealClusterResult RunRealCluster(const Args& args, int disks, int threads,
+                                 bool use_sharded) {
+  const core::ShardedClusterOptions options =
+      RealClusterOptionsFor(args, disks, threads, use_sharded);
+  RealClusterResult result;
+  const auto t0 = std::chrono::steady_clock::now();
+  core::ShardedCluster unit(options);
+  const auto t1 = std::chrono::steady_clock::now();
+  const sim::Duration lookahead = unit.plan().lookahead;
+  if (use_sharded) {
+    sim::ShardedEngine::Options engine_options;
+    engine_options.shards = unit.plan().shards;
+    engine_options.threads = threads;
+    engine_options.lookahead = lookahead;
+    sim::ShardedEngine engine(engine_options);
+    result.report = unit.Run(engine);
+  } else {
+    sim::Simulator sim;
+    sim::SingleQueueEngine engine(&sim, unit.plan().shards, lookahead);
+    result.report = unit.Run(engine);
+  }
+  const auto t2 = std::chrono::steady_clock::now();
+  result.start_seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.wall_seconds = std::chrono::duration<double>(t2 - t1).count();
+  const double events = static_cast<double>(result.report.events_processed);
+  result.events_per_second =
+      result.wall_seconds > 0 ? events / result.wall_seconds : 0;
+  result.ns_per_event =
+      events > 0 ? result.wall_seconds * 1e9 / events : 0;
+  return result;
+}
+
+RealClusterResult BestOfReal(const Args& args, int disks, int threads,
+                             bool use_sharded) {
+  RealClusterResult best = RunRealCluster(args, disks, threads, use_sharded);
+  for (int repeat = 1; repeat < args.repeats; ++repeat) {
+    RealClusterResult again =
+        RunRealCluster(args, disks, threads, use_sharded);
+    if (again.wall_seconds < best.wall_seconds) best = std::move(again);
+  }
+  return best;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -280,7 +381,8 @@ int main(int argc, char** argv) {
         "                      [--json PATH] [--check-determinism]\n"
         "                      [--disks-per-unit 1000,...] [--no-fleet]\n"
         "                      [--unit-threads 1,2,4,8] [--unit-shards N]\n"
-        "                      [--unit-groups N]\n");
+        "                      [--unit-groups N] [--real-cluster]\n"
+        "                      [--expect-speedup X]\n");
     return 2;
   }
   int threads = args.threads;
@@ -290,6 +392,7 @@ int main(int argc, char** argv) {
   }
 
   bool determinism_ok = true;
+  double max_speedup = 0;  // best multi-thread speedup seen in any sweep
   std::vector<std::string> entries;
 
   if (!args.skip_fleet) {
@@ -392,6 +495,7 @@ int main(int argc, char** argv) {
         if (t == 0) baseline_wall = best.wall_seconds;
         const double speedup =
             best.wall_seconds > 0 ? baseline_wall / best.wall_seconds : 0;
+        if (unit_threads > 1) max_speedup = std::max(max_speedup, speedup);
 
         std::vector<std::string> row = {
             std::to_string(disks),
@@ -426,6 +530,72 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (args.real_cluster && !args.disks_per_unit.empty()) {
+    bench::PrintHeader(
+        "Real Cluster on the sharded engine: live Master/EndPoints/fabric,\n"
+        "vectorized SoA disk sweeps (" +
+        bench::Fmt(args.sim_seconds, 0) + " simulated seconds, shards=" +
+        std::to_string(args.unit_shards) +
+        ", speedup vs the first --unit-threads entry)");
+    std::vector<std::string> header = {"disks",    "threads", "start-s",
+                                       "events",   "Mev/s",   "sim-s/s",
+                                       "ns/event", "speedup"};
+    if (args.check_determinism) header.push_back("identical");
+    bench::PrintRow(header, 12);
+
+    for (const int disks : args.disks_per_unit) {
+      std::string oracle_json;
+      if (args.check_determinism) {
+        oracle_json = RunRealCluster(args, disks, 1, /*use_sharded=*/false)
+                          .report.ToJson();
+      }
+      double baseline_wall = 0;
+      for (std::size_t t = 0; t < args.unit_threads.size(); ++t) {
+        const int unit_threads = args.unit_threads[t];
+        const RealClusterResult best =
+            BestOfReal(args, disks, unit_threads, /*use_sharded=*/true);
+        if (t == 0) baseline_wall = best.wall_seconds;
+        const double speedup =
+            best.wall_seconds > 0 ? baseline_wall / best.wall_seconds : 0;
+        if (unit_threads > 1) max_speedup = std::max(max_speedup, speedup);
+
+        std::vector<std::string> row = {
+            std::to_string(disks),
+            std::to_string(unit_threads),
+            bench::Fmt(best.start_seconds, 2),
+            std::to_string(best.report.events_processed),
+            bench::Fmt(best.events_per_second / 1e6, 2),
+            bench::Fmt(best.wall_seconds > 0
+                           ? args.sim_seconds / best.wall_seconds
+                           : 0,
+                       1),
+            bench::Fmt(best.ns_per_event, 1),
+            bench::Fmt(speedup, 2) + "x"};
+        bool identical = true;
+        if (args.check_determinism) {
+          identical = best.report.ToJson() == oracle_json;
+          determinism_ok = determinism_ok && identical;
+          row.push_back(identical ? "yes" : "NO");
+        }
+        bench::PrintRow(row, 12);
+
+        entries.push_back(
+            "    {\"name\": \"scaleout/real/disks:" + std::to_string(disks) +
+            "/threads:" + std::to_string(unit_threads) +
+            "\", \"run_type\": \"iteration\", \"iterations\": " +
+            std::to_string(args.repeats) +
+            ", \"real_time\": " + bench::Fmt(best.ns_per_event, 1) +
+            ", \"cpu_time\": " + bench::Fmt(best.ns_per_event, 1) +
+            ", \"time_unit\": \"ns\", \"events\": " +
+            std::to_string(best.report.events_processed) +
+            ", \"events_per_second\": " +
+            bench::Fmt(best.events_per_second, 1) +
+            ", \"start_seconds\": " + bench::Fmt(best.start_seconds, 3) +
+            ", \"speedup_vs_baseline\": " + bench::Fmt(speedup, 3) + "}");
+      }
+    }
+  }
+
   std::string json = "{\n  \"context\": {\"threads\": " +
                      std::to_string(threads) + ", \"sim_seconds\": " +
                      bench::Fmt(args.sim_seconds, 3) + "},\n"
@@ -452,6 +622,23 @@ int main(int argc, char** argv) {
                     ? "merged reports bit-identical across thread counts"
                     : "MISMATCH between threaded and serial runs");
     if (!determinism_ok) return 1;
+  }
+  if (args.expect_speedup > 0) {
+    if (std::thread::hardware_concurrency() <= 1) {
+      std::printf(
+          "\nspeedup check SKIPPED: single hardware thread "
+          "(expected >= %.2fx; see EXPERIMENTS.md for multi-core numbers)\n",
+          args.expect_speedup);
+    } else if (max_speedup < args.expect_speedup) {
+      std::fprintf(stderr,
+                   "\nspeedup check FAILED: best multi-thread speedup "
+                   "%.2fx < expected %.2fx\n",
+                   max_speedup, args.expect_speedup);
+      return 1;
+    } else {
+      std::printf("\nspeedup check OK: %.2fx >= %.2fx\n", max_speedup,
+                  args.expect_speedup);
+    }
   }
   return 0;
 }

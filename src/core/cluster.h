@@ -56,6 +56,7 @@ class Cluster {
   sim::Simulator& sim() { return sim_; }
   net::Network& network() { return *network_; }
   fabric::FabricManager& fabric() { return *fabric_; }
+  const ClusterOptions& options() const { return options_; }
 
   int host_count() const { return static_cast<int>(endpoints_.size()); }
   int master_count() const { return static_cast<int>(masters_.size()); }

@@ -1,0 +1,731 @@
+#include "core/cluster_sharded.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "core/fleet.h"
+#include "obs/metrics.h"
+
+namespace ustore::core {
+
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+void AppendU64(std::string* out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+std::uint64_t Fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void AppendSnapshot(std::string* out, const obs::MetricsSnapshot& snapshot) {
+  out->append("{\"counters\":{");
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out->push_back(',');
+    first = false;
+    out->append("\"").append(name).append("\":");
+    AppendU64(out, value);
+  }
+  out->append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, gauge] : snapshot.gauges) {
+    if (!first) out->push_back(',');
+    first = false;
+    out->append("\"").append(name).append("\":");
+    AppendDouble(out, gauge.value);
+  }
+  out->append("},\"histograms\":{");
+  first = true;
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    if (!first) out->push_back(',');
+    first = false;
+    out->append("\"").append(name).append("\":{\"count\":");
+    AppendU64(out, histogram.count);
+    out->append(",\"sum\":");
+    AppendDouble(out, histogram.sum);
+    out->append("}");
+  }
+  out->append("}}");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Per-group and control-plane state.
+
+struct ShardedCluster::Group {
+  Group(int index, int shard, std::uint64_t seed, const hw::DiskModel* model,
+        int disk_count, sim::Duration idle_timeout,
+        const ShardedClusterOptions& options)
+      : index(index),
+        shard(shard),
+        rng(seed),
+        trace(options.trace_capacity),
+        disks(model, disk_count, idle_timeout),
+        component("cluster-group:" + std::to_string(index)) {
+    fallback.assign(disk_count, 0);
+    shape.size = options.request_size;
+    shape.direction = hw::IoDirection::kRead;
+    shape.pattern = hw::AccessPattern::kSequential;
+    stats.disks = disk_count;
+  }
+
+  int index;
+  int shard;
+  Rng rng;
+  obs::MetricsRegistry metrics;
+  obs::TraceBuffer trace;
+  hw::DiskStateArray disks;           // SoA mirror of the group's spindles
+  std::vector<fabric::NodeIndex> nodes;  // SoA index -> topology node
+  std::vector<std::uint8_t> fallback;    // routed via the real hw::Disk
+  int fallback_count = 0;
+  std::string component;
+  hw::IoRequest shape;
+  ShardedClusterGroupReport stats;
+  bool stopped = false;
+};
+
+// A group -> control-plane request. Deliveries append into the sender's own
+// inbox slot (commutative under same-timestamp reordering); only the pump —
+// a shard-local event on the control shard — ever reads them, in group
+// order, and only the pump mutates the real cluster.
+struct ShardedCluster::ControlMsg {
+  enum class Kind { kFaultToggle, kFallbackIo };
+  Kind kind;
+  int group = 0;
+  int disk = 0;  // SoA index within the group
+  bool want_fail = false;        // kFaultToggle
+  std::uint64_t ops = 0;         // kFallbackIo
+  hw::IoRequest shape;           // kFallbackIo
+};
+
+struct ShardedCluster::ControlState {
+  explicit ControlState(int groups)
+      : inbox(groups),
+        ops_seen(groups, 0),
+        reports_seen(groups, 0),
+        directed_at(groups, 0) {}
+  std::vector<std::vector<ControlMsg>> inbox;  // per-source slots
+  std::vector<std::uint64_t> ops_seen;
+  std::vector<std::uint64_t> reports_seen;
+  std::vector<std::uint64_t> directed_at;
+  std::uint64_t pumps = 0;
+  std::uint64_t directives = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Construction: build + start the real cluster serially, then adopt its
+// fabric into groups.
+
+ShardedCluster::ShardedCluster(ShardedClusterOptions options)
+    : options_(std::move(options)),
+      disk_model_(options_.cluster.fabric_manager.disk_params,
+                  hw::UsbBridgeInterface()),
+      control_trace_(options_.trace_capacity) {
+  assert(options_.burst_ops >= 1);
+  assert(options_.sweep_width >= 1);
+
+  {
+    // All cluster instrumentation — construction, Start() and every later
+    // pump — lands in the control registries, never the process defaults
+    // (worker threads may run the pump). Cluster's ctor BindSimulator()
+    // call resolves through this thread binding, so the control clocks
+    // read the cluster's own simulator: engine-independent stamps.
+    obs::ScopedObsBinding bind(&control_metrics_, &control_trace_);
+    cluster_ = std::make_unique<Cluster>(options_.cluster);
+    cluster_->Start();
+  }
+  cluster_base_ = cluster_->sim().now();
+  plan_ = cluster_->BuildShardPlan(options_.shards);
+  control_shard_ = plan_.groups() > 0 ? plan_.group_shard[0] : 0;
+
+  const sim::Duration idle_timeout =
+      options_.idle_timeout >= 0 ? options_.idle_timeout
+                                 : cluster_->endpoint(0)->idle_spin_down();
+
+  std::vector<std::vector<fabric::NodeIndex>> nodes_of_group(plan_.groups());
+  for (const fabric::NodeIndex node : cluster_->fabric().topology().Disks()) {
+    const int g = plan_.GroupOf(node);
+    if (g >= 0) nodes_of_group[g].push_back(node);
+  }
+
+  groups_.reserve(plan_.groups());
+  for (int g = 0; g < plan_.groups(); ++g) {
+    auto grp = std::make_unique<Group>(
+        g, plan_.group_shard[g], FleetUnitSeed(options_.cluster.seed, g),
+        &disk_model_, static_cast<int>(nodes_of_group[g].size()),
+        idle_timeout, options_);
+    grp->nodes = std::move(nodes_of_group[g]);
+    const int host = grp->nodes.empty()
+                         ? -1
+                         : cluster_->fabric().RoutedHostOfDisk(grp->nodes[0]);
+    grp->stats.host = host;
+    // Mirror the live spin/fail state at handoff; anything the EndPoint
+    // policy rejects stays on the full hw::Disk path until it heals.
+    for (int d = 0; d < grp->disks.count(); ++d) {
+      const hw::Disk* disk = cluster_->fabric().disk(grp->nodes[d]);
+      assert(disk != nullptr);
+      grp->disks.SeedState(d, disk->state(), disk->failed());
+      const bool eligible =
+          host >= 0 && cluster_->endpoint(host)->SteadyStateEligible(*disk);
+      if (!eligible) {
+        grp->fallback[d] = 1;
+        ++grp->fallback_count;
+      }
+    }
+    groups_.push_back(std::move(grp));
+  }
+  control_ = std::make_unique<ControlState>(plan_.groups());
+}
+
+ShardedCluster::~ShardedCluster() {
+  // Cluster's dtor calls BindSimulator(nullptr); route it at the control
+  // registries so their clock lambdas do not dangle into the dead sim.
+  obs::ScopedObsBinding bind(&control_metrics_, &control_trace_);
+  cluster_.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling helpers (the sharded_unit parity rules): shard-local events on
+// even nanoseconds, deliveries land odd by engine contract.
+
+void ShardedCluster::ScheduleLocal(int shard, sim::Time not_before,
+                                   sim::EventFn fn) {
+  const sim::Time now = engine_->now(shard);
+  sim::Time t = std::max(not_before, now);
+  if (t & 1) ++t;
+  engine_->Schedule(shard, t - now, std::move(fn));
+}
+
+void ShardedCluster::PostControl(int from_shard, ControlMsg msg) {
+  engine_->Post(from_shard, control_shard_, 0, [this, msg] {
+    control_->inbox[msg.group].push_back(msg);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Data plane (group-local events).
+
+void ShardedCluster::BurstEvent(int g) {
+  Group& grp = *groups_[g];
+  const sim::Time now = engine_->now(grp.shard);
+  if (grp.stopped || now >= options_.duration) {
+    grp.stopped = true;
+    return;
+  }
+
+  if (options_.fault_probability > 0 &&
+      grp.rng.NextBool(options_.fault_probability)) {
+    const int victim = static_cast<int>(
+        grp.rng.NextBelow(static_cast<std::uint64_t>(grp.disks.count())));
+    ControlMsg msg;
+    msg.kind = ControlMsg::Kind::kFaultToggle;
+    msg.group = g;
+    msg.disk = victim;
+    msg.want_fail = !grp.disks.failed(victim);
+    // Route the victim through the real disk the moment the toggle is in
+    // flight; the repair ack brings it back (fallback-to-Disk rule).
+    if (grp.fallback[victim] == 0) {
+      grp.fallback[victim] = 1;
+      ++grp.fallback_count;
+    }
+    ++grp.stats.faults_requested;
+    grp.metrics.Increment("cluster.unit.fault.requested");
+    PostControl(grp.shard, msg);
+  }
+
+  // One aligned sweep range per burst: the spin-group granularity the
+  // vectorized SoA path is built around.
+  const int n = grp.disks.count();
+  const int width = std::min(options_.sweep_width, n);
+  const int ranges = (n + width - 1) / width;
+  const int first =
+      static_cast<int>(grp.rng.NextBelow(
+          static_cast<std::uint64_t>(ranges))) * width;
+  const int count = std::min(width, n - first);
+  const std::uint64_t ops = options_.burst_ops;
+
+  bool has_fallback = false;
+  if (grp.fallback_count > 0) {
+    for (int d = first; d < first + count; ++d) {
+      if (grp.fallback[d] != 0) {
+        has_fallback = true;
+        break;
+      }
+    }
+  }
+
+  ++grp.stats.bursts;
+  sim::Time drain_at = -1;
+  std::uint64_t admitted = 0;
+  if (!has_fallback) {
+    // Fast path: one vectorized sweep, one drain event for the range.
+    ++grp.stats.range_bursts;
+    hw::DiskStateArray::RangeOutcome out;
+    {
+      // DiskModel instruments through obs::Metrics(); bind the group's
+      // registry so worker threads never touch the process default.
+      obs::ScopedObsBinding bind(&grp.metrics, &grp.trace);
+      out = grp.disks.SubmitBatchRange(first, count, grp.shape, ops, now);
+    }
+    if (out.accepted > 0) {
+      drain_at = out.last_completion;
+      admitted = out.ops;
+      if (out.spin_ups > 0) {
+        grp.metrics.Increment("cluster.unit.spin.implicit", out.spin_ups);
+      }
+      grp.trace.Emit(grp.component, "sweep", now, out.last_completion, {},
+                     {{"first", first},
+                      {"disks", out.accepted},
+                      {"ops", out.ops}});
+    }
+    if (out.rejected > 0) {
+      grp.metrics.Increment("cluster.unit.io.rejected",
+                            static_cast<std::uint64_t>(out.rejected) * ops);
+    }
+  } else {
+    // Mixed range: SoA members submit per disk, fallback members go to
+    // the control plane, which drives the full hw::Disk object.
+    ++grp.stats.mixed_bursts;
+    obs::ScopedObsBinding bind(&grp.metrics, &grp.trace);
+    for (int d = first; d < first + count; ++d) {
+      if (grp.fallback[d] != 0) {
+        ControlMsg msg;
+        msg.kind = ControlMsg::Kind::kFallbackIo;
+        msg.group = g;
+        msg.disk = d;
+        msg.ops = ops;
+        msg.shape = grp.shape;
+        ++grp.stats.fallback_submits;
+        grp.metrics.Increment("cluster.unit.fallback.submitted");
+        PostControl(grp.shard, msg);
+        continue;
+      }
+      const hw::DiskStateArray::BatchOutcome out =
+          grp.disks.SubmitBatch(d, grp.shape, ops, now);
+      if (out.accepted) {
+        drain_at = std::max(drain_at, out.last_completion);
+        admitted += ops;
+        if (out.spin_wait > 0) {
+          grp.metrics.Increment("cluster.unit.spin.implicit");
+        }
+      } else {
+        grp.metrics.Increment("cluster.unit.io.rejected", ops);
+      }
+    }
+  }
+  if (admitted > 0) {
+    grp.metrics.Increment("cluster.unit.io.ops", admitted);
+    grp.metrics.Observe("cluster.unit.batch_span_us",
+                        sim::ToMicros(drain_at - now));
+    ScheduleLocal(grp.shard, drain_at,
+                  [this, g, first, count, drain_at, admitted] {
+                    RangeDrainEvent(g, first, count, drain_at, admitted);
+                  });
+  }
+
+  const sim::Duration gap = std::max<sim::Duration>(
+      static_cast<sim::Duration>(grp.rng.NextExponential(
+          static_cast<double>(options_.burst_period))),
+      1);
+  if (now + gap < options_.duration) {
+    ScheduleLocal(grp.shard, now + gap, [this, g] { BurstEvent(g); });
+  }
+}
+
+void ShardedCluster::RangeDrainEvent(int g, int first, int count,
+                                     sim::Time drain_time,
+                                     std::uint64_t ops) {
+  Group& grp = *groups_[g];
+  ++grp.stats.drains;
+  grp.metrics.Increment("cluster.unit.io.drained", ops);
+  // The platters finished by drain_time exactly; the event itself may fire
+  // up to 1ns later (even-parity rounding), which the state math ignores.
+  const sim::Time earliest = grp.disks.FinishDrainRange(first, count,
+                                                        drain_time);
+  grp.metrics.SetGauge("cluster.unit.power_w", grp.disks.TotalPower());
+  if (earliest >= 0) {
+    ScheduleLocal(grp.shard, earliest, [this, g, first, count, earliest] {
+      SweepEvent(g, first, count, earliest);
+    });
+  }
+}
+
+void ShardedCluster::SweepEvent(int g, int first, int count, sim::Time due) {
+  Group& grp = *groups_[g];
+  ++grp.stats.sweeps;
+  const hw::DiskStateArray::SweepOutcome out =
+      grp.disks.SpinDownSweep(first, count, due);
+  if (out.spun_down > 0) {
+    grp.stats.spin_downs += static_cast<std::uint64_t>(out.spun_down);
+    grp.metrics.Increment("cluster.unit.spin.down",
+                          static_cast<std::uint64_t>(out.spun_down));
+    grp.metrics.SetGauge("cluster.unit.power_w", grp.disks.TotalPower());
+  }
+  if (out.next_deadline >= 0) {
+    ScheduleLocal(grp.shard, out.next_deadline,
+                  [this, g, first, count, next = out.next_deadline] {
+                    SweepEvent(g, first, count, next);
+                  });
+  }
+}
+
+void ShardedCluster::ReportEvent(int g) {
+  Group& grp = *groups_[g];
+  const sim::Time now = engine_->now(grp.shard);
+  if (now >= options_.duration) return;
+  ++grp.stats.reports_sent;
+  grp.metrics.Increment("cluster.unit.report.sent");
+  const std::uint64_t total =
+      grp.disks.total_ios() + grp.stats.fallback_ops;
+  // Per-source slot assignment only (engine commutativity contract).
+  engine_->Post(grp.shard, control_shard_, 0, [this, g, total] {
+    control_->ops_seen[g] = total;
+    ++control_->reports_seen[g];
+  });
+  ScheduleLocal(grp.shard, now + options_.report_period,
+                [this, g] { ReportEvent(g); });
+}
+
+// ---------------------------------------------------------------------------
+// Control plane (control-shard events): the ONLY place the real cluster is
+// ever touched after Start().
+
+void ShardedCluster::ApplyFaultToggle(const ControlMsg& msg) {
+  Group& grp = *groups_[msg.group];
+  const fabric::NodeIndex node = grp.nodes[msg.disk];
+  hw::Disk* disk = cluster_->fabric().disk(node);
+  assert(disk != nullptr);
+  if (msg.want_fail) {
+    disk->Fail();
+  } else {
+    disk->Repair();
+  }
+  const bool failed_now = disk->failed();
+  const int host = cluster_->fabric().RoutedHostOfDisk(node);
+  const bool eligible =
+      host >= 0 && cluster_->endpoint(host)->SteadyStateEligible(*disk);
+  control_metrics_.Increment("cluster.control.fault_toggles");
+  const int g = msg.group;
+  const int d = msg.disk;
+  engine_->Post(control_shard_, grp.shard, 0,
+                [this, g, d, failed_now, eligible] {
+    Group& grp2 = *groups_[g];
+    ++grp2.stats.fault_acks;
+    grp2.metrics.Increment("cluster.unit.fault.acks");
+    if (failed_now) {
+      if (!grp2.disks.failed(d)) grp2.disks.Fail(d);
+      if (grp2.fallback[d] == 0) {
+        grp2.fallback[d] = 1;
+        ++grp2.fallback_count;
+      }
+    } else {
+      if (grp2.disks.failed(d)) grp2.disks.Repair(d);
+      if (eligible && grp2.fallback[d] != 0) {
+        grp2.fallback[d] = 0;
+        --grp2.fallback_count;
+      }
+    }
+  });
+}
+
+void ShardedCluster::ApplyFallbackIo(const ControlMsg& msg) {
+  Group& grp = *groups_[msg.group];
+  hw::Disk* disk = cluster_->fabric().disk(grp.nodes[msg.disk]);
+  assert(disk != nullptr);
+  control_metrics_.Increment("cluster.control.fallback_batches");
+  std::vector<hw::IoRequest> requests(msg.ops, msg.shape);
+  const int g = msg.group;
+  // The completion fires inside a later pump's RunUntil — still a
+  // control-shard event, so posting back to the group is legal.
+  disk->SubmitBatch(
+      requests, [this, g](std::span<const hw::IoCompletion> results) {
+        std::uint64_t ok = 0;
+        for (const hw::IoCompletion& r : results) {
+          if (r.status.ok()) ++ok;
+        }
+        const std::uint64_t n = results.size();
+        engine_->Post(control_shard_, groups_[g]->shard, 0,
+                      [this, g, ok, n] {
+          // Count every completion — a failed disk answers with errors,
+          // and those round trips are exactly what the fallback path is
+          // for; the ok/error split lives in the metrics.
+          Group& grp2 = *groups_[g];
+          grp2.stats.fallback_ops += n;
+          grp2.metrics.Increment("cluster.unit.fallback.completions", n);
+          grp2.metrics.Increment("cluster.unit.fallback.ok", ok);
+        });
+      });
+}
+
+void ShardedCluster::ControlPumpEvent() {
+  const sim::Time now = engine_->now(control_shard_);
+  ++control_->pumps;
+  {
+    obs::ScopedObsBinding bind(&control_metrics_, &control_trace_);
+    control_metrics_.Increment("cluster.control.pumps");
+
+    // 1. Drain the per-source inboxes in group order — all cluster
+    //    mutation happens here, in one deterministic sequence.
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      for (const ControlMsg& msg : control_->inbox[g]) {
+        if (msg.kind == ControlMsg::Kind::kFaultToggle) {
+          ApplyFaultToggle(msg);
+        } else {
+          ApplyFallbackIo(msg);
+        }
+      }
+      control_->inbox[g].clear();
+    }
+
+    // 2. Advance the real cluster in lock-step with the engine clock:
+    //    identical quanta on every engine → one total order for Master
+    //    heartbeats, failover, re-expose and index updates.
+    cluster_->sim().RunUntil(cluster_base_ + now);
+
+    // 3. Master directives from the per-source report slots.
+    if (options_.directive_every_ops > 0) {
+      for (std::size_t g = 0; g < groups_.size(); ++g) {
+        while (control_->ops_seen[g] >=
+               control_->directed_at[g] + options_.directive_every_ops) {
+          control_->directed_at[g] += options_.directive_every_ops;
+          ++control_->directives;
+          const int gi = static_cast<int>(g);
+          engine_->Post(control_shard_, groups_[g]->shard, 0, [this, gi] {
+            Group& grp = *groups_[gi];
+            grp.shape.direction =
+                grp.shape.direction == hw::IoDirection::kRead
+                    ? hw::IoDirection::kWrite
+                    : hw::IoDirection::kRead;
+            ++grp.stats.directives;
+            grp.metrics.Increment("cluster.unit.directive.received");
+          });
+        }
+      }
+    }
+  }
+  if (now < options_.duration) {
+    ScheduleLocal(control_shard_,
+                  std::min(now + options_.control_period, options_.duration),
+                  [this] { ControlPumpEvent(); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Run + report.
+
+ShardedClusterReport ShardedCluster::Run(sim::UnitEngine& engine) {
+  assert(!ran_ && "a ShardedCluster runs exactly once");
+  assert(engine.shards() == plan_.shards);
+  ran_ = true;
+  engine_ = &engine;
+
+  for (auto& grp : groups_) {
+    const int shard = grp->shard;
+    grp->metrics.set_time_source(
+        [&engine, shard] { return engine.now(shard); });
+  }
+
+  for (int g = 0; g < static_cast<int>(groups_.size()); ++g) {
+    if (groups_[g]->disks.count() == 0) {
+      groups_[g]->stopped = true;
+      continue;
+    }
+    ScheduleLocal(groups_[g]->shard, options_.burst_period,
+                  [this, g] { BurstEvent(g); });
+    ScheduleLocal(groups_[g]->shard, options_.report_period,
+                  [this, g] { ReportEvent(g); });
+  }
+  ScheduleLocal(control_shard_, options_.control_period,
+                [this] { ControlPumpEvent(); });
+
+  engine.Run(UINT64_MAX);
+
+  ShardedClusterReport report = BuildReport();
+  report.events_processed = engine.events_processed();
+  engine_ = nullptr;
+  return report;
+}
+
+ShardedClusterReport ShardedCluster::BuildReport() {
+  ShardedClusterReport report;
+  report.groups = plan_.groups();
+  report.shards = plan_.shards;
+  report.seed = options_.cluster.seed;
+  report.pumps = control_->pumps;
+  report.master_directives = control_->directives;
+
+  std::vector<obs::MetricsSnapshot> parts;
+  parts.reserve(groups_.size() + 1);
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    Group& grp = *groups_[g];
+    // Drop the engine clock before snapshotting: the snapshot stamp must
+    // not depend on which engine (or shard count) ran the unit.
+    grp.metrics.set_time_source({});
+    ShardedClusterGroupReport out = grp.stats;
+    out.ops = grp.disks.total_ios();
+    out.bytes_read =
+        static_cast<std::uint64_t>(grp.disks.total_bytes_read());
+    out.bytes_written =
+        static_cast<std::uint64_t>(grp.disks.total_bytes_written());
+    out.spin_cycles = grp.disks.total_spin_cycles();
+    out.control_backlog = control_->inbox[g].size();
+    out.trace_digest = obs::TraceDigest(grp.trace);
+    out.metrics = grp.metrics.Snapshot();
+    parts.push_back(out.metrics);
+    report.per_group.push_back(std::move(out));
+  }
+
+  {
+    // The cluster-side scalars are deterministic because every cluster
+    // event ran inside pump-ordered RunUntil quanta.
+    obs::ScopedObsBinding bind(&control_metrics_, &control_trace_);
+    for (int m = 0; m < cluster_->master_count(); ++m) {
+      if (cluster_->master(m)->is_active()) report.active_master = m;
+      report.failovers += static_cast<std::uint64_t>(
+          cluster_->master(m)->failovers_completed());
+    }
+    if (report.active_master >= 0) {
+      Master* active = cluster_->master(report.active_master);
+      report.allocations_digest = Fnv1a(active->DumpAllocations());
+      report.master_index_ok = active->CheckIndexesForTest();
+    }
+    report.cluster_events = cluster_->sim().events_processed();
+    report.cluster_end_ns =
+        static_cast<std::uint64_t>(cluster_->sim().now());
+  }
+  control_metrics_.set_time_source({});
+  report.control_trace_digest = obs::TraceDigest(control_trace_);
+  report.control_metrics = control_metrics_.Snapshot();
+  parts.push_back(report.control_metrics);
+  report.merged = obs::MergeSnapshots(parts);
+  return report;
+}
+
+std::string ShardedClusterReport::ToJson() const {
+  // Deliberately omits the shard count, thread count and any engine
+  // statistic: the rendering must be bit-identical across engines.
+  std::string out;
+  out.reserve(8192);
+  out.append("{\"groups\":");
+  AppendU64(&out, static_cast<std::uint64_t>(groups));
+  out.append(",\"seed\":");
+  AppendU64(&out, seed);
+  out.append(",\"events\":");
+  AppendU64(&out, events_processed);
+  out.append(",\"control\":{\"pumps\":");
+  AppendU64(&out, pumps);
+  out.append(",\"directives\":");
+  AppendU64(&out, master_directives);
+  out.append(",\"active_master\":");
+  AppendU64(&out, static_cast<std::uint64_t>(
+                      active_master < 0 ? 0 : active_master + 1));
+  out.append(",\"failovers\":");
+  AppendU64(&out, failovers);
+  out.append(",\"allocations_digest\":");
+  AppendU64(&out, allocations_digest);
+  out.append(",\"index_ok\":");
+  out.append(master_index_ok ? "true" : "false");
+  out.append(",\"cluster_events\":");
+  AppendU64(&out, cluster_events);
+  out.append(",\"cluster_end_ns\":");
+  AppendU64(&out, cluster_end_ns);
+  out.append(",\"trace_digest\":");
+  AppendU64(&out, control_trace_digest);
+  out.append(",\"metrics\":");
+  AppendSnapshot(&out, control_metrics);
+  out.append("},\"per_group\":[");
+  for (std::size_t g = 0; g < per_group.size(); ++g) {
+    const ShardedClusterGroupReport& grp = per_group[g];
+    if (g > 0) out.push_back(',');
+    out.append("{\"host\":");
+    AppendU64(&out, static_cast<std::uint64_t>(grp.host < 0 ? 0
+                                                            : grp.host + 1));
+    out.append(",\"disks\":");
+    AppendU64(&out, static_cast<std::uint64_t>(grp.disks));
+    out.append(",\"bursts\":");
+    AppendU64(&out, grp.bursts);
+    out.append(",\"range_bursts\":");
+    AppendU64(&out, grp.range_bursts);
+    out.append(",\"mixed_bursts\":");
+    AppendU64(&out, grp.mixed_bursts);
+    out.append(",\"drains\":");
+    AppendU64(&out, grp.drains);
+    out.append(",\"sweeps\":");
+    AppendU64(&out, grp.sweeps);
+    out.append(",\"ops\":");
+    AppendU64(&out, grp.ops);
+    out.append(",\"bytes_read\":");
+    AppendU64(&out, grp.bytes_read);
+    out.append(",\"bytes_written\":");
+    AppendU64(&out, grp.bytes_written);
+    out.append(",\"spin_cycles\":");
+    AppendU64(&out, grp.spin_cycles);
+    out.append(",\"spin_downs\":");
+    AppendU64(&out, grp.spin_downs);
+    out.append(",\"faults\":");
+    AppendU64(&out, grp.faults_requested);
+    out.append(",\"fault_acks\":");
+    AppendU64(&out, grp.fault_acks);
+    out.append(",\"fallback_submits\":");
+    AppendU64(&out, grp.fallback_submits);
+    out.append(",\"fallback_ops\":");
+    AppendU64(&out, grp.fallback_ops);
+    out.append(",\"reports\":");
+    AppendU64(&out, grp.reports_sent);
+    out.append(",\"directives\":");
+    AppendU64(&out, grp.directives);
+    out.append(",\"backlog\":");
+    AppendU64(&out, grp.control_backlog);
+    out.append(",\"trace_digest\":");
+    AppendU64(&out, grp.trace_digest);
+    out.append(",\"metrics\":");
+    AppendSnapshot(&out, grp.metrics);
+    out.append("}");
+  }
+  out.append("],\"merged\":");
+  AppendSnapshot(&out, merged);
+  out.append("}");
+  return out;
+}
+
+std::uint64_t ShardedClusterReport::Digest() const { return Fnv1a(ToJson()); }
+
+ShardedClusterReport RunShardedCluster(const ShardedClusterOptions& options,
+                                       bool use_sharded) {
+  ShardedCluster unit(options);
+  const sim::Duration lookahead =
+      options.lookahead > 0 ? options.lookahead : unit.plan().lookahead;
+  if (use_sharded) {
+    sim::ShardedEngine::Options engine_options;
+    engine_options.shards = unit.plan().shards;
+    engine_options.threads = options.threads;
+    engine_options.lookahead = lookahead;
+    sim::ShardedEngine engine(engine_options);
+    return unit.Run(engine);
+  }
+  sim::Simulator sim;
+  sim::SingleQueueEngine engine(&sim, unit.plan().shards, lookahead);
+  return unit.Run(engine);
+}
+
+}  // namespace ustore::core

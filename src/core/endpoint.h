@@ -64,6 +64,18 @@ class EndPoint {
 
   std::size_t exposed_count() const { return target_->exposed_count(); }
 
+  // True when the sharded data plane may shadow `disk` with SoA hot state
+  // (DESIGN.md §13): the host is serving and the disk is healthy and
+  // powered. Fault-injected or powered-off disks must stay on the full
+  // hw::Disk object so their callbacks and failure paths keep running.
+  bool SteadyStateEligible(const hw::Disk& disk) const {
+    return !crashed_ && !disk.failed() &&
+           disk.state() != hw::DiskState::kPoweredOff;
+  }
+  // The §IV-F idle spin-down policy this host applies (0 = disabled); the
+  // sharded data plane inherits it for the SoA mirror.
+  sim::Duration idle_spin_down() const { return options_.idle_spin_down; }
+
  private:
   void RegisterHandlers();
   void SendHeartbeat();

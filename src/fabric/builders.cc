@@ -46,6 +46,7 @@ BuiltFabric BuildPrototypeFabric(const PrototypeOptions& options) {
   assert(options.groups >= 2);
   assert(options.disks_per_leaf >= 1 &&
          options.disks_per_leaf <= options.hub_fan_in);
+  assert(options.leaf_hubs_per_group >= 1);
   BuiltFabric f;
   Topology& t = f.topology;
   const int g = options.groups;
@@ -69,13 +70,21 @@ BuiltFabric BuildPrototypeFabric(const PrototypeOptions& options) {
   }
 
   // Leaf hubs behind their uplink switches: SL_i selects between mid hubs
-  // {M_i, M_(i+1)} (ring), then the disks.
+  // {M_i, M_(i+1)} (ring), then the disks. With leaf_hubs_per_group == 1
+  // this is exactly the paper's prototype; larger values repeat the
+  // leaf-hub tier under each mid hub, keeping names and disk numbering
+  // identical in the == 1 case.
+  const int leaves = options.leaf_hubs_per_group;
   for (int i = 0; i < g; ++i) {
-    const NodeIndex sl =
-        t.AddSwitch(Name("swl-", i), mid[i], mid[(i + 1) % g]);
-    const NodeIndex leaf = t.AddHub(Name("leafhub-", i), sl);
-    for (int d = 0; d < options.disks_per_leaf; ++d) {
-      t.AddDisk(Name("disk-", i * options.disks_per_leaf + d), leaf);
+    for (int j = 0; j < leaves; ++j) {
+      const int leaf_index = i * leaves + j;
+      const NodeIndex sl =
+          t.AddSwitch(Name("swl-", leaf_index), mid[i], mid[(i + 1) % g]);
+      const NodeIndex leaf = t.AddHub(Name("leafhub-", leaf_index), sl);
+      for (int d = 0; d < options.disks_per_leaf; ++d) {
+        t.AddDisk(Name("disk-", leaf_index * options.disks_per_leaf + d),
+                  leaf);
+      }
     }
   }
 

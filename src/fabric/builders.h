@@ -56,6 +56,12 @@ struct PrototypeOptions {
   int groups = 4;           // == number of hosts
   int disks_per_leaf = 4;   // <= hub fan-in
   int hub_fan_in = kDefaultHubFanIn;
+  // Leaf hubs hanging off each group's mid hub, each behind its own
+  // uplink switch. 1 reproduces the paper's 16-disk prototype exactly;
+  // larger values scale one deploy unit to bench sizes (100k disks on 8
+  // hosts) without multiplying hosts. For physical realism keep it within
+  // the mid hub's fan-in.
+  int leaf_hubs_per_group = 1;
 };
 
 BuiltFabric BuildPrototypeFabric(const PrototypeOptions& options = {});

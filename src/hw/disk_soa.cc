@@ -7,7 +7,7 @@ namespace ustore::hw {
 
 DiskStateArray::DiskStateArray(const DiskModel* model, int count,
                                sim::Duration idle_timeout)
-    : model_(model), idle_timeout_(idle_timeout) {
+    : model_(model), configured_idle_timeout_(idle_timeout) {
   assert(model_ != nullptr);
   assert(count >= 0);
   state_.assign(count, DiskState::kIdle);
@@ -15,6 +15,8 @@ DiskStateArray::DiskStateArray(const DiskModel* model, int count,
   failed_.assign(count, 0);
   drain_until_.assign(count, 0);
   idle_deadline_.assign(count, -1);
+  last_spin_up_at_.assign(count, -1);
+  idle_timeout_.assign(count, idle_timeout);
   pending_batches_.assign(count, 0);
   ios_.assign(count, 0);
   bytes_read_.assign(count, 0);
@@ -28,6 +30,21 @@ void DiskStateArray::EnterState(int disk, DiskState next) {
   --state_counts_[static_cast<int>(state_[disk])];
   ++state_counts_[static_cast<int>(next)];
   state_[disk] = next;
+}
+
+void DiskStateArray::NoteSpinUp(int disk, sim::Time now) {
+  // §IV-F: if spin cycles come too frequently, back off the idle timeout.
+  // Same arithmetic as Disk::SpinUp — 4x-configured window, 2x doubling,
+  // 64x cap — evaluated at the submission that triggers the implicit
+  // spin-up (hw::Disk calls SpinUp from the same submission).
+  if (configured_idle_timeout_ > 0 && last_spin_up_at_[disk] >= 0 &&
+      now - last_spin_up_at_[disk] < 4 * configured_idle_timeout_) {
+    idle_timeout_[disk] = std::min<sim::Duration>(
+        idle_timeout_[disk] * 2, 64 * configured_idle_timeout_);
+  }
+  last_spin_up_at_[disk] = now;
+  ++spin_cycles_[disk];
+  ++total_spin_cycles_;
 }
 
 DiskStateArray::BatchOutcome DiskStateArray::SubmitBatch(
@@ -47,10 +64,9 @@ DiskStateArray::BatchOutcome DiskStateArray::SubmitBatch(
   } else if (state_[disk] == DiskState::kSpunDown) {
     // Implicit spin-up on access; the whole wait is charged to this
     // batch's first request (hw::Disk's pending_window_spin_ handoff).
+    NoteSpinUp(disk, now);
     out.spin_wait = model_->disk().spin_up_time;
     start += out.spin_wait;
-    ++spin_cycles_[disk];
-    ++total_spin_cycles_;
   }
 
   out.accepted = true;
@@ -84,6 +100,84 @@ DiskStateArray::BatchOutcome DiskStateArray::SubmitBatch(
   return out;
 }
 
+DiskStateArray::RangeOutcome DiskStateArray::SubmitBatchRange(
+    int first, int n, const IoRequest& shape, std::uint64_t ops,
+    sim::Time now, BatchOutcome* per_disk) {
+  assert(first >= 0 && n >= 0 && first + n <= count());
+  assert(ops >= 1);
+  RangeOutcome out;
+
+  // Hoisted model evaluation: the only per-disk inputs to the schedule are
+  // the previous direction (two variants) and the spin/queue state, so the
+  // whole range needs at most three DiskModel calls. Service times are
+  // pure in (shape, prev_dir), which keeps every per-disk schedule
+  // bit-exact with a SubmitBatch loop; only the model's obs counters
+  // advance per variant instead of per disk (header contract).
+  const sim::Duration svc_prev[2] = {
+      model_->ServiceTime(shape, IoDirection::kRead),
+      model_->ServiceTime(shape, IoDirection::kWrite)};
+  const sim::Duration steady =
+      ops > 1 ? model_->SteadyStateServiceTime(shape, ops - 1) : 0;
+  const sim::Duration spin = model_->disk().spin_up_time;
+  const sim::Duration tail =
+      static_cast<sim::Duration>(ops - 1) * steady;
+  const Bytes bytes = static_cast<Bytes>(ops) * shape.size;
+  const bool is_read = shape.direction == IoDirection::kRead;
+
+  for (int d = first; d < first + n; ++d) {
+    if (failed_[d] != 0 || state_[d] == DiskState::kPoweredOff) {
+      ++out.rejected;
+      if (per_disk != nullptr) per_disk[d - first] = BatchOutcome{};
+      continue;
+    }
+    sim::Time start = now;
+    sim::Duration spin_wait = 0;
+    if (pending_batches_[d] > 0) {
+      start = std::max(start, drain_until_[d]);
+    } else if (state_[d] == DiskState::kSpunDown) {
+      NoteSpinUp(d, now);
+      spin_wait = spin;
+      start += spin;
+      ++out.spin_ups;
+    }
+    const sim::Duration first_service =
+        svc_prev[static_cast<int>(last_direction_[d])];
+    const sim::Time first_completion = start + first_service;
+    const sim::Time last_completion = first_completion + tail;
+
+    last_direction_[d] = shape.direction;
+    drain_until_[d] = last_completion;
+    ++pending_batches_[d];
+    idle_deadline_[d] = -1;
+    EnterState(d, DiskState::kActive);
+
+    ios_[d] += ops;
+    total_ios_ += ops;
+    if (is_read) {
+      bytes_read_[d] += bytes;
+      total_bytes_read_ += bytes;
+    } else {
+      bytes_written_[d] += bytes;
+      total_bytes_written_ += bytes;
+    }
+
+    ++out.accepted;
+    out.ops += ops;
+    if (out.first_completion < 0 || first_completion < out.first_completion) {
+      out.first_completion = first_completion;
+    }
+    if (last_completion > out.last_completion) {
+      out.last_completion = last_completion;
+    }
+    if (per_disk != nullptr) {
+      per_disk[d - first] = BatchOutcome{true, first_completion,
+                                         last_completion, first_service,
+                                         steady, spin_wait};
+    }
+  }
+  return out;
+}
+
 sim::Time DiskStateArray::FinishDrain(int disk, sim::Time now) {
   assert(disk >= 0 && disk < count());
   if (pending_batches_[disk] > 0) --pending_batches_[disk];
@@ -94,9 +188,29 @@ sim::Time DiskStateArray::FinishDrain(int disk, sim::Time now) {
     return -1;  // a later batch still owns the spindle
   }
   EnterState(disk, DiskState::kIdle);
-  if (idle_timeout_ <= 0) return -1;
-  idle_deadline_[disk] = now + idle_timeout_;
+  if (idle_timeout_[disk] <= 0) return -1;
+  idle_deadline_[disk] = now + idle_timeout_[disk];
   return idle_deadline_[disk];
+}
+
+sim::Time DiskStateArray::FinishDrainRange(int first, int n, sim::Time now) {
+  assert(first >= 0 && n >= 0 && first + n <= count());
+  sim::Time earliest = -1;
+  for (int d = first; d < first + n; ++d) {
+    if (pending_batches_[d] > 0) --pending_batches_[d];
+    if (failed_[d] != 0 || state_[d] == DiskState::kPoweredOff) continue;
+    if (pending_batches_[d] > 0 || now < drain_until_[d]) continue;
+    EnterState(d, DiskState::kIdle);
+    if (idle_timeout_[d] <= 0) continue;
+    // Arm from the disk's own completion instant: the shared range drain
+    // event fires at the range max, but this disk went idle at
+    // drain_until_ — the per-disk path's FinishDrain time.
+    idle_deadline_[d] = drain_until_[d] + idle_timeout_[d];
+    if (earliest < 0 || idle_deadline_[d] < earliest) {
+      earliest = idle_deadline_[d];
+    }
+  }
+  return earliest;
 }
 
 bool DiskStateArray::MaybeSpinDown(int disk, sim::Time now) {
@@ -107,6 +221,24 @@ bool DiskStateArray::MaybeSpinDown(int disk, sim::Time now) {
   idle_deadline_[disk] = -1;
   EnterState(disk, DiskState::kSpunDown);
   return true;
+}
+
+DiskStateArray::SweepOutcome DiskStateArray::SpinDownSweep(int first, int n,
+                                                           sim::Time now) {
+  assert(first >= 0 && n >= 0 && first + n <= count());
+  SweepOutcome out;
+  for (int d = first; d < first + n; ++d) {
+    const sim::Time due = idle_deadline_[d];
+    if (due < 0) continue;
+    if (due > now) {
+      if (out.next_deadline < 0 || due < out.next_deadline) {
+        out.next_deadline = due;
+      }
+      continue;
+    }
+    if (MaybeSpinDown(d, now)) ++out.spun_down;
+  }
+  return out;
 }
 
 void DiskStateArray::Fail(int disk) {
@@ -126,6 +258,15 @@ void DiskStateArray::Repair(int disk) {
   if (state_[disk] != DiskState::kPoweredOff) {
     EnterState(disk, DiskState::kSpunDown);
   }
+}
+
+void DiskStateArray::SeedState(int disk, DiskState state, bool failed) {
+  assert(disk >= 0 && disk < count());
+  EnterState(disk, state);
+  failed_[disk] = failed ? 1 : 0;
+  pending_batches_[disk] = 0;
+  drain_until_[disk] = 0;
+  idle_deadline_[disk] = -1;
 }
 
 Watts DiskStateArray::TotalPower() const {

@@ -1,0 +1,165 @@
+// Determinism and behaviour tests for the real Cluster on the sharded
+// engine (DESIGN.md §13, core/cluster_sharded.h).
+//
+// The central claim under test: running the live core::Cluster — Master,
+// meta quorum, Controllers, EndPoints, real hw::Disk objects — under the
+// sharded conservative-lookahead engine is bit-identical to the serial
+// single-queue oracle at every shard/thread count, with and without chaos
+// fault injection. "Bit-identical" means the full canonical report JSON
+// (which embeds per-group metric snapshots and trace digests, the master's
+// allocation-table digest and the pumped cluster simulator's event count
+// and final clock), its FNV digest, and the engine event count.
+#include "core/cluster_sharded.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "sim/time.h"
+
+namespace ustore {
+namespace {
+
+// A small prototype deployment (4 hosts, 4 groups, 2 leaf hubs per group =
+// 32 disks) tuned so 1.5 simulated seconds exercise every path: vectorized
+// sweeps, spin-down/spin-up cycles with the §IV-F back-off, master
+// directives, and — under chaos — fault toggles and the fallback-to-Disk
+// route through the control pump.
+core::ShardedClusterOptions FuzzOptions(std::uint64_t seed, bool chaos) {
+  core::ShardedClusterOptions options;
+  options.cluster.seed = seed;
+  options.cluster.fabric.leaf_hubs_per_group = 2;
+  options.cluster.fabric_manager.disk_params.spin_up_time = sim::Millis(500);
+  options.cluster.endpoint.idle_spin_down = sim::Millis(400);
+  options.duration = sim::Millis(1500);
+  options.burst_period = sim::Millis(50);
+  options.burst_ops = 16;
+  options.request_size = KiB(256);
+  options.sweep_width = 4;
+  options.control_period = sim::Millis(100);
+  options.report_period = sim::Millis(100);
+  options.directive_every_ops = 1024;
+  options.idle_timeout = sim::Millis(50);
+  options.fault_probability = chaos ? 0.08 : 0.0;
+  return options;
+}
+
+TEST(ShardedClusterDeterminismTest, BitIdenticalAcrossShardAndThreadCounts) {
+  for (const bool chaos : {false, true}) {
+    core::ShardedClusterOptions options = FuzzOptions(7, chaos);
+    options.shards = 1;
+    const core::ShardedClusterReport oracle =
+        core::RunShardedCluster(options, /*use_sharded=*/false);
+    const std::string oracle_json = oracle.ToJson();
+    ASSERT_GT(oracle.events_processed, 100u);
+    ASSERT_EQ(oracle.groups, 4);
+
+    for (const int shards : {1, 2, 4, 8}) {  // 8 clamps to the 4 subtrees
+      for (const int threads : {1, 4}) {
+        core::ShardedClusterOptions run = FuzzOptions(7, chaos);
+        run.shards = shards;
+        run.threads = threads;
+        const core::ShardedClusterReport sharded =
+            core::RunShardedCluster(run, /*use_sharded=*/true);
+        EXPECT_EQ(sharded.ToJson(), oracle_json)
+            << "chaos=" << chaos << " shards=" << shards
+            << " threads=" << threads;
+        EXPECT_EQ(sharded.Digest(), oracle.Digest());
+        EXPECT_EQ(sharded.events_processed, oracle.events_processed);
+        EXPECT_EQ(sharded.cluster_events, oracle.cluster_events);
+        EXPECT_EQ(sharded.control_trace_digest, oracle.control_trace_digest);
+        for (int g = 0; g < oracle.groups; ++g) {
+          EXPECT_EQ(sharded.per_group[g].trace_digest,
+                    oracle.per_group[g].trace_digest)
+              << "group " << g;
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedClusterDeterminismTest, SecondSeedMatchesUnderChaos) {
+  // A second seed at the widest configuration, to catch schedule-dependent
+  // luck in the first one.
+  core::ShardedClusterOptions options = FuzzOptions(99, true);
+  options.shards = 1;
+  const core::ShardedClusterReport oracle =
+      core::RunShardedCluster(options, false);
+  core::ShardedClusterOptions run = FuzzOptions(99, true);
+  run.shards = 4;
+  run.threads = 4;
+  const core::ShardedClusterReport sharded =
+      core::RunShardedCluster(run, true);
+  EXPECT_EQ(sharded.ToJson(), oracle.ToJson());
+  EXPECT_EQ(sharded.events_processed, oracle.events_processed);
+}
+
+TEST(ShardedClusterDeterminismTest, OracleMatchesItselfAtEmulatedShards) {
+  // The single-queue oracle emulates any shard count; the report must not
+  // depend on the emulated count either.
+  core::ShardedClusterOptions options = FuzzOptions(5, true);
+  options.shards = 1;
+  const std::string one = core::RunShardedCluster(options, false).ToJson();
+  options.shards = 4;
+  EXPECT_EQ(core::RunShardedCluster(options, false).ToJson(), one);
+}
+
+TEST(ShardedClusterTest, WorkloadExercisesTheRealCluster) {
+  core::ShardedClusterOptions options = FuzzOptions(11, true);
+  options.shards = 4;
+  options.threads = 2;
+  const core::ShardedClusterReport report =
+      core::RunShardedCluster(options, true);
+
+  EXPECT_EQ(report.groups, 4);
+  std::uint64_t ops = 0, range_bursts = 0, spin_downs = 0, spin_cycles = 0;
+  std::uint64_t faults = 0, acks = 0, fallback_ops = 0, directives = 0;
+  for (const auto& grp : report.per_group) {
+    EXPECT_EQ(grp.disks, 8);
+    EXPECT_GE(grp.host, 0);
+    EXPECT_GT(grp.bursts, 0u);
+    EXPECT_GT(grp.reports_sent, 0u);
+    EXPECT_NE(grp.trace_digest, 0u);
+    ops += grp.ops;
+    range_bursts += grp.range_bursts;
+    spin_downs += grp.spin_downs;
+    spin_cycles += grp.spin_cycles;
+    faults += grp.faults_requested;
+    acks += grp.fault_acks;
+    fallback_ops += grp.fallback_ops;
+    directives += grp.directives;
+  }
+  EXPECT_GT(ops, 0u);
+  EXPECT_GT(range_bursts, 0u);   // the vectorized fast path ran
+  EXPECT_GT(spin_downs, 0u);     // idle spin-down engaged
+  EXPECT_GT(spin_cycles, 0u);    // and disks spun back up
+  EXPECT_GT(faults, 0u);         // chaos injection ran
+  EXPECT_GT(acks, 0u);           // the pump toggled real disks and acked
+  EXPECT_GT(fallback_ops, 0u);   // I/O flowed through real hw::Disk objects
+  EXPECT_GT(directives, 0u);     // master -> group control traffic
+  EXPECT_EQ(report.master_directives, directives);
+
+  // The real control plane stayed live and sane under the pump.
+  EXPECT_GT(report.pumps, 0u);
+  EXPECT_GE(report.active_master, 0);
+  EXPECT_TRUE(report.master_index_ok);
+  EXPECT_NE(report.allocations_digest, 0u);
+  EXPECT_GT(report.cluster_events, 0u);
+  EXPECT_GT(report.merged.counters.at("cluster.unit.io.ops"), 0u);
+  EXPECT_GT(report.merged.counters.at("cluster.control.pumps"), 0u);
+}
+
+TEST(ShardedClusterTest, FaultFreeRunKeepsEveryDiskOnTheSoaPath) {
+  core::ShardedClusterOptions options = FuzzOptions(3, false);
+  options.shards = 2;
+  const core::ShardedClusterReport report =
+      core::RunShardedCluster(options, true);
+  for (const auto& grp : report.per_group) {
+    EXPECT_EQ(grp.mixed_bursts, 0u);
+    EXPECT_EQ(grp.fallback_submits, 0u);
+    EXPECT_EQ(grp.faults_requested, 0u);
+    EXPECT_EQ(grp.bursts, grp.range_bursts);
+  }
+}
+
+}  // namespace
+}  // namespace ustore
