@@ -60,6 +60,30 @@ struct Args {
   // size (DESIGN.md §13), scaling one prototype deploy unit via
   // leaf_hubs_per_group.
   bool real_cluster = false;
+  // --sharded-master: after the central-Master real-cluster sweep, repeat
+  // it with per-group meta leases (DESIGN.md §15) and report the control
+  // pump's wall-clock occupancy next to the MasterShards' local decision
+  // counts. The headline claim: the pump's serialized control work scales
+  // with the number of GROUPS, not disks — meta traffic is answered on
+  // the groups' shards, so central escalations per disk fall as the
+  // population grows.
+  bool sharded_master = false;
+  // --expect-flat-control X: exit non-zero if the sharded-master sweep's
+  // centrally-serialized control decisions per disk (pump-served meta
+  // lookups + lease grants — the deterministic, digested load that the
+  // leases exist to bound) at the largest size exceed X times the
+  // smallest size's. With leases the central load scales with groups,
+  // not disks, so this ratio should be << 1 on a fixed-group sweep
+  // (0 disables the gate). Wall-clock drain time is reported alongside
+  // but not gated: it is polluted by cache displacement from the inner
+  // simulator touching the whole (growing) disk population each quantum.
+  double expect_flat_control = 0;
+  // --chaos: drive the real-cluster sweeps with fault toggles and host
+  // crashes so the lease revoke/re-grant path is on the measured profile.
+  bool chaos = false;
+  // --sharded-fleet: run the whole fleet as ShardedClusters (DESIGN.md
+  // §14) at each --units count, one unit per outer worker.
+  bool sharded_fleet = false;
   // --expect-speedup X: exit non-zero unless some multi-thread row reaches
   // X times the threads=1 baseline. Auto-skipped (with a note) when the
   // machine has a single hardware thread — the contract there is only that
@@ -109,6 +133,16 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       args.skip_fleet = true;
     } else if (std::strcmp(arg, "--real-cluster") == 0) {
       args.real_cluster = true;
+    } else if (std::strcmp(arg, "--sharded-master") == 0) {
+      args.sharded_master = true;
+    } else if (std::strcmp(arg, "--chaos") == 0) {
+      args.chaos = true;
+    } else if (std::strcmp(arg, "--sharded-fleet") == 0) {
+      args.sharded_fleet = true;
+    } else if (std::strcmp(arg, "--expect-flat-control") == 0) {
+      const char* value = next_value(i);
+      if (value == nullptr) return false;
+      args.expect_flat_control = std::atof(value);
     } else if (std::strcmp(arg, "--expect-speedup") == 0) {
       const char* value = next_value(i);
       if (value == nullptr) return false;
@@ -298,7 +332,8 @@ struct RealClusterResult {
 
 core::ShardedClusterOptions RealClusterOptionsFor(const Args& args, int disks,
                                                   int threads,
-                                                  bool use_sharded) {
+                                                  bool use_sharded,
+                                                  bool sharded_master = false) {
   core::ShardedClusterOptions options;
   options.cluster.seed = args.seed;
   // One prototype deploy unit scaled by repeating the leaf-hub tier: 8
@@ -318,18 +353,25 @@ core::ShardedClusterOptions RealClusterOptionsFor(const Args& args, int disks,
   options.request_size = KiB(512);
   options.sweep_width = 256;
   options.idle_timeout = sim::Millis(100);
-  options.fault_probability = 0.0;
+  options.fault_probability = args.chaos ? 0.01 : 0.0;
   // Directive cadence scaled with population so the control plane stays a
   // constant *fraction* of traffic instead of growing with disk count.
   options.directive_every_ops =
       static_cast<std::uint64_t>(std::max(disks, 1)) * 64;
+  options.sharded_master = sharded_master;
+  options.meta_lookups_per_burst = 1;
+  if (args.chaos) {
+    options.host_crash_probability = 0.002;
+    options.host_crash_downtime = sim::Millis(300);
+  }
   return options;
 }
 
 RealClusterResult RunRealCluster(const Args& args, int disks, int threads,
-                                 bool use_sharded) {
+                                 bool use_sharded,
+                                 bool sharded_master = false) {
   const core::ShardedClusterOptions options =
-      RealClusterOptionsFor(args, disks, threads, use_sharded);
+      RealClusterOptionsFor(args, disks, threads, use_sharded, sharded_master);
   RealClusterResult result;
   const auto t0 = std::chrono::steady_clock::now();
   core::ShardedCluster unit(options);
@@ -359,14 +401,23 @@ RealClusterResult RunRealCluster(const Args& args, int disks, int threads,
 }
 
 RealClusterResult BestOfReal(const Args& args, int disks, int threads,
-                             bool use_sharded) {
-  RealClusterResult best = RunRealCluster(args, disks, threads, use_sharded);
+                             bool use_sharded, bool sharded_master = false) {
+  RealClusterResult best =
+      RunRealCluster(args, disks, threads, use_sharded, sharded_master);
   for (int repeat = 1; repeat < args.repeats; ++repeat) {
     RealClusterResult again =
-        RunRealCluster(args, disks, threads, use_sharded);
+        RunRealCluster(args, disks, threads, use_sharded, sharded_master);
     if (again.wall_seconds < best.wall_seconds) best = std::move(again);
   }
   return best;
+}
+
+std::uint64_t LocalDecisions(const core::ShardedClusterReport& report) {
+  std::uint64_t total = 0;
+  for (const core::ShardedClusterGroupReport& group : report.per_group) {
+    total += group.local_decisions;
+  }
+  return total;
 }
 
 }  // namespace
@@ -382,6 +433,8 @@ int main(int argc, char** argv) {
         "                      [--disks-per-unit 1000,...] [--no-fleet]\n"
         "                      [--unit-threads 1,2,4,8] [--unit-shards N]\n"
         "                      [--unit-groups N] [--real-cluster]\n"
+        "                      [--sharded-master] [--chaos]\n"
+        "                      [--sharded-fleet] [--expect-flat-control X]\n"
         "                      [--expect-speedup X]\n");
     return 2;
   }
@@ -591,8 +644,213 @@ int main(int argc, char** argv) {
             ", \"events_per_second\": " +
             bench::Fmt(best.events_per_second, 1) +
             ", \"start_seconds\": " + bench::Fmt(best.start_seconds, 3) +
+            ", \"pump_busy_ns\": " +
+            std::to_string(best.report.pump_busy_wall_ns) +
+            ", \"pump_busy_ns_per_disk\": " +
+            bench::Fmt(static_cast<double>(best.report.pump_busy_wall_ns) /
+                           std::max(disks, 1),
+                       1) +
             ", \"speedup_vs_baseline\": " + bench::Fmt(speedup, 3) + "}");
       }
+    }
+  }
+
+  // --- Sharded Master: per-group meta leases (DESIGN.md §15) ----------------
+  //
+  // Same real-cluster sweep with sharded_master on. Each group's
+  // MasterShard answers heartbeats / meta lookups / directives on its own
+  // shard, so the work the central pump must serialize scales with the
+  // group count, not the disk count — central escalations per disk fall
+  // as the population grows. That ratio is the payoff this sweep exists
+  // to measure (and --expect-flat-control gates). Wall occupancy
+  // ("pump-ms"/"drain-ms") is reported for context, not gated.
+  if (args.sharded_master && args.real_cluster &&
+      !args.disks_per_unit.empty()) {
+    bench::PrintHeader(
+        "Sharded Master: per-group meta leases on the real Cluster\n"
+        "(" +
+        bench::Fmt(args.sim_seconds, 0) +
+        " simulated seconds, chaos=" + std::string(args.chaos ? "on" : "off") +
+        ", pump-ms = control pump wall occupancy,\n"
+        "drain-ms = its control-decision share (the lease-offloaded part),\n"
+        "local = MasterShard decisions, central = pump-served meta lookups)");
+    std::vector<std::string> header = {"disks",   "threads",  "events",
+                                       "ns/event", "pump-ms", "drain-ms",
+                                       "local",    "central",  "speedup"};
+    if (args.check_determinism) header.push_back("identical");
+    bench::PrintRow(header, 12);
+
+    // (disks, centrally-serialized decisions per disk) at the first
+    // --unit-threads entry. Deterministic counts, not wall time: this is
+    // the load the leases bound, and it is immune to the cache noise the
+    // growing inner simulation injects into wall measurements.
+    std::vector<std::pair<int, double>> flat;
+    for (const int disks : args.disks_per_unit) {
+      std::string oracle_json;
+      if (args.check_determinism) {
+        oracle_json = RunRealCluster(args, disks, 1, /*use_sharded=*/false,
+                                     /*sharded_master=*/true)
+                          .report.ToJson();
+      }
+      double baseline_wall = 0;
+      for (std::size_t t = 0; t < args.unit_threads.size(); ++t) {
+        const int unit_threads = args.unit_threads[t];
+        const RealClusterResult best = BestOfReal(
+            args, disks, unit_threads, /*use_sharded=*/true,
+            /*sharded_master=*/true);
+        if (t == 0) baseline_wall = best.wall_seconds;
+        const double speedup =
+            best.wall_seconds > 0 ? baseline_wall / best.wall_seconds : 0;
+        if (unit_threads > 1) max_speedup = std::max(max_speedup, speedup);
+        const double pump_per_disk =
+            static_cast<double>(best.report.pump_busy_wall_ns) /
+            std::max(disks, 1);
+        const double drain_per_disk =
+            static_cast<double>(best.report.pump_drain_wall_ns) /
+            std::max(disks, 1);
+        const double central_per_disk =
+            static_cast<double>(best.report.central_meta_lookups +
+                                best.report.lease_grants) /
+            std::max(disks, 1);
+        if (t == 0) flat.emplace_back(disks, central_per_disk);
+        const std::uint64_t local = LocalDecisions(best.report);
+
+        std::vector<std::string> row = {
+            std::to_string(disks),
+            std::to_string(unit_threads),
+            std::to_string(best.report.events_processed),
+            bench::Fmt(best.ns_per_event, 1),
+            bench::Fmt(static_cast<double>(best.report.pump_busy_wall_ns) /
+                           1e6,
+                       2),
+            bench::Fmt(static_cast<double>(best.report.pump_drain_wall_ns) /
+                           1e6,
+                       2),
+            std::to_string(local),
+            std::to_string(best.report.central_meta_lookups),
+            bench::Fmt(speedup, 2) + "x"};
+        bool identical = true;
+        if (args.check_determinism) {
+          identical = best.report.ToJson() == oracle_json;
+          determinism_ok = determinism_ok && identical;
+          row.push_back(identical ? "yes" : "NO");
+        }
+        bench::PrintRow(row, 12);
+
+        entries.push_back(
+            "    {\"name\": \"scaleout/real_sm/disks:" +
+            std::to_string(disks) +
+            "/threads:" + std::to_string(unit_threads) +
+            "\", \"run_type\": \"iteration\", \"iterations\": " +
+            std::to_string(args.repeats) +
+            ", \"real_time\": " + bench::Fmt(best.ns_per_event, 1) +
+            ", \"cpu_time\": " + bench::Fmt(best.ns_per_event, 1) +
+            ", \"time_unit\": \"ns\", \"events\": " +
+            std::to_string(best.report.events_processed) +
+            ", \"events_per_second\": " +
+            bench::Fmt(best.events_per_second, 1) +
+            ", \"pump_busy_ns\": " +
+            std::to_string(best.report.pump_busy_wall_ns) +
+            ", \"pump_busy_ns_per_disk\": " + bench::Fmt(pump_per_disk, 1) +
+            ", \"pump_drain_ns\": " +
+            std::to_string(best.report.pump_drain_wall_ns) +
+            ", \"pump_drain_ns_per_disk\": " +
+            bench::Fmt(drain_per_disk, 1) +
+            ", \"central_decisions_per_disk\": " +
+            bench::Fmt(central_per_disk, 4) +
+            ", \"local_decisions\": " + std::to_string(local) +
+            ", \"central_meta_lookups\": " +
+            std::to_string(best.report.central_meta_lookups) +
+            ", \"lease_grants\": " +
+            std::to_string(best.report.lease_grants) +
+            ", \"speedup_vs_baseline\": " + bench::Fmt(speedup, 3) + "}");
+      }
+    }
+
+    if (flat.size() >= 2) {
+      const double first = std::max(flat.front().second, 1e-9);
+      const double ratio = flat.back().second / first;
+      std::printf(
+          "\nsharded-master centrally-serialized control load: %d disks -> "
+          "%.4f decisions/disk, %d disks -> %.4f decisions/disk "
+          "(ratio %.2fx)\n",
+          flat.front().first, flat.front().second, flat.back().first,
+          flat.back().second, ratio);
+      if (args.expect_flat_control > 0 && ratio > args.expect_flat_control) {
+        std::fprintf(stderr,
+                     "flat-control check FAILED: ratio %.2fx > %.2fx\n",
+                     ratio, args.expect_flat_control);
+        return 1;
+      }
+      if (args.expect_flat_control > 0) {
+        std::printf("flat-control check OK: %.2fx <= %.2fx\n", ratio,
+                    args.expect_flat_control);
+      }
+    }
+  }
+
+  // --- Fleet end-to-end on the sharded engine (DESIGN.md §14) ---------------
+  if (args.sharded_fleet) {
+    const int disks =
+        args.disks_per_unit.empty() ? 32 : args.disks_per_unit.front();
+    bench::PrintHeader(
+        "Fleet on the sharded engine: one ShardedCluster per deploy unit\n"
+        "(" +
+        bench::Fmt(args.sim_seconds, 0) + " simulated seconds, " +
+        std::to_string(disks) + " disks/unit, sharded_master=" +
+        std::string(args.sharded_master ? "on" : "off") + ", threads=" +
+        std::to_string(threads) + ")");
+    std::vector<std::string> header = {"units", "events", "Mev/s",
+                                       "ns/event"};
+    if (args.check_determinism) header.push_back("identical");
+    bench::PrintRow(header, 12);
+
+    for (const int units : args.unit_counts) {
+      core::ShardedFleetOptions options;
+      options.units = units;
+      options.threads = threads;
+      options.seed = args.seed;
+      options.use_sharded_engine = true;
+      options.unit = RealClusterOptionsFor(args, disks,
+                                           args.unit_threads.front(),
+                                           /*use_sharded=*/true,
+                                           args.sharded_master);
+      core::ShardedFleetReport best = core::RunShardedFleet(options);
+      for (int repeat = 1; repeat < args.repeats; ++repeat) {
+        core::ShardedFleetReport again = core::RunShardedFleet(options);
+        if (again.wall_seconds < best.wall_seconds) best = std::move(again);
+      }
+      const double wall = best.wall_seconds;
+      const double events = static_cast<double>(best.total_events);
+      const double ns_per_event = events > 0 ? wall * 1e9 / events : 0;
+
+      std::vector<std::string> row = {
+          std::to_string(units), std::to_string(best.total_events),
+          bench::Fmt(wall > 0 ? events / wall / 1e6 : 0, 2),
+          bench::Fmt(ns_per_event, 1)};
+      if (args.check_determinism) {
+        // The oracle fleet: serial outer pool, single-queue inner engines.
+        core::ShardedFleetOptions oracle_options = options;
+        oracle_options.threads = 1;
+        oracle_options.use_sharded_engine = false;
+        const bool identical =
+            core::RunShardedFleet(oracle_options).ToJson() == best.ToJson();
+        determinism_ok = determinism_ok && identical;
+        row.push_back(identical ? "yes" : "NO");
+      }
+      bench::PrintRow(row, 12);
+
+      entries.push_back(
+          "    {\"name\": \"scaleout/sharded_fleet/units:" +
+          std::to_string(units) +
+          "\", \"run_type\": \"iteration\", \"iterations\": " +
+          std::to_string(args.repeats) +
+          ", \"real_time\": " + bench::Fmt(ns_per_event, 1) +
+          ", \"cpu_time\": " + bench::Fmt(ns_per_event, 1) +
+          ", \"time_unit\": \"ns\", \"events\": " +
+          std::to_string(best.total_events) +
+          ", \"events_per_second\": " +
+          bench::Fmt(wall > 0 ? events / wall : 0, 1) + "}");
     }
   }
 

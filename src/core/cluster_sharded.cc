@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <map>
+#include <set>
 #include <span>
 #include <string>
 #include <utility>
 
 #include "core/fleet.h"
+#include "core/master_shard.h"
 #include "obs/metrics.h"
 
 namespace ustore::core {
@@ -36,7 +40,26 @@ std::uint64_t Fnv1a(const std::string& s) {
   return h;
 }
 
-void AppendSnapshot(std::string* out, const obs::MetricsSnapshot& snapshot) {
+std::uint64_t WallNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+MasterShardOptions MasterShardOptionsFor(int group,
+                                         const ShardedClusterOptions& options) {
+  MasterShardOptions out;
+  out.group = group;
+  out.directive_every_ops = options.directive_every_ops;
+  out.lease_sync_every = options.lease_sync_every;
+  return out;
+}
+
+}  // namespace
+
+void AppendSnapshotJson(std::string* out,
+                        const obs::MetricsSnapshot& snapshot) {
   out->append("{\"counters\":{");
   bool first = true;
   for (const auto& [name, value] : snapshot.counters) {
@@ -67,8 +90,6 @@ void AppendSnapshot(std::string* out, const obs::MetricsSnapshot& snapshot) {
   out->append("}}");
 }
 
-}  // namespace
-
 // ---------------------------------------------------------------------------
 // Per-group and control-plane state.
 
@@ -81,6 +102,7 @@ struct ShardedCluster::Group {
         rng(seed),
         trace(options.trace_capacity),
         disks(model, disk_count, idle_timeout),
+        mshard(MasterShardOptionsFor(index, options)),
         component("cluster-group:" + std::to_string(index)) {
     fallback.assign(disk_count, 0);
     shape.size = options.request_size;
@@ -98,6 +120,8 @@ struct ShardedCluster::Group {
   std::vector<fabric::NodeIndex> nodes;  // SoA index -> topology node
   std::vector<std::uint8_t> fallback;    // routed via the real hw::Disk
   int fallback_count = 0;
+  MasterShard mshard;  // per-group meta-lease holder (DESIGN.md §15)
+  bool lease_requested = false;  // a kLeaseRequest is in flight
   std::string component;
   hw::IoRequest shape;
   ShardedClusterGroupReport stats;
@@ -109,12 +133,20 @@ struct ShardedCluster::Group {
 // a shard-local event on the control shard — ever reads them, in group
 // order, and only the pump mutates the real cluster.
 struct ShardedCluster::ControlMsg {
-  enum class Kind { kFaultToggle, kFallbackIo };
+  enum class Kind {
+    kFaultToggle,
+    kFallbackIo,
+    kLeaseRequest,  // group asks for its meta lease
+    kLeaseSync,     // lease-held ops summary (ops + directed cursor)
+    kHostCrash,     // chaos: crash the group's routed host
+    kMetaLookup,    // leaseless allocation lookup, escalated centrally
+  };
   Kind kind;
   int group = 0;
-  int disk = 0;  // SoA index within the group
+  int disk = 0;  // SoA index within the group (kFaultToggle/kFallbackIo/kMetaLookup)
   bool want_fail = false;        // kFaultToggle
-  std::uint64_t ops = 0;         // kFallbackIo
+  std::uint64_t ops = 0;         // kFallbackIo batch size / kLeaseSync total
+  std::uint64_t directed = 0;    // kLeaseSync: MasterShard's directive cursor
   hw::IoRequest shape;           // kFallbackIo
 };
 
@@ -123,13 +155,29 @@ struct ShardedCluster::ControlState {
       : inbox(groups),
         ops_seen(groups, 0),
         reports_seen(groups, 0),
-        directed_at(groups, 0) {}
+        directed_at(groups, 0),
+        lease_epoch(groups, 0),
+        lease_granted(groups, 0),
+        lease_wanted(groups, 0) {}
   std::vector<std::vector<ControlMsg>> inbox;  // per-source slots
   std::vector<std::uint64_t> ops_seen;
   std::vector<std::uint64_t> reports_seen;
   std::vector<std::uint64_t> directed_at;
   std::uint64_t pumps = 0;
   std::uint64_t directives = 0;
+  // Central lease authority (DESIGN.md §15): the pump owns the epoch
+  // counter per group; grants/revokes carry it and MasterShard rejects
+  // anything stale.
+  std::vector<std::uint64_t> lease_epoch;
+  std::vector<std::uint8_t> lease_granted;
+  // Lease parked on a crashed host: re-grant when the host restarts.
+  std::vector<std::uint8_t> lease_wanted;
+  std::set<int> crashed_hosts;
+  std::map<int, sim::Time> restart_due;  // host -> engine-time deadline
+  std::uint64_t lease_grants = 0;
+  std::uint64_t lease_revokes = 0;
+  std::uint64_t host_crashes = 0;
+  std::uint64_t host_restarts = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -253,6 +301,19 @@ void ShardedCluster::BurstEvent(int g) {
     PostControl(grp.shard, msg);
   }
 
+  // Chaos: host crash. The pump revokes every lease on the host, fails it
+  // over, and re-grants after the deterministic downtime. (Short-circuit
+  // keeps the rng stream unchanged when the knob is off.)
+  if (options_.host_crash_probability > 0 &&
+      grp.rng.NextBool(options_.host_crash_probability)) {
+    ControlMsg msg;
+    msg.kind = ControlMsg::Kind::kHostCrash;
+    msg.group = g;
+    ++grp.stats.host_crashes_requested;
+    grp.metrics.Increment("cluster.unit.host_crash.requested");
+    PostControl(grp.shard, msg);
+  }
+
   // One aligned sweep range per burst: the spin-group granularity the
   // vectorized SoA path is built around.
   const int n = grp.disks.count();
@@ -263,6 +324,33 @@ void ShardedCluster::BurstEvent(int g) {
           static_cast<std::uint64_t>(ranges))) * width;
   const int count = std::min(width, n - first);
   const std::uint64_t ops = options_.burst_ops;
+
+  // Modelled client allocation lookups against the meta service: which
+  // host exposes this disk? Under a held lease the group's MasterShard
+  // answers from its mirrored index — even-ns, shard-local; otherwise the
+  // lookup escalates through the pump and an ack posts back. The rng
+  // stream is identical in both modes (the draw happens either way).
+  for (int l = 0; l < options_.meta_lookups_per_burst; ++l) {
+    const int lookup_disk =
+        first + (count > 1
+                     ? static_cast<int>(grp.rng.NextBelow(
+                           static_cast<std::uint64_t>(count)))
+                     : 0);
+    ++grp.stats.meta_lookups;
+    if (options_.sharded_master && grp.mshard.lease_held()) {
+      const int lease_host = grp.mshard.LookupHost(lookup_disk);
+      (void)lease_host;
+      ++grp.stats.meta_lookups_local;
+      grp.metrics.Increment("cluster.unit.meta_lookup.local");
+    } else {
+      ControlMsg msg;
+      msg.kind = ControlMsg::Kind::kMetaLookup;
+      msg.group = g;
+      msg.disk = lookup_disk;
+      grp.metrics.Increment("cluster.unit.meta_lookup.escalated");
+      PostControl(grp.shard, msg);
+    }
+  }
 
   bool has_fallback = false;
   if (grp.fallback_count > 0) {
@@ -397,13 +485,51 @@ void ShardedCluster::ReportEvent(int g) {
   grp.metrics.Increment("cluster.unit.report.sent");
   const std::uint64_t total =
       grp.disks.total_ios() + grp.stats.fallback_ops;
-  // Per-source slot assignment only (engine commutativity contract).
-  engine_->Post(grp.shard, control_shard_, 0, [this, g, total] {
-    control_->ops_seen[g] = total;
-    ++control_->reports_seen[g];
-  });
+  if (options_.sharded_master && grp.mshard.lease_held()) {
+    // Lease-local heartbeat: the MasterShard decides directives here on
+    // the group's own shard; only the periodic ops sync escalates.
+    const MasterShard::ReportDecision decision = grp.mshard.OnReport(total);
+    for (int i = 0; i < decision.directives; ++i) {
+      grp.shape.direction = grp.shape.direction == hw::IoDirection::kRead
+                                ? hw::IoDirection::kWrite
+                                : hw::IoDirection::kRead;
+    }
+    if (decision.directives > 0) {
+      grp.metrics.Increment(
+          "cluster.unit.directive.local",
+          static_cast<std::uint64_t>(decision.directives));
+    }
+    if (decision.sync_due) {
+      ++grp.stats.lease_syncs;
+      grp.metrics.Increment("cluster.unit.lease.sync");
+      ControlMsg msg;
+      msg.kind = ControlMsg::Kind::kLeaseSync;
+      msg.group = g;
+      msg.ops = total;
+      msg.directed = grp.mshard.directed_at();
+      PostControl(grp.shard, msg);
+    }
+  } else {
+    if (options_.sharded_master) MaybeRequestLease(g);
+    // Per-source slot assignment only (engine commutativity contract).
+    engine_->Post(grp.shard, control_shard_, 0, [this, g, total] {
+      control_->ops_seen[g] = total;
+      ++control_->reports_seen[g];
+    });
+  }
   ScheduleLocal(grp.shard, now + options_.report_period,
                 [this, g] { ReportEvent(g); });
+}
+
+void ShardedCluster::MaybeRequestLease(int g) {
+  Group& grp = *groups_[g];
+  if (grp.lease_requested) return;
+  grp.lease_requested = true;
+  grp.metrics.Increment("cluster.unit.lease.requested");
+  ControlMsg msg;
+  msg.kind = ControlMsg::Kind::kLeaseRequest;
+  msg.group = g;
+  PostControl(grp.shard, msg);
 }
 
 // ---------------------------------------------------------------------------
@@ -434,13 +560,24 @@ void ShardedCluster::ApplyFaultToggle(const ControlMsg& msg) {
     grp2.metrics.Increment("cluster.unit.fault.acks");
     if (failed_now) {
       if (!grp2.disks.failed(d)) grp2.disks.Fail(d);
+      grp2.mshard.NoteFault(d, true);  // keep the lease mirror honest
       if (grp2.fallback[d] == 0) {
         grp2.fallback[d] = 1;
         ++grp2.fallback_count;
       }
     } else {
       if (grp2.disks.failed(d)) grp2.disks.Repair(d);
-      if (eligible && grp2.fallback[d] != 0) {
+      // Re-expose decision: under a held lease the group's MasterShard
+      // readmits the disk itself (and updates its mirror); without one
+      // the pump's eligibility verdict stands as-is.
+      bool readmit = eligible;
+      if (options_.sharded_master && grp2.mshard.lease_held()) {
+        readmit = grp2.mshard.ReadmitAfterHeal(d, eligible);
+        grp2.metrics.Increment("cluster.unit.readmit.local");
+      } else {
+        grp2.mshard.NoteFault(d, false);
+      }
+      if (readmit && grp2.fallback[d] != 0) {
         grp2.fallback[d] = 0;
         --grp2.fallback_count;
       }
@@ -477,21 +614,190 @@ void ShardedCluster::ApplyFallbackIo(const ControlMsg& msg) {
       });
 }
 
+Master* ShardedCluster::ActiveMaster() {
+  for (int m = 0; m < cluster_->master_count(); ++m) {
+    if (cluster_->master(m)->is_active()) return cluster_->master(m);
+  }
+  return nullptr;
+}
+
+void ShardedCluster::GrantLease(int g) {
+  if (control_->lease_granted[g]) return;  // duplicate request in flight
+  Group& grp = *groups_[g];
+  const int host = grp.stats.host;
+  if (host >= 0 && control_->crashed_hosts.count(host) > 0) {
+    // Host is down: park the lease; the restart path re-grants it.
+    control_->lease_wanted[g] = 1;
+    return;
+  }
+  control_->lease_wanted[g] = 0;
+  control_->lease_granted[g] = 1;
+  const std::uint64_t epoch = ++control_->lease_epoch[g];
+  ++control_->lease_grants;
+  control_metrics_.Increment("cluster.control.lease_grants");
+
+  // Snapshot the group's slice of the Master's indexes. The Master's
+  // allocation view is authoritative for disk->host; the fabric route is
+  // the fallback for disks the Master has no allocation for.
+  MetaLeaseIndex index;
+  index.disk_host.resize(grp.nodes.size(), -1);
+  index.disk_failed.assign(grp.nodes.size(), 0);
+  Master* master = ActiveMaster();
+  for (std::size_t d = 0; d < grp.nodes.size(); ++d) {
+    const fabric::NodeIndex node = grp.nodes[d];
+    const hw::Disk* disk = cluster_->fabric().disk(node);
+    index.disk_failed[d] = (disk != nullptr && disk->failed()) ? 1 : 0;
+    const std::string* name = cluster_->fabric().DiskNameOfNode(node);
+    int disk_host = -1;
+    if (master != nullptr && name != nullptr) {
+      disk_host = master->CurrentHostOfDisk(*name);
+    }
+    if (disk_host < 0) disk_host = cluster_->fabric().RoutedHostOfDisk(node);
+    index.disk_host[d] = disk_host;
+  }
+  // Local directives resume from the central cursor, so a flip pending at
+  // handoff is issued exactly once (locally, on the first held report).
+  index.ops_baseline = control_->directed_at[g];
+
+  engine_->Post(control_shard_, grp.shard, 0, [this, g, epoch, index] {
+    Group& grp2 = *groups_[g];
+    if (grp2.mshard.Grant(epoch, index)) {
+      ++grp2.stats.lease_grants;
+      grp2.metrics.Increment("cluster.unit.lease.granted");
+    }
+    grp2.lease_requested = false;
+  });
+}
+
+void ShardedCluster::RevokeLease(int g) {
+  if (!control_->lease_granted[g]) return;
+  control_->lease_granted[g] = 0;
+  const std::uint64_t epoch = ++control_->lease_epoch[g];
+  ++control_->lease_revokes;
+  control_metrics_.Increment("cluster.control.lease_revokes");
+  engine_->Post(control_shard_, groups_[g]->shard, 0, [this, g, epoch] {
+    Group& grp = *groups_[g];
+    if (grp.mshard.Revoke(epoch)) {
+      ++grp.stats.lease_revokes;
+      grp.metrics.Increment("cluster.unit.lease.revoked");
+    }
+    grp.lease_requested = false;
+  });
+}
+
+void ShardedCluster::ApplyLeaseSync(const ControlMsg& msg) {
+  const int g = msg.group;
+  control_metrics_.Increment("cluster.control.lease_syncs");
+  control_->ops_seen[g] = std::max(control_->ops_seen[g], msg.ops);
+  ++control_->reports_seen[g];
+  // Adopt the lease's directive cursor so a later revoke never re-issues
+  // a flip the MasterShard already decided (overlap bounded by one sync
+  // window, see the revoke note in DESIGN.md §15).
+  control_->directed_at[g] = std::max(control_->directed_at[g], msg.directed);
+}
+
+void ShardedCluster::ApplyMetaLookup(const ControlMsg& msg) {
+  Group& grp = *groups_[msg.group];
+  control_metrics_.Increment("cluster.control.meta_lookups");
+  const fabric::NodeIndex node = grp.nodes[msg.disk];
+  const std::string* name = cluster_->fabric().DiskNameOfNode(node);
+  Master* master = ActiveMaster();
+  int host = -1;
+  if (master != nullptr && name != nullptr) {
+    host = master->ServeMetaLookup(*name);
+  }
+  if (host < 0) host = cluster_->fabric().RoutedHostOfDisk(node);
+  const int g = msg.group;
+  engine_->Post(control_shard_, grp.shard, 0, [this, g, host] {
+    Group& grp2 = *groups_[g];
+    (void)host;
+    ++grp2.stats.meta_lookup_acks;
+    grp2.metrics.Increment("cluster.unit.meta_lookup.ack");
+  });
+}
+
+void ShardedCluster::ApplyHostCrash(const ControlMsg& msg) {
+  control_metrics_.Increment("cluster.control.host_crash_requests");
+  const int host = groups_[msg.group]->stats.host;
+  if (host < 0 || control_->crashed_hosts.count(host) > 0) return;
+  control_->crashed_hosts.insert(host);
+  ++control_->host_crashes;
+  control_metrics_.Increment("cluster.control.host_crashes");
+  // Failover: every lease on the host is revoked (and parked for the
+  // restart re-grant) BEFORE the crash is applied, mirroring the real
+  // protocol — a lease must never outlive its host's processes.
+  for (int g = 0; g < static_cast<int>(groups_.size()); ++g) {
+    if (groups_[g]->stats.host != host) continue;
+    if (control_->lease_granted[g]) {
+      control_->lease_wanted[g] = 1;
+      RevokeLease(g);
+    }
+  }
+  cluster_->CrashHost(host);
+  const sim::Time now = engine_->now(control_shard_);
+  control_->restart_due[host] =
+      now + std::max<sim::Duration>(options_.host_crash_downtime, 1);
+}
+
+void ShardedCluster::ApplyHostRestarts(sim::Time now) {
+  for (auto it = control_->restart_due.begin();
+       it != control_->restart_due.end();) {
+    if (it->second > now) {
+      ++it;
+      continue;
+    }
+    const int host = it->first;
+    it = control_->restart_due.erase(it);
+    control_->crashed_hosts.erase(host);
+    ++control_->host_restarts;
+    control_metrics_.Increment("cluster.control.host_restarts");
+    cluster_->RestartHost(host);
+    // Re-grant leases parked on the crash, with a fresh epoch + snapshot.
+    for (int g = 0; g < static_cast<int>(groups_.size()); ++g) {
+      if (groups_[g]->stats.host == host && control_->lease_wanted[g] != 0) {
+        GrantLease(g);
+      }
+    }
+  }
+}
+
 void ShardedCluster::ControlPumpEvent() {
   const sim::Time now = engine_->now(control_shard_);
   ++control_->pumps;
+  const std::uint64_t wall0 = WallNs();
+  std::uint64_t wall_cluster0 = wall0;
+  std::uint64_t wall_cluster1 = wall0;
   {
     obs::ScopedObsBinding bind(&control_metrics_, &control_trace_);
     control_metrics_.Increment("cluster.control.pumps");
+
+    // 0. Due host restarts (host order): failover window over, processes
+    //    back, parked leases re-granted with fresh epochs.
+    if (!control_->restart_due.empty()) ApplyHostRestarts(now);
 
     // 1. Drain the per-source inboxes in group order — all cluster
     //    mutation happens here, in one deterministic sequence.
     for (std::size_t g = 0; g < groups_.size(); ++g) {
       for (const ControlMsg& msg : control_->inbox[g]) {
-        if (msg.kind == ControlMsg::Kind::kFaultToggle) {
-          ApplyFaultToggle(msg);
-        } else {
-          ApplyFallbackIo(msg);
+        switch (msg.kind) {
+          case ControlMsg::Kind::kFaultToggle:
+            ApplyFaultToggle(msg);
+            break;
+          case ControlMsg::Kind::kFallbackIo:
+            ApplyFallbackIo(msg);
+            break;
+          case ControlMsg::Kind::kLeaseRequest:
+            GrantLease(msg.group);
+            break;
+          case ControlMsg::Kind::kLeaseSync:
+            ApplyLeaseSync(msg);
+            break;
+          case ControlMsg::Kind::kHostCrash:
+            ApplyHostCrash(msg);
+            break;
+          case ControlMsg::Kind::kMetaLookup:
+            ApplyMetaLookup(msg);
+            break;
         }
       }
       control_->inbox[g].clear();
@@ -500,11 +806,18 @@ void ShardedCluster::ControlPumpEvent() {
     // 2. Advance the real cluster in lock-step with the engine clock:
     //    identical quanta on every engine → one total order for Master
     //    heartbeats, failover, re-expose and index updates.
+    wall_cluster0 = WallNs();
     cluster_->sim().RunUntil(cluster_base_ + now);
+    wall_cluster1 = WallNs();
 
-    // 3. Master directives from the per-source report slots.
+    // 3. Master directives from the per-source report slots. Groups whose
+    //    lease is out have their directives decided by their MasterShard;
+    //    the central cursor only advances through lease syncs for them.
     if (options_.directive_every_ops > 0) {
       for (std::size_t g = 0; g < groups_.size(); ++g) {
+        if (options_.sharded_master && control_->lease_granted[g] != 0) {
+          continue;
+        }
         while (control_->ops_seen[g] >=
                control_->directed_at[g] + options_.directive_every_ops) {
           control_->directed_at[g] += options_.directive_every_ops;
@@ -523,6 +836,14 @@ void ShardedCluster::ControlPumpEvent() {
       }
     }
   }
+  // Wall-clock occupancy (measurement only; never digested): the pump is
+  // the engine's serial section, so its busy split — control work vs
+  // advancing the inner cluster — is the sharded-master before/after.
+  const std::uint64_t wall1 = WallNs();
+  pump_busy_wall_ns_ += wall1 - wall0;
+  pump_cluster_wall_ns_ += wall_cluster1 - wall_cluster0;
+  pump_drain_wall_ns_ +=
+      (wall_cluster0 - wall0) + (wall1 - wall_cluster1);
   if (now < options_.duration) {
     ScheduleLocal(control_shard_,
                   std::min(now + options_.control_period, options_.duration),
@@ -562,6 +883,9 @@ ShardedClusterReport ShardedCluster::Run(sim::UnitEngine& engine) {
 
   ShardedClusterReport report = BuildReport();
   report.events_processed = engine.events_processed();
+  report.pump_busy_wall_ns = pump_busy_wall_ns_;
+  report.pump_drain_wall_ns = pump_drain_wall_ns_;
+  report.pump_cluster_wall_ns = pump_cluster_wall_ns_;
   engine_ = nullptr;
   return report;
 }
@@ -573,6 +897,10 @@ ShardedClusterReport ShardedCluster::BuildReport() {
   report.seed = options_.cluster.seed;
   report.pumps = control_->pumps;
   report.master_directives = control_->directives;
+  report.lease_grants = control_->lease_grants;
+  report.lease_revokes = control_->lease_revokes;
+  report.host_crashes = control_->host_crashes;
+  report.host_restarts = control_->host_restarts;
 
   std::vector<obs::MetricsSnapshot> parts;
   parts.reserve(groups_.size() + 1);
@@ -581,7 +909,25 @@ ShardedClusterReport ShardedCluster::BuildReport() {
     // Drop the engine clock before snapshotting: the snapshot stamp must
     // not depend on which engine (or shard count) ran the unit.
     grp.metrics.set_time_source({});
+    // Fold the MasterShard's deterministic counters into the registry
+    // before snapshotting, so the digest (and metrics_inspect) carries
+    // the master_shard.local_decisions / pump.busy_ns measurement pair.
+    if (grp.mshard.local_decisions() > 0) {
+      grp.metrics.Increment("master_shard.local_decisions",
+                            grp.mshard.local_decisions());
+    }
+    if (grp.mshard.local_directives() > 0) {
+      grp.metrics.Increment("master_shard.local_directives",
+                            grp.mshard.local_directives());
+    }
+    if (grp.mshard.stale_rejected() > 0) {
+      grp.metrics.Increment("master_shard.stale_rejects",
+                            grp.mshard.stale_rejected());
+    }
     ShardedClusterGroupReport out = grp.stats;
+    out.local_directives = grp.mshard.local_directives();
+    out.local_decisions = grp.mshard.local_decisions();
+    out.lease_stale_rejects = grp.mshard.stale_rejected();
     out.ops = grp.disks.total_ios();
     out.bytes_read =
         static_cast<std::uint64_t>(grp.disks.total_bytes_read());
@@ -608,6 +954,9 @@ ShardedClusterReport ShardedCluster::BuildReport() {
       Master* active = cluster_->master(report.active_master);
       report.allocations_digest = Fnv1a(active->DumpAllocations());
       report.master_index_ok = active->CheckIndexesForTest();
+    }
+    for (int m = 0; m < cluster_->master_count(); ++m) {
+      report.central_meta_lookups += cluster_->master(m)->meta_lookups_served();
     }
     report.cluster_events = cluster_->sim().events_processed();
     report.cluster_end_ns =
@@ -636,6 +985,16 @@ std::string ShardedClusterReport::ToJson() const {
   AppendU64(&out, pumps);
   out.append(",\"directives\":");
   AppendU64(&out, master_directives);
+  out.append(",\"lease_grants\":");
+  AppendU64(&out, lease_grants);
+  out.append(",\"lease_revokes\":");
+  AppendU64(&out, lease_revokes);
+  out.append(",\"host_crashes\":");
+  AppendU64(&out, host_crashes);
+  out.append(",\"host_restarts\":");
+  AppendU64(&out, host_restarts);
+  out.append(",\"central_meta_lookups\":");
+  AppendU64(&out, central_meta_lookups);
   out.append(",\"active_master\":");
   AppendU64(&out, static_cast<std::uint64_t>(
                       active_master < 0 ? 0 : active_master + 1));
@@ -652,7 +1011,7 @@ std::string ShardedClusterReport::ToJson() const {
   out.append(",\"trace_digest\":");
   AppendU64(&out, control_trace_digest);
   out.append(",\"metrics\":");
-  AppendSnapshot(&out, control_metrics);
+  AppendSnapshotJson(&out, control_metrics);
   out.append("},\"per_group\":[");
   for (std::size_t g = 0; g < per_group.size(); ++g) {
     const ShardedClusterGroupReport& grp = per_group[g];
@@ -694,16 +1053,36 @@ std::string ShardedClusterReport::ToJson() const {
     AppendU64(&out, grp.reports_sent);
     out.append(",\"directives\":");
     AppendU64(&out, grp.directives);
+    out.append(",\"local_directives\":");
+    AppendU64(&out, grp.local_directives);
+    out.append(",\"local_decisions\":");
+    AppendU64(&out, grp.local_decisions);
+    out.append(",\"meta_lookups\":");
+    AppendU64(&out, grp.meta_lookups);
+    out.append(",\"meta_local\":");
+    AppendU64(&out, grp.meta_lookups_local);
+    out.append(",\"meta_acks\":");
+    AppendU64(&out, grp.meta_lookup_acks);
+    out.append(",\"lease_grants\":");
+    AppendU64(&out, grp.lease_grants);
+    out.append(",\"lease_revokes\":");
+    AppendU64(&out, grp.lease_revokes);
+    out.append(",\"lease_syncs\":");
+    AppendU64(&out, grp.lease_syncs);
+    out.append(",\"stale_rejects\":");
+    AppendU64(&out, grp.lease_stale_rejects);
+    out.append(",\"host_crash_reqs\":");
+    AppendU64(&out, grp.host_crashes_requested);
     out.append(",\"backlog\":");
     AppendU64(&out, grp.control_backlog);
     out.append(",\"trace_digest\":");
     AppendU64(&out, grp.trace_digest);
     out.append(",\"metrics\":");
-    AppendSnapshot(&out, grp.metrics);
+    AppendSnapshotJson(&out, grp.metrics);
     out.append("}");
   }
   out.append("],\"merged\":");
-  AppendSnapshot(&out, merged);
+  AppendSnapshotJson(&out, merged);
   out.append("}");
   return out;
 }
@@ -711,7 +1090,8 @@ std::string ShardedClusterReport::ToJson() const {
 std::uint64_t ShardedClusterReport::Digest() const { return Fnv1a(ToJson()); }
 
 ShardedClusterReport RunShardedCluster(const ShardedClusterOptions& options,
-                                       bool use_sharded) {
+                                       bool use_sharded,
+                                       obs::MetricsRegistry* perf) {
   ShardedCluster unit(options);
   const sim::Duration lookahead =
       options.lookahead > 0 ? options.lookahead : unit.plan().lookahead;
@@ -721,11 +1101,34 @@ ShardedClusterReport RunShardedCluster(const ShardedClusterOptions& options,
     engine_options.threads = options.threads;
     engine_options.lookahead = lookahead;
     sim::ShardedEngine engine(engine_options);
-    return unit.Run(engine);
+    ShardedClusterReport report = unit.Run(engine);
+    if (perf != nullptr) ExportShardedPerf(report, &engine, *perf);
+    return report;
   }
   sim::Simulator sim;
   sim::SingleQueueEngine engine(&sim, unit.plan().shards, lookahead);
-  return unit.Run(engine);
+  ShardedClusterReport report = unit.Run(engine);
+  if (perf != nullptr) ExportShardedPerf(report, nullptr, *perf);
+  return report;
+}
+
+void ExportShardedPerf(const ShardedClusterReport& report,
+                       const sim::ShardedEngine* engine,
+                       obs::MetricsRegistry& registry) {
+  registry.Increment("pump.busy_ns", report.pump_busy_wall_ns);
+  registry.Increment("pump.drain_ns", report.pump_drain_wall_ns);
+  registry.Increment("pump.cluster_ns", report.pump_cluster_wall_ns);
+  registry.Increment("pump.count", report.pumps);
+  if (engine == nullptr) return;
+  registry.Increment("engine.epochs", engine->epochs());
+  registry.Increment("engine.cross_posts", engine->cross_posts());
+  registry.Increment("engine.run_wall_ns", engine->run_wall_ns());
+  for (int k = 0; k < engine->shards(); ++k) {
+    const std::string prefix = "shard." + std::to_string(k);
+    registry.Increment(prefix + ".busy_ns", engine->busy_ns(k));
+    registry.Increment(prefix + ".barrier_wait_ns",
+                       engine->barrier_wait_ns(k));
+  }
 }
 
 }  // namespace ustore::core

@@ -92,6 +92,29 @@ struct ShardedClusterOptions {
   // random disk of the group (fail if mirrored healthy, repair if failed).
   double fault_probability = 0.0;
 
+  // --- Sharded Master: per-group meta leases (DESIGN.md §15) ---
+  // With sharded_master on, every group's core::MasterShard requests a
+  // revocable meta lease from the central pump at its first report. While
+  // held, heartbeats, allocation lookups, steady-state directives and
+  // readmit-after-heal decisions are handled on the group's own shard
+  // (even-ns, no cross-shard hop); only lease grant/revoke, host-crash
+  // failover, fallback I/O and the periodic ops sync still escalate.
+  bool sharded_master = false;
+  // Escalate an ops summary to the central Master every N locally handled
+  // reports (keeps the central view fresh enough to resume on revoke).
+  std::uint64_t lease_sync_every = 8;
+  // Modelled client allocation lookups (disk -> exposing host) per burst.
+  // Central mode round-trips each one through the control pump; under a
+  // lease the MasterShard answers locally. This is the meta traffic whose
+  // pump occupancy the --sharded-master bench sweep measures.
+  int meta_lookups_per_burst = 1;
+  // Chaos: per burst, probability of requesting a crash of the group's
+  // routed host. The pump revokes every lease on that host (failover),
+  // restarts the host after host_crash_downtime, and re-grants parked
+  // leases with a fresh epoch + index snapshot.
+  double host_crash_probability = 0.0;
+  sim::Duration host_crash_downtime = sim::Millis(300);
+
   std::size_t trace_capacity = 1024;  // per group and for the control plane
 };
 
@@ -114,6 +137,17 @@ struct ShardedClusterGroupReport {
   std::uint64_t fallback_ops = 0;      // per-op completions posted back
   std::uint64_t reports_sent = 0;
   std::uint64_t directives = 0;
+  // Sharded-master lease state (all zero when sharded_master is off).
+  std::uint64_t meta_lookups = 0;        // allocation lookups issued
+  std::uint64_t meta_lookups_local = 0;  // answered under the group's lease
+  std::uint64_t meta_lookup_acks = 0;    // answered by the central pump
+  std::uint64_t lease_grants = 0;
+  std::uint64_t lease_revokes = 0;
+  std::uint64_t lease_syncs = 0;
+  std::uint64_t lease_stale_rejects = 0;
+  std::uint64_t local_directives = 0;  // direction flips decided locally
+  std::uint64_t local_decisions = 0;   // total MasterShard-held decisions
+  std::uint64_t host_crashes_requested = 0;
   std::uint64_t control_backlog = 0;  // inbox items past the last pump
   std::uint64_t trace_digest = 0;
   obs::MetricsSnapshot metrics;
@@ -130,6 +164,11 @@ struct ShardedClusterReport {
   // own deterministic scalars.
   std::uint64_t pumps = 0;
   std::uint64_t master_directives = 0;
+  std::uint64_t lease_grants = 0;
+  std::uint64_t lease_revokes = 0;
+  std::uint64_t host_crashes = 0;
+  std::uint64_t host_restarts = 0;
+  std::uint64_t central_meta_lookups = 0;  // Master::meta_lookups_served
   int active_master = -1;
   std::uint64_t failovers = 0;
   std::uint64_t allocations_digest = 0;  // FNV-1a of DumpAllocations()
@@ -140,6 +179,14 @@ struct ShardedClusterReport {
   obs::MetricsSnapshot control_metrics;
 
   obs::MetricsSnapshot merged;  // groups + control, order-stable
+
+  // Wall-clock pump occupancy — measurement only, EXCLUDED from
+  // ToJson()/Digest() like every engine statistic: total wall time the
+  // control pump ran, split into control work (inbox drain, lease
+  // protocol, directives) vs advancing the inner cluster Simulator.
+  std::uint64_t pump_busy_wall_ns = 0;
+  std::uint64_t pump_drain_wall_ns = 0;
+  std::uint64_t pump_cluster_wall_ns = 0;
 
   // Canonical deterministic rendering — no engine statistics, no wall
   // clock: a pure function of (options, seed).
@@ -175,9 +222,17 @@ class ShardedCluster {
                        std::uint64_t ops);
   void SweepEvent(int g, int first, int count, sim::Time due);
   void ReportEvent(int g);
+  void MaybeRequestLease(int g);  // group-shard event helper
   void ControlPumpEvent();
   void ApplyFaultToggle(const ControlMsg& msg);
   void ApplyFallbackIo(const ControlMsg& msg);
+  void ApplyLeaseSync(const ControlMsg& msg);
+  void ApplyHostCrash(const ControlMsg& msg);
+  void ApplyMetaLookup(const ControlMsg& msg);
+  void ApplyHostRestarts(sim::Time now);
+  void GrantLease(int g);
+  void RevokeLease(int g);
+  Master* ActiveMaster();
   ShardedClusterReport BuildReport();
 
   ShardedClusterOptions options_;
@@ -192,13 +247,35 @@ class ShardedCluster {
   std::unique_ptr<ControlState> control_;
   sim::UnitEngine* engine_ = nullptr;  // only during Run()
   bool ran_ = false;
+  // Wall-clock pump occupancy accumulators (see the report fields).
+  std::uint64_t pump_busy_wall_ns_ = 0;
+  std::uint64_t pump_drain_wall_ns_ = 0;
+  std::uint64_t pump_cluster_wall_ns_ = 0;
 };
 
 // Convenience: build the deployment, pick the engine, run, report. With
 // `use_sharded` false the engine is a SingleQueueEngine over a fresh
 // sim::Simulator — the bit-exactness oracle (the real cluster's clock is
-// pumped identically either way).
+// pumped identically either way). If `perf` is non-null, the wall-clock
+// occupancy metrics (pump.busy_ns, shard.N.barrier_wait_ns, ...) are
+// exported into it via ExportShardedPerf.
 ShardedClusterReport RunShardedCluster(const ShardedClusterOptions& options,
-                                       bool use_sharded);
+                                       bool use_sharded,
+                                       obs::MetricsRegistry* perf = nullptr);
+
+// Renders `snapshot` in the compact deterministic form the sharded reports
+// embed ({"counters":{...},"gauges":{...},"histograms":{...}}); shared
+// with the fleet report so merged snapshots render byte-identically.
+void AppendSnapshotJson(std::string* out, const obs::MetricsSnapshot& snapshot);
+
+// Fills `registry` with the wall-clock occupancy of a finished run: the
+// control pump split (pump.busy_ns / pump.drain_ns / pump.cluster_ns) from
+// the report, and — when `engine` is the ShardedEngine that ran it — the
+// per-shard busy and epoch-barrier stall times (shard.<k>.busy_ns,
+// shard.<k>.barrier_wait_ns) plus epoch/cross-post counts. These are
+// measurements; they never appear in the deterministic report.
+void ExportShardedPerf(const ShardedClusterReport& report,
+                       const sim::ShardedEngine* engine,
+                       obs::MetricsRegistry& registry);
 
 }  // namespace ustore::core

@@ -335,6 +335,11 @@ int Master::CurrentHostOfDisk(const std::string& disk) const {
   return handle < 0 ? -1 : disks_[handle].host;
 }
 
+int Master::ServeMetaLookup(const std::string& disk) {
+  ++meta_lookups_served_;
+  return CurrentHostOfDisk(disk);
+}
+
 net::NodeId Master::ActiveControllerId() const {
   return controller_ids_.at(active_controller_);
 }

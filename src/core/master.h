@@ -83,6 +83,13 @@ class Master {
   std::size_t allocation_count() const { return allocations_.size(); }
   int failovers_completed() const { return failovers_completed_; }
 
+  // Central allocation lookup served on behalf of a group without a meta
+  // lease (the sharded-master escalation path, DESIGN.md §15). Identical
+  // to CurrentHostOfDisk but counted, so the pump-occupancy story is
+  // visible from the Master itself.
+  int ServeMetaLookup(const std::string& disk);
+  std::uint64_t meta_lookups_served() const { return meta_lookups_served_; }
+
   // Canonical one-line-per-space rendering of StorAlloc (sorted by id) —
   // the fleet harness compares these across runs for determinism checks.
   std::string DumpAllocations() const;
@@ -216,6 +223,7 @@ class Master {
 
   sim::Timer monitor_timer_;
   int failovers_completed_ = 0;
+  std::uint64_t meta_lookups_served_ = 0;
   std::set<int> failovers_in_progress_;
   std::map<int, obs::SpanId> failover_spans_;
   std::set<int> re_expose_in_progress_;  // disk handles

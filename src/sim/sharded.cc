@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <condition_variable>
 #include <limits>
 #include <mutex>
@@ -15,6 +16,13 @@ constexpr Time kNoEvent = std::numeric_limits<Time>::max();
 // Round a delivery time up to an odd nanosecond (see the tie-avoidance
 // note in sharded.h): even times gain 1ns, odd times are unchanged.
 constexpr Time OddTime(Time t) { return t | 1; }
+
+std::uint64_t WallNow() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -212,7 +220,7 @@ struct ShardedEngine::Pool {
       int k;
       while ((k = next_shard.fetch_add(1, std::memory_order_relaxed)) <
              shard_count) {
-        engine->queues_[k]->RunUntilBound(epoch_bound, epoch_max);
+        engine->RunShardTimed(k, epoch_bound, epoch_max);
       }
       {
         std::lock_guard<std::mutex> lock(mu);
@@ -248,6 +256,7 @@ ShardedEngine::ShardedEngine(Options options)
     queues_.push_back(std::make_unique<ShardQueue>());
   }
   outbox_.resize(static_cast<std::size_t>(options.shards) * options.shards);
+  busy_ns_.assign(static_cast<std::size_t>(options.shards), 0);
 }
 
 ShardedEngine::~ShardedEngine() = default;
@@ -267,8 +276,9 @@ void ShardedEngine::Post(int from_shard, int to_shard, Duration delay,
       .push_back(Mail{at, std::move(fn)});
 }
 
-void ShardedEngine::FlushMailboxes() {
+std::uint64_t ShardedEngine::FlushMailboxes() {
   const int shard_count = shards();
+  std::uint64_t flushed = 0;
   for (int dst = 0; dst < shard_count; ++dst) {
     ShardQueue& queue = *queues_[dst];
     for (int src = 0; src < shard_count; ++src) {
@@ -280,10 +290,21 @@ void ShardedEngine::FlushMailboxes() {
         assert(mail.at >= queue.now());
         queue.ScheduleAt(mail.at, std::move(mail.fn));
         ++cross_posts_;
+        ++flushed;
       }
       box.clear();
     }
   }
+  return flushed;
+}
+
+void ShardedEngine::RunShardTimed(int shard, Time bound,
+                                  std::uint64_t max_events) {
+  // busy_ns_[shard] is only touched by the worker that claimed `shard`
+  // this epoch; the pool barrier orders epochs, so no two writers race.
+  const std::uint64_t t0 = WallNow();
+  queues_[shard]->RunUntilBound(bound, max_events);
+  busy_ns_[shard] += WallNow() - t0;
 }
 
 void ShardedEngine::RunEpochShards(Time bound, std::uint64_t max_events) {
@@ -294,27 +315,32 @@ void ShardedEngine::RunEpochShards(Time bound, std::uint64_t max_events) {
     pool_->RunEpoch(bound, max_events);
     return;
   }
-  for (auto& queue : queues_) {
-    queue->RunUntilBound(bound, max_events);
+  for (int k = 0; k < shards(); ++k) {
+    RunShardTimed(k, bound, max_events);
   }
 }
 
 void ShardedEngine::Run(std::uint64_t max_events) {
+  const std::uint64_t wall0 = WallNow();
   for (;;) {
-    FlushMailboxes();
+    const std::uint64_t flushed = FlushMailboxes();
     Time earliest = kNoEvent;
     for (const auto& queue : queues_) {
       earliest = std::min(earliest, queue->EarliestOr(kNoEvent));
     }
-    if (earliest == kNoEvent) return;  // drained (mailboxes just flushed)
+    if (earliest == kNoEvent) break;  // drained (mailboxes just flushed)
     const std::uint64_t fired = events_processed();
-    if (fired >= max_events) return;  // runaway guard, like Simulator::Run
+    if (fired >= max_events) break;  // runaway guard, like Simulator::Run
     // Every event in [earliest, earliest + L) is safe: a cross-shard send
     // from inside the window lands at >= earliest + L, which the next
     // barrier flush delivers before anyone runs past it.
+    if (barrier_hook_) {
+      barrier_hook_(epochs_, earliest + lookahead_, flushed);
+    }
     RunEpochShards(earliest + lookahead_, max_events - fired);
     ++epochs_;
   }
+  run_wall_ns_ += WallNow() - wall0;
 }
 
 std::uint64_t ShardedEngine::events_processed() const {

@@ -37,6 +37,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -208,6 +209,26 @@ class ShardedEngine final : public UnitEngine {
   std::uint64_t cross_posts() const { return cross_posts_; }
   int threads() const { return threads_; }
 
+  // Invoked single-threaded at every epoch barrier, after the mailbox
+  // flush and before any shard starts the epoch — the instant cross-shard
+  // transfers (meta-lease grants and revokes included) become visible to
+  // their destination heaps. Observation only: the oracle has no barriers,
+  // so a hook that scheduled events or touched model state would break the
+  // bit-exactness contract. `flushed` counts mails delivered by the flush.
+  using BarrierHook =
+      std::function<void(std::uint64_t epoch, Time bound, std::uint64_t flushed)>;
+  void SetBarrierHook(BarrierHook hook) { barrier_hook_ = std::move(hook); }
+
+  // Wall-clock measurements, never part of model reports: time shard k
+  // spent firing events, and the residue it spent stalled at epoch
+  // barriers waiting for slower shards (Run() wall minus its busy time).
+  std::uint64_t busy_ns(int shard) const { return busy_ns_[shard]; }
+  std::uint64_t barrier_wait_ns(int shard) const {
+    return run_wall_ns_ > busy_ns_[shard] ? run_wall_ns_ - busy_ns_[shard]
+                                          : 0;
+  }
+  std::uint64_t run_wall_ns() const { return run_wall_ns_; }
+
  private:
   struct Mail {
     Time at;
@@ -216,9 +237,11 @@ class ShardedEngine final : public UnitEngine {
   struct Pool;  // worker pool; lives in sharded.cc
 
   // Moves every queued mail into its destination heap, in (destination,
-  // source, FIFO) order — single-threaded, between epochs.
-  void FlushMailboxes();
+  // source, FIFO) order — single-threaded, between epochs. Returns the
+  // number of mails delivered.
+  std::uint64_t FlushMailboxes();
   void RunEpochShards(Time bound, std::uint64_t max_events);
+  void RunShardTimed(int shard, Time bound, std::uint64_t max_events);
 
   Duration lookahead_;
   int threads_;
@@ -228,6 +251,12 @@ class ShardedEngine final : public UnitEngine {
   std::vector<std::vector<Mail>> outbox_;
   std::uint64_t epochs_ = 0;
   std::uint64_t cross_posts_ = 0;
+  // busy_ns_[k] is written only by the worker that claimed shard k for the
+  // current epoch; epochs are separated by the pool barrier, so writes to
+  // one slot never race.
+  std::vector<std::uint64_t> busy_ns_;
+  std::uint64_t run_wall_ns_ = 0;
+  BarrierHook barrier_hook_;
   std::unique_ptr<Pool> pool_;
 };
 

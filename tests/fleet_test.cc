@@ -116,6 +116,93 @@ TEST(FleetTest, UnitsGetIndependentSeedsAndDisjointMetrics) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Fleet end-to-end on the sharded engine (DESIGN.md §14): every deploy unit
+// is a ShardedCluster, and the merged report must be bit-identical at any
+// (outer threads × inner shards × inner threads), sharded or oracle.
+
+ShardedFleetOptions SmallShardedFleet(bool sharded_master) {
+  ShardedFleetOptions options;
+  options.units = 3;
+  options.seed = 2027;
+  options.unit.cluster.fabric.leaf_hubs_per_group = 2;
+  options.unit.duration = sim::Millis(800);
+  options.unit.burst_period = sim::Millis(50);
+  options.unit.burst_ops = 8;
+  options.unit.sweep_width = 4;
+  options.unit.idle_timeout = sim::Millis(50);
+  options.unit.directive_every_ops = 512;
+  options.unit.fault_probability = 0.05;
+  options.unit.sharded_master = sharded_master;
+  if (sharded_master) {
+    options.unit.meta_lookups_per_burst = 1;
+    options.unit.host_crash_probability = 0.02;
+  }
+  return options;
+}
+
+TEST(ShardedFleetTest, BitIdenticalAcrossEnginesThreadsAndShards) {
+  for (const bool sharded_master : {false, true}) {
+    // The oracle fleet: serial outer pool, single-queue inner engines.
+    ShardedFleetOptions oracle_options = SmallShardedFleet(sharded_master);
+    oracle_options.threads = 1;
+    oracle_options.use_sharded_engine = false;
+    const ShardedFleetReport oracle = RunShardedFleet(oracle_options);
+    const std::string oracle_json = oracle.ToJson();
+    ASSERT_EQ(oracle.units.size(), 3u);
+    EXPECT_GT(oracle.total_events, 0u);
+
+    for (const int outer_threads : {1, 4}) {
+      for (const int inner_shards : {1, 4}) {
+        ShardedFleetOptions run = SmallShardedFleet(sharded_master);
+        run.threads = outer_threads;
+        run.use_sharded_engine = true;
+        run.unit.shards = inner_shards;
+        run.unit.threads = inner_shards > 1 ? 2 : 1;
+        const ShardedFleetReport fleet = RunShardedFleet(run);
+        EXPECT_EQ(fleet.ToJson(), oracle_json)
+            << "sharded_master=" << sharded_master
+            << " outer_threads=" << outer_threads
+            << " inner_shards=" << inner_shards;
+        EXPECT_EQ(fleet.Digest(), oracle.Digest());
+      }
+    }
+  }
+}
+
+TEST(ShardedFleetTest, UnitsAreIndependentAndMergedInOrder) {
+  ShardedFleetOptions options = SmallShardedFleet(true);
+  options.threads = 2;
+  options.unit.shards = 2;
+  const ShardedFleetReport report = RunShardedFleet(options);
+  ASSERT_EQ(report.units.size(), 3u);
+  ASSERT_EQ(report.unit_seeds.size(), 3u);
+
+  // Derived seeds are the fleet contract ones, and distinct.
+  std::set<std::uint64_t> seeds;
+  for (int unit = 0; unit < 3; ++unit) {
+    EXPECT_EQ(report.unit_seeds[static_cast<std::size_t>(unit)],
+              FleetUnitSeed(options.seed, unit));
+    seeds.insert(report.unit_seeds[static_cast<std::size_t>(unit)]);
+    const ShardedClusterReport& cluster =
+        report.units[static_cast<std::size_t>(unit)];
+    EXPECT_EQ(cluster.seed, FleetUnitSeed(options.seed, unit));
+    EXPECT_GT(cluster.events_processed, 0u);
+    EXPECT_GT(cluster.lease_grants, 0u);  // sharded master engaged per unit
+    EXPECT_TRUE(cluster.master_index_ok);
+  }
+  EXPECT_EQ(seeds.size(), 3u);
+
+  // The fleet merge is the unit-order MergeSnapshots of the units' own
+  // merged snapshots: totals add up.
+  std::uint64_t ops = 0;
+  for (const ShardedClusterReport& cluster : report.units) {
+    ops += cluster.merged.counters.at("cluster.unit.io.ops");
+  }
+  EXPECT_EQ(report.merged.counters.at("cluster.unit.io.ops"), ops);
+  EXPECT_GT(ops, 0u);
+}
+
 TEST(ScopedObsBindingTest, RedirectsAndRestoresPerThread) {
   obs::Metrics().Clear();
   obs::CounterHandle handle("binding.test");

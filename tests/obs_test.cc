@@ -501,5 +501,70 @@ TEST_F(ObsTest, HealthMonitorFinalizeFlushesPartialWindow) {
   EXPECT_EQ(monitor.windows_evaluated(), 1);
 }
 
+// ---------------------------------------------------------------------------
+// MergeSnapshots edge cases. The fleet/sharded reports merge per-unit and
+// per-group registries that may be empty (a unit whose workload never ran)
+// or only partially overlapping (different groups touch different
+// instruments); the merge must stay well-defined and order-independent on
+// the non-overlapping parts.
+
+TEST_F(ObsTest, MergeSnapshotsOfNothingIsEmpty) {
+  const MetricsSnapshot merged = MergeSnapshots({});
+  EXPECT_EQ(merged.at, 0);
+  EXPECT_TRUE(merged.counters.empty());
+  EXPECT_TRUE(merged.gauges.empty());
+  EXPECT_TRUE(merged.histograms.empty());
+}
+
+TEST_F(ObsTest, MergeSnapshotsEmptyRegistriesAreIdentity) {
+  MetricsRegistry empty_a, empty_b, populated;
+  populated.Increment("unit.ops", 9);
+  populated.Observe("unit.lat_us", 42.0);
+  populated.GetGauge("unit.depth").Set(3.0, 7);
+
+  // Empty parts on either side must not perturb the populated one.
+  const MetricsSnapshot merged = MergeSnapshots(
+      {empty_a.Snapshot(), populated.Snapshot(), empty_b.Snapshot()});
+  EXPECT_EQ(merged.counters.at("unit.ops"), 9u);
+  EXPECT_EQ(merged.histograms.at("unit.lat_us").count, 1u);
+  EXPECT_DOUBLE_EQ(merged.gauges.at("unit.depth").value, 3.0);
+  EXPECT_EQ(merged.counters.size(), 1u);
+
+  // An all-empty merge is an empty snapshot, not a crash.
+  const MetricsSnapshot nothing =
+      MergeSnapshots({empty_a.Snapshot(), empty_b.Snapshot()});
+  EXPECT_TRUE(nothing.counters.empty());
+  EXPECT_TRUE(nothing.histograms.empty());
+}
+
+TEST_F(ObsTest, MergeSnapshotsPartialOverlapKeepsDisjointNames) {
+  MetricsRegistry a, b, c;
+  a.Increment("shared.count", 1);
+  b.Increment("shared.count", 2);
+  a.Increment("only.a", 10);
+  b.Increment("only.b", 20);
+  c.Observe("only.c_us", 5.0);
+  b.Observe("shared.lat_us", 1.0);
+  c.Observe("shared.lat_us", 3.0);
+
+  const MetricsSnapshot merged =
+      MergeSnapshots({a.Snapshot(), b.Snapshot(), c.Snapshot()});
+  EXPECT_EQ(merged.counters.at("shared.count"), 3u);
+  EXPECT_EQ(merged.counters.at("only.a"), 10u);
+  EXPECT_EQ(merged.counters.at("only.b"), 20u);
+  EXPECT_EQ(merged.histograms.at("only.c_us").count, 1u);
+  const auto& shared = merged.histograms.at("shared.lat_us");
+  EXPECT_EQ(shared.count, 2u);
+  EXPECT_DOUBLE_EQ(shared.sum, 4.0);
+  EXPECT_DOUBLE_EQ(shared.min, 1.0);
+  EXPECT_DOUBLE_EQ(shared.max, 3.0);
+
+  // A part that lacks a name entirely behaves like contributing zero:
+  // merging {a} and {a, empty} agree.
+  MetricsRegistry empty;
+  EXPECT_EQ(MergeSnapshots({a.Snapshot()}).counters,
+            MergeSnapshots({a.Snapshot(), empty.Snapshot()}).counters);
+}
+
 }  // namespace
 }  // namespace ustore::obs
