@@ -15,6 +15,7 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kAborted: return "ABORTED";
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
   }
   return "UNKNOWN";
 }

@@ -29,6 +29,7 @@ enum class StatusCode {
   kAborted,        // command rolled back
   kResourceExhausted,
   kInternal,
+  kDataLoss,       // verified corruption: read-back disagrees with written data
 };
 
 std::string_view StatusCodeName(StatusCode code);
@@ -90,6 +91,9 @@ inline Status ResourceExhaustedError(std::string msg) {
 }
 inline Status InternalError(std::string msg) {
   return {StatusCode::kInternal, std::move(msg)};
+}
+inline Status DataLossError(std::string msg) {
+  return {StatusCode::kDataLoss, std::move(msg)};
 }
 
 // A value-or-error result. Accessing value() on an error aborts, so call

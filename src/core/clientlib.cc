@@ -39,18 +39,20 @@ ClientLib::~ClientLib() = default;
 
 void ClientLib::CallMaster(net::MessagePtr request,
                            std::function<void(Result<net::MessagePtr>)> done,
-                           int attempt, obs::TraceContext ctx) {
+                           int attempt, obs::TraceContext ctx,
+                           sim::Duration timeout) {
   if (attempt >= options_.max_master_attempts) {
     done(UnavailableError("no active master reachable"));
     return;
   }
+  if (timeout <= 0) timeout = options_.rpc_timeout;
   const int master_index =
       current_master_ % static_cast<int>(options_.masters.size());
   const net::NodeId master = options_.masters[master_index];
   endpoint_->Call(
-      master, request, options_.rpc_timeout,
-      [this, request, done = std::move(done), master_index, attempt,
-       ctx](Result<net::MessagePtr> result) mutable {
+      master, request, timeout,
+      [this, request, done = std::move(done), master_index, attempt, ctx,
+       timeout](Result<net::MessagePtr> result) mutable {
         const StatusCode code = result.status().code();
         if (!result.ok() && (code == StatusCode::kUnavailable ||
                              code == StatusCode::kDeadlineExceeded)) {
@@ -64,13 +66,13 @@ void ClientLib::CallMaster(net::MessagePtr request,
           obs::Metrics().Increment("client.master_retries");
           const sim::Duration delay = RetryDelay(attempt);
           sim_->Schedule(delay, [this, request, done = std::move(done),
-                                 attempt, delay, ctx]() mutable {
+                                 attempt, delay, ctx, timeout]() mutable {
             // The wait itself becomes a span in the request tree, so the
             // analyzer can attribute it to the retry_backoff phase.
             obs::Tracer().Record("client", "retry_backoff",
                                  sim_->now() - delay, sim_->now(), {}, ctx);
             CallMaster(std::move(request), std::move(done), attempt + 1,
-                       ctx);
+                       ctx, timeout);
           });
           return;
         }
@@ -129,6 +131,69 @@ void ClientLib::AllocateAndMountOnDisk(
         Mount(response->space, std::move(done));
       },
       0, obs::Tracer().ContextFor(span));
+}
+
+void ClientLib::AllocateStripe(
+    const std::string& service, Bytes chunk_size, int data_chunks,
+    int parity_chunks, std::function<void(Result<StripeVolumes>)> done) {
+  obs::Metrics().Increment("client.stripe_allocations_requested");
+  const obs::SpanId span = obs::Tracer().Begin("client", "allocate_stripe");
+  obs::Tracer().Annotate(span, "service", service);
+  auto request = std::make_shared<AllocateStripeRequest>();
+  request->service = service;
+  request->chunk_size = chunk_size;
+  request->data_chunks = data_chunks;
+  request->parity_chunks = parity_chunks;
+  request->client = id();
+  CallMaster(
+      request,
+      [this, span, done = std::move(done)](Result<net::MessagePtr> result) {
+        obs::Tracer().Annotate(span, "outcome",
+                               result.ok() ? "ok" : "error");
+        obs::Tracer().End(span);
+        if (!result.ok()) {
+          done(result.status());
+          return;
+        }
+        auto* response = dynamic_cast<AllocateStripeResponse*>(result->get());
+        if (response == nullptr) {
+          done(InternalError("unexpected stripe-allocate response"));
+          return;
+        }
+        // Mount chunk by chunk (deterministic order); a mount failure
+        // reports the chunk index so callers can tell a control-plane
+        // error from a data-path one.
+        auto state = std::make_shared<StripeMountState>();
+        state->stripe.stripe_id = response->stripe_id;
+        state->stripe.domains = response->domains;
+        state->spaces = std::move(response->chunks);
+        state->done = std::move(done);
+        MountStripeChunk(std::move(state), 0);
+      },
+      0, obs::Tracer().ContextFor(span),
+      // One meta persist + expose round per chunk: scale the budget with
+      // the stripe width instead of racing the flat per-RPC timeout.
+      options_.rpc_timeout * (data_chunks + parity_chunks + 2));
+}
+
+void ClientLib::MountStripeChunk(std::shared_ptr<StripeMountState> state,
+                                 std::size_t index) {
+  if (index >= state->spaces.size()) {
+    state->done(state->stripe);
+    return;
+  }
+  const AllocatedSpace& space = state->spaces[index];
+  Mount(space, [this, state = std::move(state),
+                index](Result<Volume*> volume) mutable {
+    if (!volume.ok()) {
+      state->done(Status(volume.status().code(),
+                         "mounting stripe chunk " + std::to_string(index) +
+                             ": " + volume.status().message()));
+      return;
+    }
+    state->stripe.chunks.push_back(*volume);
+    MountStripeChunk(std::move(state), index + 1);
+  });
 }
 
 void ClientLib::Mount(const AllocatedSpace& space,

@@ -116,6 +116,19 @@ class ClientLib {
                               const std::string& disk,
                               std::function<void(Result<Volume*>)> done);
 
+  // RS(k+m) stripe allocation (DESIGN.md §16): asks the Master for one
+  // chunk per failure domain, then mounts every chunk. `chunks` is in
+  // chunk-index order (0..k-1 data, k..k+m-1 parity); `domains` records
+  // each chunk's failure domain for rebuild planning.
+  struct StripeVolumes {
+    std::uint64_t stripe_id = 0;
+    std::vector<Volume*> chunks;
+    std::vector<int> domains;
+  };
+  void AllocateStripe(const std::string& service, Bytes chunk_size,
+                      int data_chunks, int parity_chunks,
+                      std::function<void(Result<StripeVolumes>)> done);
+
   // Mounts an existing allocation (e.g. after restart).
   void Mount(const AllocatedSpace& space,
              std::function<void(Result<Volume*>)> done);
@@ -144,12 +157,24 @@ class ClientLib {
  private:
   friend class Volume;
 
+  // In-flight AllocateStripe mount chain.
+  struct StripeMountState {
+    StripeVolumes stripe;
+    std::vector<AllocatedSpace> spaces;
+    std::function<void(Result<StripeVolumes>)> done;
+  };
+  void MountStripeChunk(std::shared_ptr<StripeMountState> state,
+                        std::size_t index);
+
   // Sends a request to the active master (round-robin on unavailability).
   // `ctx` parents the master RPC (and any retry_backoff spans) under the
-  // caller's request span.
+  // caller's request span. `timeout` overrides options_.rpc_timeout when
+  // positive — stripe allocation persists one meta entry per chunk, so its
+  // latency scales with k+m and outgrows the flat per-RPC budget.
   void CallMaster(net::MessagePtr request,
                   std::function<void(Result<net::MessagePtr>)> done,
-                  int attempt = 0, obs::TraceContext ctx = {});
+                  int attempt = 0, obs::TraceContext ctx = {},
+                  sim::Duration timeout = 0);
   // Backoff before master retry `attempt` (see ClientLibOptions).
   sim::Duration RetryDelay(int attempt);
   void SubscribeMoves(const SpaceId& id);

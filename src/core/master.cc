@@ -617,6 +617,145 @@ Result<int> Master::PickDisk(const std::string& service, Bytes size,
   return best;
 }
 
+const std::vector<SpaceId>* Master::StripeChunks(
+    std::uint64_t stripe_id) const {
+  if (stripe_id >= stripes_.size()) return nullptr;
+  return &stripes_[stripe_id].chunks;
+}
+
+Status Master::EnsureStripeLayout(int data_chunks, int parity_chunks) {
+  if (data_chunks <= 0 || parity_chunks < 0) {
+    return InvalidArgumentError("stripe geometry must have k > 0, m >= 0");
+  }
+  if (stripe_layout_.has_value()) {
+    const fabric::PlacementOptions& established = stripe_layout_->options();
+    if (established.data_chunks != data_chunks ||
+        established.parity_chunks != parity_chunks) {
+      return FailedPreconditionError(
+          "unit stripe geometry is RS(" +
+          std::to_string(established.data_chunks) + "+" +
+          std::to_string(established.parity_chunks) + "); requested RS(" +
+          std::to_string(data_chunks) + "+" +
+          std::to_string(parity_chunks) + ")");
+    }
+    return Status::Ok();
+  }
+  if (failure_domains_.size() == 0) {
+    failure_domains_ = fabric::EnumerateFailureDomains(wiring_);
+  }
+  if (failure_domains_.size() < data_chunks + parity_chunks) {
+    return FailedPreconditionError(
+        "RS(" + std::to_string(data_chunks) + "+" +
+        std::to_string(parity_chunks) + ") needs " +
+        std::to_string(data_chunks + parity_chunks) +
+        " failure domains; the wiring has " +
+        std::to_string(failure_domains_.size()));
+  }
+  fabric::PlacementOptions options;
+  options.data_chunks = data_chunks;
+  options.parity_chunks = parity_chunks;
+  options.seed = static_cast<std::uint64_t>(unit_id_) + 42;
+  stripe_layout_.emplace(options);
+  for (const fabric::FailureDomain& domain : failure_domains_.domains) {
+    stripe_layout_->AddDomains(1, static_cast<int>(domain.disks.size()));
+    for (const std::string& name : domain.disk_names) {
+      stripe_disk_names_.push_back(name);
+    }
+  }
+  return Status::Ok();
+}
+
+struct Master::StripeAlloc {
+  std::uint64_t stripe_id = 0;
+  std::string service;
+  Bytes chunk_size = 0;
+  fabric::StripePlacement placement;
+  std::vector<AllocatedSpace> chunks;  // filled chunk by chunk
+  std::function<void(Result<net::MessagePtr>)> reply;
+};
+
+void Master::AllocateStripeChunk(std::shared_ptr<StripeAlloc> alloc,
+                                 std::size_t index) {
+  if (index >= alloc->placement.size()) {
+    // Every chunk allocated + persisted + exposed: fill the reserved slot.
+    StripeEntry& entry = stripes_.at(alloc->stripe_id);
+    for (const fabric::ChunkLocation& loc : alloc->placement) {
+      entry.domains.push_back(loc.domain);
+    }
+    for (const AllocatedSpace& space : alloc->chunks) {
+      entry.chunks.push_back(space.id);
+    }
+    auto response = std::make_shared<AllocateStripeResponse>();
+    response->stripe_id = alloc->stripe_id;
+    for (const fabric::ChunkLocation& loc : alloc->placement) {
+      response->domains.push_back(loc.domain);
+    }
+    response->chunks = alloc->chunks;
+    alloc->reply(net::MessagePtr(std::move(response)));
+    return;
+  }
+
+  const std::string& disk_name =
+      stripe_disk_names_.at(alloc->placement[index].disk);
+  const int disk = InternDisk(disk_name);
+  DiskStat& stat = disks_[disk];
+  if (stat.failed || stat.host < 0 || !HostAlive(stat.host)) {
+    // Chunks already landed stay allocated (they are ordinary spaces a
+    // retry or GC can reclaim); the placement's load bookkeeping for the
+    // unfinished chunks is released so the layout stays exact.
+    for (std::size_t i = index; i < alloc->placement.size(); ++i) {
+      stripe_layout_->ReleaseChunk(alloc->placement[i]);
+    }
+    alloc->reply(UnavailableError("disk " + disk_name +
+                                  " for stripe chunk " +
+                                  std::to_string(index) +
+                                  " is not attached to any live host"));
+    return;
+  }
+
+  AllocEntry entry;
+  entry.id = SpaceId{unit_id_, disk_name, stat.next_space++};
+  entry.service = alloc->service;
+  entry.offset = stat.allocated;
+  entry.length = alloc->chunk_size;
+  stat.allocated += alloc->chunk_size;
+  if (stat.owner_service.empty()) stat.owner_service = alloc->service;
+  allocations_[entry.id] = entry;
+  AddAllocToIndexes(entry);
+
+  PersistAllocation(entry, [this, alloc, index, entry,
+                            disk](Status status) {
+    if (!status.ok()) {
+      RemoveAllocFromIndexes(entry);
+      allocations_.erase(entry.id);
+      for (std::size_t i = index; i < alloc->placement.size(); ++i) {
+        stripe_layout_->ReleaseChunk(alloc->placement[i]);
+      }
+      alloc->reply(status);
+      return;
+    }
+    const int host = disks_[disk].host;
+    ExposeEntry(entry, host, [this, alloc, index, entry,
+                              host](Status expose_status) {
+      if (!expose_status.ok()) {
+        for (std::size_t i = index; i < alloc->placement.size(); ++i) {
+          stripe_layout_->ReleaseChunk(alloc->placement[i]);
+        }
+        alloc->reply(expose_status);
+        return;
+      }
+      AllocatedSpace space;
+      space.id = entry.id;
+      space.offset = entry.offset;
+      space.length = entry.length;
+      space.host = HostEndpointId(host);
+      space.service = entry.service;
+      alloc->chunks.push_back(std::move(space));
+      AllocateStripeChunk(alloc, index + 1);
+    });
+  });
+}
+
 void Master::PersistAllocation(const AllocEntry& entry,
                                std::function<void(Status)> done) {
   const std::string disk_path =
@@ -778,6 +917,44 @@ void Master::RegisterHandlers() {
             reply(net::MessagePtr(std::move(response)));
           });
         });
+      });
+
+  endpoint_->RegisterHandler<AllocateStripeRequest>(
+      [this](const net::NodeId&, net::MessagePtr msg,
+             std::function<void(Result<net::MessagePtr>)> reply) {
+        if (!active_) {
+          reply(UnavailableError(id() + " is not the active master"));
+          return;
+        }
+        auto* request = static_cast<AllocateStripeRequest*>(msg.get());
+        if (request->chunk_size <= 0) {
+          reply(InvalidArgumentError("chunk size must be positive"));
+          return;
+        }
+        Status layout_ok = EnsureStripeLayout(request->data_chunks,
+                                              request->parity_chunks);
+        if (!layout_ok.ok()) {
+          reply(layout_ok);
+          return;
+        }
+        const std::uint64_t stripe_id = stripes_.size();
+        Result<fabric::StripePlacement> placement =
+            stripe_layout_->PlaceStripe(stripe_id);
+        if (!placement.ok()) {
+          reply(placement.status());
+          return;
+        }
+        // Reserve the id slot now: chunk allocation is asynchronous and a
+        // concurrent stripe request must not claim the same id. A slot
+        // whose chunks stay empty marks a failed/incomplete stripe.
+        stripes_.push_back(StripeEntry{stripe_id, {}, {}});
+        auto alloc = std::make_shared<StripeAlloc>();
+        alloc->stripe_id = stripe_id;
+        alloc->service = request->service;
+        alloc->chunk_size = request->chunk_size;
+        alloc->placement = std::move(*placement);
+        alloc->reply = std::move(reply);
+        AllocateStripeChunk(std::move(alloc), 0);
       });
 
   endpoint_->RegisterHandler<LookupRequest>(
@@ -1007,6 +1184,27 @@ bool Master::CheckIndexesForTest(std::string* why) const {
           disks_[d].host != host) {
         return fail("host bucket " + std::to_string(host) +
                     " holds stray disk handle");
+      }
+    }
+  }
+  // Stripe index: every completed stripe's chunks are live allocations in
+  // pairwise-distinct failure domains (empty chunks = failed/in-flight
+  // stripe, exempt).
+  for (const StripeEntry& stripe : stripes_) {
+    if (stripe.chunks.empty()) continue;
+    if (stripe.chunks.size() != stripe.domains.size()) {
+      return fail("stripe " + std::to_string(stripe.id) +
+                  " chunk/domain arity mismatch");
+    }
+    std::set<int> seen_domains;
+    for (std::size_t c = 0; c < stripe.chunks.size(); ++c) {
+      if (!allocations_.contains(stripe.chunks[c])) {
+        return fail("stripe " + std::to_string(stripe.id) + " chunk " +
+                    std::to_string(c) + " has no allocation");
+      }
+      if (!seen_domains.insert(stripe.domains[c]).second) {
+        return fail("stripe " + std::to_string(stripe.id) +
+                    " places two chunks in one failure domain");
       }
     }
   }

@@ -41,6 +41,8 @@
 #include "consensus/meta_client.h"
 #include "core/types.h"
 #include "fabric/builders.h"
+#include "fabric/failure_domains.h"
+#include "fabric/placement.h"
 #include "net/rpc.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
@@ -93,6 +95,18 @@ class Master {
   // Canonical one-line-per-space rendering of StorAlloc (sorted by id) —
   // the fleet harness compares these across runs for determinism checks.
   std::string DumpAllocations() const;
+
+  // --- Stripe introspection (DESIGN.md §16) -----------------------------------
+  // The stripe index is rebuilt-on-demand state of the *active* master:
+  // chunk spaces persist as ordinary allocations (a standby serves chunk
+  // lookups after takeover), while stripe geometry reload from the meta
+  // store is future work.
+  std::size_t stripe_count() const { return stripes_.size(); }
+  // Chunk spaces of a stripe, chunk-index order; nullptr if unknown.
+  const std::vector<SpaceId>* StripeChunks(std::uint64_t stripe_id) const;
+  int failure_domain_count() const {
+    return static_cast<int>(failure_domains_.size());
+  }
 
   // Verifies the reverse indexes (disk->spaces, host->disks, per-disk
   // exposed-host counts, per-disk allocated bytes) against a full scan of
@@ -174,6 +188,21 @@ class Master {
   void PersistAllocation(const AllocEntry& entry,
                          std::function<void(Status)> done);
 
+  // Stripe machinery. EnsureStripeLayout builds the declustered placement
+  // over the wiring's failure domains on first use (or rejects a geometry
+  // that does not match the established one / does not fit the domains).
+  struct StripeEntry {
+    std::uint64_t id = 0;
+    std::vector<int> domains;
+    std::vector<SpaceId> chunks;
+  };
+  struct StripeAlloc;  // in-flight AllocateStripe bookkeeping
+  Status EnsureStripeLayout(int data_chunks, int parity_chunks);
+  // Allocates + persists + exposes chunk `index`, then recurses to the
+  // next; replies once all chunks (or the first failure) land.
+  void AllocateStripeChunk(std::shared_ptr<StripeAlloc> alloc,
+                           std::size_t index);
+
   // Failover machinery.
   net::NodeId ActiveControllerId() const;
   // `ctx` parents the controller RPC (and the controller's execute span)
@@ -217,6 +246,14 @@ class Master {
 
   // StorAlloc.
   std::map<SpaceId, AllocEntry> allocations_;
+
+  // Stripe index (active-master state; see stripe_count()). The layout's
+  // dense disk indexes map to fabric disk names via stripe_disk_names_,
+  // both derived from the wiring's static failure domains.
+  fabric::FailureDomainMap failure_domains_;
+  std::optional<fabric::DeclusteredPlacement> stripe_layout_;
+  std::vector<std::string> stripe_disk_names_;  // layout disk -> name
+  std::vector<StripeEntry> stripes_;
 
   // Failover-notification subscriptions.
   std::map<SpaceId, std::set<net::NodeId>> subscribers_;

@@ -84,6 +84,26 @@ struct AllocateResponse : net::Message {
   AllocatedSpace space;
 };
 
+// RS(k+m) stripe allocation (DESIGN.md §16): one chunk-sized space per
+// chunk, spread over distinct failure domains by the Master's declustered
+// placement. The first stripe request fixes the unit's (k, m) geometry;
+// later requests must match it.
+struct AllocateStripeRequest : net::Message {
+  std::string service;
+  Bytes chunk_size = 0;
+  int data_chunks = 0;    // k
+  int parity_chunks = 0;  // m
+  net::NodeId client;
+};
+struct AllocateStripeResponse : net::Message {
+  std::uint64_t stripe_id = 0;
+  std::vector<int> domains;            // chunk index -> failure domain
+  std::vector<AllocatedSpace> chunks;  // chunk index order
+  Bytes wire_size() const override {
+    return 128 + 96 * static_cast<Bytes>(chunks.size());
+  }
+};
+
 struct LookupRequest : net::Message {
   SpaceId id;
 };

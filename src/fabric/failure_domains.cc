@@ -1,0 +1,59 @@
+#include "fabric/failure_domains.h"
+
+#include <algorithm>
+#include <map>
+
+namespace ustore::fabric {
+
+namespace {
+
+// First hub reached from `disk` following static primary wiring (switches
+// are pass-through: a switch is its own failure unit but shares fate with
+// the single disk below it, not across disks). kInvalidNode when the disk
+// dangles straight off a host port.
+NodeIndex WiringHubOf(const Topology& topology, NodeIndex disk) {
+  NodeIndex up = topology.node(disk).up_primary;
+  while (up != kInvalidNode) {
+    const Node& node = topology.node(up);
+    if (node.kind == NodeKind::kHub) return up;
+    if (node.kind == NodeKind::kHostPort) return kInvalidNode;
+    up = node.up_primary;  // switches: primary leg is the home wiring
+  }
+  return kInvalidNode;
+}
+
+}  // namespace
+
+int FailureDomainMap::DomainOfName(const Topology& topology,
+                                   const std::string& name) const {
+  Result<NodeIndex> node = topology.Find(name);
+  return node.ok() ? DomainOf(*node) : -1;
+}
+
+FailureDomainMap EnumerateFailureDomains(const BuiltFabric& fabric) {
+  FailureDomainMap map;
+  map.disk_domain.assign(fabric.topology.size(), -1);
+
+  // hub -> disks, ordered by hub node index for determinism. Disks with no
+  // wiring hub (single-disk-on-port fabrics) each get a singleton domain
+  // keyed on the disk itself.
+  std::map<NodeIndex, std::vector<NodeIndex>> by_hub;
+  for (NodeIndex disk : fabric.disks) {
+    NodeIndex hub = WiringHubOf(fabric.topology, disk);
+    by_hub[hub == kInvalidNode ? disk : hub].push_back(disk);
+  }
+  for (auto& [hub, disks] : by_hub) {
+    std::sort(disks.begin(), disks.end());
+    FailureDomain domain;
+    domain.hub = hub;
+    domain.disks = disks;
+    for (NodeIndex disk : disks) {
+      map.disk_domain[disk] = map.size();
+      domain.disk_names.push_back(fabric.topology.node(disk).name);
+    }
+    map.domains.push_back(std::move(domain));
+  }
+  return map;
+}
+
+}  // namespace ustore::fabric

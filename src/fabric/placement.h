@@ -1,0 +1,120 @@
+// Declustered, reallocation-free stripe placement (Sequential Checking,
+// PAPERS.md).
+//
+// Ishikawa's Sequential Checking algorithm distributes redundant chunk
+// groups over scale-out cold storage so that (a) no two chunks of a group
+// land in one failure domain, (b) per-device load stays inside a provable
+// balance bound, and (c) adding devices never relocates existing data —
+// new capacity fills from newly written groups only. This module is a
+// faithful re-derivation of that scheme for UStore's failure domains
+// (fabric/failure_domains.h):
+//
+//   * Each stripe derives a probe start from (seed, stripe id) and then
+//     checks domains *sequentially* from there, accepting a domain when
+//     its least-loaded disk sits strictly below the running balance
+//     ceiling ceil(placed_chunks / disks); a full cycle with no
+//     acceptance relaxes the ceiling by one (termination guarantee). The
+//     pseudo-random start declusters stripes — each disk's stripe
+//     partners spread over the whole unit, so a rebuild fans its reads
+//     out instead of hammering one mirror — while the sequential check
+//     keeps every disk within one chunk of perfectly even.
+//
+//   * AddDomains() only appends capacity. Existing assignments are never
+//     revisited (PlaceStripe records them append-only), and the ceiling
+//     rule steers subsequent stripes onto the emptier new disks until
+//     the unit levels out — the Sequential Checking scale-out property.
+//     The property test (tests/redundancy_test.cc) pins zero moves
+//     across a scale-out step and the balance bound on every geometry it
+//     fuzzes.
+//
+// Placement state is a pure function of (options, seed, call sequence),
+// so layouts are bit-identical across runs and across machines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ustore::fabric {
+
+struct PlacementOptions {
+  int data_chunks = 8;    // k
+  int parity_chunks = 3;  // m
+  std::uint64_t seed = 42;
+
+  int stripe_width() const { return data_chunks + parity_chunks; }
+};
+
+// One chunk's physical location. `disk` is a dense index local to the
+// layout (callers map it to fabric disk names / volumes).
+struct ChunkLocation {
+  int domain = -1;
+  int disk = -1;
+
+  friend bool operator==(const ChunkLocation&,
+                         const ChunkLocation&) = default;
+};
+
+// chunk index (0..k+m-1) -> location.
+using StripePlacement = std::vector<ChunkLocation>;
+
+class DeclusteredPlacement {
+ public:
+  explicit DeclusteredPlacement(PlacementOptions options);
+
+  // Appends `count` failure domains of `disks_per_domain` disks each.
+  // Never touches existing assignments (the reallocation-free property).
+  // Disk indices are dense and stable: domain d's disks follow every
+  // previously added domain's.
+  void AddDomains(int count, int disks_per_domain);
+
+  // Places the next stripe. Requires domains() >= stripe_width().
+  // Deterministic: the result depends only on (options, prior calls).
+  Result<StripePlacement> PlaceStripe(std::uint64_t stripe_id);
+
+  // Adds one replacement chunk for `stripe_id` after a disk loss: probes
+  // exactly like PlaceStripe but skips `excluded_domains` (the stripe's
+  // surviving domains) and `excluded_disk` (the failed disk), so the
+  // spare lands in a fresh failure domain with zero other movement.
+  Result<ChunkLocation> PlaceSpare(std::uint64_t stripe_id,
+                                   const std::vector<int>& excluded_domains,
+                                   int excluded_disk);
+
+  // Forgets one chunk on `loc` (failed disk drained after rebuild).
+  void ReleaseChunk(const ChunkLocation& loc);
+
+  const PlacementOptions& options() const { return options_; }
+  int domains() const { return static_cast<int>(domain_first_disk_.size()); }
+  int disks() const { return static_cast<int>(disk_load_.size()); }
+  int domain_of_disk(int disk) const { return disk_domain_.at(disk); }
+  int disk_load(int disk) const { return disk_load_.at(disk); }
+  std::uint64_t chunks_placed() const { return chunks_placed_; }
+
+  // The Sequential Checking balance invariant the property test pins:
+  // every disk's chunk count stays within one relaxation step of the
+  // perfectly even ceiling. (After a scale-out step the *old* disks'
+  // ceiling is the one they filled to before the step; taking the max
+  // over epochs keeps the bound exact without tracking per-epoch loads.)
+  int BalanceBound() const;
+
+ private:
+  // Least-loaded disk in `domain` (ties -> lowest index); -1 if empty.
+  int PickDiskInDomain(int domain) const;
+
+  PlacementOptions options_;
+  std::vector<int> domain_first_disk_;  // domain -> first dense disk index
+  std::vector<int> domain_size_;
+  std::vector<int> disk_domain_;
+  std::vector<int> disk_load_;  // chunks currently resident per disk
+  std::uint64_t chunks_placed_ = 0;
+  // Highest even-fill ceiling reached under any past capacity (see
+  // BalanceBound): AddDomains can only lower ceil(placed/disks), so the
+  // max over history bounds what old disks were ever allowed to reach.
+  int peak_ceiling_ = 0;
+};
+
+// Stable per-stripe probe start: splitmix64 over (seed ^ stripe id).
+std::uint64_t StripeProbeHash(std::uint64_t seed, std::uint64_t stripe_id);
+
+}  // namespace ustore::fabric

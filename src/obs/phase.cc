@@ -52,6 +52,22 @@ void PhaseRecorder::Record(const IoPhases& io, sim::Duration retry_backoff,
   retry_backoff_.Observe(ToUs(retry_backoff));
 }
 
+RebuildPhaseRecorder::RebuildPhaseRecorder(const std::string& prefix)
+    : stall_(prefix + ".phase.stall_us"),
+      read_(prefix + ".phase.read_us"),
+      write_(prefix + ".phase.write_us"),
+      verify_(prefix + ".phase.verify_us") {}
+
+void RebuildPhaseRecorder::RecordStripe(sim::Duration stall,
+                                        sim::Duration read,
+                                        sim::Duration write,
+                                        sim::Duration verify) {
+  stall_.Observe(ToUs(stall));
+  read_.Observe(ToUs(read));
+  write_.Observe(ToUs(write));
+  verify_.Observe(ToUs(verify));
+}
+
 PhaseBreakdown AnalyzeRequestTree(const std::vector<TraceSpan>& spans,
                                   SpanId root) {
   PhaseBreakdown breakdown;

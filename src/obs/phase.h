@@ -99,6 +99,25 @@ class PhaseRecorder {
   HistogramHandle retry_backoff_;
 };
 
+// Rebuild phase attribution (DESIGN.md §16): where a declustered rebuild
+// stripe's wall time went. Decode is a pure in-model function (zero
+// simulated cost), so the interesting phases are admission stall (waiting
+// for a spin-budget slot), the k-chunk read fan-out, the spare write, and
+// the read-back verify. Feeds `<prefix>.phase.{stall,read,write,verify}_us`.
+class RebuildPhaseRecorder {
+ public:
+  explicit RebuildPhaseRecorder(const std::string& prefix);
+
+  void RecordStripe(sim::Duration stall, sim::Duration read,
+                    sim::Duration write, sim::Duration verify);
+
+ private:
+  HistogramHandle stall_;
+  HistogramHandle read_;
+  HistogramHandle write_;
+  HistogramHandle verify_;
+};
+
 // Offline attribution over a causal span tree. Walks the tree rooted at
 // `root` (children = spans whose parent chains to it), computes each
 // span's exclusive time (duration minus the union of its children's

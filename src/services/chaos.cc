@@ -695,6 +695,14 @@ void ChaosEngine::CheckMasterInvariants(std::string_view when) {
   }
 }
 
+void ChaosEngine::NoteRebuildInterrupted(const RebuildEngineReport& report) {
+  rebuilds_interrupted_.Increment();
+  const Status resumable = CheckRebuildResumable(report);
+  if (!resumable.ok()) {
+    Violation("interrupted rebuild not resumable: " + resumable.message());
+  }
+}
+
 void ChaosEngine::Violation(std::string text) {
   violations_.Increment();
   ++report_.invariant_violations;

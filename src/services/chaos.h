@@ -32,6 +32,7 @@
 #include "common/units.h"
 #include "core/cluster.h"
 #include "obs/health.h"
+#include "services/rebuild.h"
 #include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
@@ -191,6 +192,12 @@ class ChaosEngine {
 
   const ChaosReport& report() const { return report_; }
 
+  // A rebuild the armed faults interrupted mid-flight is *expected* — but
+  // only if its report leaves an exact restart point. Feeds the report
+  // through CheckRebuildResumable (services/rebuild.h); an inconsistent
+  // one counts as an invariant violation like a lost probe write would.
+  void NoteRebuildInterrupted(const RebuildEngineReport& report);
+
  private:
   // Shadow state for one probe offset. `acked` is the tag of the last
   // acknowledged write; `maybe` holds tags of writes whose ack never came
@@ -253,6 +260,7 @@ class ChaosEngine {
   obs::CounterHandle faults_healed_{"chaos.faults.healed"};
   obs::CounterHandle recoveries_{"chaos.recoveries"};
   obs::CounterHandle violations_{"chaos.invariant.violations"};
+  obs::CounterHandle rebuilds_interrupted_{"chaos.rebuild.interrupted"};
 };
 
 }  // namespace ustore::services

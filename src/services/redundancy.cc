@@ -1,0 +1,274 @@
+#include "services/redundancy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ustore::services::redundancy {
+
+namespace {
+
+std::uint64_t Rotl(std::uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+std::uint64_t Rotr(std::uint64_t x, int r) {
+  return (x >> r) | (x << (64 - r));
+}
+
+// Odd multiplier keeps the per-chunk offset bijective in the index.
+constexpr std::uint64_t kChunkSalt = 0x9E3779B97F4A7C15ULL;
+
+}  // namespace
+
+std::uint64_t ChunkTag(std::uint64_t stripe_tag, int chunk_index) {
+  return Rotl(stripe_tag, 17) ^
+         (kChunkSalt * (static_cast<std::uint64_t>(chunk_index) + 1));
+}
+
+std::uint64_t StripeTagFromChunk(std::uint64_t chunk_tag, int chunk_index) {
+  return Rotr(
+      chunk_tag ^ (kChunkSalt * (static_cast<std::uint64_t>(chunk_index) + 1)),
+      17);
+}
+
+// --- StripeMap -----------------------------------------------------------------
+
+StripeMap::StripeMap(fabric::PlacementOptions options) : layout_(options) {}
+
+Result<const Stripe*> StripeMap::Append() {
+  const std::uint64_t id = stripes_.size();
+  Result<fabric::StripePlacement> placement = layout_.PlaceStripe(id);
+  if (!placement.ok()) return placement.status();
+  if (disk_chunks_.size() < static_cast<std::size_t>(layout_.disks())) {
+    disk_chunks_.resize(layout_.disks());
+  }
+  Stripe stripe;
+  stripe.id = id;
+  stripe.chunks = std::move(*placement);
+  for (int c = 0; c < static_cast<int>(stripe.chunks.size()); ++c) {
+    disk_chunks_[stripe.chunks[c].disk].push_back({id, c});
+  }
+  stripes_.push_back(std::move(stripe));
+  return &stripes_.back();
+}
+
+Status StripeMap::AppendMany(int count) {
+  for (int i = 0; i < count; ++i) {
+    Result<const Stripe*> stripe = Append();
+    if (!stripe.ok()) return stripe.status();
+  }
+  return Status::Ok();
+}
+
+const std::vector<StripeMap::ChunkRef>& StripeMap::ChunksOnDisk(
+    int disk) const {
+  static const std::vector<ChunkRef> kEmpty;
+  if (disk < 0 || disk >= static_cast<int>(disk_chunks_.size())) return kEmpty;
+  return disk_chunks_[disk];
+}
+
+void StripeMap::ApplySpare(std::uint64_t stripe_id, int chunk_index,
+                           const fabric::ChunkLocation& spare) {
+  Stripe& stripe = stripes_.at(stripe_id);
+  const fabric::ChunkLocation old = stripe.chunks.at(chunk_index);
+  layout_.ReleaseChunk(old);
+  stripe.chunks[chunk_index] = spare;
+  auto& old_refs = disk_chunks_.at(old.disk);
+  old_refs.erase(std::find_if(old_refs.begin(), old_refs.end(),
+                              [&](const ChunkRef& ref) {
+                                return ref.stripe == stripe_id &&
+                                       ref.chunk == chunk_index;
+                              }));
+  if (disk_chunks_.size() < static_cast<std::size_t>(layout_.disks())) {
+    disk_chunks_.resize(layout_.disks());
+  }
+  disk_chunks_.at(spare.disk).push_back({stripe_id, chunk_index});
+}
+
+// --- Rebuild planner ------------------------------------------------------------
+
+Result<RebuildPlan> PlanRebuild(StripeMap& map, int failed_disk, bool apply) {
+  const int total_disks = map.layout().disks();
+  if (failed_disk < 0 || failed_disk >= total_disks) {
+    return InvalidArgumentError("failed disk " + std::to_string(failed_disk) +
+                                " outside layout");
+  }
+  // Copy: ApplySpare edits the failed disk's ref list as we go.
+  const std::vector<StripeMap::ChunkRef> lost = map.ChunksOnDisk(failed_disk);
+
+  // Spares come from the real layout when applying, else from a scratch
+  // copy so planning stays side-effect free.
+  fabric::DeclusteredPlacement scratch = map.layout();
+  fabric::DeclusteredPlacement& spare_layout =
+      apply ? map.layout() : scratch;
+
+  RebuildPlan plan;
+  plan.failed_disk = failed_disk;
+  plan.disk_reads.assign(map.layout().disks(), 0);
+  plan.disk_writes.assign(map.layout().disks(), 0);
+  plan.ops.reserve(lost.size());
+
+  const int data_chunks = map.layout().options().data_chunks;
+
+  for (const StripeMap::ChunkRef& ref : lost) {
+    const Stripe& stripe = map.stripe(ref.stripe);
+    const int width = static_cast<int>(stripe.chunks.size());
+    RebuildStripeOp op;
+    op.stripe = ref.stripe;
+    op.lost_chunk = ref.chunk;
+
+    // Surviving chunks ranked by planned load (declustered read fan-out:
+    // prefer the disks with the least rebuild work queued so far).
+    std::vector<int> survivors;
+    survivors.reserve(width - 1);
+    std::vector<int> excluded_domains;
+    for (int c = 0; c < width; ++c) {
+      if (c == ref.chunk) continue;
+      survivors.push_back(c);
+      excluded_domains.push_back(stripe.chunks[c].domain);
+    }
+    std::stable_sort(survivors.begin(), survivors.end(),
+                     [&](int a, int b) {
+                       const int da = stripe.chunks[a].disk;
+                       const int db = stripe.chunks[b].disk;
+                       const int la = plan.disk_reads[da] + plan.disk_writes[da];
+                       const int lb = plan.disk_reads[db] + plan.disk_writes[db];
+                       if (la != lb) return la < lb;
+                       return da < db;
+                     });
+    // Any k chunks reconstruct an RS(k+m) stripe: take the k least-loaded
+    // survivors (all of them when the stripe is narrower than k+1, e.g. a
+    // mirror).
+    const int read_count =
+        std::min<int>(data_chunks, static_cast<int>(survivors.size()));
+    op.reads.reserve(read_count);
+    for (int i = 0; i < read_count; ++i) {
+      op.reads.push_back(stripe.chunks[survivors[i]]);
+    }
+
+    Result<fabric::ChunkLocation> spare =
+        spare_layout.PlaceSpare(ref.stripe, excluded_domains, failed_disk);
+    if (!spare.ok()) return spare.status();
+    op.spare = *spare;
+
+    for (const fabric::ChunkLocation& read : op.reads) {
+      ++plan.disk_reads[read.disk];
+      ++plan.total_chunk_reads;
+    }
+    ++plan.disk_writes[op.spare.disk];
+    ++plan.total_chunk_writes;
+
+    if (apply) map.ApplySpare(ref.stripe, ref.chunk, op.spare);
+    plan.ops.push_back(std::move(op));
+  }
+
+  for (int d = 0; d < static_cast<int>(plan.disk_reads.size()); ++d) {
+    const int ops = plan.disk_reads[d] + plan.disk_writes[d];
+    if (ops > 0) ++plan.disks_touched;
+    plan.max_disk_ops = std::max(plan.max_disk_ops, ops);
+  }
+  return plan;
+}
+
+// --- Rebuild time model ----------------------------------------------------------
+
+namespace {
+
+sim::Duration ChunkTime(Bytes chunk, BytesPerSec bw,
+                        sim::Duration overhead) {
+  return overhead + static_cast<sim::Duration>(
+                        static_cast<double>(chunk) / bw * 1e9);
+}
+
+}  // namespace
+
+sim::Duration DeclusteredRebuildTime(const RebuildPlan& plan,
+                                     const RebuildTimeModel& model,
+                                     int total_disks) {
+  if (plan.total_chunk_reads + plan.total_chunk_writes == 0) return 0;
+  const sim::Duration read_time =
+      ChunkTime(model.chunk_size, model.disk_read_bw,
+                model.per_chunk_overhead);
+  const sim::Duration write_time =
+      ChunkTime(model.chunk_size, model.disk_write_bw,
+                model.per_chunk_overhead);
+
+  double total_busy = 0;
+  double max_busy = 0;
+  for (std::size_t d = 0; d < plan.disk_reads.size(); ++d) {
+    const double busy =
+        static_cast<double>(plan.disk_reads[d]) * read_time +
+        static_cast<double>(plan.disk_writes[d]) * write_time;
+    total_busy += busy;
+    max_busy = std::max(max_busy, busy);
+  }
+
+  const int budget = std::max(
+      1, static_cast<int>(model.spin_budget_fraction *
+                          static_cast<double>(total_disks)));
+  const int waves =
+      (plan.disks_touched + budget - 1) / std::max(1, budget);
+  const double throttled = total_busy / static_cast<double>(budget);
+  return static_cast<sim::Duration>(std::max(max_busy, throttled)) +
+         static_cast<sim::Duration>(std::max(1, waves)) * model.spin_up;
+}
+
+sim::Duration SerialAgentRebuildTime(int chunks,
+                                     const RebuildTimeModel& model) {
+  if (chunks <= 0) return 0;
+  const sim::Duration read_time =
+      ChunkTime(model.chunk_size, model.disk_read_bw,
+                model.per_chunk_overhead);
+  const sim::Duration write_time =
+      ChunkTime(model.chunk_size, model.disk_write_bw,
+                model.per_chunk_overhead);
+  // One spin-up for the source/target pair, then queue-depth-1 ping-pong.
+  return 2 * model.spin_up +
+         static_cast<sim::Duration>(chunks) * (read_time + write_time);
+}
+
+// --- MTTDL ----------------------------------------------------------------------
+
+namespace {
+
+// MTTF^(m+1) / (prod · MTTR^m): the standard birth-death chain closed form
+// (Thomasian's RAID tutorial) where `prod` multiplies the failure fan-out
+// at each of the m+1 down-transitions.
+double MttdlChain(double mttf, double mttr, int m, double prod) {
+  return std::pow(mttf, m + 1) / (prod * std::pow(mttr, m));
+}
+
+}  // namespace
+
+double MttdlDeclusteredHours(const MttdlOptions& options) {
+  const int m = options.parity_chunks;
+  // Conservative: any m+1 overlapping failures anywhere in the unit count
+  // as loss (in truth only subsets co-hosting a stripe do), so the
+  // fan-out product runs over the whole unit. The win comes from MTTR:
+  // the declustered rebuild shrinks it as the unit grows.
+  double prod = 1;
+  for (int i = 0; i <= m; ++i) {
+    prod *= static_cast<double>(options.total_disks - i);
+  }
+  return MttdlChain(options.disk_mttf_hours, options.repair_hours, m, prod);
+}
+
+double MttdlDedicatedHours(const MttdlOptions& options) {
+  const int m = options.parity_chunks;
+  const int g = options.data_chunks + options.parity_chunks;
+  const int groups = std::max(1, options.total_disks / g);
+  double prod = 1;
+  for (int i = 0; i <= m; ++i) {
+    prod *= static_cast<double>(g - i);
+  }
+  return MttdlChain(options.disk_mttf_hours, options.repair_hours, m, prod) /
+         static_cast<double>(groups);
+}
+
+double MttdlReattachHours(const MttdlOptions& options) {
+  // Fabric re-attach covers host and path failures only; the first disk
+  // hardware loss in the unit is unrecoverable data loss.
+  return options.disk_mttf_hours / static_cast<double>(options.total_disks);
+}
+
+}  // namespace ustore::services::redundancy

@@ -20,7 +20,9 @@
 #include "baselines/baselines.h"
 #include "core/cluster.h"
 #include "fabric/builders.h"
+#include "fabric/failure_domains.h"
 #include "services/chaos.h"
+#include "services/redundancy.h"
 
 namespace ustore::services {
 namespace {
@@ -214,6 +216,151 @@ TEST(ChaosEngineTest, ActiveMasterCrashFailsOverToStandby) {
   EXPECT_EQ(report.invariant_violations, 0);
   // The standby took over (recovery requires an active master).
   EXPECT_NE(cluster.active_master(), cluster.master(active));
+}
+
+// A chaos fault interrupting a declustered rebuild mid-flight is expected
+// behaviour, not data loss — as long as the engine's report leaves an
+// exact restart point. This drives a real RebuildEngine run into a unit
+// fault, feeds the interrupted report through the chaos invariant checker
+// (no violation), proves the run resumes to completion after repair, and
+// finally checks that a *tampered* report does trip the invariant.
+TEST(ChaosRebuild, InterruptedRebuildIsResumableNotLost) {
+  constexpr Bytes kChunk = MiB(16);
+  constexpr int kData = 2;
+  constexpr int kParity = 1;
+  constexpr int kWidth = kData + kParity;
+  constexpr int kStripes = 8;  // busiest layout disk gets >= 2 chunks
+  constexpr std::uint64_t kGenBase = 4400;
+
+  core::Cluster cluster;
+  cluster.Start();
+  auto client = cluster.MakeClient("chaos-rebuild-client");
+
+  // Every chunk and spare lives on ONE volume on one disk, so failing that
+  // disk's unit interrupts whatever the engine has in flight.
+  const fabric::FailureDomainMap domains =
+      fabric::EnumerateFailureDomains(cluster.fabric().fabric());
+  ASSERT_GE(domains.size(), 1);
+  const std::string data_disk = domains.domains[0].disk_names[0];
+  Result<core::ClientLib::Volume*> mounted = InternalError("pending");
+  client->AllocateAndMountOnDisk(
+      "rebuild-pool", GiB(1), data_disk,
+      [&](Result<core::ClientLib::Volume*> r) { mounted = r; });
+  cluster.RunFor(sim::Seconds(10));
+  ASSERT_TRUE(mounted.ok()) << mounted.status();
+  core::ClientLib::Volume* pool = *mounted;
+
+  const auto chunk_offset = [](std::uint64_t stripe, int chunk) {
+    return (static_cast<Bytes>(stripe) * kWidth + chunk) * kChunk;
+  };
+  const auto spare_offset = [](std::uint64_t stripe) {
+    return (static_cast<Bytes>(kStripes) * kWidth + stripe) * kChunk;
+  };
+  int acked = 0;
+  for (int s = 0; s < kStripes; ++s) {
+    for (int c = 0; c < kWidth; ++c) {
+      pool->Write(chunk_offset(s, c), kChunk, /*random=*/false,
+                  redundancy::ChunkTag(kGenBase + s, c), [&](Status status) {
+                    EXPECT_TRUE(status.ok()) << status;
+                    ++acked;
+                  });
+    }
+  }
+  cluster.RunFor(sim::Seconds(60));
+  ASSERT_EQ(acked, kStripes * kWidth);
+
+  fabric::PlacementOptions placement;
+  placement.data_chunks = kData;
+  placement.parity_chunks = kParity;
+  placement.seed = 91;
+  redundancy::StripeMap map(placement);
+  map.layout().AddDomains(4, 4);
+  ASSERT_TRUE(map.AppendMany(kStripes).ok());
+  int failed_disk = 0;
+  for (int d = 1; d < map.layout().disks(); ++d) {
+    if (map.ChunksOnDisk(d).size() > map.ChunksOnDisk(failed_disk).size()) {
+      failed_disk = d;
+    }
+  }
+  Result<redundancy::RebuildPlan> plan =
+      redundancy::PlanRebuild(map, failed_disk, /*apply=*/true);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  const int ops = static_cast<int>(plan->ops.size());
+  ASSERT_GT(ops, 1);
+  std::map<std::uint64_t, int> lost;
+  for (const redundancy::RebuildStripeOp& op : plan->ops) {
+    lost[op.stripe] = op.lost_chunk;
+  }
+  const auto resolver = [&](std::uint64_t stripe, int chunk,
+                            const fabric::ChunkLocation&) {
+    const auto it = lost.find(stripe);
+    const Bytes offset = it != lost.end() && chunk == it->second
+                             ? spare_offset(stripe)
+                             : chunk_offset(stripe, chunk);
+    return RebuildEngine::ChunkAddress{pool, offset};
+  };
+  RebuildEngineOptions options;
+  options.chunk_size = kChunk;
+  options.max_stripes_in_flight = 1;  // in-order completion
+  options.total_disks = map.layout().disks();
+
+  ChaosEngine chaos(&cluster);
+
+  // Run the engine and yank the disk's failure unit mid-rebuild.
+  RebuildEngine engine(&cluster.sim(), &map, options, resolver);
+  RebuildEngineReport report;
+  report.status = InternalError("pending");
+  bool done = false;
+  engine.Execute(*plan, [&](RebuildEngineReport r) {
+    report = r;
+    done = true;
+  });
+  cluster.sim().Schedule(sim::MillisD(700), [&] {
+    EXPECT_TRUE(cluster.fabric().FailUnit(data_disk).ok());
+  });
+  cluster.RunFor(sim::Seconds(300));
+  ASSERT_TRUE(done);
+  ASSERT_FALSE(report.status.ok());
+  EXPECT_LT(report.stripes_rebuilt, ops);
+  EXPECT_GE(report.resume_from, 0);
+  EXPECT_LT(report.resume_from, ops);
+
+  // The invariant checker accepts the interrupted report as resumable.
+  chaos.NoteRebuildInterrupted(report);
+  EXPECT_EQ(chaos.report().invariant_violations, 0);
+
+  // Repair, remount, resume from the reported op: the rebuild completes.
+  ASSERT_TRUE(cluster.fabric().RepairUnit(data_disk).ok());
+  cluster.RunFor(sim::Seconds(60));
+  RebuildEngine resumed_engine(&cluster.sim(), &map, options, resolver);
+  RebuildEngineReport resumed;
+  resumed.status = InternalError("pending");
+  done = false;
+  resumed_engine.ExecuteFrom(report.resume_from, *plan,
+                             [&](RebuildEngineReport r) {
+                               resumed = r;
+                               done = true;
+                             });
+  cluster.RunFor(sim::Seconds(300));
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(resumed.status.ok()) << resumed.status;
+  EXPECT_EQ(resumed.stripes_rebuilt, ops - report.resume_from);
+  EXPECT_EQ(resumed.resume_from, ops);
+  for (const redundancy::RebuildStripeOp& op : plan->ops) {
+    Result<std::uint64_t> tag = InternalError("pending");
+    pool->Read(spare_offset(op.stripe), kChunk, /*random=*/false,
+               [&](Result<std::uint64_t> r) { tag = r; });
+    cluster.RunFor(sim::Seconds(10));
+    ASSERT_TRUE(tag.ok()) << tag.status();
+    EXPECT_EQ(*tag, redundancy::ChunkTag(kGenBase + op.stripe,
+                                         op.lost_chunk));
+  }
+
+  // A doctored report (no restart point) IS an invariant violation.
+  RebuildEngineReport bogus = report;
+  bogus.resume_from = -1;
+  chaos.NoteRebuildInterrupted(bogus);
+  EXPECT_EQ(chaos.report().invariant_violations, 1);
 }
 
 TEST(ChaosReportTest, PercentilesOnEmptyReportAreSentinel) {

@@ -3,12 +3,18 @@
 // resumes, reads are never interrupted.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/cluster.h"
+#include "fabric/failure_domains.h"
 #include "services/archiver.h"
 #include "services/mini_dfs.h"
+#include "services/rebuild.h"
+#include "services/redundancy.h"
 
 namespace ustore::services {
 namespace {
@@ -262,6 +268,430 @@ TEST_F(ArchiverFixture, VolumeFullReportsExhaustion) {
   cluster_.RunFor(sim::Seconds(20));
   EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
   EXPECT_EQ(tiny.objects_archived(), 2u);
+}
+
+// --- RebuildAgent ---------------------------------------------------------------
+
+class RebuildFixture : public ::testing::Test {
+ protected:
+  static constexpr Bytes kBlock = MiB(8);
+  static constexpr std::uint64_t kBaseTag = 500;
+
+  RebuildFixture() {
+    cluster_.Start();
+    client_ = cluster_.MakeClient("rebuild-client");
+    // Source and target pinned to disks in *different* failure units, so a
+    // unit fault on the source leaves the target (and its partial copy)
+    // alive.
+    const fabric::FailureDomainMap domains =
+        fabric::EnumerateFailureDomains(cluster_.fabric().fabric());
+    EXPECT_GE(domains.size(), 2);
+    source_disk_ = domains.domains[0].disk_names[0];
+    target_disk_ = domains.domains[1].disk_names[0];
+    source_ = MountOnDisk("rebuild-src", source_disk_);
+    target_ = MountOnDisk("rebuild-dst", target_disk_);
+  }
+
+  core::ClientLib::Volume* MountOnDisk(const std::string& service,
+                                       const std::string& disk) {
+    Result<core::ClientLib::Volume*> volume = InternalError("pending");
+    client_->AllocateAndMountOnDisk(
+        service, GiB(1), disk,
+        [&](Result<core::ClientLib::Volume*> r) { volume = r; });
+    cluster_.RunFor(sim::Seconds(10));
+    EXPECT_TRUE(volume.ok()) << volume.status();
+    return volume.ok() ? *volume : nullptr;
+  }
+
+  void WriteSourceBlocks(int blocks) {
+    int acked = 0;
+    for (int i = 0; i < blocks; ++i) {
+      source_->Write(static_cast<Bytes>(i) * kBlock, kBlock,
+                     /*random=*/false, kBaseTag + i, [&](Status s) {
+                       EXPECT_TRUE(s.ok()) << s;
+                       ++acked;
+                     });
+    }
+    cluster_.RunFor(sim::Seconds(120));
+    ASSERT_EQ(acked, blocks);
+  }
+
+  core::Cluster cluster_;
+  std::unique_ptr<core::ClientLib> client_;
+  std::string source_disk_;
+  std::string target_disk_;
+  core::ClientLib::Volume* source_ = nullptr;
+  core::ClientLib::Volume* target_ = nullptr;
+};
+
+TEST_F(RebuildFixture, CopiesVerifiesAndReportsThroughput) {
+  WriteSourceBlocks(6);
+  RebuildAgent agent(&cluster_.sim(), source_, target_, kBlock);
+  RebuildReport report;
+  report.status = InternalError("pending");
+  bool done = false;
+  agent.Rebuild(6, [&](RebuildReport r) {
+    report = r;
+    done = true;
+  });
+  cluster_.RunFor(sim::Seconds(120));
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(report.status.ok()) << report.status;
+  EXPECT_EQ(report.blocks_copied, 6);
+  EXPECT_EQ(report.tag_mismatches, 0);
+  EXPECT_EQ(report.resume_from, 6);
+  EXPECT_GT(report.elapsed, 0);
+  EXPECT_TRUE(report.throughput_valid);
+  EXPECT_GT(report.throughput_mbps, 0.0);
+
+  // Every block round-trips off the target with the source's tag.
+  for (int i = 0; i < 6; ++i) {
+    Result<std::uint64_t> tag = InternalError("pending");
+    target_->Read(static_cast<Bytes>(i) * kBlock, kBlock, /*random=*/false,
+                  [&](Result<std::uint64_t> r) { tag = r; });
+    cluster_.RunFor(sim::Seconds(10));
+    ASSERT_TRUE(tag.ok()) << tag.status();
+    EXPECT_EQ(*tag, kBaseTag + i);
+  }
+}
+
+TEST_F(RebuildFixture, ReadBackMismatchIsDataLossNotProgress) {
+  // The fixed rebuild.cc bug: the source tag used to be captured and then
+  // never compared. A corrupted write must now surface as a *distinct*
+  // kDataLoss status, be counted, and the bad block must not be progress.
+  WriteSourceBlocks(6);
+  RebuildAgent agent(&cluster_.sim(), source_, target_, kBlock);
+  agent.CorruptWriteForTest(3);
+  RebuildReport report;
+  report.status = InternalError("pending");
+  bool done = false;
+  agent.Rebuild(6, [&](RebuildReport r) {
+    report = r;
+    done = true;
+  });
+  cluster_.RunFor(sim::Seconds(120));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(report.status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(report.tag_mismatches, 1);
+  EXPECT_EQ(report.blocks_copied, 3);  // blocks 0..2 verified; 3 is not
+  EXPECT_EQ(report.resume_from, 3);
+  EXPECT_GT(report.elapsed, 0);
+}
+
+TEST_F(RebuildFixture, ZeroBlockRebuildIsExplicitNotStalled) {
+  // A rebuild with nothing to copy used to be indistinguishable from a
+  // stalled one (both reported 0 MB/s). Now progress and rate are separate:
+  // blocks_copied says what happened, throughput_valid says whether the
+  // rate means anything.
+  RebuildAgent agent(&cluster_.sim(), source_, target_, kBlock);
+  RebuildReport report;
+  report.status = InternalError("pending");
+  bool done = false;
+  agent.Rebuild(0, [&](RebuildReport r) {
+    report = r;
+    done = true;
+  });
+  cluster_.RunFor(sim::Seconds(1));
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(report.status.ok()) << report.status;
+  EXPECT_EQ(report.blocks_copied, 0);
+  EXPECT_EQ(report.resume_from, 0);
+  EXPECT_EQ(report.elapsed, 0);
+  EXPECT_FALSE(report.throughput_valid);
+  EXPECT_EQ(report.throughput_mbps, 0.0);
+}
+
+TEST_F(RebuildFixture, SourceUnitFailureReportsPartialProgressAndResumes) {
+  constexpr int kBlocks = 64;
+  WriteSourceBlocks(kBlocks);
+  RebuildAgent agent(&cluster_.sim(), source_, target_, kBlock);
+  RebuildReport report;
+  report.status = InternalError("pending");
+  bool done = false;
+  agent.Rebuild(kBlocks, [&](RebuildReport r) {
+    report = r;
+    done = true;
+  });
+  // Yank the source disk's failure unit mid-copy.
+  cluster_.sim().Schedule(sim::Seconds(1), [&] {
+    const Status failed = cluster_.fabric().FailUnit(source_disk_);
+    EXPECT_TRUE(failed.ok()) << failed;
+  });
+  cluster_.RunFor(sim::Seconds(300));
+  ASSERT_TRUE(done);
+  ASSERT_FALSE(report.status.ok());
+  EXPECT_GT(report.blocks_copied, 0);          // partial progress reported
+  EXPECT_LT(report.blocks_copied, kBlocks);
+  EXPECT_EQ(report.resume_from, report.blocks_copied);
+  EXPECT_EQ(report.tag_mismatches, 0);
+
+  // Repair the unit and resume from the reported block: the copy finishes
+  // without redoing verified work.
+  ASSERT_TRUE(cluster_.fabric().RepairUnit(source_disk_).ok());
+  cluster_.RunFor(sim::Seconds(60));  // remount settles
+  RebuildReport resumed;
+  resumed.status = InternalError("pending");
+  done = false;
+  agent.RebuildFrom(report.resume_from, kBlocks, [&](RebuildReport r) {
+    resumed = r;
+    done = true;
+  });
+  cluster_.RunFor(sim::Seconds(300));
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(resumed.status.ok()) << resumed.status;
+  EXPECT_EQ(resumed.blocks_copied, kBlocks - report.resume_from);
+  EXPECT_EQ(resumed.resume_from, kBlocks);
+
+  // Blocks on both sides of the resume point round-trip.
+  for (int i : {0, report.resume_from - 1, report.resume_from, kBlocks - 1}) {
+    Result<std::uint64_t> tag = InternalError("pending");
+    target_->Read(static_cast<Bytes>(i) * kBlock, kBlock, /*random=*/false,
+                  [&](Result<std::uint64_t> r) { tag = r; });
+    cluster_.RunFor(sim::Seconds(10));
+    ASSERT_TRUE(tag.ok()) << tag.status();
+    EXPECT_EQ(*tag, kBaseTag + i);
+  }
+}
+
+// --- RebuildEngine over Master-placed stripes ------------------------------------
+
+// A live cluster with RS(2+1) stripes allocated through the Master, every
+// chunk tagged with the invertible stripe code, plus a client-side layout
+// replica whose plan drives the RebuildEngine. Not a gtest fixture so the
+// determinism test can spin up two identical worlds side by side.
+class StripeWorld {
+ public:
+  static constexpr Bytes kChunk = MiB(1);
+  static constexpr int kData = 2;
+  static constexpr int kParity = 1;
+  static constexpr int kStripes = 6;
+  static constexpr std::uint64_t kGenBase = 9000;
+
+  StripeWorld() : map_(MakeOptions()) {
+    cluster_.Start();
+    client_ = cluster_.MakeClient("ec-client");
+    for (int s = 0; s < kStripes; ++s) {
+      Result<core::ClientLib::StripeVolumes> stripe =
+          InternalError("pending");
+      client_->AllocateStripe(
+          "ec", kChunk, kData, kParity,
+          [&](Result<core::ClientLib::StripeVolumes> r) { stripe = r; });
+      cluster_.RunFor(sim::Seconds(10));
+      EXPECT_TRUE(stripe.ok()) << stripe.status();
+      if (stripe.ok()) stripes_.push_back(*stripe);
+    }
+    int acked = 0;
+    for (int s = 0; s < kStripes; ++s) {
+      for (int c = 0; c < kData + kParity; ++c) {
+        stripes_[s].chunks[c]->Write(
+            0, kChunk, /*random=*/false,
+            redundancy::ChunkTag(kGenBase + s, c), [&](Status status) {
+              EXPECT_TRUE(status.ok()) << status;
+              ++acked;
+            });
+      }
+    }
+    cluster_.RunFor(sim::Seconds(60));
+    EXPECT_EQ(acked, kStripes * (kData + kParity));
+
+    // The client-side layout replica the plan is computed against; its
+    // dense locations are mapped onto the mounted volumes by the resolver.
+    map_.layout().AddDomains(4, 4);
+    EXPECT_TRUE(map_.AppendMany(kStripes).ok());
+  }
+
+  static fabric::PlacementOptions MakeOptions() {
+    fabric::PlacementOptions options;
+    options.data_chunks = kData;
+    options.parity_chunks = kParity;
+    options.seed = 77;
+    return options;
+  }
+
+  // Busiest layout disk — the failure that exposes the most chunks.
+  int BusiestDisk() const {
+    int best = 0;
+    for (int d = 1; d < map_.layout().disks(); ++d) {
+      if (map_.ChunksOnDisk(d).size() > map_.ChunksOnDisk(best).size()) {
+        best = d;
+      }
+    }
+    return best;
+  }
+
+  // Plans (and applies) the rebuild of BusiestDisk(), then allocates one
+  // spare volume per affected stripe.
+  redundancy::RebuildPlan PlanAndPrepare() {
+    failed_disk_ = BusiestDisk();
+    Result<redundancy::RebuildPlan> plan =
+        redundancy::PlanRebuild(map_, failed_disk_, /*apply=*/true);
+    EXPECT_TRUE(plan.ok()) << plan.status();
+    for (const redundancy::RebuildStripeOp& op : plan->ops) {
+      Result<core::ClientLib::Volume*> spare = InternalError("pending");
+      client_->AllocateAndMount(
+          "ec-spare", MiB(4),
+          [&](Result<core::ClientLib::Volume*> r) { spare = r; });
+      cluster_.RunFor(sim::Seconds(10));
+      EXPECT_TRUE(spare.ok()) << spare.status();
+      if (spare.ok()) spares_[op.stripe] = *spare;
+    }
+    return *plan;
+  }
+
+  RebuildEngine::ChunkResolver MakeResolver(
+      const redundancy::RebuildPlan& plan) {
+    std::map<std::uint64_t, int> lost;
+    for (const redundancy::RebuildStripeOp& op : plan.ops) {
+      lost[op.stripe] = op.lost_chunk;
+    }
+    return [this, lost](std::uint64_t stripe, int chunk,
+                        const fabric::ChunkLocation&) {
+      auto it = lost.find(stripe);
+      if (it != lost.end() && chunk == it->second) {
+        return RebuildEngine::ChunkAddress{spares_.at(stripe), 0};
+      }
+      return RebuildEngine::ChunkAddress{
+          stripes_[static_cast<std::size_t>(stripe)].chunks[chunk], 0};
+    };
+  }
+
+  RebuildEngineReport Execute(const redundancy::RebuildPlan& plan,
+                              int first_op = 0,
+                              std::uint64_t corrupt_stripe = ~0ULL) {
+    RebuildEngineOptions options;
+    options.chunk_size = kChunk;
+    options.total_disks = map_.layout().disks();
+    RebuildEngine engine(&cluster_.sim(), &map_, options, MakeResolver(plan));
+    if (corrupt_stripe != ~0ULL) {
+      engine.CorruptSpareWriteForTest(corrupt_stripe);
+    }
+    RebuildEngineReport report;
+    report.status = InternalError("pending");
+    bool done = false;
+    engine.ExecuteFrom(first_op, plan, [&](RebuildEngineReport r) {
+      report = r;
+      done = true;
+    });
+    cluster_.RunFor(sim::Seconds(300));
+    EXPECT_TRUE(done);
+    return report;
+  }
+
+  core::Cluster cluster_;
+  std::unique_ptr<core::ClientLib> client_;
+  std::vector<core::ClientLib::StripeVolumes> stripes_;
+  std::map<std::uint64_t, core::ClientLib::Volume*> spares_;
+  redundancy::StripeMap map_;
+  int failed_disk_ = -1;
+};
+
+TEST(StripeRebuild, MasterPlacementSeparatesFailureDomains) {
+  StripeWorld world;
+  core::Master* master = world.cluster_.active_master();
+  ASSERT_NE(master, nullptr);
+  EXPECT_EQ(master->stripe_count(),
+            static_cast<std::size_t>(StripeWorld::kStripes));
+  EXPECT_GE(master->failure_domain_count(),
+            StripeWorld::kData + StripeWorld::kParity);
+  for (const core::ClientLib::StripeVolumes& stripe : world.stripes_) {
+    ASSERT_EQ(stripe.chunks.size(),
+              static_cast<std::size_t>(StripeWorld::kData +
+                                       StripeWorld::kParity));
+    ASSERT_EQ(stripe.domains.size(), stripe.chunks.size());
+    for (std::size_t a = 0; a < stripe.domains.size(); ++a) {
+      for (std::size_t b = a + 1; b < stripe.domains.size(); ++b) {
+        EXPECT_NE(stripe.domains[a], stripe.domains[b])
+            << "stripe " << stripe.stripe_id
+            << " put two chunks in one failure domain";
+      }
+    }
+    const std::vector<core::SpaceId>* spaces =
+        master->StripeChunks(stripe.stripe_id);
+    ASSERT_NE(spaces, nullptr);
+    EXPECT_EQ(spaces->size(), stripe.chunks.size());
+  }
+  std::string why;
+  EXPECT_TRUE(master->CheckIndexesForTest(&why)) << why;
+}
+
+TEST(StripeRebuild, EngineRebuildsEveryChunkOfAFailedDisk) {
+  StripeWorld world;
+  const redundancy::RebuildPlan plan = world.PlanAndPrepare();
+  const int ops = static_cast<int>(plan.ops.size());
+  ASSERT_GT(ops, 0);
+
+  const RebuildEngineReport report = world.Execute(plan);
+  ASSERT_TRUE(report.status.ok()) << report.status;
+  EXPECT_EQ(report.stripes_total, ops);
+  EXPECT_EQ(report.stripes_rebuilt, ops);
+  EXPECT_EQ(report.chunk_reads, StripeWorld::kData * ops);
+  EXPECT_EQ(report.chunk_writes, ops);
+  EXPECT_EQ(report.tag_mismatches, 0);
+  EXPECT_EQ(report.read_failovers, 0);
+  EXPECT_EQ(report.resume_from, ops);
+  EXPECT_TRUE(report.throughput_valid);
+  EXPECT_TRUE(CheckRebuildResumable(report).ok());
+
+  // Each spare chunk now holds exactly the lost chunk's tag.
+  for (const redundancy::RebuildStripeOp& op : plan.ops) {
+    Result<std::uint64_t> tag = InternalError("pending");
+    world.spares_.at(op.stripe)
+        ->Read(0, StripeWorld::kChunk, /*random=*/false,
+               [&](Result<std::uint64_t> r) { tag = r; });
+    world.cluster_.RunFor(sim::Seconds(10));
+    ASSERT_TRUE(tag.ok()) << tag.status();
+    EXPECT_EQ(*tag, redundancy::ChunkTag(StripeWorld::kGenBase + op.stripe,
+                                         op.lost_chunk));
+  }
+  // The applied plan drained the failed disk in the layout replica.
+  EXPECT_TRUE(world.map_.ChunksOnDisk(world.failed_disk_).empty());
+}
+
+TEST(StripeRebuild, CorruptSpareWriteIsDataLossAndRunResumes) {
+  StripeWorld world;
+  const redundancy::RebuildPlan plan = world.PlanAndPrepare();
+  ASSERT_GT(plan.ops.size(), 0u);
+
+  // Corrupt the first op's spare write: the verify read-back must trip,
+  // fail the run with a distinct status, and leave an exact resume point.
+  const RebuildEngineReport report =
+      world.Execute(plan, /*first_op=*/0,
+                    /*corrupt_stripe=*/plan.ops.front().stripe);
+  ASSERT_FALSE(report.status.ok());
+  EXPECT_EQ(report.status.code(), StatusCode::kDataLoss);
+  EXPECT_GE(report.tag_mismatches, 1);
+  EXPECT_LT(report.stripes_rebuilt, report.stripes_total);
+  EXPECT_TRUE(CheckRebuildResumable(report).ok());
+
+  // A clean engine resumes from the reported op and finishes the rebuild.
+  const RebuildEngineReport resumed = world.Execute(plan, report.resume_from);
+  ASSERT_TRUE(resumed.status.ok()) << resumed.status;
+  EXPECT_EQ(resumed.stripes_rebuilt, resumed.stripes_total);
+  EXPECT_EQ(resumed.resume_from, static_cast<int>(plan.ops.size()));
+}
+
+TEST(StripeRebuild, ReportIsIdenticalAcrossIdenticalWorlds) {
+  // The acceptance bar: the engine report is a pure function of (options,
+  // volumes, fault schedule) — two identical clusters produce identical
+  // reports, sim-time stamps included.
+  auto run = [] {
+    StripeWorld world;
+    const redundancy::RebuildPlan plan = world.PlanAndPrepare();
+    return world.Execute(plan);
+  };
+  const RebuildEngineReport a = run();
+  const RebuildEngineReport b = run();
+  EXPECT_EQ(a.status.code(), b.status.code());
+  EXPECT_EQ(a.stripes_total, b.stripes_total);
+  EXPECT_EQ(a.stripes_rebuilt, b.stripes_rebuilt);
+  EXPECT_EQ(a.chunk_reads, b.chunk_reads);
+  EXPECT_EQ(a.chunk_writes, b.chunk_writes);
+  EXPECT_EQ(a.tag_mismatches, b.tag_mismatches);
+  EXPECT_EQ(a.read_failovers, b.read_failovers);
+  EXPECT_EQ(a.admission_stalls, b.admission_stalls);
+  EXPECT_EQ(a.resume_from, b.resume_from);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.throughput_mbps, b.throughput_mbps);
 }
 
 }  // namespace
